@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md §3) and
+does three things with the resulting table: prints it (visible with
+``pytest -s``), saves it under ``benchmarks/results/``, and asserts the
+paper's qualitative *shape* so a silent regression fails the bench run.
+
+Dataset sizes honour ``PPDM_BENCH_SCALE`` (1.0 = laptop default,
+10 = the paper's scale).
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+warnings.filterwarnings("ignore", category=UserWarning, module="repro")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(experiment_id: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n=== {experiment_id} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""E13 — Extension: classifier-agnosticism of reconstruction (naive Bayes).
+
+The paper argues its reconstruction approach is not tree-specific.  Naive
+Bayes is the cleanest demonstration: it consumes only per-class marginals,
+so reconstructed distributions feed it *directly* — no record correction.
+Shape: NB-ByClass tracks NB-Original (both limited by NB's own modelling
+bias) and clearly beats NB trained on raw randomized values; trees beat
+NB on joint-structure functions (Fn2/Fn4/Fn5) in every mode.
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.bayes import PrivacyPreservingNaiveBayes
+from repro.datasets import quest
+from repro.experiments import format_table
+from repro.experiments.config import scaled
+from repro.tree import PrivacyPreservingClassifier
+
+FUNCTIONS = (1, 2, 3, 4, 5)
+NB_STRATEGIES = ("original", "randomized", "byclass")
+
+
+def _run():
+    n_train, n_test = scaled(10_000), scaled(3_000)
+    results = {}
+    for fn in FUNCTIONS:
+        train = quest.generate(n_train, function=fn, seed=1300 + fn)
+        test = quest.generate(n_test, function=fn, seed=1350 + fn)
+        cell = {}
+        for strategy in NB_STRATEGIES:
+            model = PrivacyPreservingNaiveBayes(
+                strategy, privacy=1.0, seed=1399
+            ).fit(train)
+            cell[f"nb-{strategy}"] = model.score(test)
+        tree = PrivacyPreservingClassifier(
+            "byclass", privacy=1.0, seed=1399
+        ).fit(train)
+        cell["tree-byclass"] = tree.score(test)
+        results[fn] = cell
+    return results
+
+
+def test_e13_naive_bayes(benchmark):
+    results = once(benchmark, _run)
+
+    columns = ("nb-original", "nb-randomized", "nb-byclass", "tree-byclass")
+    rows = [
+        (f"Fn{fn}",) + tuple(f"{100 * results[fn][c]:.1f}" for c in columns)
+        for fn in FUNCTIONS
+    ]
+    table = format_table(
+        ("function",) + columns,
+        rows,
+        title="E13: naive Bayes over reconstructed distributions "
+        "(100% privacy, uniform)",
+    )
+    report("e13_naive_bayes", table)
+
+    wins = 0
+    for fn in FUNCTIONS:
+        cell = results[fn]
+        # reconstruction-fed NB tracks clean NB (reconstruction variance
+        # feeds NB's likelihoods directly, so allow a modest band) ...
+        assert cell["nb-byclass"] > cell["nb-original"] - 0.13, fn
+        # ... and at least matches NB on raw noisy values everywhere
+        # (Fn3 is a statistical tie at some scales) ...
+        assert cell["nb-byclass"] > cell["nb-randomized"] - 0.02, fn
+        wins += cell["nb-byclass"] > cell["nb-randomized"]
+    # ... winning clearly on most functions
+    assert wins >= 4
+    # single-attribute function: NB-byclass stays in Original's ballpark
+    # while NB-randomized collapses far below it
+    assert results[1]["nb-byclass"] > 0.85
+    assert results[1]["nb-randomized"] < results[1]["nb-byclass"] - 0.2

@@ -1,0 +1,73 @@
+"""E17 — Extension: categorical attributes via randomized response.
+
+The paper names categorical data as its open extension.  This bench
+randomizes a skewed 5-category attribute (elevel-like) with generalized
+randomized response at several keep probabilities and measures recovery:
+channel inversion tracks the true distribution where naive counting of
+the disclosed values is strongly biased toward uniform, and estimation
+error grows as deniability rises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import once, report
+
+from repro.core import CategoricalRandomizer, CategoricalReconstructor
+from repro.experiments import format_table
+from repro.experiments.config import scaled
+
+KEEP_PROBS = (0.9, 0.7, 0.5, 0.3)
+TRUE_PROBS = np.array([0.45, 0.25, 0.15, 0.10, 0.05])
+
+
+def _run():
+    rng = np.random.default_rng(1700)
+    n = scaled(20_000)
+    values = rng.choice(5, size=n, p=TRUE_PROBS)
+    empirical = np.bincount(values, minlength=5) / n
+
+    rows = []
+    for keep in KEEP_PROBS:
+        rr = CategoricalRandomizer(5, keep)
+        disclosed = rr.randomize(values, seed=rng)
+        naive = np.bincount(disclosed, minlength=5) / n
+        estimate = CategoricalReconstructor(rr).invert(disclosed)
+        rows.append(
+            {
+                "keep": keep,
+                "deniability": rr.privacy_of_value(),
+                "err_naive": float(np.abs(naive - empirical).sum()),
+                "err_estimate": float(np.abs(estimate - empirical).sum()),
+            }
+        )
+    return rows
+
+
+def test_e17_categorical_response(benchmark):
+    rows = once(benchmark, _run)
+
+    table = format_table(
+        ("keep_prob", "deniability", "L1 naive", "L1 inverted"),
+        [
+            (
+                f"{r['keep']:g}",
+                f"{r['deniability']:.2f}",
+                f"{r['err_naive']:.4f}",
+                f"{r['err_estimate']:.4f}",
+            )
+            for r in rows
+        ],
+        title="E17: categorical distribution recovery under randomized response",
+    )
+    report("e17_categorical_response", table)
+
+    for r in rows:
+        # inversion beats naive counting at every deniability level
+        assert r["err_estimate"] < r["err_naive"], r["keep"]
+        # and stays genuinely accurate at moderate deniability
+        if r["keep"] >= 0.5:
+            assert r["err_estimate"] < 0.05
+    # naive bias grows with deniability (sanity of the workload)
+    naive_errors = [r["err_naive"] for r in rows]
+    assert naive_errors == sorted(naive_errors)

@@ -1,0 +1,84 @@
+"""E18 — Methodology: seed variance of the headline comparison.
+
+EXPERIMENTS.md repeatedly cites seed-to-seed variance when reconciling
+absolute numbers with the paper.  This bench quantifies it: the headline
+Fn-level comparison (ByClass vs Randomized at 100 % privacy) repeated
+over independent seeds, reporting mean ± spread.  The measured picture:
+ByClass beats Randomized on average for every function and is several
+times more stable (std 0.2–2.2 vs 2.6–6.3 points); the margin is wide and
+seed-independent where the structure favours reconstruction (Fn1, Fn5),
+while Fn3 at 100 % privacy is a genuinely close race whose winner can
+flip on individual seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import once, report
+
+from repro.datasets import quest
+from repro.experiments import format_table
+from repro.experiments.config import scaled
+from repro.tree import PrivacyPreservingClassifier
+
+SEEDS = (1801, 1845, 1899)
+FUNCTIONS = (1, 3, 5)
+
+
+def _run():
+    n_train, n_test = scaled(10_000), scaled(3_000)
+    results: dict = {fn: {"byclass": [], "randomized": []} for fn in FUNCTIONS}
+    for seed in SEEDS:
+        for fn in FUNCTIONS:
+            train = quest.generate(n_train, function=fn, seed=seed)
+            test = quest.generate(n_test, function=fn, seed=seed + 7)
+            randomized, randomizers = quest.randomize(
+                train, privacy=1.0, seed=seed + 13
+            )
+            for strategy in ("byclass", "randomized"):
+                clf = PrivacyPreservingClassifier(
+                    strategy, privacy=1.0, seed=seed + 29
+                )
+                clf.fit(train, randomized_table=randomized, randomizers=randomizers)
+                results[fn][strategy].append(clf.score(test))
+    return results
+
+
+def test_e18_seed_variance(benchmark):
+    results = once(benchmark, _run)
+
+    rows = []
+    for fn in FUNCTIONS:
+        for strategy in ("byclass", "randomized"):
+            accs = np.asarray(results[fn][strategy])
+            rows.append(
+                (
+                    f"Fn{fn}",
+                    strategy,
+                    f"{100 * accs.mean():.1f}",
+                    f"{100 * accs.std():.1f}",
+                    f"{100 * accs.min():.1f}",
+                    f"{100 * accs.max():.1f}",
+                )
+            )
+    table = format_table(
+        ("function", "strategy", "mean %", "std %", "min %", "max %"),
+        rows,
+        title=f"E18: accuracy across {len(SEEDS)} seeds (100% privacy, uniform)",
+    )
+    report("e18_seed_variance", table)
+
+    for fn in FUNCTIONS:
+        byclass = np.asarray(results[fn]["byclass"])
+        randomized = np.asarray(results[fn]["randomized"])
+        # the ordering conclusion holds on average for every function ...
+        assert byclass.mean() > randomized.mean(), fn
+        # ... and ByClass is the far more *stable* method
+        assert byclass.std() <= randomized.std() + 0.01, fn
+    # where the gap is structural (Fn1 single-attribute, Fn5 joint), it
+    # holds with wide margin on every individual seed
+    for fn in (1, 5):
+        byclass = np.asarray(results[fn]["byclass"])
+        randomized = np.asarray(results[fn]["randomized"])
+        assert byclass.mean() > randomized.mean() + 0.05, fn
+        assert np.all(byclass > randomized), fn

@@ -1,0 +1,53 @@
+"""E3 — Reconstruction with Gaussian noise, both shapes (paper §3).
+
+The paper runs its reconstruction demonstration with Gaussian
+randomization as well; the conclusion (reconstruction ~restores the
+original, randomization does not) must be noise-kind independent.
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.experiments import ReconstructionConfig, format_table, run_reconstruction
+from repro.experiments.config import scaled
+
+
+def _run_both():
+    outcomes = {}
+    for shape, seed in (("plateau", 103), ("triangles", 104)):
+        config = ReconstructionConfig(
+            shape=shape,
+            noise="gaussian",
+            privacy=0.5,
+            n=scaled(10_000),
+            n_intervals=20,
+            seed=seed,
+        )
+        outcomes[shape] = run_reconstruction(config)
+    return outcomes
+
+
+def test_e3_reconstruction_gaussian(benchmark):
+    outcomes = once(benchmark, _run_both)
+
+    rows = [
+        (
+            shape,
+            f"{o.l1_randomized:.4f}",
+            f"{o.l1_reconstructed:.4f}",
+            f"{o.ks_randomized:.4f}",
+            f"{o.ks_reconstructed:.4f}",
+            o.n_iterations,
+        )
+        for shape, o in outcomes.items()
+    ]
+    table = format_table(
+        ("shape", "L1 rand", "L1 recon", "KS rand", "KS recon", "iters"),
+        rows,
+        title="E3: Gaussian noise, 50% privacy",
+    )
+    report("e3_reconstruction_gaussian", table)
+
+    for outcome in outcomes.values():
+        assert outcome.l1_reconstructed < 0.6 * outcome.l1_randomized

@@ -1,0 +1,59 @@
+"""E4 — The Quest workload tables (paper §5 setup).
+
+Regenerates the paper's attribute-description table and the class balance
+of each classification function, and times the generator itself (the
+substrate every classification experiment rests on).
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.datasets import quest
+from repro.experiments import format_table
+from repro.experiments.config import scaled
+
+
+def test_e4_quest_workload(benchmark):
+    n = scaled(50_000)
+    tables = once(
+        benchmark,
+        lambda: {
+            fn: quest.generate(n, function=fn, seed=400 + fn)
+            for fn in quest.FUNCTION_IDS
+        },
+    )
+
+    attr_rows = [
+        (
+            a.name,
+            f"{a.low:g}",
+            f"{a.high:g}",
+            "discrete" if a.discrete else "continuous",
+        )
+        for a in quest.ATTRIBUTES
+    ]
+    attr_table = format_table(
+        ("attribute", "low", "high", "kind"), attr_rows,
+        title="E4a: Quest attribute domains",
+    )
+
+    balance_rows = [
+        (
+            f"Fn{fn}",
+            ", ".join(quest.FUNCTION_INPUTS[fn]),
+            f"{100 * tables[fn].labels.mean():.1f}",
+        )
+        for fn in quest.FUNCTION_IDS
+    ]
+    balance_table = format_table(
+        ("function", "inputs", "Group A %"), balance_rows,
+        title=f"E4b: class balance on {n} records",
+    )
+    report("e4_quest_workload", attr_table + "\n\n" + balance_table)
+
+    # analytic check: Fn1's Group A is age<40 or age>=60 => 2/3
+    assert abs(tables[1].labels.mean() - 2 / 3) < 0.02
+    # every function is non-degenerate
+    for fn in quest.FUNCTION_IDS:
+        assert 0.2 < tables[fn].labels.mean() < 0.8

@@ -1,0 +1,49 @@
+"""E5 — Classification accuracy at 100 % privacy, uniform noise (paper §5).
+
+The paper's headline figure: for each function Fn1–Fn5, the accuracy of
+Original, Randomized, Global, ByClass, and Local.  Paper shape:
+
+* every reconstruction-based strategy beats training on raw randomized
+  values, dramatically so on the harder functions;
+* ByClass and Local are close to each other;
+* Fn1 (single attribute) is essentially unharmed by ByClass/Local.
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.experiments import ClassificationConfig, run_strategy_comparison
+from repro.experiments.config import scaled
+from repro.experiments.reporting import accuracy_matrix
+
+CONFIG = ClassificationConfig(
+    functions=(1, 2, 3, 4, 5),
+    strategies=("original", "randomized", "global", "byclass", "local"),
+    noise="uniform",
+    privacy=1.0,
+    n_train=scaled(10_000),
+    n_test=scaled(3_000),
+    seed=500,
+)
+
+
+def test_e5_accuracy_100privacy_uniform(benchmark):
+    rows = once(benchmark, lambda: run_strategy_comparison(CONFIG))
+    report(
+        "e5_accuracy_100privacy_uniform",
+        "E5: accuracy (%) at 100% privacy, uniform noise, "
+        f"n_train={CONFIG.n_train}\n" + accuracy_matrix(rows),
+    )
+
+    acc = {(r.function, r.strategy): r.accuracy for r in rows}
+    for fn in CONFIG.functions:
+        # reconstruction-based training beats the randomized baseline
+        assert acc[(fn, "byclass")] > acc[(fn, "randomized")], fn
+        # and the original is the (approximate) upper bound
+        assert acc[(fn, "original")] >= acc[(fn, "byclass")] - 0.03, fn
+    # Fn1: single-attribute concept survives ByClass nearly unchanged
+    assert acc[(1, "byclass")] > acc[(1, "original")] - 0.08
+    # ByClass and Local land close together (the paper's observation)
+    for fn in CONFIG.functions:
+        assert abs(acc[(fn, "byclass")] - acc[(fn, "local")]) < 0.15, fn

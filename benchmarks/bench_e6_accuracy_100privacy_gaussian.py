@@ -1,0 +1,47 @@
+"""E6 — Classification accuracy at 100 % privacy, Gaussian noise (paper §5).
+
+The Gaussian twin of E5.  At matched 95 %-confidence privacy, Gaussian
+noise concentrates most of its mass near zero, so the Randomized baseline
+is much less damaged than under uniform noise and the reconstruction gap
+narrows — consistent with the paper's observation that Gaussian noise is
+the gentler randomizer per unit of stated privacy.  The shape to hold:
+ByClass at least matches Randomized overall and clearly wins on some
+functions, while tracking Original on Fn1.
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.experiments import ClassificationConfig, run_strategy_comparison
+from repro.experiments.config import scaled
+from repro.experiments.reporting import accuracy_matrix
+
+CONFIG = ClassificationConfig(
+    functions=(1, 2, 3, 4, 5),
+    strategies=("original", "randomized", "global", "byclass"),
+    noise="gaussian",
+    privacy=1.0,
+    n_train=scaled(10_000),
+    n_test=scaled(3_000),
+    seed=600,
+)
+
+
+def test_e6_accuracy_100privacy_gaussian(benchmark):
+    rows = once(benchmark, lambda: run_strategy_comparison(CONFIG))
+    report(
+        "e6_accuracy_100privacy_gaussian",
+        "E6: accuracy (%) at 100% privacy, gaussian noise, "
+        f"n_train={CONFIG.n_train}\n" + accuracy_matrix(rows),
+    )
+
+    acc = {(r.function, r.strategy): r.accuracy for r in rows}
+    wins = 0
+    for fn in CONFIG.functions:
+        # never materially worse than the randomized baseline ...
+        assert acc[(fn, "byclass")] > acc[(fn, "randomized")] - 0.07, fn
+        wins += acc[(fn, "byclass")] > acc[(fn, "randomized")]
+    # ... and clearly better on several functions
+    assert wins >= 2
+    assert acc[(1, "byclass")] > acc[(1, "original")] - 0.08

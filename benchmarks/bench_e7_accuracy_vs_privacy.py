@@ -1,0 +1,56 @@
+"""E7 — Accuracy vs privacy sweep (paper §5's tradeoff figure).
+
+For each function, ByClass accuracy as privacy rises from 10 % to 200 %
+of the attribute range, with the Randomized baseline alongside.  Paper
+shape: graceful degradation for ByClass; the Randomized baseline falls
+off a cliff as noise grows; Fn1 stays nearly flat for ByClass.
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.experiments import (
+    ClassificationConfig,
+    format_table,
+    run_privacy_sweep,
+)
+from repro.experiments.config import scaled
+
+LEVELS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+CONFIG = ClassificationConfig(
+    functions=(1, 2, 3, 4, 5),
+    strategies=("randomized", "byclass"),
+    noise="uniform",
+    n_train=scaled(10_000),
+    n_test=scaled(3_000),
+    seed=700,
+)
+
+
+def test_e7_accuracy_vs_privacy(benchmark):
+    rows = once(benchmark, lambda: run_privacy_sweep(CONFIG, LEVELS))
+
+    acc = {(r.function, r.strategy, r.privacy): r.accuracy for r in rows}
+    table_rows = []
+    for fn in CONFIG.functions:
+        for strategy in CONFIG.strategies:
+            cells = [f"Fn{fn}", strategy] + [
+                f"{100 * acc[(fn, strategy, level)]:.1f}" for level in LEVELS
+            ]
+            table_rows.append(tuple(cells))
+    table = format_table(
+        ("function", "strategy") + tuple(f"p={level:g}" for level in LEVELS),
+        table_rows,
+        title=f"E7: accuracy (%) vs privacy, uniform noise, n_train={CONFIG.n_train}",
+    )
+    report("e7_accuracy_vs_privacy", table)
+
+    for fn in CONFIG.functions:
+        # byclass degrades gracefully: low-privacy beats the 200% point
+        assert acc[(fn, "byclass", 0.1)] > acc[(fn, "byclass", 2.0)] - 0.02
+        # at high privacy byclass clearly beats the randomized baseline
+        assert acc[(fn, "byclass", 2.0)] > acc[(fn, "randomized", 2.0)]
+    # Fn1 stays essentially flat for byclass (single-attribute concept)
+    assert acc[(1, "byclass", 2.0)] > 0.85

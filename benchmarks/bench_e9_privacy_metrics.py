@@ -1,0 +1,94 @@
+"""E9 — The privacy metric table (paper §2.1).
+
+Regenerates the paper's quantification examples: for each Quest attribute
+and noise kind, the noise parameter that achieves a target privacy at
+95 % confidence, plus the same randomizer's privacy at other confidence
+levels, and the information-theoretic a-posteriori view (follow-on work).
+"""
+
+from __future__ import annotations
+
+from _common import once, report
+
+from repro.core import (
+    HistogramDistribution,
+    noise_for_privacy,
+    posterior_privacy,
+    privacy_of_randomizer,
+)
+from repro.datasets import quest
+from repro.experiments import format_table
+from repro.experiments.config import scaled
+
+CONFIDENCES = (0.5, 0.95, 0.999)
+
+
+def _build():
+    rows = []
+    for attribute in quest.ATTRIBUTES[:4]:  # salary, commission, age, elevel
+        for kind in ("uniform", "gaussian"):
+            randomizer = noise_for_privacy(kind, 1.0, attribute.span, 0.95)
+            privacy_at = [
+                privacy_of_randomizer(randomizer, attribute.span, c)
+                for c in CONFIDENCES
+            ]
+            rows.append((attribute.name, kind, privacy_at))
+
+    # a-posteriori (information-theoretic) privacy on real age data
+    table = quest.generate(scaled(20_000), function=1, seed=900)
+    age_attr = table.attribute("age")
+    prior = HistogramDistribution.from_values(
+        table.column("age"), age_attr.partition(24)
+    )
+    posterior = {
+        level: posterior_privacy(
+            prior, noise_for_privacy("uniform", level, age_attr.span)
+        )
+        for level in (0.25, 1.0, 2.0)
+    }
+    return rows, posterior
+
+
+def test_e9_privacy_metrics(benchmark):
+    rows, posterior = once(benchmark, _build)
+
+    interval_rows = [
+        (name, kind) + tuple(f"{100 * p:.1f}" for p in privacy_at)
+        for name, kind, privacy_at in rows
+    ]
+    interval_table = format_table(
+        ("attribute", "noise") + tuple(f"c={c:g}" for c in CONFIDENCES),
+        interval_rows,
+        title="E9a: privacy (% of range) of 100%-at-95% noise, by confidence",
+    )
+
+    posterior_rows = [
+        (
+            f"{level:g}",
+            f"{p.mutual_information_bits:.2f}",
+            f"{100 * p.privacy_fraction:.1f}",
+            f"{100 * p.privacy_loss:.1f}",
+        )
+        for level, p in posterior.items()
+    ]
+    posterior_table = format_table(
+        ("interval privacy", "I(X;Y) bits", "posterior privacy %", "loss %"),
+        posterior_rows,
+        title="E9b: information-theoretic view (age attribute, uniform noise)",
+    )
+    report("e9_privacy_metrics", interval_table + "\n\n" + posterior_table)
+
+    # all randomizers hit the target exactly at the stated confidence
+    for name, kind, privacy_at in rows:
+        assert abs(privacy_at[1] - 1.0) < 1e-9, (name, kind)
+    # uniform noise caps at 2*alpha: c=0.999 privacy < 1.06x the 95% level
+    uniform_rows = [r for r in rows if r[1] == "uniform"]
+    for name, kind, privacy_at in uniform_rows:
+        assert privacy_at[2] < 1.06
+    # gaussian keeps growing with confidence (heavier tails of uncertainty)
+    gaussian_rows = [r for r in rows if r[1] == "gaussian"]
+    for name, kind, privacy_at in gaussian_rows:
+        assert privacy_at[2] > 1.5
+    # posterior privacy grows with the interval privacy level
+    fractions = [p.privacy_fraction for p in posterior.values()]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,67 @@
+"""Association mining over randomized baskets (the paper's future work).
+
+Market-basket data is randomized bit-by-bit (randomized response), giving
+each provider plausible deniability for every item, yet itemset supports
+— and therefore association rules — are still recoverable by inverting
+the known randomization channel.  Run:
+
+    python examples/association_mining.py
+"""
+
+from repro.experiments import format_table
+from repro.mining import (
+    MaskMiner,
+    RandomizedResponse,
+    association_rules,
+    frequent_itemsets,
+    generate_baskets,
+)
+from repro.mining.apriori import support
+
+N_BASKETS = 20_000
+N_ITEMS = 12
+KEEP_PROB = 0.9
+MIN_SUPPORT = 0.15
+
+baskets = generate_baskets(N_BASKETS, N_ITEMS, seed=0)
+response = RandomizedResponse(KEEP_PROB)
+disclosed = response.randomize(baskets, seed=1)
+
+print(
+    f"{N_BASKETS} baskets, {N_ITEMS} items; every bit kept with "
+    f"p={KEEP_PROB} (a disclosed item is a lie with probability "
+    f"{response.privacy_of_bit():.0%}).\n"
+)
+
+true_sets = frequent_itemsets(baskets, MIN_SUPPORT, max_size=3)
+miner = MaskMiner(response, max_size=3)
+mined_sets = miner.frequent_itemsets(disclosed, MIN_SUPPORT)
+
+rows = []
+for itemset in sorted(set(true_sets) | set(mined_sets), key=sorted):
+    label = "{" + ", ".join(str(i) for i in sorted(itemset)) + "}"
+    rows.append(
+        (
+            label,
+            f"{true_sets.get(itemset, support(baskets, itemset)):.3f}",
+            f"{support(disclosed, itemset):.3f}",
+            f"{mined_sets[itemset]:.3f}" if itemset in mined_sets else "missed",
+        )
+    )
+print(
+    format_table(
+        ("itemset", "true support", "naive (biased)", "recovered"),
+        rows,
+        title=f"Frequent itemsets at min_support={MIN_SUPPORT}",
+    )
+)
+
+rules = association_rules(mined_sets, min_confidence=0.5)
+print("\nTop rules mined from the randomized data:")
+for rule in rules[:5]:
+    ant = "{" + ", ".join(str(i) for i in sorted(rule.antecedent)) + "}"
+    con = "{" + ", ".join(str(i) for i in sorted(rule.consequent)) + "}"
+    print(
+        f"  {ant} => {con}   support={rule.support:.3f} "
+        f"confidence={rule.confidence:.2f} lift={rule.lift:.2f}"
+    )

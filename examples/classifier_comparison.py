@@ -1,0 +1,43 @@
+"""Strategy comparison: the paper's headline experiment at laptop scale.
+
+Compares Original / Randomized / Global / ByClass / Local on all five
+Quest classification functions at 100 % privacy with uniform noise — the
+shape of the paper's central accuracy figure.  Run:
+
+    python examples/classifier_comparison.py            # ~30 s
+    PPDM_BENCH_SCALE=10 python examples/classifier_comparison.py  # paper scale
+"""
+
+from repro.experiments import ClassificationConfig, run_strategy_comparison
+from repro.experiments.config import scaled
+from repro.experiments.reporting import accuracy_matrix
+
+config = ClassificationConfig(
+    functions=(1, 2, 3, 4, 5),
+    strategies=("original", "randomized", "global", "byclass", "local"),
+    noise="uniform",
+    privacy=1.0,
+    n_train=scaled(10_000),
+    n_test=scaled(3_000),
+    seed=7,
+)
+
+print(
+    f"Accuracy (%) at 100% privacy, uniform noise, "
+    f"n_train={config.n_train}:\n"
+)
+rows = run_strategy_comparison(config)
+print(accuracy_matrix(rows))
+
+print("\nTraining cost (seconds) by strategy:")
+by_strategy: dict = {}
+for row in rows:
+    by_strategy.setdefault(row.strategy, []).append(row.fit_seconds)
+for strategy, seconds in by_strategy.items():
+    print(f"  {strategy:<11s} {sum(seconds) / len(seconds):6.2f}s per function")
+
+print(
+    "\nReading: ByClass/Local recover most of the accuracy the Randomized\n"
+    "baseline loses, at a fraction of Original's privacy cost; Local's\n"
+    "per-node reconstructions make it the most expensive strategy."
+)

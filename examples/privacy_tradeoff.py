@@ -1,0 +1,62 @@
+"""Privacy/accuracy tradeoff: both of the paper's dials on one table.
+
+Sweeps the privacy level and reports, side by side:
+
+* the *interval* privacy metric of §2.1 (what the noise promises),
+* the *information-theoretic* a-posteriori privacy of the follow-on work
+  (what an attacker who knows the reconstructed distribution still
+  cannot learn), and
+* the ByClass classification accuracy that the privacy buys.
+
+Run:  python examples/privacy_tradeoff.py
+"""
+
+from repro import PrivacyPreservingClassifier, posterior_privacy, quest
+from repro.core import HistogramDistribution
+from repro.core.privacy import noise_for_privacy
+from repro.experiments import format_table
+
+FUNCTION = 3
+LEVELS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+train = quest.generate(10_000, function=FUNCTION, seed=0)
+test = quest.generate(3_000, function=FUNCTION, seed=1)
+
+age = train.attribute("age")
+age_prior = HistogramDistribution.from_values(train.column("age"), age.partition(24))
+
+rows = []
+for level in LEVELS:
+    noise = noise_for_privacy("uniform", level, age.span)
+    posterior = posterior_privacy(age_prior, noise)
+    clf = PrivacyPreservingClassifier(
+        "byclass", privacy=level, seed=2
+    ).fit(train)
+    rows.append(
+        (
+            f"{level:g}",
+            f"{noise.half_width:.1f} yrs",
+            f"{100 * posterior.privacy_fraction:.0f}",
+            f"{posterior.mutual_information_bits:.2f}",
+            f"{100 * clf.score(test):.1f}",
+        )
+    )
+
+print(
+    format_table(
+        (
+            "privacy level",
+            "age noise (alpha)",
+            "posterior privacy %",
+            "leaked bits",
+            "ByClass accuracy %",
+        ),
+        rows,
+        title=f"Fn{FUNCTION}: what each privacy level costs and buys",
+    )
+)
+print(
+    "\nReading: raising the privacy level widens the noise (col 2), leaves\n"
+    "the attacker with more residual uncertainty (cols 3-4), and gives up\n"
+    "classification accuracy gradually rather than catastrophically (col 5)."
+)

@@ -1,0 +1,38 @@
+"""Quickstart: the paper's pipeline in thirty lines.
+
+A set of data providers hold private records.  Each disclosess randomized
+values only; the server reconstructs per-class distributions and still
+trains an accurate decision tree.  Run:
+
+    python examples/quickstart.py
+"""
+
+from repro import PrivacyPreservingClassifier, quest
+
+# 1. The workload: Quest records labelled by classification function 2
+#    (Group A depends on age and salary).
+train = quest.generate(10_000, function=2, seed=0)
+test = quest.generate(3_000, function=2, seed=1)
+
+# 2. Train WITHOUT privacy (the upper baseline).
+original = PrivacyPreservingClassifier("original").fit(train)
+
+# 3. Train at "100% privacy at 95% confidence": every disclosed value
+#    carries additive uniform noise as wide as the attribute's domain.
+#    ByClass = the paper's recommended strategy: reconstruct each
+#    attribute's distribution per class, correct records, grow the tree.
+private = PrivacyPreservingClassifier(
+    "byclass", noise="uniform", privacy=1.0, seed=2
+).fit(train)
+
+# 4. The lower baseline: train directly on the noisy values.
+naive = PrivacyPreservingClassifier(
+    "randomized", noise="uniform", privacy=1.0, seed=2
+).fit(train)
+
+print(f"original   (no privacy)   accuracy: {original.score(test):.3f}")
+print(f"byclass    (100% privacy) accuracy: {private.score(test):.3f}")
+print(f"randomized (100% privacy) accuracy: {naive.score(test):.3f}")
+print()
+print("Decision tree learned from randomized data (top levels):")
+print(private.tree_.export_text(max_depth=2))

@@ -1,0 +1,52 @@
+"""Reconstruction demo: regenerate the paper's §3 figure as terminal art.
+
+Samples the "plateau" and "triangles" shapes, randomizes them, and draws
+the original / randomized / reconstructed histograms side by side so the
+paper's visual argument — reconstruction restores the shape randomization
+destroyed — is visible without matplotlib.  Run:
+
+    python examples/reconstruction_demo.py
+"""
+
+import numpy as np
+
+from repro import BayesReconstructor, HistogramDistribution
+from repro.core.privacy import noise_for_privacy
+from repro.datasets import shapes
+
+N_SAMPLES = 20_000
+N_INTERVALS = 24
+PRIVACY = 0.5  # 50% of the domain at 95% confidence
+BAR_WIDTH = 30
+
+
+def draw(label: str, probs: np.ndarray, midpoints: np.ndarray) -> None:
+    peak = probs.max()
+    print(f"  {label}")
+    for mid, p in zip(midpoints, probs):
+        bar = "#" * int(round(BAR_WIDTH * p / peak)) if peak > 0 else ""
+        print(f"    {mid:5.2f} |{bar:<{BAR_WIDTH}}| {p:.3f}")
+    print()
+
+
+for shape_name, factory in shapes.SHAPES.items():
+    density = factory()
+    partition = density.partition(N_INTERVALS)
+    x = density.sample(N_SAMPLES, seed=42)
+    noise = noise_for_privacy("uniform", PRIVACY, density.high - density.low)
+    w = noise.randomize(x, seed=43)
+
+    original = HistogramDistribution.from_values(x, partition)
+    randomized = HistogramDistribution.from_values(w, partition)
+    result = BayesReconstructor().reconstruct(w, partition, noise)
+    reconstructed = result.distribution
+
+    print(f"=== {shape_name} (uniform noise, {PRIVACY:.0%} privacy, "
+          f"{result.n_iterations} sweeps) ===\n")
+    draw("original sample", original.probs, partition.midpoints)
+    draw("after randomization", randomized.probs, partition.midpoints)
+    draw("reconstructed", reconstructed.probs, partition.midpoints)
+    print(
+        f"  L1(original, randomized)    = {original.l1_distance(randomized):.4f}\n"
+        f"  L1(original, reconstructed) = {original.l1_distance(reconstructed):.4f}\n"
+    )

@@ -1,0 +1,90 @@
+"""Reproduction of "Privacy-Preserving Data Mining" (SIGMOD 2000).
+
+The package implements the paper's full pipeline — value distortion,
+confidence-interval privacy, Bayesian distribution reconstruction, and
+decision-tree classification over randomized data (Global / ByClass /
+Local) — plus the Quest synthetic workload it was evaluated on and the
+extensions called out in DESIGN.md.
+
+Quickstart
+----------
+>>> from repro import quest, PrivacyPreservingClassifier
+>>> train = quest.generate(2_000, function=1, seed=0)
+>>> test = quest.generate(500, function=1, seed=1)
+>>> clf = PrivacyPreservingClassifier(strategy="byclass", privacy=1.0, seed=2)
+>>> clf.fit(train)
+PrivacyPreservingClassifier(strategy='byclass')
+>>> float(clf.score(test)) > 0.8
+True
+"""
+
+from repro.core import (
+    BayesReconstructor,
+    BreachAnalysis,
+    EMReconstructor,
+    GaussianRandomizer,
+    HistogramDistribution,
+    NullRandomizer,
+    Partition,
+    ReconstructionResult,
+    StreamingReconstructor,
+    UniformRandomizer,
+    ValueClassMembership,
+    amplification_factor,
+    breach_analysis,
+    correct_records,
+    noise_for_privacy,
+    posterior_privacy,
+    privacy_of_randomizer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Partition",
+    "HistogramDistribution",
+    "UniformRandomizer",
+    "GaussianRandomizer",
+    "ValueClassMembership",
+    "NullRandomizer",
+    "BayesReconstructor",
+    "EMReconstructor",
+    "StreamingReconstructor",
+    "ReconstructionResult",
+    "correct_records",
+    "noise_for_privacy",
+    "privacy_of_randomizer",
+    "posterior_privacy",
+    "breach_analysis",
+    "amplification_factor",
+    "BreachAnalysis",
+    "PrivacyPreservingClassifier",
+    "PrivacyPreservingNaiveBayes",
+    "DecisionTreeClassifier",
+    "NaiveBayesClassifier",
+    "quest",
+    "shapes",
+    "__version__",
+]
+
+#: lazily-imported attributes: keeps `import repro` light and avoids
+#: circular imports while subpackages re-export through the package root
+_LAZY = {
+    "PrivacyPreservingClassifier": ("repro.tree.pipeline", "PrivacyPreservingClassifier"),
+    "DecisionTreeClassifier": ("repro.tree", "DecisionTreeClassifier"),
+    "PrivacyPreservingNaiveBayes": ("repro.bayes", "PrivacyPreservingNaiveBayes"),
+    "NaiveBayesClassifier": ("repro.bayes", "NaiveBayesClassifier"),
+    "quest": ("repro.datasets", "quest"),
+    "shapes": ("repro.datasets", "shapes"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attribute = _LAZY[name]
+        if attribute in ("quest", "shapes"):
+            return importlib.import_module(f"repro.datasets.{attribute}")
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,15 @@
+"""Naive-Bayes classification over reconstructed distributions.
+
+The paper's §4 machinery (record correction + trees) exists because
+decision trees need per-record values.  A naive-Bayes classifier needs
+only per-class, per-attribute *marginals* — which is exactly what
+distribution reconstruction estimates.  This subpackage makes that point
+executable: :class:`~repro.bayes.naive.PrivacyPreservingNaiveBayes`
+trains directly on the reconstructed distributions, with no correction
+step at all, and converges to the no-privacy naive-Bayes model as data
+grows.
+"""
+
+from repro.bayes.naive import NaiveBayesClassifier, PrivacyPreservingNaiveBayes
+
+__all__ = ["NaiveBayesClassifier", "PrivacyPreservingNaiveBayes"]

@@ -1,0 +1,270 @@
+"""Command-line interface for the PPDM reproduction.
+
+Examples
+--------
+::
+
+    ppdm reconstruct --shape plateau --noise uniform --privacy 0.5
+    ppdm classify --privacy 1.0 --functions 1 2 3
+    ppdm sweep --function 3 --levels 0.25 0.5 1.0 2.0
+    ppdm privacy --privacy 1.0
+    ppdm quest-info
+
+Every subcommand prints the same ASCII tables the benchmark harness
+produces, so paper figures can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.privacy import NOISE_KINDS, noise_for_privacy, privacy_of_randomizer
+from repro.datasets import quest
+from repro.experiments.classification import (
+    run_privacy_sweep,
+    run_strategy_comparison,
+)
+from repro.experiments.config import ClassificationConfig, ReconstructionConfig
+from repro.experiments.reconstruction import run_reconstruction
+from repro.experiments.reporting import accuracy_matrix, format_table
+from repro.tree.pipeline import STRATEGIES
+
+
+def _add_noise_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--noise", choices=NOISE_KINDS, default="uniform")
+    parser.add_argument("--privacy", type=float, default=1.0)
+    parser.add_argument("--confidence", type=float, default=0.95)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_reconstruct(args) -> int:
+    config = ReconstructionConfig(
+        shape=args.shape,
+        noise=args.noise,
+        privacy=args.privacy,
+        confidence=args.confidence,
+        n=args.n,
+        n_intervals=args.intervals,
+        seed=args.seed,
+    )
+    outcome = run_reconstruction(config)
+    print(
+        format_table(
+            ("midpoint", "true", "original", "randomized", "reconstructed"),
+            outcome.rows(),
+            title=(
+                f"Reconstruction of {args.shape} "
+                f"({args.noise} noise, privacy {args.privacy:g})"
+            ),
+        )
+    )
+    print(
+        f"\nL1(original, randomized)    = {outcome.l1_randomized:.4f}\n"
+        f"L1(original, reconstructed) = {outcome.l1_reconstructed:.4f}\n"
+        f"iterations = {outcome.n_iterations}"
+    )
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    config = ClassificationConfig(
+        functions=tuple(args.functions),
+        strategies=tuple(args.strategies),
+        noise=args.noise,
+        privacy=args.privacy,
+        confidence=args.confidence,
+        n_train=args.train,
+        n_test=args.test,
+        seed=args.seed,
+    )
+    rows = run_strategy_comparison(config)
+    print(
+        f"Accuracy (%) at privacy {args.privacy:g} with {args.noise} noise, "
+        f"n_train={args.train}:"
+    )
+    print(accuracy_matrix(rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    config = ClassificationConfig(
+        functions=(args.function,),
+        strategies=tuple(args.strategies),
+        noise=args.noise,
+        confidence=args.confidence,
+        n_train=args.train,
+        n_test=args.test,
+        seed=args.seed,
+    )
+    rows = run_privacy_sweep(config, args.levels)
+    table_rows = [
+        (f"{row.privacy:g}", row.strategy, f"{100 * row.accuracy:.1f}")
+        for row in rows
+    ]
+    print(
+        format_table(
+            ("privacy", "strategy", "accuracy %"),
+            table_rows,
+            title=f"Fn{args.function} accuracy vs privacy ({args.noise} noise)",
+        )
+    )
+    return 0
+
+
+def _cmd_privacy(args) -> int:
+    rows = []
+    for name in quest.ATTRIBUTES:
+        for kind in NOISE_KINDS:
+            randomizer = noise_for_privacy(
+                kind, args.privacy, name.span, args.confidence
+            )
+            parameter = (
+                f"alpha={randomizer.half_width:,.0f}"
+                if kind == "uniform"
+                else f"sigma={randomizer.sigma:,.0f}"
+            )
+            achieved = privacy_of_randomizer(randomizer, name.span, args.confidence)
+            rows.append((name.name, kind, parameter, f"{100 * achieved:.1f}"))
+    print(
+        format_table(
+            ("attribute", "noise", "parameter", "privacy %"),
+            rows,
+            title=(
+                f"Noise parameters for privacy {args.privacy:g} at "
+                f"{100 * args.confidence:g}% confidence"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_breach(args) -> int:
+    import numpy as np
+
+    from repro.core.breach import amplification_factor, breach_analysis
+    from repro.core.histogram import HistogramDistribution
+
+    table = quest.generate(args.n, function=1, seed=args.seed)
+    attribute = table.attribute(args.attribute)
+    partition = attribute.partition(args.intervals)
+    prior = HistogramDistribution.from_values(table.column(args.attribute), partition)
+
+    rows = []
+    for kind in NOISE_KINDS:
+        for level in args.levels:
+            randomizer = noise_for_privacy(kind, level, attribute.span)
+            analysis = breach_analysis(
+                prior, randomizer, rho1=args.rho1, rho2=args.rho2
+            )
+            gamma = amplification_factor(partition, randomizer)
+            rows.append(
+                (
+                    kind,
+                    f"{level:g}",
+                    f"{analysis.worst_posterior:.3f}",
+                    "yes" if analysis.breached else "no",
+                    "inf" if np.isinf(gamma) else f"{gamma:.3g}",
+                )
+            )
+    print(
+        format_table(
+            ("noise", "privacy", "worst posterior", "breach?", "amplification"),
+            rows,
+            title=(
+                f"Worst-case ({args.rho1:g}, {args.rho2:g}) breach analysis "
+                f"on {args.attribute!r}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_quest_info(args) -> int:
+    rows = [
+        (
+            a.name,
+            f"{a.low:g}",
+            f"{a.high:g}",
+            "discrete" if a.discrete else "continuous",
+        )
+        for a in quest.ATTRIBUTES
+    ]
+    print(format_table(("attribute", "low", "high", "kind"), rows,
+                       title="Quest attributes"))
+    table = quest.generate(args.n, function=args.function, seed=args.seed)
+    frac = float(table.labels.mean())
+    print(f"\nFn{args.function}: Group A fraction on {args.n} records = {frac:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="ppdm",
+        description="Reproduction of 'Privacy-Preserving Data Mining' (SIGMOD 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reconstruct", help="distribution reconstruction demo")
+    p.add_argument("--shape", choices=("plateau", "triangles"), default="plateau")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--intervals", type=int, default=20)
+    _add_noise_args(p)
+    p.set_defaults(func=_cmd_reconstruct)
+
+    p = sub.add_parser("classify", help="strategy comparison on Quest functions")
+    p.add_argument("--functions", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+    p.add_argument(
+        "--strategies", nargs="+", choices=STRATEGIES,
+        default=["original", "randomized", "global", "byclass"],
+    )
+    p.add_argument("--train", type=int, default=10_000)
+    p.add_argument("--test", type=int, default=3_000)
+    _add_noise_args(p)
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("sweep", help="accuracy vs privacy sweep")
+    p.add_argument("--function", type=int, default=3)
+    p.add_argument("--levels", type=float, nargs="+", default=[0.25, 0.5, 1.0, 2.0])
+    p.add_argument(
+        "--strategies", nargs="+", choices=STRATEGIES,
+        default=["randomized", "byclass"],
+    )
+    p.add_argument("--train", type=int, default=10_000)
+    p.add_argument("--test", type=int, default=3_000)
+    _add_noise_args(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("privacy", help="noise parameters for a privacy target")
+    p.add_argument("--privacy", type=float, default=1.0)
+    p.add_argument("--confidence", type=float, default=0.95)
+    p.set_defaults(func=_cmd_privacy)
+
+    p = sub.add_parser("breach", help="worst-case privacy-breach analysis")
+    p.add_argument("--attribute", default="age")
+    p.add_argument("--levels", type=float, nargs="+", default=[0.25, 1.0])
+    p.add_argument("--rho1", type=float, default=0.06)
+    p.add_argument("--rho2", type=float, default=0.5)
+    p.add_argument("--intervals", type=int, default=24)
+    p.add_argument("--n", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_breach)
+
+    p = sub.add_parser("quest-info", help="describe the Quest workload")
+    p.add_argument("--function", type=int, default=1)
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_quest_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

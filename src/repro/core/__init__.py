@@ -1,0 +1,59 @@
+"""Core algorithms of the SIGMOD 2000 reproduction.
+
+This subpackage holds the paper's primary machinery:
+
+* :mod:`repro.core.partition` / :mod:`repro.core.histogram` — interval
+  grids over attribute domains and discrete distributions on them,
+* :mod:`repro.core.randomizers` — the value-distortion operators of §2,
+* :mod:`repro.core.privacy` — the confidence-interval privacy metric,
+* :mod:`repro.core.reconstruction` — the Bayesian iterative distribution
+  reconstruction of §3,
+* :mod:`repro.core.em` — the EM refinement (Agrawal–Aggarwal, PODS 2001),
+* :mod:`repro.core.correction` — per-record correction used by the tree
+  training algorithms of §4.
+"""
+
+from repro.core.breach import BreachAnalysis, amplification_factor, breach_analysis
+from repro.core.categorical import CategoricalRandomizer, CategoricalReconstructor
+from repro.core.correction import correct_records
+from repro.core.em import EMReconstructor
+from repro.core.histogram import HistogramDistribution
+from repro.core.joint import JointBayesReconstructor, JointReconstructionResult
+from repro.core.partition import Partition
+from repro.core.privacy import (
+    noise_for_privacy,
+    posterior_privacy,
+    privacy_of_randomizer,
+)
+from repro.core.randomizers import (
+    GaussianRandomizer,
+    NullRandomizer,
+    UniformRandomizer,
+    ValueClassMembership,
+)
+from repro.core.reconstruction import BayesReconstructor, ReconstructionResult
+from repro.core.streaming import StreamingReconstructor
+
+__all__ = [
+    "Partition",
+    "HistogramDistribution",
+    "UniformRandomizer",
+    "GaussianRandomizer",
+    "ValueClassMembership",
+    "NullRandomizer",
+    "BayesReconstructor",
+    "EMReconstructor",
+    "StreamingReconstructor",
+    "JointBayesReconstructor",
+    "JointReconstructionResult",
+    "ReconstructionResult",
+    "correct_records",
+    "noise_for_privacy",
+    "privacy_of_randomizer",
+    "posterior_privacy",
+    "breach_analysis",
+    "amplification_factor",
+    "BreachAnalysis",
+    "CategoricalRandomizer",
+    "CategoricalReconstructor",
+]

@@ -1,0 +1,83 @@
+"""Per-record correction of randomized values (paper §4).
+
+Reconstruction recovers an attribute's *distribution*, but decision-tree
+induction needs per-record values so that a split at one node partitions
+the records reaching its children.  The paper bridges the gap by
+re-assigning the randomized records to intervals so that interval occupancy
+matches the reconstructed distribution: sort the randomized values and hand
+them out to intervals in order — the smallest ``counts[0]`` values go to
+interval 0, the next ``counts[1]`` to interval 1, and so on.  Because
+additive noise is independent of the value, order statistics of the
+randomized sample are the best available proxy for order statistics of the
+original sample.
+
+:func:`correct_records` implements that assignment; it is the only code
+path shared by the Global, ByClass, and Local training algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.histogram import HistogramDistribution
+from repro.utils.validation import check_1d_array
+
+
+@dataclass(frozen=True)
+class CorrectedRecords:
+    """Result of correcting a batch of randomized records.
+
+    Attributes
+    ----------
+    values:
+        Corrected value per input record (interval midpoints), aligned with
+        the input order.
+    interval_indices:
+        Interval assigned to each input record, aligned with input order.
+    counts:
+        Records assigned to each interval (sums to the number of records).
+    """
+
+    values: np.ndarray
+    interval_indices: np.ndarray
+    counts: np.ndarray
+
+
+def correct_records(
+    randomized_values, distribution: HistogramDistribution
+) -> CorrectedRecords:
+    """Re-assign randomized records to intervals of a reconstructed distribution.
+
+    Parameters
+    ----------
+    randomized_values:
+        Disclosed values ``x_i + r_i`` of the records being corrected.
+    distribution:
+        Reconstructed distribution of the originals for this record set
+        (e.g. one class's records for the ByClass algorithm).
+
+    Returns
+    -------
+    CorrectedRecords
+        Input-aligned corrected values and interval assignments.  Interval
+        occupancy equals ``distribution.integer_counts(n)`` exactly.
+    """
+    w = check_1d_array(randomized_values, "randomized_values", allow_empty=True)
+    n = w.size
+    counts = distribution.integer_counts(n)
+    if n == 0:
+        empty = np.empty(0)
+        return CorrectedRecords(empty, np.empty(0, dtype=np.int64), counts)
+
+    # Hand sorted records to intervals left to right per the target counts.
+    order = np.argsort(w, kind="stable")
+    assignment_sorted = np.repeat(
+        np.arange(distribution.n_intervals, dtype=np.int64), counts
+    )
+    interval_indices = np.empty(n, dtype=np.int64)
+    interval_indices[order] = assignment_sorted
+
+    values = distribution.partition.midpoints[interval_indices]
+    return CorrectedRecords(values=values, interval_indices=interval_indices, counts=counts)

@@ -1,0 +1,128 @@
+"""EM distribution reconstruction (Agrawal & Aggarwal, PODS 2001).
+
+The direct successor of the SIGMOD 2000 paper observed that the binned
+Bayes iterate *is* the EM algorithm for the interval-mixture likelihood
+
+    L(theta) = sum_s  n_s * log( (M theta)_s )
+
+and proved it converges to the maximum-likelihood estimate.  This module
+implements that EM view explicitly: the same multiplicative update as
+:class:`~repro.core.reconstruction.BayesReconstructor`, but driven by the
+log-likelihood (monotonically non-decreasing — asserted in the tests) with
+a likelihood-improvement stopping rule.  It exists as the reconstruction
+ablation (experiment E10): the two reconstructors must agree.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.core.randomizers import AdditiveRandomizer
+from repro.core.reconstruction import _EPS, ReconstructionResult, _chi2_fit, _prepare
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.utils.validation import check_positive
+
+
+class EMReconstructor:
+    """Maximum-likelihood reconstruction via EM.
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard cap on EM steps.
+    tol:
+        Stop when the per-sample log-likelihood improves by less than this
+        amount between successive steps.
+    coverage:
+        Noise mass the expanded bucketing grid must cover (matters for
+        Gaussian noise only).
+
+    Notes
+    -----
+    The noise kernel always uses the ``"integrated"`` transition (interval
+    probabilities, not midpoint densities): EM's monotonicity guarantee is
+    stated for a proper likelihood, which requires genuine probabilities.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 1000,
+        tol: float = 1e-9,
+        coverage: float = 1.0 - 1e-9,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
+        check_positive(tol, "tol")
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+        self.coverage = coverage
+
+    def reconstruct(
+        self,
+        randomized_values,
+        x_partition: Partition,
+        randomizer: AdditiveRandomizer,
+    ) -> ReconstructionResult:
+        """Estimate the original distribution by likelihood ascent.
+
+        Same contract as
+        :meth:`repro.core.reconstruction.BayesReconstructor.reconstruct`.
+        """
+        y_counts, kernel = _prepare(
+            randomized_values,
+            x_partition,
+            randomizer,
+            transition_method="integrated",
+            coverage=self.coverage,
+        )
+        n = y_counts.sum()
+        theta = np.full(x_partition.n_intervals, 1.0 / x_partition.n_intervals)
+
+        def log_likelihood(t: np.ndarray) -> float:
+            mixture = np.maximum(kernel @ t, _EPS)
+            return float((y_counts * np.log(mixture)).sum() / n)
+
+        previous_ll = log_likelihood(theta)
+        deltas: list[float] = []
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            mixture = np.maximum(kernel @ theta, _EPS)
+            weights = y_counts / n / mixture
+            theta_new = theta * (kernel.T @ weights)
+            total = theta_new.sum()
+            if total <= 0:
+                raise ValidationError(
+                    "EM collapsed to zero mass; noise kernel does not cover "
+                    "the observed randomized values"
+                )
+            theta_new /= total
+
+            current_ll = log_likelihood(theta_new)
+            deltas.append(float(np.abs(theta_new - theta).sum()))
+            theta = theta_new
+            if current_ll - previous_ll < self.tol:
+                converged = True
+                break
+            previous_ll = current_ll
+
+        if not converged:
+            warnings.warn(
+                f"EM stopped at max_iterations={self.max_iterations}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        chi2_stat, chi2_thresh = _chi2_fit(y_counts, kernel @ theta * n)
+        return ReconstructionResult(
+            distribution=HistogramDistribution(x_partition, theta),
+            n_iterations=iteration,
+            converged=converged,
+            chi2_statistic=chi2_stat,
+            chi2_threshold=chi2_thresh,
+            delta_history=tuple(deltas),
+        )

@@ -1,0 +1,140 @@
+"""Discrete distributions over a :class:`~repro.core.partition.Partition`.
+
+The output of distribution reconstruction (§3) is a probability per
+interval; :class:`HistogramDistribution` packages that vector with its
+partition and provides the comparisons (L1/L2 distance, expected counts)
+used by the experiment harness and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability_vector
+
+
+@dataclass(frozen=True)
+class HistogramDistribution:
+    """A probability mass function over the intervals of a partition."""
+
+    partition: Partition
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        probs = check_probability_vector(self.probs, "probs")
+        if probs.size != self.partition.n_intervals:
+            raise ValidationError(
+                f"probs has {probs.size} entries but the partition has "
+                f"{self.partition.n_intervals} intervals"
+            )
+        object.__setattr__(self, "probs", probs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values, partition: Partition) -> "HistogramDistribution":
+        """Empirical distribution of ``values`` on ``partition``."""
+        counts = partition.histogram(values)
+        total = counts.sum()
+        if total == 0:
+            raise ValidationError("cannot build a distribution from zero values")
+        return cls(partition, counts / total)
+
+    @classmethod
+    def uniform(cls, partition: Partition) -> "HistogramDistribution":
+        """The uniform distribution (the reconstruction algorithm's prior)."""
+        m = partition.n_intervals
+        return cls(partition, np.full(m, 1.0 / m))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_intervals(self) -> int:
+        """Number of intervals (same as the underlying partition)."""
+        return self.partition.n_intervals
+
+    def density(self) -> np.ndarray:
+        """Per-interval probability density (prob / width)."""
+        return self.probs / self.partition.widths
+
+    def mean(self) -> float:
+        """Expected value using interval midpoints."""
+        return float(np.dot(self.probs, self.partition.midpoints))
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative probability at each right interval edge."""
+        return np.cumsum(self.probs)
+
+    def expected_counts(self, n: int) -> np.ndarray:
+        """Expected interval occupancy for a sample of size ``n``."""
+        if n < 0:
+            raise ValidationError(f"n must be >= 0, got {n}")
+        return self.probs * n
+
+    def integer_counts(self, n: int) -> np.ndarray:
+        """Round :meth:`expected_counts` to integers summing exactly to ``n``.
+
+        Uses largest-remainder rounding, which is what the record-correction
+        step (§4) requires: every record must land in exactly one interval.
+        """
+        expected = self.expected_counts(n)
+        base = np.floor(expected).astype(np.int64)
+        shortfall = int(n - base.sum())
+        if shortfall > 0:
+            remainders = expected - base
+            # Stable pick of the largest remainders.
+            top = np.argsort(-remainders, kind="stable")[:shortfall]
+            base[top] += 1
+        return base
+
+    def sample(self, n: int, seed=None) -> np.ndarray:
+        """Draw ``n`` values: pick intervals by ``probs``, then uniform inside."""
+        rng = ensure_rng(seed)
+        idx = rng.choice(self.n_intervals, size=int(n), p=self.probs)
+        left = self.partition.edges[idx]
+        width = self.partition.widths[idx]
+        return left + rng.random(int(n)) * width
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def _check_comparable(self, other: "HistogramDistribution") -> None:
+        if self.n_intervals != other.n_intervals:
+            raise ValidationError(
+                "distributions have different interval counts: "
+                f"{self.n_intervals} vs {other.n_intervals}"
+            )
+
+    def l1_distance(self, other: "HistogramDistribution") -> float:
+        """Total absolute difference of interval probabilities (in [0, 2])."""
+        self._check_comparable(other)
+        return float(np.abs(self.probs - other.probs).sum())
+
+    def l2_distance(self, other: "HistogramDistribution") -> float:
+        """Euclidean distance of interval probabilities."""
+        self._check_comparable(other)
+        return float(np.linalg.norm(self.probs - other.probs))
+
+    def total_variation(self, other: "HistogramDistribution") -> float:
+        """Total-variation distance (half the L1 distance, in [0, 1])."""
+        return 0.5 * self.l1_distance(other)
+
+    def restricted_to(self, partition: Partition) -> "HistogramDistribution":
+        """Re-express this distribution on another equal-width partition.
+
+        Intervals of ``self`` are mapped to intervals of ``partition`` by
+        midpoint; probability falling outside the target domain is clipped
+        into its boundary intervals.  Used to compare a reconstruction on an
+        expanded grid against the original-domain distribution.
+        """
+        idx = partition.locate(self.partition.midpoints)
+        probs = np.zeros(partition.n_intervals)
+        np.add.at(probs, idx, self.probs)
+        return HistogramDistribution(partition, probs)

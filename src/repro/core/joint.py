@@ -1,0 +1,221 @@
+"""Joint (two-attribute) distribution reconstruction.
+
+The paper reconstructs each attribute independently, which is exactly why
+its ByClass/Local training loses *intra-class correlation* between
+attributes (EXPERIMENTS.md documents this as E5's known delta).  Because
+the noise added to different attributes is independent, the Bayes
+machinery generalizes verbatim to a product grid:
+
+    P(W in s1 x s2 | X at (p1, p2)) = M1[s1, p1] * M2[s2, p2]
+
+so one can reconstruct the full 2-D joint of an attribute pair from the
+pairwise randomized values.  The cost is quadratic in the grid (the curse
+of dimensionality the paper sidesteps), which is why this lives as an
+extension: feasible for a handful of attribute pairs, not as a general
+replacement.
+
+Ablation E16 measures what this buys: the per-attribute product estimate
+cannot see correlation at all, while the joint reconstruction recovers
+it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.randomizers import AdditiveRandomizer, transition_matrix
+from repro.core.reconstruction import _EPS, _chi2_fit
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.utils.validation import check_1d_array, check_positive
+
+
+@dataclass(frozen=True)
+class JointReconstructionResult:
+    """Outcome of a joint reconstruction.
+
+    Attributes
+    ----------
+    probs:
+        Estimated joint probabilities, shape ``(m1, m2)`` over the two
+        attribute partitions (sums to one).
+    partitions:
+        The ``(x1, x2)`` partitions the estimate lives on.
+    n_iterations / converged:
+        Sweep count and whether a stopping rule fired.
+    chi2_statistic / chi2_threshold:
+        Goodness of fit of the observed randomized 2-D histogram against
+        the randomization of the estimate.
+    """
+
+    probs: np.ndarray
+    partitions: tuple
+    n_iterations: int
+    converged: bool
+    chi2_statistic: float = float("nan")
+    chi2_threshold: float = float("nan")
+
+    def marginal(self, axis: int) -> np.ndarray:
+        """Marginal distribution of attribute 0 or 1."""
+        if axis not in (0, 1):
+            raise ValidationError(f"axis must be 0 or 1, got {axis}")
+        return self.probs.sum(axis=1 - axis)
+
+    def correlation(self) -> float:
+        """Pearson correlation of the two attributes under the estimate."""
+        m1 = self.partitions[0].midpoints
+        m2 = self.partitions[1].midpoints
+        p1 = self.marginal(0)
+        p2 = self.marginal(1)
+        mean1 = float(p1 @ m1)
+        mean2 = float(p2 @ m2)
+        var1 = float(p1 @ (m1 - mean1) ** 2)
+        var2 = float(p2 @ (m2 - mean2) ** 2)
+        cov = float(((m1 - mean1)[:, None] * (m2 - mean2)[None, :] * self.probs).sum())
+        denominator = np.sqrt(max(var1, 0.0) * max(var2, 0.0))
+        if denominator <= 0:
+            return 0.0
+        return cov / denominator
+
+
+class JointBayesReconstructor:
+    """Bayes reconstruction of a two-attribute joint distribution.
+
+    Parameters
+    ----------
+    max_iterations / tol / stopping / coverage:
+        As in :class:`~repro.core.reconstruction.BayesReconstructor`
+        (``stopping="chi2"`` uses the same pass-or-plateau rule).
+
+    Notes
+    -----
+    The implementation never materializes the full ``(S1*S2, P1*P2)``
+    kernel: each sweep contracts the two per-attribute kernels with
+    ``einsum`` (O(S1·S2·max(P1, P2)) per sweep), which keeps 25x25 grids
+    comfortable.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 200,
+        tol: float = 1e-3,
+        stopping: str = "chi2",
+        coverage: float = 1.0 - 1e-9,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
+        check_positive(tol, "tol")
+        if stopping not in ("delta", "chi2"):
+            raise ValidationError(f"stopping must be 'delta' or 'chi2', got {stopping!r}")
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+        self.stopping = stopping
+        self.coverage = coverage
+
+    def reconstruct(
+        self,
+        randomized_1,
+        randomized_2,
+        partitions,
+        randomizers,
+    ) -> JointReconstructionResult:
+        """Estimate the joint distribution of an attribute pair.
+
+        Parameters
+        ----------
+        randomized_1 / randomized_2:
+            Row-aligned randomized values of the two attributes (same
+            records, same order).
+        partitions:
+            ``(Partition, Partition)`` for the two original domains.
+        randomizers:
+            ``(AdditiveRandomizer, AdditiveRandomizer)`` that produced the
+            disclosed values (noise independent across attributes).
+        """
+        w1 = check_1d_array(randomized_1, "randomized_1")
+        w2 = check_1d_array(randomized_2, "randomized_2")
+        if w1.shape != w2.shape:
+            raise ValidationError(
+                "randomized_1 and randomized_2 must be row-aligned, got "
+                f"lengths {w1.size} and {w2.size}"
+            )
+        part1, part2 = partitions
+        rand1, rand2 = randomizers
+        for randomizer in (rand1, rand2):
+            if not isinstance(randomizer, AdditiveRandomizer):
+                raise ValidationError("joint reconstruction needs additive noise")
+
+        y_part1 = part1.expanded(rand1.support_half_width(self.coverage))
+        y_part2 = part2.expanded(rand2.support_half_width(self.coverage))
+        kernel1 = transition_matrix(y_part1, part1, rand1)  # (S1, P1)
+        kernel2 = transition_matrix(y_part2, part2, rand2)  # (S2, P2)
+
+        # 2-D histogram of the randomized pairs.
+        idx1 = y_part1.locate(w1)
+        idx2 = y_part2.locate(w2)
+        s1, s2 = y_part1.n_intervals, y_part2.n_intervals
+        counts = np.bincount(idx1 * s2 + idx2, minlength=s1 * s2).astype(float)
+        counts = counts.reshape(s1, s2)
+        n = counts.sum()
+
+        p1, p2 = part1.n_intervals, part2.n_intervals
+        theta = np.full((p1, p2), 1.0 / (p1 * p2))
+
+        converged = False
+        iteration = 0
+        chi2_stat, chi2_thresh = float("nan"), float("nan")
+        previous_chi2 = float("inf")
+        for iteration in range(1, self.max_iterations + 1):
+            # mixture[s1, s2] = sum_{p1, p2} K1[s1,p1] K2[s2,p2] theta[p1,p2]
+            mixture = kernel1 @ theta @ kernel2.T
+            safe = np.maximum(mixture, _EPS)
+            weights = counts / n / safe  # (S1, S2)
+            # theta update: theta * (K1^T weights K2)
+            theta_new = theta * (kernel1.T @ weights @ kernel2)
+            total = theta_new.sum()
+            if total <= 0:
+                raise ValidationError(
+                    "joint reconstruction collapsed to zero mass; the noise "
+                    "kernels do not cover the observed randomized values"
+                )
+            theta_new /= total
+            delta = float(np.abs(theta_new - theta).sum())
+            theta = theta_new
+
+            if self.stopping == "chi2":
+                mixture = kernel1 @ theta @ kernel2.T
+                chi2_stat, chi2_thresh = _chi2_fit(
+                    counts.ravel(), mixture.ravel() * n
+                )
+                if np.isfinite(chi2_stat):
+                    passed = chi2_stat <= chi2_thresh
+                    plateaued = (previous_chi2 - chi2_stat) < 0.01 * chi2_thresh
+                    if passed or plateaued:
+                        converged = True
+                        break
+                    previous_chi2 = chi2_stat
+            if delta < self.tol:
+                converged = True
+                break
+
+        if not converged:
+            warnings.warn(
+                f"joint reconstruction stopped at max_iterations="
+                f"{self.max_iterations}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        if self.stopping != "chi2":
+            mixture = kernel1 @ theta @ kernel2.T
+            chi2_stat, chi2_thresh = _chi2_fit(counts.ravel(), mixture.ravel() * n)
+        return JointReconstructionResult(
+            probs=theta,
+            partitions=(part1, part2),
+            n_iterations=iteration,
+            converged=converged,
+            chi2_statistic=chi2_stat,
+            chi2_threshold=chi2_thresh,
+        )

@@ -1,0 +1,179 @@
+"""Interval partitions of a numeric attribute domain.
+
+The reconstruction algorithm of the paper (§3.2) and the decision-tree
+training algorithms (§4) both discretize each attribute's domain into a
+grid of contiguous intervals: reconstruction estimates one probability per
+interval, and candidate tree splits are placed at interval boundaries.
+:class:`Partition` is that shared substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d_array
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A sorted grid of ``m`` contiguous half-open intervals.
+
+    Interval ``t`` (``0 <= t < m``) is ``[edges[t], edges[t+1])``; the final
+    interval is closed on the right so the full domain ``[low, high]`` is
+    covered.  Instances are immutable and hashable-by-identity, so they can
+    be shared freely between distributions, reconstructors, and trees.
+
+    Attributes
+    ----------
+    edges:
+        Strictly increasing array of ``m + 1`` boundary values.
+    """
+
+    edges: np.ndarray
+
+    def __post_init__(self) -> None:
+        edges = np.asarray(self.edges, dtype=float)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValidationError("edges must be a 1-D array with at least two entries")
+        if not np.all(np.isfinite(edges)):
+            raise ValidationError("edges must be finite")
+        if not np.all(np.diff(edges) > 0):
+            raise ValidationError("edges must be strictly increasing")
+        object.__setattr__(self, "edges", edges)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, low: float, high: float, n_intervals: int) -> "Partition":
+        """Partition ``[low, high]`` into ``n_intervals`` equal-width intervals."""
+        if n_intervals < 1:
+            raise ValidationError(f"n_intervals must be >= 1, got {n_intervals}")
+        if not (np.isfinite(low) and np.isfinite(high) and high > low):
+            raise ValidationError(f"need finite high > low, got [{low}, {high}]")
+        return cls(np.linspace(float(low), float(high), int(n_intervals) + 1))
+
+    @classmethod
+    def equidepth(cls, values, n_intervals: int) -> "Partition":
+        """Partition whose intervals hold (approximately) equal sample mass.
+
+        Edges are placed at sample quantiles, so dense regions get narrow
+        intervals — the classic alternative to equal-width grids for
+        reconstruction.  Duplicate quantiles (heavy ties) are collapsed,
+        so the result may have fewer than ``n_intervals`` intervals.
+        """
+        if n_intervals < 1:
+            raise ValidationError(f"n_intervals must be >= 1, got {n_intervals}")
+        arr = check_1d_array(values, "values")
+        quantiles = np.quantile(arr, np.linspace(0.0, 1.0, n_intervals + 1))
+        edges = np.unique(quantiles)
+        if edges.size < 2:
+            return cls.from_values(arr, 1)
+        return cls(edges)
+
+    @classmethod
+    def from_values(cls, values, n_intervals: int, *, pad: float = 0.0) -> "Partition":
+        """Equal-width partition covering the observed range of ``values``.
+
+        Parameters
+        ----------
+        pad:
+            Fraction of the observed range added on each side, useful when
+            the partition must also cover future samples from the same
+            distribution.
+        """
+        arr = check_1d_array(values, "values")
+        low, high = float(arr.min()), float(arr.max())
+        if high == low:
+            # Degenerate sample: build a tiny non-empty domain around it.
+            span = max(abs(low), 1.0)
+            low, high = low - 0.5 * span, high + 0.5 * span
+        margin = pad * (high - low)
+        return cls.uniform(low - margin, high + margin, n_intervals)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_intervals(self) -> int:
+        """Number of intervals ``m``."""
+        return self.edges.size - 1
+
+    @property
+    def low(self) -> float:
+        """Left end of the domain."""
+        return float(self.edges[0])
+
+    @property
+    def high(self) -> float:
+        """Right end of the domain."""
+        return float(self.edges[-1])
+
+    @property
+    def span(self) -> float:
+        """Total width ``high - low`` of the domain."""
+        return self.high - self.low
+
+    @property
+    def midpoints(self) -> np.ndarray:
+        """Midpoint of each interval (the paper's representative values)."""
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Width of each interval."""
+        return np.diff(self.edges)
+
+    # ------------------------------------------------------------------
+    # Value <-> interval mapping
+    # ------------------------------------------------------------------
+    def locate(self, values) -> np.ndarray:
+        """Map each value to its interval index, clipping out-of-domain values.
+
+        Values below ``low`` map to interval 0 and values above ``high`` to
+        interval ``m - 1`` — the behaviour the reconstruction algorithm
+        needs for randomized values that fall slightly outside the grid.
+        """
+        arr = np.asarray(values, dtype=float)
+        idx = np.searchsorted(self.edges, arr, side="right") - 1
+        return np.clip(idx, 0, self.n_intervals - 1)
+
+    def histogram(self, values) -> np.ndarray:
+        """Count values per interval (clipped like :meth:`locate`)."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return np.zeros(self.n_intervals, dtype=np.int64)
+        idx = self.locate(arr)
+        return np.bincount(idx, minlength=self.n_intervals).astype(np.int64)
+
+    def expanded(self, margin: float) -> "Partition":
+        """Extend the grid by whole intervals to cover ``margin`` on each side.
+
+        Used to bucket randomized values ``x + r``, whose range exceeds the
+        original domain by the noise half-width.  Interval widths are kept
+        identical to the first/last interval so midpoint arithmetic in the
+        reconstructor stays uniform.
+        """
+        if margin < 0:
+            raise ValidationError(f"margin must be >= 0, got {margin}")
+        if margin == 0:
+            return self
+        left_w = float(self.edges[1] - self.edges[0])
+        right_w = float(self.edges[-1] - self.edges[-2])
+        n_left = int(np.ceil(margin / left_w))
+        n_right = int(np.ceil(margin / right_w))
+        left = self.edges[0] - left_w * np.arange(n_left, 0, -1)
+        right = self.edges[-1] + right_w * np.arange(1, n_right + 1)
+        return Partition(np.concatenate([left, self.edges, right]))
+
+    def __len__(self) -> int:
+        return self.n_intervals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Partition(n_intervals={self.n_intervals}, "
+            f"low={self.low:.6g}, high={self.high:.6g})"
+        )

@@ -1,0 +1,301 @@
+"""Distribution reconstruction from randomized values (paper §3).
+
+Given ``n`` disclosed values ``w_i = x_i + r_i`` and the known noise
+density ``f_Y``, the paper estimates the original density ``f_X`` by
+iterating Bayes' rule:
+
+    f_X^{j+1}(a) = (1/n) * sum_i  f_Y(w_i - a) f_X^j(a)
+                                  / integral f_Y(w_i - z) f_X^j(z) dz
+
+starting from the uniform density.  The practical algorithm (§3.2)
+partitions the domain into ``m`` intervals, approximates values by interval
+midpoints, and buckets the ``w_i`` into intervals too, turning each sweep
+into an ``O(m^2)`` matrix iteration independent of ``n``.
+
+:class:`BayesReconstructor` implements that partition algorithm with the
+paper's two stopping rules: successive-estimate change (default) and a
+chi-squared goodness-of-fit test of the observed randomized histogram
+against the randomization of the current estimate.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.core.randomizers import AdditiveRandomizer, transition_matrix
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.utils.validation import check_1d_array, check_positive
+
+#: smallest admissible mixture weight during iteration (guards 0/0)
+_EPS = 1e-300
+
+
+@dataclass(frozen=True)
+class ReconstructionResult:
+    """Outcome of a distribution reconstruction.
+
+    Attributes
+    ----------
+    distribution:
+        Estimated distribution of the *original* values on the requested
+        partition.
+    n_iterations:
+        Number of Bayes sweeps performed.
+    converged:
+        ``False`` when iteration stopped on the iteration cap instead of
+        the tolerance / chi-squared criterion.
+    chi2_statistic / chi2_threshold:
+        Final goodness-of-fit statistic of the observed randomized
+        histogram against the randomization of the estimate, and the 95 %
+        critical value it is compared to (``nan`` when not computed).
+    delta_history:
+        L1 change of the estimate at each sweep (diagnostic).
+    """
+
+    distribution: HistogramDistribution
+    n_iterations: int
+    converged: bool
+    chi2_statistic: float = float("nan")
+    chi2_threshold: float = float("nan")
+    delta_history: tuple = field(default=())
+
+
+def _prepare(
+    randomized_values,
+    x_partition: Partition,
+    randomizer: AdditiveRandomizer,
+    *,
+    transition_method: str,
+    coverage: float,
+):
+    """Shared setup: bucket the randomized values and build the noise kernel.
+
+    Returns ``(y_counts, kernel)`` where ``kernel[s, p]`` is
+    ``P(Y in I_s | X = midpoint_p)`` — also used by the EM reconstructor.
+    """
+    w = check_1d_array(randomized_values, "randomized_values")
+    margin = randomizer.support_half_width(coverage)
+    y_partition = x_partition.expanded(margin)
+    y_counts = y_partition.histogram(w).astype(float)
+    kernel = transition_matrix(
+        y_partition, x_partition, randomizer, method=transition_method
+    )
+    return y_counts, kernel
+
+
+def _chi2_fit(y_counts: np.ndarray, expected: np.ndarray) -> tuple[float, float]:
+    """Chi-squared statistic of observed vs expected interval counts.
+
+    Intervals with tiny expectation are pooled into their neighbours
+    (classic rule of thumb: expected >= 5) so the statistic is stable.
+    """
+    total = y_counts.sum()
+    expected = expected / max(expected.sum(), _EPS) * total
+    order = np.argsort(-expected, kind="stable")
+    obs_sorted, exp_sorted = y_counts[order], expected[order]
+    keep = exp_sorted >= 5.0
+    if not np.any(keep):
+        return float("nan"), float("nan")
+    obs_main, exp_main = obs_sorted[keep], exp_sorted[keep]
+    # Pool everything below the threshold into one pseudo-cell.
+    obs_rest, exp_rest = obs_sorted[~keep].sum(), exp_sorted[~keep].sum()
+    if exp_rest > 0:
+        obs_main = np.append(obs_main, obs_rest)
+        exp_main = np.append(exp_main, exp_rest)
+    statistic = float(((obs_main - exp_main) ** 2 / exp_main).sum())
+    dof = max(obs_main.size - 1, 1)
+    threshold = float(stats.chi2.ppf(0.95, dof))
+    return statistic, threshold
+
+
+def _run_bayes(
+    y_counts: np.ndarray,
+    kernel: np.ndarray,
+    theta: np.ndarray,
+    *,
+    max_iterations: int,
+    tol: float,
+    stopping: str,
+):
+    """Core Bayes sweep loop shared by batch and streaming reconstruction.
+
+    Returns ``(theta, n_iterations, converged, deltas, chi2_stat,
+    chi2_threshold)``.  ``theta`` is the starting estimate and is not
+    mutated.
+    """
+    n = y_counts.sum()
+    theta = theta.copy()
+    deltas: list = []
+    converged = False
+    iteration = 0
+    chi2_stat, chi2_thresh = float("nan"), float("nan")
+    previous_chi2 = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        mixture = kernel @ theta  # P(Y in I_s) under current estimate
+        safe_mixture = np.maximum(mixture, _EPS)
+        # Posterior responsibility of x-interval p for y-interval s,
+        # weighted by observed counts, averaged over the sample.
+        weights = y_counts / n / safe_mixture  # (S,)
+        theta_new = theta * (kernel.T @ weights)  # (P,)
+        total = theta_new.sum()
+        if total <= 0:
+            raise ValidationError(
+                "reconstruction collapsed to zero mass; the noise kernel "
+                "does not cover the observed randomized values"
+            )
+        theta_new /= total
+
+        delta = float(np.abs(theta_new - theta).sum())
+        deltas.append(delta)
+        theta = theta_new
+
+        if stopping == "chi2":
+            chi2_stat, chi2_thresh = _chi2_fit(y_counts, kernel @ theta * n)
+            if np.isfinite(chi2_stat):
+                # Stop when the randomized data are statistically
+                # consistent with the estimate, OR when further sharpening
+                # has stopped improving the fit (the model is binned, so
+                # the test may never pass outright; iterating past the
+                # plateau only overfits sampling noise).
+                passed = chi2_stat <= chi2_thresh
+                plateaued = (previous_chi2 - chi2_stat) < 0.01 * chi2_thresh
+                if passed or plateaued:
+                    converged = True
+                    break
+                previous_chi2 = chi2_stat
+        if delta < tol:
+            converged = True
+            break
+
+    if stopping != "chi2":
+        chi2_stat, chi2_thresh = _chi2_fit(y_counts, kernel @ theta * n)
+    return theta, iteration, converged, deltas, chi2_stat, chi2_thresh
+
+
+class BayesReconstructor:
+    """The paper's iterative Bayesian reconstruction (partition form).
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard cap on Bayes sweeps (the paper converges in tens of sweeps).
+    tol:
+        Stop when the L1 change between successive estimates drops below
+        this value (the paper's "estimate stops changing" criterion).
+    stopping:
+        ``"chi2"`` (default) stops as soon as the observed randomized
+        histogram passes a 95 % chi-squared goodness-of-fit test against
+        the randomization of the current estimate, or as soon as the
+        statistic stops improving by at least 1 % of its threshold per
+        sweep (the binned model may never pass the test outright; past
+        that plateau, sweeps only overfit) — the paper's statistical
+        stopping rule.  ``"delta"`` uses ``tol`` alone.
+
+        The chi-squared rule is not a nicety: deconvolution is ill-posed,
+        and iterating to a fixed point overfits sampling noise into a
+        spiky estimate (ablation E10 measures a ~4x L1 degradation).  The
+        rule stops as soon as the data no longer justify further
+        sharpening.
+    transition_method:
+        ``"density"`` reproduces the paper's midpoint approximation of the
+        noise kernel; ``"integrated"`` (default) integrates the noise
+        density over each interval, which is strictly more accurate and
+        equally fast.
+    coverage:
+        Noise mass that the expanded bucketing grid must cover (only
+        matters for unbounded noise such as Gaussian).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import BayesReconstructor, Partition, UniformRandomizer
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.uniform(0.25, 0.75, size=4000)
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> w = noise.randomize(x, seed=1)
+    >>> part = Partition.uniform(0.0, 1.0, 20)
+    >>> result = BayesReconstructor().reconstruct(w, part, noise)
+    >>> bool(result.converged)
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 500,
+        tol: float = 1e-3,
+        stopping: str = "chi2",
+        transition_method: str = "integrated",
+        coverage: float = 1.0 - 1e-9,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
+        check_positive(tol, "tol")
+        if stopping not in ("delta", "chi2"):
+            raise ValidationError(f"stopping must be 'delta' or 'chi2', got {stopping!r}")
+        if transition_method not in ("density", "integrated"):
+            raise ValidationError(
+                f"transition_method must be 'density' or 'integrated', "
+                f"got {transition_method!r}"
+            )
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+        self.stopping = stopping
+        self.transition_method = transition_method
+        self.coverage = coverage
+
+    def reconstruct(
+        self,
+        randomized_values,
+        x_partition: Partition,
+        randomizer: AdditiveRandomizer,
+    ) -> ReconstructionResult:
+        """Estimate the original distribution of the randomized sample.
+
+        Parameters
+        ----------
+        randomized_values:
+            The disclosed values ``x_i + r_i``.
+        x_partition:
+            Interval grid over the *original* domain on which the estimate
+            is expressed.
+        randomizer:
+            The (public) noise process that produced the values.
+        """
+        y_counts, kernel = _prepare(
+            randomized_values,
+            x_partition,
+            randomizer,
+            transition_method=self.transition_method,
+            coverage=self.coverage,
+        )
+        theta0 = np.full(x_partition.n_intervals, 1.0 / x_partition.n_intervals)
+        theta, iteration, converged, deltas, chi2_stat, chi2_thresh = _run_bayes(
+            y_counts,
+            kernel,
+            theta0,
+            max_iterations=self.max_iterations,
+            tol=self.tol,
+            stopping=self.stopping,
+        )
+        if not converged:
+            warnings.warn(
+                f"reconstruction stopped at max_iterations={self.max_iterations} "
+                f"with last delta {deltas[-1]:.3g}",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        return ReconstructionResult(
+            distribution=HistogramDistribution(x_partition, theta),
+            n_iterations=iteration,
+            converged=converged,
+            chi2_statistic=chi2_stat,
+            chi2_threshold=chi2_thresh,
+            delta_history=tuple(deltas),
+        )

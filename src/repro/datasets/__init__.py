@@ -1,0 +1,13 @@
+"""Workloads: the Quest synthetic generator and 1-D shape densities.
+
+* :mod:`repro.datasets.schema` — attribute metadata and the column-oriented
+  :class:`~repro.datasets.schema.Table` container,
+* :mod:`repro.datasets.quest` — the paper's evaluation workload (9
+  attributes, classification functions Fn1–Fn5),
+* :mod:`repro.datasets.shapes` — the "plateau"/"triangles" densities used
+  for the reconstruction figures.
+"""
+
+from repro.datasets.schema import Attribute, Table
+
+__all__ = ["Attribute", "Table"]

@@ -1,0 +1,183 @@
+"""Attribute metadata and a minimal column-oriented dataset container.
+
+The paper's pipeline needs, for every attribute, its *domain* (privacy is
+stated as a fraction of the domain range and reconstruction grids span it)
+and whether it is integer-valued.  :class:`Attribute` carries that
+metadata; :class:`Table` bundles named columns with a class-label vector
+and provides the row-subset and column-replacement operations used by the
+training algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.exceptions import SchemaError, ValidationError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Description of one numeric attribute.
+
+    Attributes
+    ----------
+    name:
+        Column name.
+    low / high:
+        Domain bounds (inclusive).  Privacy levels are stated relative to
+        ``high - low`` and reconstruction partitions span this range.
+    discrete:
+        True for integer-valued attributes (``elevel``, ``car``, ...).
+        They are still randomized with continuous additive noise, exactly
+        as the paper treats them.
+    """
+
+    name: str
+    low: float
+    high: float
+    discrete: bool = False
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.low) and np.isfinite(self.high)):
+            raise ValidationError(f"attribute {self.name!r}: bounds must be finite")
+        if self.high <= self.low:
+            raise ValidationError(
+                f"attribute {self.name!r}: high ({self.high}) must exceed "
+                f"low ({self.low})"
+            )
+
+    @property
+    def span(self) -> float:
+        """Domain range ``high - low``."""
+        return self.high - self.low
+
+    def partition(self, n_intervals: int) -> Partition:
+        """Equal-width partition of the attribute's domain.
+
+        Discrete attributes default to one interval per integer value when
+        ``n_intervals`` exceeds the number of values, so reconstruction
+        never resolves finer than the attribute itself.
+        """
+        if self.discrete:
+            n_values = int(round(self.span)) + 1
+            n_intervals = min(n_intervals, n_values)
+            # Centre integer values inside intervals: [low-.5, high+.5].
+            return Partition.uniform(self.low - 0.5, self.high + 0.5, n_intervals)
+        return Partition.uniform(self.low, self.high, n_intervals)
+
+
+class Table:
+    """A column-oriented dataset with class labels.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from attribute name to a 1-D value array.  All columns must
+        share one length.
+    labels:
+        Integer class label per record (the paper uses two classes, but the
+        container is agnostic).
+    schema:
+        One :class:`Attribute` per column, in column order.
+    """
+
+    def __init__(self, columns: dict, labels, schema) -> None:
+        self.schema: tuple = tuple(schema)
+        names = [attribute.name for attribute in self.schema]
+        if sorted(names) != sorted(columns):
+            raise SchemaError(
+                f"schema names {sorted(names)} do not match columns "
+                f"{sorted(columns)}"
+            )
+        labels = np.asarray(labels)
+        if labels.ndim != 1:
+            raise SchemaError("labels must be 1-dimensional")
+        self.labels = labels.astype(np.int64)
+
+        self.columns: dict = {}
+        for name in names:
+            col = np.asarray(columns[name], dtype=float)
+            if col.shape != labels.shape:
+                raise SchemaError(
+                    f"column {name!r} has length {col.shape[0]}, labels have "
+                    f"length {labels.shape[0]}"
+                )
+            if col.size and not np.all(np.isfinite(col)):
+                raise SchemaError(f"column {name!r} contains NaN or infinite values")
+            self.columns[name] = col
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        """Number of rows."""
+        return int(self.labels.size)
+
+    @property
+    def attribute_names(self) -> tuple:
+        """Column names in schema order."""
+        return tuple(attribute.name for attribute in self.schema)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels (0 for an empty table)."""
+        return int(np.unique(self.labels).size) if self.n_records else 0
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up the :class:`Attribute` for a column name."""
+        for attribute in self.schema:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"no attribute named {name!r}")
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one column's values (the stored array — do not mutate)."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def matrix(self) -> np.ndarray:
+        """All columns stacked into an ``(n_records, n_attributes)`` array."""
+        return np.column_stack([self.columns[n] for n in self.attribute_names])
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def subset(self, mask_or_indices) -> "Table":
+        """Row subset by boolean mask or index array (copies columns)."""
+        idx = np.asarray(mask_or_indices)
+        return Table(
+            {name: col[idx] for name, col in self.columns.items()},
+            self.labels[idx],
+            self.schema,
+        )
+
+    def with_columns(self, new_columns: dict) -> "Table":
+        """A table with some columns replaced (labels and schema kept)."""
+        merged = dict(self.columns)
+        for name, values in new_columns.items():
+            if name not in merged:
+                raise SchemaError(f"cannot replace unknown column {name!r}")
+            merged[name] = np.asarray(values, dtype=float)
+        return Table(merged, self.labels, self.schema)
+
+    def class_split(self) -> dict:
+        """Mapping from class label to the sub-table of that class."""
+        return {
+            int(label): self.subset(self.labels == label)
+            for label in np.unique(self.labels)
+        }
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table(n_records={self.n_records}, "
+            f"attributes={list(self.attribute_names)})"
+        )

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the PPDM reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting genuine bugs (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or dtype)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a prior ``fit`` was called before fitting."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative algorithm stopped on its iteration cap, not its tolerance."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A dataset column does not match the declared attribute schema."""

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+Each experiment in DESIGN.md's index (E1–E12) is a thin benchmark wrapper
+around a runner in this package:
+
+* :mod:`repro.experiments.reconstruction` — E1–E3, E10 (distribution
+  reconstruction quality),
+* :mod:`repro.experiments.classification` — E5–E8, E11 (decision-tree
+  accuracy across strategies, privacy levels, noise kinds, sizes),
+* :mod:`repro.experiments.reporting` — ASCII rendering of result rows,
+* :mod:`repro.experiments.config` — shared configuration dataclasses and
+  the ``PPDM_BENCH_SCALE`` scaling hook.
+"""
+
+from repro.experiments.config import (
+    ClassificationConfig,
+    ReconstructionConfig,
+    bench_scale,
+)
+from repro.experiments.classification import (
+    run_privacy_sweep,
+    run_strategy_comparison,
+    run_training_size_sweep,
+)
+from repro.experiments.reconstruction import run_reconstruction
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ReconstructionConfig",
+    "ClassificationConfig",
+    "bench_scale",
+    "run_reconstruction",
+    "run_strategy_comparison",
+    "run_privacy_sweep",
+    "run_training_size_sweep",
+    "format_table",
+]

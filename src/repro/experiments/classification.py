@@ -1,0 +1,142 @@
+"""Classification experiments (E5–E8 and the E11 ablation).
+
+Runners produce plain lists of result dataclasses so benchmarks, the CLI,
+and tests can all consume the same rows.  Strategies being compared always
+see *identical* randomized training data (the randomization is done once
+per (function, privacy, noise) cell and shared), matching the paper's
+methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.datasets import quest
+from repro.experiments.config import ClassificationConfig
+from repro.tree.pipeline import PrivacyPreservingClassifier
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class ClassificationRow:
+    """One (function, strategy) accuracy measurement.
+
+    Attributes
+    ----------
+    function:
+        Quest classification function id.
+    strategy:
+        Training strategy name.
+    noise / privacy:
+        Randomization settings (``privacy`` is 0 for ``original``).
+    accuracy:
+        Test-set accuracy on clean records.
+    n_nodes / tree_depth:
+        Size of the fitted tree.
+    fit_seconds:
+        Wall-clock training time.
+    n_train:
+        Training records used.
+    """
+
+    function: int
+    strategy: str
+    noise: str
+    privacy: float
+    accuracy: float
+    n_nodes: int
+    tree_depth: int
+    fit_seconds: float
+    n_train: int
+
+
+def _fit_row(
+    strategy: str,
+    train,
+    test,
+    config: ClassificationConfig,
+    seed,
+    randomized=None,
+    randomizers=None,
+) -> ClassificationRow:
+    classifier = PrivacyPreservingClassifier(
+        strategy,
+        noise=config.noise,
+        privacy=config.privacy,
+        confidence=config.confidence,
+        n_intervals=config.n_intervals,
+        seed=seed,
+        **config.classifier_options,
+    )
+    start = time.perf_counter()
+    if strategy == "original" or randomized is None:
+        classifier.fit(train)
+    else:
+        classifier.fit(train, randomized_table=randomized, randomizers=randomizers)
+    elapsed = time.perf_counter() - start
+    return ClassificationRow(
+        function=0,  # caller fills in via dataclasses.replace
+        strategy=strategy,
+        noise=config.noise if strategy != "original" else "none",
+        privacy=config.privacy if strategy != "original" else 0.0,
+        accuracy=classifier.score(test),
+        n_nodes=classifier.tree_.n_nodes,
+        tree_depth=classifier.tree_.depth,
+        fit_seconds=elapsed,
+        n_train=train.n_records,
+    )
+
+
+def run_strategy_comparison(config: ClassificationConfig) -> list:
+    """Accuracy of every (function, strategy) cell at one privacy level (E5/E6).
+
+    Returns a list of :class:`ClassificationRow`, ordered by function then
+    strategy.
+    """
+    rows: list = []
+    data_rng, noise_rng, fit_rng = spawn_rngs(config.seed, 3)
+    for function in config.functions:
+        train = quest.generate(config.n_train, function=function, seed=data_rng)
+        test = quest.generate(config.n_test, function=function, seed=data_rng)
+        randomized, randomizers = quest.randomize(
+            train,
+            kind=config.noise,
+            privacy=config.privacy,
+            confidence=config.confidence,
+            seed=noise_rng,
+        )
+        for strategy in config.strategies:
+            row = _fit_row(
+                strategy, train, test, config, fit_rng, randomized, randomizers
+            )
+            rows.append(replace(row, function=function))
+    return rows
+
+
+def run_privacy_sweep(
+    config: ClassificationConfig, privacy_levels, *, strategies=None
+) -> list:
+    """Accuracy as privacy grows (E7): one comparison per privacy level."""
+    rows: list = []
+    for privacy in privacy_levels:
+        level_config = replace(
+            config,
+            privacy=float(privacy),
+            strategies=tuple(strategies) if strategies else config.strategies,
+        )
+        rows.extend(run_strategy_comparison(level_config))
+    return rows
+
+
+def run_training_size_sweep(
+    config: ClassificationConfig, sizes, *, strategy: str = "byclass"
+) -> list:
+    """Accuracy as the training set grows (E11 ablation)."""
+    rows: list = []
+    for size in sizes:
+        size_config = replace(
+            config, n_train=int(size), strategies=(strategy, "original")
+        )
+        rows.extend(run_strategy_comparison(size_config))
+    return rows

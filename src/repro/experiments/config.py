@@ -1,0 +1,94 @@
+"""Configuration objects shared by the experiment runners and benchmarks.
+
+The paper trains on 100 000 records; pure-Python reproduction defaults to
+a tenth of that and scales back up through the ``PPDM_BENCH_SCALE``
+environment variable (``PPDM_BENCH_SCALE=10`` restores paper scale — see
+DESIGN.md §5 on why the shapes are insensitive to this).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+#: environment variable multiplying benchmark dataset sizes
+SCALE_ENV_VAR = "PPDM_BENCH_SCALE"
+
+
+def bench_scale() -> float:
+    """Dataset-size multiplier taken from :data:`SCALE_ENV_VAR` (default 1)."""
+    raw = os.environ.get(SCALE_ENV_VAR, "1")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValidationError(
+            f"{SCALE_ENV_VAR} must be a number, got {raw!r}"
+        ) from None
+    if scale <= 0:
+        raise ValidationError(f"{SCALE_ENV_VAR} must be positive, got {scale}")
+    return scale
+
+
+def scaled(n: int) -> int:
+    """Apply :func:`bench_scale` to a base dataset size."""
+    return max(1, int(round(n * bench_scale())))
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """Parameters of one distribution-reconstruction experiment (E1–E3).
+
+    Attributes
+    ----------
+    shape:
+        ``"plateau"`` or ``"triangles"`` (see
+        :mod:`repro.datasets.shapes`).
+    noise / privacy / confidence:
+        Randomization kind and privacy level (fraction of the domain span
+        at ``confidence``).
+    n:
+        Sample size.
+    n_intervals:
+        Reconstruction grid resolution.
+    """
+
+    shape: str = "plateau"
+    noise: str = "uniform"
+    privacy: float = 0.5
+    confidence: float = 0.95
+    n: int = 10_000
+    n_intervals: int = 20
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class ClassificationConfig:
+    """Parameters of one classification experiment (E5–E8, E11).
+
+    Attributes
+    ----------
+    functions:
+        Quest classification function ids to evaluate.
+    strategies:
+        Training strategies to compare (see
+        :data:`repro.tree.pipeline.STRATEGIES`).
+    noise / privacy / confidence:
+        Randomization settings shared by all perturbed strategies.
+    n_train / n_test:
+        Dataset sizes (the paper: 100 000 / 5 000).
+    n_intervals:
+        Reconstruction-grid and split-candidate resolution.
+    """
+
+    functions: tuple = (1, 2, 3, 4, 5)
+    strategies: tuple = ("original", "randomized", "global", "byclass")
+    noise: str = "uniform"
+    privacy: float = 1.0
+    confidence: float = 0.95
+    n_train: int = 10_000
+    n_test: int = 3_000
+    n_intervals: int = 25
+    seed: int = 11
+    classifier_options: dict = field(default_factory=dict)

@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment results.
+
+Benchmarks print the same rows/series the paper reports; this module is
+the single place that turns result rows into aligned text tables so every
+bench and the CLI look alike.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+
+def format_table(headers, rows, *, title: str = "") -> str:
+    """Render rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column header strings.
+    rows:
+        Iterable of row tuples; every cell is converted with ``str``.
+    title:
+        Optional caption printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {row} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def accuracy_matrix(rows, *, row_key="function", col_key="strategy") -> str:
+    """Pivot :class:`~repro.experiments.classification.ClassificationRow` lists.
+
+    Produces the paper's figure layout: one row per function, one column
+    per strategy, cells showing accuracy in percent.
+    """
+    row_values = sorted({getattr(r, row_key) for r in rows})
+    col_values = list(dict.fromkeys(getattr(r, col_key) for r in rows))
+    headers = [row_key] + [str(c) for c in col_values]
+    table_rows = []
+    for rv in row_values:
+        cells = [str(rv)]
+        for cv in col_values:
+            matches = [
+                r
+                for r in rows
+                if getattr(r, row_key) == rv and getattr(r, col_key) == cv
+            ]
+            if matches:
+                cells.append(f"{100.0 * matches[-1].accuracy:.1f}")
+            else:
+                cells.append("-")
+        table_rows.append(tuple(cells))
+    return format_table(headers, table_rows)

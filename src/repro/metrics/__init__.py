@@ -1,0 +1,21 @@
+"""Evaluation metrics: classification quality and distribution distances."""
+
+from repro.metrics.accuracy import accuracy, confusion_matrix, per_class_recall
+from repro.metrics.distribution import (
+    hellinger_distance,
+    kolmogorov_distance,
+    l1_distance,
+    l2_distance,
+    total_variation,
+)
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_recall",
+    "l1_distance",
+    "l2_distance",
+    "total_variation",
+    "kolmogorov_distance",
+    "hellinger_distance",
+]

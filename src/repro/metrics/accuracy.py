@@ -1,0 +1,53 @@
+"""Classification metrics used by the experiment harness.
+
+The paper reports plain accuracy ("correction rate") on a clean test set;
+the confusion matrix and per-class recall exist for diagnostics when a
+strategy degrades asymmetrically (e.g. Randomized collapsing to the
+majority class at high privacy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _check_labels(predicted, actual) -> tuple:
+    predicted = np.asarray(predicted, dtype=np.int64)
+    actual = np.asarray(actual, dtype=np.int64)
+    if predicted.shape != actual.shape or predicted.ndim != 1:
+        raise ValidationError(
+            f"predicted and actual must be equal-length 1-D arrays, got "
+            f"{predicted.shape} and {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ValidationError("label arrays must not be empty")
+    if predicted.min() < 0 or actual.min() < 0:
+        raise ValidationError("labels must be non-negative")
+    return predicted, actual
+
+
+def accuracy(predicted, actual) -> float:
+    """Fraction of records classified correctly."""
+    predicted, actual = _check_labels(predicted, actual)
+    return float((predicted == actual).mean())
+
+
+def confusion_matrix(predicted, actual, *, n_classes=None) -> np.ndarray:
+    """Confusion matrix ``C[a, p]`` counting actual ``a`` predicted as ``p``."""
+    predicted, actual = _check_labels(predicted, actual)
+    if n_classes is None:
+        n_classes = int(max(predicted.max(), actual.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (actual, predicted), 1)
+    return matrix
+
+
+def per_class_recall(predicted, actual) -> np.ndarray:
+    """Recall per actual class (``nan`` for classes absent from ``actual``)."""
+    matrix = confusion_matrix(predicted, actual)
+    totals = matrix.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recall = np.diag(matrix) / totals
+    return np.where(totals > 0, recall, np.nan)

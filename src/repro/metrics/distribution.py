@@ -1,0 +1,59 @@
+"""Distances between discrete distributions on a shared interval grid.
+
+These power the reconstruction-quality experiments (E1–E3, E10): how far
+is the reconstructed distribution from the original, compared with how far
+the raw randomized distribution is?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import HistogramDistribution
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_probability_vector
+
+
+def _as_probs(dist) -> np.ndarray:
+    if isinstance(dist, HistogramDistribution):
+        return dist.probs
+    return check_probability_vector(dist, "distribution")
+
+
+def _pair(p, q) -> tuple:
+    p, q = _as_probs(p), _as_probs(q)
+    if p.shape != q.shape:
+        raise ValidationError(
+            f"distributions must share a grid, got lengths {p.size} and {q.size}"
+        )
+    return p, q
+
+
+def l1_distance(p, q) -> float:
+    """Sum of absolute probability differences (in ``[0, 2]``)."""
+    p, q = _pair(p, q)
+    return float(np.abs(p - q).sum())
+
+
+def l2_distance(p, q) -> float:
+    """Euclidean distance between probability vectors."""
+    p, q = _pair(p, q)
+    return float(np.linalg.norm(p - q))
+
+
+def total_variation(p, q) -> float:
+    """Total-variation distance (half the L1, in ``[0, 1]``)."""
+    return 0.5 * l1_distance(p, q)
+
+
+def kolmogorov_distance(p, q) -> float:
+    """Largest absolute CDF difference (Kolmogorov–Smirnov statistic)."""
+    p, q = _pair(p, q)
+    return float(np.abs(np.cumsum(p) - np.cumsum(q)).max())
+
+
+def hellinger_distance(p, q) -> float:
+    """Hellinger distance ``sqrt(1 - sum sqrt(p q))`` (in ``[0, 1]``)."""
+    p, q = _pair(p, q)
+    affinity = float(np.sqrt(p * q).sum())
+    return float(np.sqrt(max(1.0 - affinity, 0.0)))

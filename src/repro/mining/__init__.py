@@ -1,0 +1,28 @@
+"""Privacy-preserving association-rule mining (the paper's future work).
+
+The SIGMOD 2000 paper closes by proposing to extend randomization from
+classification to categorical data and association rules.  This subpackage
+implements that extension in the style the follow-on literature settled on
+(randomized response over boolean baskets with algebraic support
+recovery):
+
+* :mod:`repro.mining.apriori` — the Apriori substrate: frequent itemsets
+  and association rules on plain boolean basket matrices,
+* :mod:`repro.mining.mask` — randomized-response disclosure of baskets and
+  unbiased support estimation from the randomized data,
+* :mod:`repro.mining.baskets` — a synthetic basket generator with planted
+  frequent itemsets for evaluation.
+"""
+
+from repro.mining.apriori import AssociationRule, association_rules, frequent_itemsets
+from repro.mining.baskets import generate_baskets
+from repro.mining.mask import MaskMiner, RandomizedResponse
+
+__all__ = [
+    "frequent_itemsets",
+    "association_rules",
+    "AssociationRule",
+    "RandomizedResponse",
+    "MaskMiner",
+    "generate_baskets",
+]

@@ -1,0 +1,161 @@
+"""Apriori frequent-itemset mining on boolean basket matrices.
+
+This is the substrate the privacy-preserving extension mines on top of:
+a plain, well-tested Apriori with support counting vectorized over an
+``(n_baskets, n_items)`` boolean matrix.  Itemsets are ``frozenset`` of
+item column indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_fraction
+
+
+def _check_matrix(baskets) -> np.ndarray:
+    matrix = np.asarray(baskets)
+    if matrix.ndim != 2:
+        raise ValidationError(f"baskets must be 2-D, got shape {matrix.shape}")
+    if matrix.size == 0:
+        raise ValidationError("baskets must not be empty")
+    return matrix.astype(bool)
+
+
+def support(baskets, itemset) -> float:
+    """Fraction of baskets containing every item of ``itemset``."""
+    matrix = _check_matrix(baskets)
+    items = sorted(itemset)
+    if not items:
+        return 1.0
+    if max(items) >= matrix.shape[1] or min(items) < 0:
+        raise ValidationError(f"itemset {items} out of range for {matrix.shape[1]} items")
+    return float(matrix[:, items].all(axis=1).mean())
+
+
+def _candidates(previous: set, size: int) -> set:
+    """Level-wise candidate generation with the Apriori pruning rule."""
+    items = sorted({item for itemset in previous for item in itemset})
+    candidates = set()
+    for combo in combinations(items, size):
+        itemset = frozenset(combo)
+        if all(
+            frozenset(sub) in previous for sub in combinations(combo, size - 1)
+        ):
+            candidates.add(itemset)
+    return candidates
+
+
+def frequent_itemsets(baskets, min_support: float, *, max_size=None) -> dict:
+    """All itemsets with support >= ``min_support``.
+
+    Parameters
+    ----------
+    baskets:
+        ``(n_baskets, n_items)`` boolean matrix.
+    min_support:
+        Minimum support threshold in ``(0, 1]``.
+    max_size:
+        Optional cap on itemset cardinality.
+
+    Returns
+    -------
+    dict mapping ``frozenset`` itemsets to their support.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> baskets = np.array([[1, 1, 0], [1, 1, 1], [1, 0, 0], [0, 1, 1]])
+    >>> sets = frequent_itemsets(baskets, 0.5)
+    >>> sets[frozenset({0, 1})]
+    0.5
+    """
+    matrix = _check_matrix(baskets)
+    min_support = check_fraction(min_support, "min_support")
+    n_items = matrix.shape[1]
+    limit = n_items if max_size is None else int(max_size)
+
+    result: dict = {}
+    item_support = matrix.mean(axis=0)
+    current = {
+        frozenset({j}): float(item_support[j])
+        for j in range(n_items)
+        if item_support[j] >= min_support
+    }
+    size = 1
+    while current and size <= limit:
+        result.update(current)
+        size += 1
+        if size > limit:
+            break
+        next_level: dict = {}
+        for candidate in _candidates(set(current), size):
+            s = float(matrix[:, sorted(candidate)].all(axis=1).mean())
+            if s >= min_support:
+                next_level[candidate] = s
+        current = next_level
+    return result
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent => consequent``.
+
+    Attributes
+    ----------
+    antecedent / consequent:
+        Disjoint frozensets of item indices.
+    support:
+        Support of the union itemset.
+    confidence:
+        ``support(antecedent | consequent) / support(antecedent)``.
+    lift:
+        Confidence over the consequent's support (``> 1`` = positive
+        association).
+    """
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+
+
+def association_rules(itemsets: dict, min_confidence: float) -> list:
+    """Derive rules from a frequent-itemset dict (as returned above).
+
+    Every frequent itemset of size >= 2 is split into all (antecedent,
+    consequent) partitions whose confidence clears ``min_confidence``.
+    Rules whose sub-itemset supports are missing from ``itemsets`` are
+    skipped (they cannot be scored).
+    """
+    min_confidence = check_fraction(min_confidence, "min_confidence")
+    rules: list = []
+    for itemset, itemset_support in itemsets.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset)
+        for r in range(1, len(items)):
+            for antecedent_combo in combinations(items, r):
+                antecedent = frozenset(antecedent_combo)
+                consequent = itemset - antecedent
+                if antecedent not in itemsets or consequent not in itemsets:
+                    continue
+                confidence = itemset_support / max(itemsets[antecedent], 1e-300)
+                if confidence >= min_confidence:
+                    lift = confidence / max(itemsets[consequent], 1e-300)
+                    rules.append(
+                        AssociationRule(
+                            antecedent=antecedent,
+                            consequent=consequent,
+                            support=itemset_support,
+                            confidence=min(confidence, 1.0),
+                            lift=lift,
+                        )
+                    )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support))
+    return rules

@@ -1,0 +1,157 @@
+"""JSON snapshots of fitted models and distributions.
+
+A server that reconstructs distributions and trains models on randomized
+data needs to persist them (the paper's deployment stores models in the
+warehouse tier).  This module round-trips the library's artifacts through
+plain JSON-able dicts:
+
+* :class:`~repro.core.partition.Partition`
+* :class:`~repro.core.histogram.HistogramDistribution`
+* :class:`~repro.tree.tree.DecisionTreeClassifier` (fitted)
+* :class:`~repro.bayes.naive.NaiveBayesClassifier` (fitted)
+
+Use :func:`to_jsonable` / :func:`from_jsonable` for in-memory dicts and
+:func:`save` / :func:`load` for files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bayes.naive import NaiveBayesClassifier
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.exceptions import NotFittedError, ValidationError
+from repro.tree.tree import DecisionTreeClassifier, TreeNode
+
+#: schema version embedded in every snapshot
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: TreeNode) -> dict:
+    payload = {
+        "class_counts": node.class_counts.tolist(),
+        "depth": node.depth,
+    }
+    if not node.is_leaf:
+        payload["attribute_index"] = node.attribute_index
+        payload["threshold"] = node.threshold
+        payload["left"] = _node_to_dict(node.left)
+        payload["right"] = _node_to_dict(node.right)
+    return payload
+
+
+def _node_from_dict(payload: dict) -> TreeNode:
+    node = TreeNode(
+        class_counts=np.asarray(payload["class_counts"], dtype=float),
+        depth=int(payload["depth"]),
+    )
+    if "left" in payload:
+        node.attribute_index = int(payload["attribute_index"])
+        node.threshold = float(payload["threshold"])
+        node.left = _node_from_dict(payload["left"])
+        node.right = _node_from_dict(payload["right"])
+    return node
+
+
+def to_jsonable(obj) -> dict:
+    """Convert a supported object to a JSON-serializable dict."""
+    if isinstance(obj, Partition):
+        return {
+            "kind": "partition",
+            "version": FORMAT_VERSION,
+            "edges": obj.edges.tolist(),
+        }
+    if isinstance(obj, HistogramDistribution):
+        return {
+            "kind": "histogram",
+            "version": FORMAT_VERSION,
+            "edges": obj.partition.edges.tolist(),
+            "probs": obj.probs.tolist(),
+        }
+    if isinstance(obj, DecisionTreeClassifier):
+        if obj.root_ is None:
+            raise NotFittedError("cannot serialize an unfitted tree")
+        return {
+            "kind": "decision_tree",
+            "version": FORMAT_VERSION,
+            "partitions": [p.edges.tolist() for p in obj.partitions],
+            "criterion": obj.criterion,
+            "max_depth": obj.max_depth,
+            "min_records_split": obj.min_records_split,
+            "min_gain": obj.min_gain,
+            "attribute_names": list(obj.attribute_names),
+            "n_classes": obj.n_classes_,
+            "root": _node_to_dict(obj.root_),
+        }
+    if isinstance(obj, NaiveBayesClassifier):
+        if obj.log_priors_ is None:
+            raise NotFittedError("cannot serialize an unfitted classifier")
+        return {
+            "kind": "naive_bayes",
+            "version": FORMAT_VERSION,
+            "partitions": [p.edges.tolist() for p in obj.partitions],
+            "laplace": obj.laplace,
+            "log_priors": obj.log_priors_.tolist(),
+            "log_likelihoods": [lk.tolist() for lk in obj.log_likelihoods_],
+        }
+    raise ValidationError(
+        f"cannot serialize objects of type {type(obj).__name__}"
+    )
+
+
+def from_jsonable(payload: dict):
+    """Rebuild an object serialized by :func:`to_jsonable`."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValidationError("payload is not a repro serialization dict")
+    kind = payload["kind"]
+    if kind == "partition":
+        return Partition(np.asarray(payload["edges"], dtype=float))
+    if kind == "histogram":
+        partition = Partition(np.asarray(payload["edges"], dtype=float))
+        return HistogramDistribution(
+            partition, np.asarray(payload["probs"], dtype=float)
+        )
+    if kind == "decision_tree":
+        partitions = [
+            Partition(np.asarray(edges, dtype=float))
+            for edges in payload["partitions"]
+        ]
+        tree = DecisionTreeClassifier(
+            partitions,
+            criterion=payload["criterion"],
+            max_depth=payload["max_depth"],
+            min_records_split=payload["min_records_split"],
+            min_gain=payload["min_gain"],
+            attribute_names=payload["attribute_names"],
+        )
+        tree.n_classes_ = int(payload["n_classes"])
+        tree.root_ = _node_from_dict(payload["root"])
+        return tree
+    if kind == "naive_bayes":
+        partitions = [
+            Partition(np.asarray(edges, dtype=float))
+            for edges in payload["partitions"]
+        ]
+        model = NaiveBayesClassifier(partitions, laplace=payload["laplace"])
+        model.log_priors_ = np.asarray(payload["log_priors"], dtype=float)
+        model.log_likelihoods_ = [
+            np.asarray(lk, dtype=float) for lk in payload["log_likelihoods"]
+        ]
+        return model
+    raise ValidationError(f"unknown serialization kind {kind!r}")
+
+
+def save(obj, path) -> None:
+    """Serialize ``obj`` to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(to_jsonable(obj)))
+
+
+def load(path):
+    """Load an object saved with :func:`save`."""
+    path = Path(path)
+    return from_jsonable(json.loads(path.read_text()))

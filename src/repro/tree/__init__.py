@@ -1,0 +1,22 @@
+"""Decision-tree classification over randomized data (paper §4).
+
+* :mod:`repro.tree.criteria` — impurity functions on class-count arrays,
+* :mod:`repro.tree.tree` — the interval-based tree structure and builder,
+* :mod:`repro.tree.pipeline` — the paper's training algorithms
+  (Original / Randomized / Global / ByClass / Local) behind one estimator,
+  :class:`~repro.tree.pipeline.PrivacyPreservingClassifier`.
+"""
+
+from repro.tree.criteria import entropy, gini, split_impurities
+from repro.tree.pipeline import STRATEGIES, PrivacyPreservingClassifier
+from repro.tree.tree import DecisionTreeClassifier, TreeNode
+
+__all__ = [
+    "gini",
+    "entropy",
+    "split_impurities",
+    "DecisionTreeClassifier",
+    "TreeNode",
+    "PrivacyPreservingClassifier",
+    "STRATEGIES",
+]

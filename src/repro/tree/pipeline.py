@@ -1,0 +1,376 @@
+"""The paper's training algorithms behind one estimator (paper §4.1).
+
+Six ways to train a decision tree when providers disclose private data:
+
+* ``original`` — train on the unperturbed data (upper baseline; no privacy),
+* ``randomized`` — train directly on the perturbed values (lower baseline),
+* ``global`` — reconstruct each attribute's distribution once over all
+  classes, correct records, train on corrected records,
+* ``byclass`` — reconstruct each attribute separately per class before
+  correcting (the paper's recommended accuracy/cost tradeoff),
+* ``local`` — ByClass, but reconstruction is repeated at every tree node
+  on the records reaching that node (most accurate, most expensive),
+* ``valueclass`` — the paper's §2 *value-class membership* alternative:
+  providers disclose only the coarse interval containing each value (one
+  interval per ``privacy * span`` of the domain) and the tree trains
+  directly on the disclosed midpoints — no reconstruction involved.
+
+:class:`PrivacyPreservingClassifier` wires the randomizers, reconstructor,
+record correction, and the interval tree into that menu.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.correction import correct_records
+from repro.core.privacy import noise_for_privacy
+from repro.core.randomizers import ValueClassMembership
+from repro.core.reconstruction import BayesReconstructor
+from repro.datasets.schema import Table
+from repro.exceptions import NotFittedError, ValidationError
+from repro.tree.tree import DecisionTreeClassifier
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction, check_positive
+
+#: training strategies: paper §4.1 algorithms, the §5 baselines, and the
+#: §2 value-class-membership alternative
+STRATEGIES = ("original", "randomized", "global", "byclass", "local", "valueclass")
+
+
+class PrivacyPreservingClassifier:
+    """Decision-tree classification over randomized data.
+
+    Parameters
+    ----------
+    strategy:
+        One of :data:`STRATEGIES`.
+    noise:
+        ``"uniform"`` or ``"gaussian"`` additive noise (ignored by
+        ``original``).
+    privacy:
+        Privacy level as a fraction of each attribute's domain range at
+        ``confidence`` (paper convention: ``1.0`` = "100 % privacy").
+    confidence:
+        Confidence level at which privacy is stated (paper: 0.95).
+    n_intervals:
+        Intervals per attribute for reconstruction grids and candidate
+        split points (discrete attributes cap at one per value).
+    reconstructor:
+        Distribution reconstructor; defaults to the paper's
+        :class:`~repro.core.reconstruction.BayesReconstructor`.
+    criterion / max_depth / min_records_split / min_gain:
+        Passed to the underlying tree.  ``max_depth="auto"`` resolves to 8
+        and ``min_records_split="auto"`` to 1 % of the training set (at
+        least 10): randomization leaves record-level noise in corrected
+        values, and unbounded trees overfit it badly (the accuracy
+        ablations sweep these).  Pass ``None`` for unbounded depth.
+    local_min_records:
+        ``local`` only: nodes whose per-class record count falls below this
+        keep their inherited interval assignments instead of
+        re-reconstructing (the paper's practical cutoff).
+    prune_fraction:
+        If positive, this fraction of the training records is held out of
+        tree growth and used for reduced-error pruning (the server never
+        sees clean data, so for randomized strategies the held-out slice
+        consists of the same corrected records).  0 disables pruning.
+    attributes:
+        Attribute names to perturb; defaults to all attributes.
+    seed:
+        Seed / generator driving the randomization step.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    tree_:
+        The fitted :class:`~repro.tree.tree.DecisionTreeClassifier`.
+    randomized_table_ / randomizers_:
+        The perturbed training table and the per-attribute randomizers.
+    reconstructions_:
+        For ``global``: ``{attribute: ReconstructionResult}``; for
+        ``byclass``/``local`` roots: ``{attribute: {class: result}}``.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "byclass",
+        *,
+        noise: str = "uniform",
+        privacy: float = 1.0,
+        confidence: float = 0.95,
+        n_intervals: int = 25,
+        reconstructor=None,
+        criterion: str = "gini",
+        max_depth="auto",
+        min_records_split="auto",
+        min_gain: float = 0.0,
+        local_min_records: int = 100,
+        prune_fraction: float = 0.0,
+        attributes=None,
+        seed=None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValidationError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        check_positive(privacy, "privacy")
+        check_fraction(confidence, "confidence")
+        if n_intervals < 2:
+            raise ValidationError(f"n_intervals must be >= 2, got {n_intervals}")
+        self.strategy = strategy
+        self.noise = noise
+        self.privacy = float(privacy)
+        self.confidence = float(confidence)
+        self.n_intervals = int(n_intervals)
+        self.reconstructor = reconstructor or BayesReconstructor()
+        # With the chi-squared stopping rule reconstruction is cheap enough
+        # that Local's per-node refits can reuse the same reconstructor.
+        self._local_reconstructor = self.reconstructor
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_records_split = min_records_split
+        self.min_gain = float(min_gain)
+        self.local_min_records = int(local_min_records)
+        if not 0.0 <= prune_fraction < 0.5:
+            raise ValidationError(
+                f"prune_fraction must lie in [0, 0.5), got {prune_fraction}"
+            )
+        self.prune_fraction = float(prune_fraction)
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.seed = seed
+
+        self.tree_: DecisionTreeClassifier | None = None
+        self.randomized_table_: Table | None = None
+        self.randomizers_: dict = {}
+        self.reconstructions_: dict = {}
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self, table: Table, *, randomized_table: Table = None, randomizers: dict = None
+    ) -> "PrivacyPreservingClassifier":
+        """Fit on a labelled table.
+
+        Parameters
+        ----------
+        table:
+            Training table with original values and class labels.
+        randomized_table / randomizers:
+            Optionally supply a pre-randomized copy of ``table`` plus the
+            randomizers that produced it (both or neither).  The experiment
+            harness uses this to compare strategies on *identical*
+            randomized data.
+        """
+        if (randomized_table is None) != (randomizers is None):
+            raise ValidationError(
+                "randomized_table and randomizers must be supplied together"
+            )
+        if randomizers is not None:
+            unknown = set(randomizers) - set(table.attribute_names)
+            if unknown:
+                raise ValidationError(
+                    f"randomizers reference unknown attributes: {sorted(unknown)}"
+                )
+        names = self.attributes or table.attribute_names
+        self._names = tuple(table.attribute_names)
+        partitions = [
+            table.attribute(n).partition(self.n_intervals) for n in self._names
+        ]
+        self._partitions = partitions
+        max_depth = 8 if self.max_depth == "auto" else self.max_depth
+        min_records_split = (
+            max(10, round(0.01 * table.n_records))
+            if self.min_records_split == "auto"
+            else self.min_records_split
+        )
+        tree = DecisionTreeClassifier(
+            partitions,
+            criterion=self.criterion,
+            max_depth=max_depth,
+            min_records_split=min_records_split,
+            min_gain=self.min_gain,
+            attribute_names=list(self._names),
+        )
+        labels = table.labels
+        self._fit_rng = ensure_rng(self.seed)
+
+        if self.strategy == "original":
+            self._fit_raw(tree, table.matrix(), labels)
+            self.tree_ = tree
+            return self
+
+        if randomized_table is None:
+            randomized_table, randomizers = self._randomize(table, names)
+        self.randomized_table_ = randomized_table
+        self.randomizers_ = dict(randomizers)
+        w_matrix = randomized_table.matrix()
+
+        if self.strategy in ("randomized", "valueclass"):
+            self._fit_raw(tree, w_matrix, labels)
+        elif self.strategy == "global":
+            intervals = self._correct_global(w_matrix, tree)
+            self._fit_corrected(tree, intervals, labels)
+        elif self.strategy == "byclass":
+            intervals = self._correct_byclass(w_matrix, labels, tree)
+            self._fit_corrected(tree, intervals, labels)
+        else:  # local
+            intervals = self._correct_byclass(w_matrix, labels, tree)
+            self._fit_corrected(
+                tree, intervals, labels, raw_values=w_matrix
+            )
+        self.tree_ = tree
+        return self
+
+    def _split_for_prune(self, n: int):
+        """Shuffle indices into (grow, hold) per ``prune_fraction``."""
+        if self.prune_fraction == 0.0:
+            return np.arange(n), None
+        order = self._fit_rng.permutation(n)
+        n_hold = int(round(self.prune_fraction * n))
+        if n_hold == 0 or n_hold >= n:
+            return np.arange(n), None
+        return order[n_hold:], order[:n_hold]
+
+    def _fit_raw(self, tree: DecisionTreeClassifier, matrix, labels) -> None:
+        """Fit (and optionally prune) on raw value rows."""
+        grow, hold = self._split_for_prune(labels.size)
+        tree.fit(matrix[grow], labels[grow])
+        if hold is not None:
+            tree.prune(matrix[hold], labels[hold])
+
+    def _fit_corrected(
+        self, tree: DecisionTreeClassifier, intervals, labels, *, raw_values=None
+    ) -> None:
+        """Fit (and optionally prune) on corrected interval rows.
+
+        Correction ran on the full record set (reconstruction wants all
+        the data); only tree growth holds out the pruning slice.
+        """
+        grow, hold = self._split_for_prune(labels.size)
+        kwargs = {}
+        if raw_values is not None and self.strategy == "local":
+            kwargs = dict(
+                raw_values=raw_values[grow],
+                node_transformer=self._local_transformer,
+            )
+        tree.fit_intervals(intervals[grow], labels[grow], **kwargs)
+        if hold is not None:
+            midpoint_columns = [
+                partition.midpoints[intervals[hold, j]]
+                for j, partition in enumerate(self._partitions)
+            ]
+            tree.prune(np.column_stack(midpoint_columns), labels[hold])
+
+    def _randomize(self, table: Table, names) -> tuple:
+        rng = self._fit_rng
+        randomizers: dict = {}
+        new_columns: dict = {}
+        for name in names:
+            attribute = table.attribute(name)
+            if self.strategy == "valueclass":
+                # §2's discretization: interval width = privacy * span, so
+                # membership disclosure gives exactly the target privacy.
+                n_coarse = max(1, int(round(1.0 / self.privacy)))
+                randomizer = ValueClassMembership(attribute.partition(n_coarse))
+            else:
+                randomizer = noise_for_privacy(
+                    self.noise, self.privacy, attribute.span, self.confidence
+                )
+            randomizers[name] = randomizer
+            new_columns[name] = randomizer.randomize(table.column(name), seed=rng)
+        return table.with_columns(new_columns), randomizers
+
+    def _column_randomizer(self, j: int):
+        """Randomizer for column ``j``, or None when it was not perturbed."""
+        return self.randomizers_.get(self._names[j])
+
+    def _correct_global(self, w_matrix: np.ndarray, tree: DecisionTreeClassifier):
+        """Reconstruct each attribute once over all classes and correct."""
+        intervals = np.empty(w_matrix.shape, dtype=np.int64)
+        self.reconstructions_ = {}
+        for j, partition in enumerate(self._partitions):
+            randomizer = self._column_randomizer(j)
+            if randomizer is None:
+                intervals[:, j] = partition.locate(w_matrix[:, j])
+                continue
+            result = self.reconstructor.reconstruct(
+                w_matrix[:, j], partition, randomizer
+            )
+            self.reconstructions_[self._names[j]] = result
+            intervals[:, j] = correct_records(
+                w_matrix[:, j], result.distribution
+            ).interval_indices
+        return intervals
+
+    def _correct_byclass(
+        self, w_matrix: np.ndarray, labels: np.ndarray, tree: DecisionTreeClassifier
+    ):
+        """Reconstruct each attribute per class and correct per class."""
+        intervals = np.empty(w_matrix.shape, dtype=np.int64)
+        self.reconstructions_ = {}
+        class_masks = [(c, labels == c) for c in np.unique(labels)]
+        for j, partition in enumerate(self._partitions):
+            randomizer = self._column_randomizer(j)
+            if randomizer is None:
+                intervals[:, j] = partition.locate(w_matrix[:, j])
+                continue
+            per_class: dict = {}
+            for c, mask in class_masks:
+                result = self.reconstructor.reconstruct(
+                    w_matrix[mask, j], partition, randomizer
+                )
+                per_class[int(c)] = result
+                intervals[mask, j] = correct_records(
+                    w_matrix[mask, j], result.distribution
+                ).interval_indices
+            self.reconstructions_[self._names[j]] = per_class
+        return intervals
+
+    def _local_transformer(self, raw, labels, intervals, used):
+        """Per-node ByClass re-correction used by the Local strategy.
+
+        Attributes already split on along the path are skipped: routing
+        truncated their randomized values at a disclosed-value threshold,
+        and a convolution with wide noise cannot reproduce that cliff, so
+        re-reconstructing them over-sharpens pathologically.  Their
+        inherited assignments are kept instead.
+        """
+        out = intervals.copy()
+        for j, partition in enumerate(self._partitions):
+            if j in used:
+                continue
+            randomizer = self._column_randomizer(j)
+            if randomizer is None:
+                continue
+            for c in np.unique(labels):
+                mask = labels == c
+                if int(mask.sum()) < self.local_min_records:
+                    continue  # inherit the parent's assignment
+                result = self._local_reconstructor.reconstruct(
+                    raw[mask, j], partition, randomizer
+                )
+                out[mask, j] = correct_records(
+                    raw[mask, j], result.distribution
+                ).interval_indices
+        return out
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> DecisionTreeClassifier:
+        if self.tree_ is None:
+            raise NotFittedError("fit must be called before predict/score")
+        return self.tree_
+
+    def predict(self, table: Table) -> np.ndarray:
+        """Predict class labels for an (unperturbed) test table."""
+        tree = self._check_fitted()
+        matrix = np.column_stack([table.column(n) for n in self._names])
+        return tree.predict(matrix)
+
+    def score(self, table: Table) -> float:
+        """Classification accuracy against the table's labels."""
+        return float((self.predict(table) == table.labels).mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrivacyPreservingClassifier(strategy={self.strategy!r})"

@@ -1,0 +1,401 @@
+"""Interval-based decision trees (paper §4's classification substrate).
+
+The paper's trees differ from textbook CART in one structural way: every
+attribute is discretized into the same interval grid used by distribution
+reconstruction, and **candidate split points are the interval boundaries**.
+That convention is what lets the same tree builder train on original
+values, raw randomized values, and reconstruction-corrected values — the
+three take different routes to an interval index per record, then share
+the split search.
+
+``Local`` training (re-reconstructing distributions at every tree node) is
+supported through the builder's ``node_transformer`` hook, which may remap
+a node's records to new intervals before its split is chosen.
+
+The paper does not prune; neither do we.  Growth is bounded by
+``max_depth`` / ``min_records_split`` / ``min_gain`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.exceptions import NotFittedError, ValidationError
+from repro.tree.criteria import CRITERIA, _ROW_IMPURITY, split_impurities
+
+#: minimum impurity improvement treated as a real gain (guards float noise)
+_GAIN_ATOL = 1e-12
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted decision tree.
+
+    Internal nodes hold ``attribute_index`` and ``threshold`` (records with
+    ``value < threshold`` go left); leaves hold neither.  Every node keeps
+    its training class counts for diagnostics and majority prediction.
+    """
+
+    class_counts: np.ndarray
+    depth: int
+    attribute_index: int = -1
+    threshold: float = float("nan")
+    left: "TreeNode | None" = field(default=None, repr=False)
+    right: "TreeNode | None" = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no split."""
+        return self.left is None
+
+    @property
+    def n_records(self) -> int:
+        """Training records that reached this node."""
+        return int(self.class_counts.sum())
+
+    @property
+    def prediction(self) -> int:
+        """Majority class at this node (ties break toward lower labels)."""
+        return int(np.argmax(self.class_counts))
+
+
+class DecisionTreeClassifier:
+    """Binary-split decision tree with splits at interval boundaries.
+
+    Parameters
+    ----------
+    partitions:
+        One :class:`~repro.core.partition.Partition` per attribute, fixing
+        the candidate split points.
+    criterion:
+        ``"gini"`` (the paper's choice) or ``"entropy"``.
+    max_depth:
+        Depth cap (``None`` = unbounded).
+    min_records_split:
+        Nodes with fewer records become leaves.
+    min_gain:
+        Minimum impurity decrease for a split to be accepted.
+    attribute_names:
+        Optional names used by :meth:`export_text`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import Partition
+    >>> x = np.linspace(0, 1, 200)[:, None]
+    >>> y = (x[:, 0] > 0.5).astype(int)
+    >>> tree = DecisionTreeClassifier([Partition.uniform(0, 1, 10)])
+    >>> _ = tree.fit(x, y)
+    >>> int(tree.predict(np.array([[0.1], [0.9]]))[1])
+    1
+    """
+
+    def __init__(
+        self,
+        partitions,
+        *,
+        criterion: str = "gini",
+        max_depth=None,
+        min_records_split: int = 2,
+        min_gain: float = 0.0,
+        attribute_names=None,
+    ) -> None:
+        self.partitions = list(partitions)
+        if not self.partitions:
+            raise ValidationError("at least one attribute partition is required")
+        for p in self.partitions:
+            if not isinstance(p, Partition):
+                raise ValidationError("partitions must be Partition instances")
+        if criterion not in CRITERIA:
+            raise ValidationError(f"criterion must be one of {CRITERIA}")
+        if max_depth is not None and max_depth < 0:
+            raise ValidationError(f"max_depth must be >= 0, got {max_depth}")
+        if min_records_split < 2:
+            raise ValidationError(
+                f"min_records_split must be >= 2, got {min_records_split}"
+            )
+        if min_gain < 0:
+            raise ValidationError(f"min_gain must be >= 0, got {min_gain}")
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_records_split = int(min_records_split)
+        self.min_gain = float(min_gain)
+        if attribute_names is not None and len(attribute_names) != len(self.partitions):
+            raise ValidationError("attribute_names must match partitions in length")
+        self.attribute_names = (
+            list(attribute_names)
+            if attribute_names is not None
+            else [f"attr{j}" for j in range(len(self.partitions))]
+        )
+        self.root_: TreeNode | None = None
+        self.n_classes_: int = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def locate(self, values: np.ndarray) -> np.ndarray:
+        """Map a raw ``(n, d)`` value matrix to interval indices per attribute."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(self.partitions):
+            raise ValidationError(
+                f"values must have shape (n, {len(self.partitions)}), "
+                f"got {values.shape}"
+            )
+        columns = [
+            self.partitions[j].locate(values[:, j]) for j in range(values.shape[1])
+        ]
+        return np.column_stack(columns)
+
+    def fit(self, values, labels) -> "DecisionTreeClassifier":
+        """Fit on raw values (located into intervals internally)."""
+        values = np.asarray(values, dtype=float)
+        return self.fit_intervals(self.locate(values), labels)
+
+    def fit_intervals(
+        self,
+        interval_matrix,
+        labels,
+        *,
+        raw_values=None,
+        node_transformer=None,
+    ) -> "DecisionTreeClassifier":
+        """Fit on precomputed interval indices.
+
+        Parameters
+        ----------
+        interval_matrix:
+            ``(n, d)`` integer matrix of per-attribute interval indices.
+        labels:
+            Integer class labels, ``0 .. C-1``.
+        raw_values:
+            Optional ``(n, d)`` matrix of the *randomized* raw values,
+            required when ``node_transformer`` is given.
+        node_transformer:
+            Optional hook ``f(raw_subset, labels_subset, intervals_subset,
+            used_attributes) -> intervals_subset`` invoked at every non-root
+            node before its split search — the paper's *Local* training
+            algorithm re-reconstructs and re-corrects there.
+            ``used_attributes`` is the frozenset of attribute indices
+            already split on along the path; re-reconstructing those is
+            statistically invalid (their randomized values were truncated
+            by the routing itself), so transformers should skip them.
+        """
+        intervals = np.asarray(interval_matrix, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if intervals.ndim != 2 or intervals.shape[1] != len(self.partitions):
+            raise ValidationError(
+                f"interval_matrix must have shape (n, {len(self.partitions)}), "
+                f"got {intervals.shape}"
+            )
+        if labels.shape != (intervals.shape[0],):
+            raise ValidationError("labels length must match interval_matrix rows")
+        if labels.size == 0:
+            raise ValidationError("cannot fit on an empty dataset")
+        if labels.min() < 0:
+            raise ValidationError("labels must be non-negative integers")
+        if node_transformer is not None and raw_values is None:
+            raise ValidationError("node_transformer requires raw_values")
+        raw = None
+        if raw_values is not None:
+            raw = np.asarray(raw_values, dtype=float)
+            if raw.shape != intervals.shape:
+                raise ValidationError("raw_values must match interval_matrix shape")
+
+        self.n_classes_ = int(labels.max()) + 1
+        self._transformer = node_transformer
+        self.root_ = self._build(intervals, labels, raw, depth=0, used=frozenset())
+        del self._transformer
+        return self
+
+    def _class_counts(self, labels: np.ndarray) -> np.ndarray:
+        return np.bincount(labels, minlength=self.n_classes_).astype(float)
+
+    def _best_split(self, intervals: np.ndarray, labels: np.ndarray):
+        """Return ``(weighted_impurity, attribute, boundary)`` of the best split."""
+        n_classes = self.n_classes_
+        best = (np.inf, -1, -1)
+        for j, partition in enumerate(self.partitions):
+            m = partition.n_intervals
+            if m < 2:
+                continue
+            flat = intervals[:, j] * n_classes + labels
+            counts = np.bincount(flat, minlength=m * n_classes).reshape(m, n_classes)
+            impurities = split_impurities(counts, self.criterion)
+            k = int(np.argmin(impurities))
+            if impurities[k] < best[0]:
+                best = (float(impurities[k]), j, k)
+        return best
+
+    def _build(
+        self,
+        intervals: np.ndarray,
+        labels: np.ndarray,
+        raw,
+        depth: int,
+        used: frozenset,
+    ) -> TreeNode:
+        if self._transformer is not None and depth > 0:
+            intervals = self._transformer(raw, labels, intervals, used)
+
+        counts = self._class_counts(labels)
+        node = TreeNode(class_counts=counts, depth=depth)
+        if (
+            labels.size < self.min_records_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+
+        impurity_fn = _ROW_IMPURITY[self.criterion]
+        parent_impurity = float(
+            impurity_fn(counts[None, :], np.array([counts.sum()]))[0]
+        )
+        best_impurity, j, k = self._best_split(intervals, labels)
+        gain = parent_impurity - best_impurity
+        if j < 0 or gain <= max(self.min_gain, _GAIN_ATOL):
+            return node
+
+        go_left = intervals[:, j] <= k
+        if not go_left.any() or go_left.all():
+            return node
+
+        node.attribute_index = j
+        node.threshold = float(self.partitions[j].edges[k + 1])
+        child_used = used | {j}
+        node.left = self._build(
+            intervals[go_left], labels[go_left],
+            raw[go_left] if raw is not None else None, depth + 1, child_used,
+        )
+        node.right = self._build(
+            intervals[~go_left], labels[~go_left],
+            raw[~go_left] if raw is not None else None, depth + 1, child_used,
+        )
+        return node
+
+    # ------------------------------------------------------------------
+    # Pruning
+    # ------------------------------------------------------------------
+    def prune(self, values, labels) -> int:
+        """Reduced-error pruning against a held-out set.
+
+        Bottom-up: an internal node collapses to a leaf whenever the leaf
+        makes no more validation errors than its subtree on the records
+        routed to it.  Nodes that see no validation records collapse too
+        (there is no evidence to keep them).
+
+        Returns the number of nodes removed.  In the privacy pipeline the
+        "held-out set" is a slice of the same corrected training records —
+        the server never holds clean data — which still regularizes the
+        record-level correction noise effectively.
+        """
+        root = self._check_fitted()
+        values = np.asarray(values, dtype=float)
+        labels = np.asarray(labels, dtype=np.int64)
+        if values.ndim != 2 or values.shape[1] != len(self.partitions):
+            raise ValidationError(
+                f"values must have shape (n, {len(self.partitions)}), "
+                f"got {values.shape}"
+            )
+        if labels.shape != (values.shape[0],):
+            raise ValidationError("labels length must match values rows")
+        before = self.n_nodes
+
+        def walk(node: TreeNode, idx: np.ndarray) -> int:
+            leaf_errors = int((labels[idx] != node.prediction).sum())
+            if node.is_leaf:
+                return leaf_errors
+            mask = values[idx, node.attribute_index] < node.threshold
+            subtree_errors = walk(node.left, idx[mask]) + walk(node.right, idx[~mask])
+            if leaf_errors <= subtree_errors:
+                node.left = None
+                node.right = None
+                node.attribute_index = -1
+                node.threshold = float("nan")
+                return leaf_errors
+            return subtree_errors
+
+        walk(root, np.arange(values.shape[0]))
+        return before - self.n_nodes
+
+    # ------------------------------------------------------------------
+    # Prediction and inspection
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> TreeNode:
+        if self.root_ is None:
+            raise NotFittedError("this tree has not been fitted yet")
+        return self.root_
+
+    def predict(self, values) -> np.ndarray:
+        """Predict class labels for a raw ``(n, d)`` value matrix."""
+        root = self._check_fitted()
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(self.partitions):
+            raise ValidationError(
+                f"values must have shape (n, {len(self.partitions)}), "
+                f"got {values.shape}"
+            )
+        out = np.empty(values.shape[0], dtype=np.int64)
+        stack = [(root, np.arange(values.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.prediction
+                continue
+            left_mask = values[idx, node.attribute_index] < node.threshold
+            stack.append((node.left, idx[left_mask]))
+            stack.append((node.right, idx[~left_mask]))
+        return out
+
+    def score(self, values, labels) -> float:
+        """Classification accuracy on ``(values, labels)``."""
+        labels = np.asarray(labels, dtype=np.int64)
+        return float((self.predict(values) == labels).mean())
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count of the fitted tree."""
+        root = self._check_fitted()
+        count = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend((node.left, node.right))
+        return count
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a lone leaf)."""
+        root = self._check_fitted()
+        best = 0
+        stack = [(root, 0)]
+        while stack:
+            node, d = stack.pop()
+            best = max(best, d)
+            if not node.is_leaf:
+                stack.extend(((node.left, d + 1), (node.right, d + 1)))
+        return best
+
+    def export_text(self, *, max_depth: int = 6) -> str:
+        """Human-readable rendering of the tree (truncated at ``max_depth``)."""
+        root = self._check_fitted()
+        lines: list[str] = []
+
+        def walk(node: TreeNode, prefix: str) -> None:
+            if node.is_leaf or node.depth >= max_depth:
+                counts = node.class_counts.astype(int).tolist()
+                lines.append(f"{prefix}predict {node.prediction} {counts}")
+                return
+            name = self.attribute_names[node.attribute_index]
+            lines.append(f"{prefix}{name} < {node.threshold:g}?")
+            walk(node.left, prefix + "|  yes: ")
+            walk(node.right, prefix + "|  no:  ")
+
+        walk(root, "")
+        return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Small shared helpers: RNG handling and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_1d_array,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_1d_array",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+]

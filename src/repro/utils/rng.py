@@ -1,0 +1,56 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in this package accepts a ``seed`` argument that may be
+``None`` (fresh entropy), an ``int`` (reproducible), or an existing
+:class:`numpy.random.Generator` (shared stream).  :func:`ensure_rng`
+normalizes the three cases; :func:`spawn_rngs` derives independent child
+generators for parallel or per-attribute use without correlated streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, or an
+        existing ``Generator`` which is returned unchanged.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValidationError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses ``Generator.spawn`` (NumPy >= 1.25) when available and falls back
+    to seeding children from the parent's bit stream otherwise.  The parent
+    generator's state advances either way, so repeated calls yield fresh
+    children.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(seed)
+    try:
+        return rng.spawn(count)
+    except AttributeError:  # pragma: no cover - old NumPy fallback
+        seeds = rng.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]

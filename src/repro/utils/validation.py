@@ -1,0 +1,55 @@
+"""Argument validation helpers shared across the package.
+
+These raise :class:`repro.exceptions.ValidationError` with messages that
+name the offending parameter, so API misuse fails fast and readably instead
+of surfacing as a NumPy broadcasting error three layers deeper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def check_1d_array(values, name: str = "values", *, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float ndarray, rejecting NaN and infinities."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def check_fraction(value, name: str = "value", *, inclusive_low: bool = False) -> float:
+    """Validate a fraction in ``(0, 1]`` (or ``[0, 1]`` with ``inclusive_low``)."""
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValidationError(f"{name} must lie in {bound}, got {value}")
+    return value
+
+
+def check_positive(value, name: str = "value") -> float:
+    """Validate a strictly positive finite float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_probability_vector(probs, name: str = "probs", *, atol: float = 1e-8) -> np.ndarray:
+    """Validate a vector of non-negative entries summing to one."""
+    arr = check_1d_array(probs, name)
+    if np.any(arr < -atol):
+        raise ValidationError(f"{name} has negative entries")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol, 1e-6):
+        raise ValidationError(f"{name} must sum to 1, sums to {total:.6g}")
+    # Clean tiny numerical noise so downstream code can rely on exactness.
+    arr = np.clip(arr, 0.0, None)
+    return arr / arr.sum()

@@ -1,0 +1,47 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.partition import Partition
+from repro.datasets import quest
+
+# One moderate profile for the whole suite: property tests stay fast but
+# still explore; deadline disabled because reconstruction tests legitimately
+# take tens of milliseconds.
+settings.register_profile(
+    "suite",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("suite")
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_partition():
+    """Ten equal intervals over [0, 1]."""
+    return Partition.uniform(0.0, 1.0, 10)
+
+
+@pytest.fixture(scope="session")
+def small_quest_table():
+    """A small Fn1-labelled Quest table shared across tests (read-only)."""
+    return quest.generate(2_000, function=1, seed=99)
+
+
+@pytest.fixture(scope="session")
+def quest_fn2_split():
+    """(train, test) pair for Fn2, sized for quick integration tests."""
+    train = quest.generate(4_000, function=2, seed=7)
+    test = quest.generate(1_500, function=2, seed=8)
+    return train, test

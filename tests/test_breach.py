@@ -1,0 +1,118 @@
+"""Tests for the worst-case (rho1, rho2) privacy-breach analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.breach import amplification_factor, breach_analysis
+from repro.core.histogram import HistogramDistribution
+from repro.core.randomizers import GaussianRandomizer, UniformRandomizer
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def skewed_prior(unit_partition):
+    """A prior with one rare interval (prior 0.01) and a dominant one."""
+    probs = np.full(10, 0.01)
+    probs[5] = 1.0 - 0.09
+    return HistogramDistribution(unit_partition, probs)
+
+
+class TestAmplification:
+    def test_uniform_noise_is_unbounded(self, unit_partition):
+        # bounded support => some disclosed intervals impossible for some x
+        gamma = amplification_factor(unit_partition, UniformRandomizer(0.2))
+        assert gamma == np.inf
+
+    def test_gaussian_noise_is_bounded(self, unit_partition):
+        gamma = amplification_factor(unit_partition, GaussianRandomizer(0.5))
+        assert np.isfinite(gamma)
+        assert gamma >= 1.0
+
+    def test_wider_gaussian_amplifies_less(self, unit_partition):
+        narrow = amplification_factor(unit_partition, GaussianRandomizer(0.2))
+        wide = amplification_factor(unit_partition, GaussianRandomizer(1.0))
+        assert wide < narrow
+
+
+class TestBreachAnalysis:
+    def test_thresholds_validated(self, skewed_prior):
+        with pytest.raises(ValidationError):
+            breach_analysis(skewed_prior, UniformRandomizer(0.3), rho1=0.5, rho2=0.4)
+
+    def test_posterior_rows_are_distributions(self, skewed_prior):
+        result = breach_analysis(skewed_prior, UniformRandomizer(0.3))
+        reachable = result.y_mass > 1e-12
+        row_sums = result.posterior[reachable].sum(axis=1)
+        np.testing.assert_allclose(row_sums, 1.0, atol=1e-9)
+
+    def test_tiny_noise_breaches(self, skewed_prior):
+        """Near-identity disclosure pins rare values down: breach."""
+        result = breach_analysis(
+            skewed_prior, UniformRandomizer(0.005), rho1=0.05, rho2=0.5
+        )
+        assert result.breached
+        assert result.worst_posterior > 0.5
+
+    def test_heavy_uniform_noise_still_breaches(self, skewed_prior):
+        """The textbook worst-case result: bounded-support noise breaches.
+
+        However wide the uniform noise, an *extreme* disclosed value is
+        only reachable from one end of the domain, so some rare interval
+        gets posterior ~1.  This is exactly what the average-case §2.1
+        metric cannot see.
+        """
+        result = breach_analysis(
+            skewed_prior, UniformRandomizer(2.0), rho1=0.05, rho2=0.5
+        )
+        assert result.breached
+        assert result.worst_posterior > 0.9
+        assert result.amplification == np.inf
+
+    def test_heavy_gaussian_noise_resists(self, skewed_prior):
+        """Unbounded-support noise with small amplification resists."""
+        result = breach_analysis(
+            skewed_prior, GaussianRandomizer(2.0), rho1=0.05, rho2=0.5
+        )
+        assert not result.breached
+        assert result.worst_posterior < 0.5
+        assert np.isfinite(result.amplification)
+
+    def test_worst_any_at_least_low_prior_worst(self, skewed_prior):
+        result = breach_analysis(skewed_prior, UniformRandomizer(0.3))
+        assert result.worst_posterior_any >= result.worst_posterior
+
+    def test_uniform_prior_no_low_prior_targets(self, unit_partition):
+        prior = HistogramDistribution.uniform(unit_partition)
+        result = breach_analysis(
+            prior, UniformRandomizer(0.3), rho1=0.05, rho2=0.5
+        )
+        # every interval has prior 0.1 > rho1: nothing qualifies as rare
+        assert result.worst_posterior == 0.0
+        assert not result.breached
+
+    def test_gaussian_breach_monotone_in_sigma(self, skewed_prior):
+        worst = [
+            breach_analysis(skewed_prior, GaussianRandomizer(s)).worst_posterior
+            for s in (0.02, 0.2, 1.0)
+        ]
+        assert worst[0] > worst[1] > worst[2]
+
+    def test_average_metric_can_hide_worst_case(self, unit_partition):
+        """The motivating example: same interval privacy, different breach.
+
+        Uniform and Gaussian noise calibrated to identical 95% interval
+        privacy differ sharply in amplification: the uniform operator's
+        bounded support makes worst-case inference unboundedly stronger.
+        """
+        from repro.core.privacy import noise_for_privacy
+
+        uniform = noise_for_privacy("uniform", 1.0, 1.0)
+        gaussian = noise_for_privacy("gaussian", 1.0, 1.0)
+        gamma_u = amplification_factor(unit_partition, uniform)
+        gamma_g = amplification_factor(unit_partition, gaussian)
+        assert gamma_u == np.inf
+        # huge but finite (~1e8): the uniform operator's worst case is
+        # categorically worse despite identical 95% interval privacy
+        assert np.isfinite(gamma_g)

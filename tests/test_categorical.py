@@ -1,0 +1,151 @@
+"""Tests for categorical randomized response and reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.categorical import CategoricalRandomizer, CategoricalReconstructor
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def skewed_sample(rng):
+    """Categories 0..4 with known skewed distribution."""
+    probs = np.array([0.5, 0.25, 0.15, 0.07, 0.03])
+    values = rng.choice(5, size=20_000, p=probs)
+    return values, probs
+
+
+class TestRandomizer:
+    def test_rejects_few_values(self):
+        with pytest.raises(ValidationError):
+            CategoricalRandomizer(n_values=1, keep_prob=0.8)
+
+    def test_rejects_bad_keep_prob(self):
+        with pytest.raises(ValidationError):
+            CategoricalRandomizer(n_values=3, keep_prob=1.5)
+
+    def test_channel_column_stochastic(self):
+        channel = CategoricalRandomizer(4, 0.7).channel
+        np.testing.assert_allclose(channel.sum(axis=0), 1.0)
+
+    def test_keep_prob_one_is_identity(self, rng):
+        rr = CategoricalRandomizer(5, 1.0)
+        values = rng.integers(0, 5, 100)
+        np.testing.assert_array_equal(rr.randomize(values, seed=1), values)
+
+    def test_flip_rate_matches_channel(self, rng):
+        rr = CategoricalRandomizer(5, 0.8)
+        values = np.zeros(50_000, dtype=int)
+        disclosed = rr.randomize(values, seed=rng)
+        kept = (disclosed == 0).mean()
+        expected = 0.8 + 0.2 / 5  # keep + uniform re-draw of the truth
+        assert kept == pytest.approx(expected, abs=0.01)
+
+    def test_rejects_out_of_range(self):
+        rr = CategoricalRandomizer(3, 0.8)
+        with pytest.raises(ValidationError):
+            rr.randomize([0, 3], seed=0)
+
+    def test_privacy_of_value(self):
+        rr = CategoricalRandomizer(5, 0.8)
+        assert rr.privacy_of_value() == pytest.approx(0.2 * 4 / 5)
+        assert CategoricalRandomizer(5, 1.0).privacy_of_value() == 0.0
+
+
+class TestReconstructor:
+    def test_invert_recovers_distribution(self, skewed_sample):
+        values, probs = skewed_sample
+        rr = CategoricalRandomizer(5, 0.7)
+        disclosed = rr.randomize(values, seed=1)
+        estimate = CategoricalReconstructor(rr).invert(disclosed)
+        assert np.abs(estimate - probs).sum() < 0.05
+
+    def test_naive_counting_is_biased(self, skewed_sample):
+        values, probs = skewed_sample
+        rr = CategoricalRandomizer(5, 0.6)
+        disclosed = rr.randomize(values, seed=2)
+        naive = np.bincount(disclosed, minlength=5) / disclosed.size
+        estimate = CategoricalReconstructor(rr).invert(disclosed)
+        assert np.abs(estimate - probs).sum() < np.abs(naive - probs).sum()
+
+    def test_bayes_agrees_with_inversion(self, skewed_sample):
+        values, probs = skewed_sample
+        rr = CategoricalRandomizer(5, 0.8)
+        disclosed = rr.randomize(values, seed=3)
+        reconstructor = CategoricalReconstructor(rr)
+        exact = reconstructor.invert(disclosed)
+        bayes = reconstructor.reconstruct(disclosed)
+        assert np.abs(exact - bayes).sum() < 0.02
+
+    def test_bayes_stays_on_simplex_for_tiny_samples(self):
+        rr = CategoricalRandomizer(4, 0.6)
+        reconstructor = CategoricalReconstructor(rr)
+        estimate = reconstructor.reconstruct(np.array([0, 1]))
+        assert estimate.min() >= 0
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_invert_clips_onto_simplex(self):
+        # a sample so small the exact inverse goes negative
+        rr = CategoricalRandomizer(4, 0.6)
+        estimate = CategoricalReconstructor(rr).invert(np.array([0, 0, 0]))
+        assert estimate.min() >= 0
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_keep_prob(self):
+        rr = CategoricalRandomizer(3, 0.0)
+        with pytest.raises(ValidationError):
+            CategoricalReconstructor(rr)
+
+    def test_rejects_empty_input(self):
+        rr = CategoricalRandomizer(3, 0.8)
+        with pytest.raises(ValidationError):
+            CategoricalReconstructor(rr).invert(np.array([], dtype=int))
+
+    def test_end_to_end_with_naive_bayes(self, rng):
+        """Categorical reconstruction feeds the NB classifier directly."""
+        from repro.bayes import NaiveBayesClassifier
+        from repro.core.partition import Partition
+
+        n = 12_000
+        labels = rng.integers(0, 2, n)
+        # elevel-like attribute: class 0 favours low values, class 1 high
+        values = np.where(
+            labels == 0, rng.choice(5, n, p=[0.4, 0.3, 0.2, 0.07, 0.03]),
+            rng.choice(5, n, p=[0.03, 0.07, 0.2, 0.3, 0.4]),
+        )
+        rr = CategoricalRandomizer(5, 0.7)
+        disclosed = rr.randomize(values, seed=rng)
+
+        reconstructor = CategoricalReconstructor(rr)
+        conditionals = [
+            [
+                reconstructor.invert(disclosed[labels == c])
+                for c in (0, 1)
+            ]
+        ]
+        part = Partition.uniform(-0.5, 4.5, 5)
+        model = NaiveBayesClassifier([part]).fit_distributions(
+            [0.5, 0.5], conditionals
+        )
+        accuracy = model.score(values[:, None].astype(float), labels)
+        # ~69% is the Bayes rate of this overlap; reconstruction gets close
+        assert accuracy > 0.6
+
+
+@given(
+    keep_prob=st.sampled_from([0.5, 0.7, 0.9]),
+    seed=st.integers(0, 300),
+)
+def test_property_inversion_near_truth(keep_prob, seed):
+    rng = np.random.default_rng(seed)
+    probs = rng.dirichlet(np.ones(4))
+    values = rng.choice(4, size=4_000, p=probs)
+    rr = CategoricalRandomizer(4, keep_prob)
+    disclosed = rr.randomize(values, seed=rng)
+    estimate = CategoricalReconstructor(rr).invert(disclosed)
+    tolerance = 0.1 if keep_prob >= 0.7 else 0.2
+    assert np.abs(estimate - probs).sum() < tolerance

@@ -1,0 +1,109 @@
+"""Tests for the ppdm command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reconstruct_defaults(self):
+        args = build_parser().parse_args(["reconstruct"])
+        assert args.shape == "plateau"
+        assert args.noise == "uniform"
+
+    def test_classify_args(self):
+        args = build_parser().parse_args(
+            ["classify", "--functions", "1", "3", "--privacy", "0.5"]
+        )
+        assert args.functions == [1, 3]
+        assert args.privacy == 0.5
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "--strategies", "psychic"])
+
+    def test_sweep_levels(self):
+        args = build_parser().parse_args(["sweep", "--levels", "0.1", "0.9"])
+        assert args.levels == [0.1, 0.9]
+
+
+class TestCommands:
+    def test_reconstruct_prints_table(self, capsys):
+        code = main(
+            ["reconstruct", "--n", "800", "--intervals", "8", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reconstructed" in out
+        assert "L1(original, randomized)" in out
+
+    def test_privacy_prints_attributes(self, capsys):
+        code = main(["privacy", "--privacy", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "salary" in out
+        assert "gaussian" in out
+
+    def test_quest_info(self, capsys):
+        code = main(["quest-info", "--n", "500", "--function", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Group A fraction" in out
+        assert "zipcode" in out
+
+    def test_classify_small(self, capsys):
+        code = main(
+            [
+                "classify",
+                "--functions", "1",
+                "--strategies", "original", "byclass",
+                "--train", "800",
+                "--test", "300",
+                "--privacy", "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byclass" in out
+
+    def test_breach_table(self, capsys):
+        code = main(["breach", "--n", "2000", "--levels", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "amplification" in out
+        assert "uniform" in out and "gaussian" in out
+
+    def test_classify_valueclass_strategy(self, capsys):
+        code = main(
+            [
+                "classify",
+                "--functions", "1",
+                "--strategies", "valueclass",
+                "--train", "600",
+                "--test", "200",
+                "--privacy", "0.25",
+            ]
+        )
+        assert code == 0
+        assert "valueclass" in capsys.readouterr().out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--function", "1",
+                "--levels", "0.5",
+                "--strategies", "byclass",
+                "--train", "800",
+                "--test", "300",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accuracy %" in out

@@ -1,0 +1,120 @@
+"""Tests for per-record correction (paper §4's ordered assignment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.correction import correct_records
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.core.randomizers import UniformRandomizer
+from repro.core.reconstruction import BayesReconstructor
+
+
+@pytest.fixture
+def simple_dist(unit_partition):
+    probs = np.zeros(10)
+    probs[1] = 0.3
+    probs[6] = 0.7
+    return HistogramDistribution(unit_partition, probs)
+
+
+class TestInvariants:
+    def test_counts_match_distribution(self, simple_dist, rng):
+        w = rng.random(1000)
+        corrected = correct_records(w, simple_dist)
+        np.testing.assert_array_equal(
+            corrected.counts, simple_dist.integer_counts(1000)
+        )
+
+    def test_values_are_midpoints(self, simple_dist, rng):
+        w = rng.random(100)
+        corrected = correct_records(w, simple_dist)
+        midpoints = set(np.round(simple_dist.partition.midpoints, 12))
+        assert set(np.round(corrected.values, 12)) <= midpoints
+
+    def test_assignment_is_order_preserving(self, simple_dist, rng):
+        """Sorted inputs must receive non-decreasing interval indices."""
+        w = np.sort(rng.random(500))
+        corrected = correct_records(w, simple_dist)
+        assert np.all(np.diff(corrected.interval_indices) >= 0)
+
+    def test_order_preserved_for_unsorted_input(self, simple_dist, rng):
+        w = rng.random(500)
+        corrected = correct_records(w, simple_dist)
+        order = np.argsort(w, kind="stable")
+        assert np.all(np.diff(corrected.interval_indices[order]) >= 0)
+
+    def test_alignment_with_input(self, simple_dist):
+        w = np.array([0.9, 0.1, 0.5])
+        corrected = correct_records(w, simple_dist)
+        # smallest w gets the lowest interval, largest the highest
+        assert corrected.interval_indices[1] <= corrected.interval_indices[2]
+        assert corrected.interval_indices[2] <= corrected.interval_indices[0]
+
+    def test_empty_input(self, simple_dist):
+        corrected = correct_records([], simple_dist)
+        assert corrected.values.size == 0
+        assert corrected.interval_indices.size == 0
+        assert corrected.counts.sum() == 0
+
+    def test_single_record(self, simple_dist):
+        corrected = correct_records([0.4], simple_dist)
+        assert corrected.counts.sum() == 1
+        # with one record, it goes to the single most probable cell after
+        # largest-remainder rounding of [0.3, 0.7] -> [0, 1] at index 6
+        assert corrected.interval_indices[0] == 6
+
+
+class TestEndToEnd:
+    def test_correction_restores_marginal(self, rng):
+        """Corrected records reproduce the reconstructed marginal exactly."""
+        part = Partition.uniform(0, 1, 15)
+        x = rng.beta(2, 2, size=4_000)
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=rng)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        corrected = correct_records(w, result.distribution)
+
+        corrected_hist = part.histogram(corrected.values)
+        np.testing.assert_array_equal(
+            corrected_hist, result.distribution.integer_counts(w.size)
+        )
+
+    def test_correction_reduces_value_error(self, rng):
+        """Corrected values sit closer to originals than randomized ones."""
+        part = Partition.uniform(0, 1, 20)
+        x = rng.beta(8, 3, size=5_000)
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=rng)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        corrected = correct_records(w, result.distribution)
+        err_randomized = np.abs(w - x).mean()
+        err_corrected = np.abs(corrected.values - x).mean()
+        assert err_corrected < err_randomized
+
+
+@given(
+    n=st.integers(0, 300),
+    weights=st.lists(st.floats(0.0, 5.0), min_size=2, max_size=12).filter(
+        lambda ws: sum(ws) > 1e-6
+    ),
+    seed=st.integers(0, 10_000),
+)
+def test_property_counts_always_exact(n, weights, seed):
+    rng = np.random.default_rng(seed)
+    probs = np.asarray(weights) / sum(weights)
+    part = Partition.uniform(0, 1, len(weights))
+    dist = HistogramDistribution(part, probs)
+    w = rng.normal(0.5, 0.4, size=n)
+    corrected = correct_records(w, dist)
+    assert corrected.counts.sum() == n
+    assert corrected.values.shape == (n,)
+    np.testing.assert_array_equal(corrected.counts, dist.integer_counts(n))
+    # every record's index is within range
+    if n:
+        assert corrected.interval_indices.min() >= 0
+        assert corrected.interval_indices.max() < len(weights)

@@ -1,0 +1,37 @@
+"""Run every docstring example in the package as part of the suite.
+
+Docstring examples are documentation that users copy; a stale one is a
+bug.  This collects doctests from every ``repro`` module explicitly, so
+the plain ``pytest tests/`` invocation covers them.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+import warnings
+
+import pytest
+
+import repro
+
+warnings.filterwarnings("ignore", category=UserWarning, module="repro")
+
+
+def _module_names():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _module_names())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

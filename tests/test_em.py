@@ -1,0 +1,98 @@
+"""Tests for the EM reconstructor and its agreement with the Bayes iterate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMReconstructor
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.core.randomizers import UniformRandomizer, transition_matrix
+from repro.core.reconstruction import BayesReconstructor
+from repro.datasets import shapes
+from repro.exceptions import ConvergenceWarning, ValidationError
+
+
+@pytest.fixture
+def em_setup(rng):
+    density = shapes.plateau()
+    x = density.sample(5_000, seed=rng)
+    part = density.partition(16)
+    noise = UniformRandomizer.from_privacy(0.5, 1.0)
+    w = noise.randomize(x, seed=rng)
+    return x, w, part, noise
+
+
+class TestConfiguration:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValidationError):
+            EMReconstructor(max_iterations=0)
+
+    def test_rejects_bad_tol(self):
+        with pytest.raises(ValidationError):
+            EMReconstructor(tol=-1.0)
+
+
+class TestLikelihood:
+    def test_loglikelihood_monotone(self, em_setup):
+        """EM's defining property: the likelihood never decreases."""
+        x, w, part, noise = em_setup
+        y_part = part.expanded(noise.support_half_width())
+        kernel = transition_matrix(y_part, part, noise)
+        counts = y_part.histogram(w).astype(float)
+
+        theta = np.full(part.n_intervals, 1.0 / part.n_intervals)
+        previous = -np.inf
+        for _ in range(25):
+            mixture = np.maximum(kernel @ theta, 1e-300)
+            ll = float((counts * np.log(mixture)).sum())
+            assert ll >= previous - 1e-6
+            previous = ll
+            weights = counts / counts.sum() / mixture
+            theta = theta * (kernel.T @ weights)
+            theta /= theta.sum()
+
+    def test_em_converges(self, em_setup):
+        x, w, part, noise = em_setup
+        result = EMReconstructor(tol=1e-8).reconstruct(w, part, noise)
+        assert result.converged
+        assert result.distribution.probs.sum() == pytest.approx(1.0)
+
+    def test_max_iterations_warns(self, em_setup):
+        x, w, part, noise = em_setup
+        with pytest.warns(ConvergenceWarning):
+            result = EMReconstructor(max_iterations=2, tol=1e-15).reconstruct(
+                w, part, noise
+            )
+        assert not result.converged
+
+
+class TestAgreementWithBayes:
+    @pytest.mark.filterwarnings("ignore::UserWarning")
+    def test_em_equals_long_run_bayes(self, em_setup):
+        """The binned Bayes iterate *is* EM: long runs must coincide."""
+        x, w, part, noise = em_setup
+        bayes = BayesReconstructor(
+            stopping="delta", tol=1e-10, max_iterations=2000
+        ).reconstruct(w, part, noise)
+        em = EMReconstructor(tol=1e-12, max_iterations=2000).reconstruct(
+            w, part, noise
+        )
+        assert bayes.distribution.l1_distance(em.distribution) < 0.02
+
+    def test_em_recovers_distribution(self, em_setup):
+        x, w, part, noise = em_setup
+        original = HistogramDistribution.from_values(x, part)
+        randomized = HistogramDistribution.from_values(w, part)
+        result = EMReconstructor().reconstruct(w, part, noise)
+        assert result.distribution.l1_distance(original) < randomized.l1_distance(
+            original
+        )
+
+    def test_em_single_interval_domain(self):
+        part = Partition.uniform(0, 1, 1)
+        noise = UniformRandomizer(half_width=0.3)
+        w = noise.randomize(np.full(100, 0.5), seed=0)
+        result = EMReconstructor().reconstruct(w, part, noise)
+        assert result.distribution.probs[0] == pytest.approx(1.0)

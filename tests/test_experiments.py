@@ -1,0 +1,166 @@
+"""Tests for the experiment harness (runners + reporting + config)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    ClassificationConfig,
+    ReconstructionConfig,
+    bench_scale,
+    format_table,
+    run_privacy_sweep,
+    run_reconstruction,
+    run_strategy_comparison,
+    run_training_size_sweep,
+)
+from repro.experiments.config import SCALE_ENV_VAR, scaled
+from repro.experiments.reporting import accuracy_matrix
+
+
+@pytest.fixture
+def tiny_classification():
+    return ClassificationConfig(
+        functions=(1,),
+        strategies=("original", "byclass"),
+        n_train=1_200,
+        n_test=400,
+        privacy=0.5,
+        seed=3,
+    )
+
+
+class TestBenchScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert bench_scale() == 1.0
+        assert scaled(100) == 100
+
+    def test_scaling(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "2.5")
+        assert scaled(100) == 250
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "lots")
+        with pytest.raises(ValidationError):
+            bench_scale()
+
+    def test_rejects_non_positive(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0")
+        with pytest.raises(ValidationError):
+            bench_scale()
+
+
+class TestReconstructionRunner:
+    def test_outcome_fields(self):
+        config = ReconstructionConfig(n=2_000, n_intervals=12, seed=1)
+        outcome = run_reconstruction(config)
+        assert outcome.midpoints.shape == (12,)
+        for series in (
+            outcome.true_probs,
+            outcome.original_probs,
+            outcome.randomized_probs,
+            outcome.reconstructed_probs,
+        ):
+            assert series.shape == (12,)
+            assert series.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reconstruction_beats_randomized(self):
+        config = ReconstructionConfig(n=4_000, privacy=0.5, seed=2)
+        outcome = run_reconstruction(config)
+        assert outcome.l1_reconstructed < outcome.l1_randomized
+
+    def test_triangles_shape(self):
+        config = ReconstructionConfig(shape="triangles", n=2_000, seed=3)
+        outcome = run_reconstruction(config)
+        assert outcome.l1_reconstructed < outcome.l1_randomized
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            run_reconstruction(ReconstructionConfig(shape="sawtooth"))
+
+    def test_rows_render(self):
+        outcome = run_reconstruction(ReconstructionConfig(n=1_000, seed=4))
+        rows = outcome.rows()
+        assert len(rows) == outcome.midpoints.size
+        assert all(len(row) == 5 for row in rows)
+
+    def test_gaussian_noise(self):
+        config = ReconstructionConfig(noise="gaussian", n=2_000, seed=5)
+        outcome = run_reconstruction(config)
+        assert outcome.l1_reconstructed < outcome.l1_randomized
+
+
+class TestClassificationRunners:
+    def test_strategy_comparison_rows(self, tiny_classification):
+        rows = run_strategy_comparison(tiny_classification)
+        assert len(rows) == 2  # one function x two strategies
+        by_strategy = {r.strategy: r for r in rows}
+        assert by_strategy["original"].privacy == 0.0
+        assert by_strategy["byclass"].privacy == 0.5
+        for row in rows:
+            assert 0.0 <= row.accuracy <= 1.0
+            assert row.n_train == 1_200
+            assert row.fit_seconds > 0
+
+    def test_rows_reproducible(self, tiny_classification):
+        rows_a = run_strategy_comparison(tiny_classification)
+        rows_b = run_strategy_comparison(tiny_classification)
+        assert [r.accuracy for r in rows_a] == [r.accuracy for r in rows_b]
+
+    def test_privacy_sweep(self, tiny_classification):
+        rows = run_privacy_sweep(
+            tiny_classification, [0.25, 1.0], strategies=("byclass",)
+        )
+        assert len(rows) == 2
+        assert {r.privacy for r in rows} == {0.25, 1.0}
+
+    def test_training_size_sweep(self, tiny_classification):
+        rows = run_training_size_sweep(
+            tiny_classification, [500, 1_000], strategy="byclass"
+        )
+        sizes = {r.n_train for r in rows}
+        assert sizes == {500, 1_000}
+        strategies = {r.strategy for r in rows}
+        assert strategies == {"byclass", "original"}
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_format_table_title(self):
+        text = format_table(("x",), [("1",)], title="caption")
+        assert text.splitlines()[0] == "caption"
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            format_table(("a", "b"), [("only",)])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text
+
+    def test_accuracy_matrix_pivot(self, tiny_classification):
+        rows = run_strategy_comparison(tiny_classification)
+        text = accuracy_matrix(rows)
+        assert "original" in text
+        assert "byclass" in text
+        assert "1" in text  # the function id row
+
+
+class TestConfigs:
+    def test_frozen(self, tiny_classification):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            tiny_classification.privacy = 2.0
+
+    def test_defaults_sane(self):
+        config = ClassificationConfig()
+        assert config.functions == (1, 2, 3, 4, 5)
+        assert "byclass" in config.strategies

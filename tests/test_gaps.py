@@ -1,0 +1,158 @@
+"""Gap-filling tests: small behaviours not covered elsewhere.
+
+Each test here pins a contract a downstream user could reasonably rely
+on but that the module-focused files did not exercise directly.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    HistogramDistribution,
+    NullRandomizer,
+    Partition,
+    UniformRandomizer,
+)
+from repro.exceptions import ValidationError
+from repro.experiments import ReconstructionConfig, run_reconstruction
+from repro.serialize import FORMAT_VERSION, to_jsonable
+from repro.tree import PrivacyPreservingClassifier
+
+warnings.filterwarnings("ignore", category=UserWarning, module="repro")
+
+
+class TestSerializationFormat:
+    def test_version_embedded(self, unit_partition):
+        payload = to_jsonable(unit_partition)
+        assert payload["version"] == FORMAT_VERSION
+
+    def test_payload_survives_json_text_roundtrip(self, unit_partition):
+        dist = HistogramDistribution.uniform(unit_partition)
+        text = json.dumps(to_jsonable(dist))
+        restored = json.loads(text)
+        assert restored["kind"] == "histogram"
+        assert len(restored["probs"]) == 10
+
+
+class TestHistogramEdges:
+    def test_sample_zero(self, unit_partition):
+        dist = HistogramDistribution.uniform(unit_partition)
+        assert dist.sample(0, seed=1).size == 0
+
+    def test_integer_counts_zero(self, unit_partition):
+        dist = HistogramDistribution.uniform(unit_partition)
+        assert dist.integer_counts(0).sum() == 0
+
+    def test_single_interval_distribution(self):
+        part = Partition.uniform(0, 1, 1)
+        dist = HistogramDistribution(part, [1.0])
+        assert dist.mean() == pytest.approx(0.5)
+        assert dist.cdf()[-1] == pytest.approx(1.0)
+
+
+class TestCliErrors:
+    def test_reconstruct_gaussian_path(self, capsys):
+        code = main(
+            ["reconstruct", "--noise", "gaussian", "--n", "600",
+             "--intervals", "6", "--seed", "2"]
+        )
+        assert code == 0
+        assert "reconstructed" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_bad_noise_choice_exits(self):
+        with pytest.raises(SystemExit):
+            main(["reconstruct", "--noise", "laplace"])
+
+
+class TestReconstructionRunnerEdges:
+    def test_small_sample_still_valid(self):
+        outcome = run_reconstruction(
+            ReconstructionConfig(n=50, n_intervals=8, seed=3)
+        )
+        assert outcome.reconstructed_probs.sum() == pytest.approx(1.0)
+
+    def test_high_privacy_configuration(self):
+        outcome = run_reconstruction(
+            ReconstructionConfig(n=3_000, privacy=2.0, seed=4)
+        )
+        # extreme noise: reconstruction still improves on the raw series
+        assert outcome.l1_reconstructed < outcome.l1_randomized
+
+
+class TestPipelineEdges:
+    def test_two_record_table(self):
+        from repro.datasets.schema import Attribute, Table
+
+        table = Table(
+            {"a": [0.1, 0.9]},
+            [0, 1],
+            (Attribute("a", 0, 1),),
+        )
+        clf = PrivacyPreservingClassifier(
+            "original", min_records_split=2
+        ).fit(table)
+        assert clf.predict(table).shape == (2,)
+
+    def test_single_class_training(self):
+        from repro.datasets.schema import Attribute, Table
+
+        table = Table(
+            {"a": np.linspace(0, 1, 50)},
+            np.zeros(50, dtype=int),
+            (Attribute("a", 0, 1),),
+        )
+        clf = PrivacyPreservingClassifier("byclass", privacy=0.5, seed=5).fit(table)
+        assert np.all(clf.predict(table) == 0)
+
+    def test_null_randomizer_in_pipeline_path(self):
+        """NullRandomizer behaves as a no-op disclosure."""
+        x = np.linspace(0, 1, 20)
+        np.testing.assert_array_equal(NullRandomizer().randomize(x), x)
+
+    def test_min_records_split_below_two_rejected(self):
+        from repro.tree import DecisionTreeClassifier
+
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(
+                [Partition.uniform(0, 1, 4)], min_records_split=0
+            )
+
+
+class TestPartitionNumericEdges:
+    def test_locate_near_float_boundary(self):
+        # use a grid whose edges are exactly representable (quarters)
+        part = Partition.uniform(0, 1, 4)
+        below = np.nextafter(0.25, 0)
+        assert part.locate([below])[0] == 0
+        assert part.locate([0.25])[0] == 1
+
+    def test_expanded_partition_locates_original_values_consistently(self):
+        part = Partition.uniform(0, 1, 10)
+        expanded = part.expanded(0.25)
+        values = np.linspace(0.001, 0.999, 97)
+        offset = expanded.locate([part.low + 1e-12])[0]
+        np.testing.assert_array_equal(
+            expanded.locate(values) - offset, part.locate(values)
+        )
+
+    def test_reconstruction_with_noise_narrower_than_interval(self):
+        """Noise much narrower than the grid degenerates gracefully."""
+        from repro.core import BayesReconstructor
+
+        part = Partition.uniform(0, 1, 5)
+        noise = UniformRandomizer(half_width=0.001)
+        x = np.full(400, 0.31)
+        result = BayesReconstructor().reconstruct(
+            noise.randomize(x, seed=6), part, noise
+        )
+        assert result.distribution.probs[1] > 0.9

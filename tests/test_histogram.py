@@ -1,0 +1,166 @@
+"""Unit and property tests for repro.core.histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def tri_dist(unit_partition):
+    probs = np.zeros(10)
+    probs[2:5] = [0.25, 0.5, 0.25]
+    return HistogramDistribution(unit_partition, probs)
+
+
+class TestConstruction:
+    def test_probs_normalized_storage(self, unit_partition):
+        dist = HistogramDistribution(unit_partition, np.full(10, 0.1))
+        assert dist.probs.sum() == pytest.approx(1.0)
+
+    def test_rejects_wrong_length(self, unit_partition):
+        with pytest.raises(ValidationError):
+            HistogramDistribution(unit_partition, np.full(9, 1 / 9))
+
+    def test_rejects_negative(self, unit_partition):
+        probs = np.full(10, 0.1)
+        probs[0] = -0.1
+        probs[1] = 0.3
+        with pytest.raises(ValidationError):
+            HistogramDistribution(unit_partition, probs)
+
+    def test_rejects_not_summing_to_one(self, unit_partition):
+        with pytest.raises(ValidationError):
+            HistogramDistribution(unit_partition, np.full(10, 0.2))
+
+    def test_from_values(self, unit_partition):
+        dist = HistogramDistribution.from_values([0.05, 0.05, 0.95, 0.55], unit_partition)
+        assert dist.probs[0] == pytest.approx(0.5)
+        assert dist.probs[9] == pytest.approx(0.25)
+
+    def test_from_values_empty_rejected(self, unit_partition):
+        with pytest.raises(ValidationError):
+            HistogramDistribution.from_values([], unit_partition)
+
+    def test_uniform(self, unit_partition):
+        dist = HistogramDistribution.uniform(unit_partition)
+        np.testing.assert_allclose(dist.probs, 0.1)
+
+
+class TestQueries:
+    def test_mean(self, tri_dist):
+        expected = 0.25 * 0.25 + 0.5 * 0.35 + 0.25 * 0.45
+        assert tri_dist.mean() == pytest.approx(expected)
+
+    def test_density_integrates_to_one(self, tri_dist):
+        total = (tri_dist.density() * tri_dist.partition.widths).sum()
+        assert total == pytest.approx(1.0)
+
+    def test_cdf_monotone_ending_at_one(self, tri_dist):
+        cdf = tri_dist.cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_expected_counts(self, tri_dist):
+        counts = tri_dist.expected_counts(100)
+        assert counts.sum() == pytest.approx(100)
+        assert counts[3] == pytest.approx(50)
+
+    def test_expected_counts_negative_rejected(self, tri_dist):
+        with pytest.raises(ValidationError):
+            tri_dist.expected_counts(-1)
+
+    def test_sample_within_support(self, tri_dist):
+        values = tri_dist.sample(500, seed=0)
+        assert values.min() >= 0.2
+        assert values.max() <= 0.5
+
+    def test_sample_distribution_close(self, tri_dist):
+        values = tri_dist.sample(20_000, seed=1)
+        empirical = HistogramDistribution.from_values(values, tri_dist.partition)
+        assert tri_dist.l1_distance(empirical) < 0.05
+
+
+class TestIntegerCounts:
+    def test_sums_exactly(self, tri_dist):
+        for n in (0, 1, 7, 99, 1000):
+            assert tri_dist.integer_counts(n).sum() == n
+
+    def test_close_to_expected(self, tri_dist):
+        counts = tri_dist.integer_counts(1000)
+        np.testing.assert_allclose(counts, tri_dist.expected_counts(1000), atol=1.0)
+
+    def test_non_negative(self, tri_dist):
+        assert tri_dist.integer_counts(3).min() >= 0
+
+
+class TestComparisons:
+    def test_l1_zero_for_self(self, tri_dist):
+        assert tri_dist.l1_distance(tri_dist) == 0.0
+
+    def test_l1_maximal_for_disjoint(self, unit_partition):
+        a = np.zeros(10)
+        a[0] = 1.0
+        b = np.zeros(10)
+        b[9] = 1.0
+        d1 = HistogramDistribution(unit_partition, a)
+        d2 = HistogramDistribution(unit_partition, b)
+        assert d1.l1_distance(d2) == pytest.approx(2.0)
+        assert d1.total_variation(d2) == pytest.approx(1.0)
+
+    def test_l2_le_l1(self, tri_dist, unit_partition):
+        other = HistogramDistribution.uniform(unit_partition)
+        assert tri_dist.l2_distance(other) <= tri_dist.l1_distance(other) + 1e-12
+
+    def test_mismatched_grids_rejected(self, tri_dist):
+        other = HistogramDistribution.uniform(Partition.uniform(0, 1, 5))
+        with pytest.raises(ValidationError):
+            tri_dist.l1_distance(other)
+
+    def test_restricted_to_smaller_grid(self, tri_dist):
+        expanded = tri_dist.partition.expanded(0.3)
+        padded = np.zeros(expanded.n_intervals)
+        offset = (expanded.n_intervals - 10) // 2
+        padded[offset : offset + 10] = tri_dist.probs
+        big = HistogramDistribution(expanded, padded)
+        back = big.restricted_to(tri_dist.partition)
+        assert tri_dist.l1_distance(back) < 1e-9
+
+
+@given(
+    weights=st.lists(st.floats(0.0, 10.0), min_size=2, max_size=30).filter(
+        lambda w: sum(w) > 1e-6
+    )
+)
+def test_property_integer_counts_sum(weights):
+    probs = np.asarray(weights) / sum(weights)
+    part = Partition.uniform(0, 1, len(weights))
+    dist = HistogramDistribution(part, probs)
+    for n in (0, 1, 13, 257):
+        counts = dist.integer_counts(n)
+        assert counts.sum() == n
+        assert counts.min() >= 0
+        # largest-remainder rounding never deviates by a full record
+        assert np.all(np.abs(counts - dist.expected_counts(n)) <= 1.0 + 1e-9)
+
+
+@given(
+    weights_a=st.lists(st.floats(0.0, 1.0), min_size=5, max_size=5),
+    weights_b=st.lists(st.floats(0.0, 1.0), min_size=5, max_size=5),
+)
+def test_property_distance_axioms(weights_a, weights_b):
+    part = Partition.uniform(0, 1, 5)
+    a = np.asarray(weights_a) + 1e-6
+    b = np.asarray(weights_b) + 1e-6
+    da = HistogramDistribution(part, a / a.sum())
+    db = HistogramDistribution(part, b / b.sum())
+    # symmetry and non-negativity of the distances
+    assert da.l1_distance(db) == pytest.approx(db.l1_distance(da))
+    assert da.l1_distance(db) >= 0
+    assert 0 <= da.total_variation(db) <= 1.0 + 1e-12

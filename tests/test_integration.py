@@ -1,0 +1,142 @@
+"""End-to-end shape tests: the paper's qualitative claims at small scale.
+
+Each test here asserts one of the conclusions the evaluation section rests
+on, using seeds and sizes small enough for CI.  The full-size versions live
+in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import (
+    BayesReconstructor,
+    EMReconstructor,
+    HistogramDistribution,
+    UniformRandomizer,
+    posterior_privacy,
+)
+from repro.datasets import quest, shapes
+from repro.tree import PrivacyPreservingClassifier
+
+warnings.filterwarnings("ignore", category=UserWarning, module="repro")
+
+
+class TestReconstructionClaims:
+    """Paper §3: the reconstructed distribution tracks the original."""
+
+    @pytest.mark.parametrize("shape", ["plateau", "triangles"])
+    @pytest.mark.parametrize("noise", ["uniform", "gaussian"])
+    def test_reconstruction_recovers_shape(self, shape, noise):
+        from repro.core.privacy import noise_for_privacy
+
+        density = shapes.SHAPES[shape]()
+        x = density.sample(8_000, seed=13)
+        part = density.partition(20)
+        randomizer = noise_for_privacy(noise, 0.5, 1.0)
+        w = randomizer.randomize(x, seed=14)
+
+        original = HistogramDistribution.from_values(x, part)
+        randomized = HistogramDistribution.from_values(w, part)
+        reconstructed = BayesReconstructor().reconstruct(w, part, randomizer)
+
+        l1_rec = reconstructed.distribution.l1_distance(original)
+        l1_rand = randomized.l1_distance(original)
+        # the paper's figure: reconstruction roughly restores the shape
+        assert l1_rec < 0.5 * l1_rand
+        assert l1_rec < 0.25
+
+    @pytest.mark.filterwarnings("ignore::UserWarning")
+    def test_bayes_and_em_agree(self):
+        density = shapes.plateau()
+        x = density.sample(5_000, seed=15)
+        part = density.partition(16)
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=16)
+        bayes = BayesReconstructor(stopping="delta", tol=1e-8, max_iterations=1500)
+        em = EMReconstructor(tol=1e-11)
+        d_bayes = bayes.reconstruct(w, part, noise).distribution
+        d_em = em.reconstruct(w, part, noise).distribution
+        assert d_bayes.l1_distance(d_em) < 0.05
+
+
+class TestClassificationClaims:
+    """Paper §5: who wins, by roughly what factor."""
+
+    @pytest.fixture(scope="class")
+    def fn1(self):
+        train = quest.generate(6_000, function=1, seed=31)
+        test = quest.generate(1_500, function=1, seed=32)
+        return train, test
+
+    def test_byclass_tracks_original_on_fn1(self, fn1):
+        train, test = fn1
+        original = PrivacyPreservingClassifier("original").fit(train).score(test)
+        byclass = (
+            PrivacyPreservingClassifier("byclass", privacy=1.0, seed=33)
+            .fit(train)
+            .score(test)
+        )
+        assert original > 0.93
+        assert byclass > original - 0.08
+
+    def test_randomized_collapses_at_high_privacy(self, fn1):
+        train, test = fn1
+        randomized = (
+            PrivacyPreservingClassifier("randomized", privacy=1.0, seed=34)
+            .fit(train)
+            .score(test)
+        )
+        byclass = (
+            PrivacyPreservingClassifier("byclass", privacy=1.0, seed=34)
+            .fit(train)
+            .score(test)
+        )
+        # the paper's headline gap at 100% privacy
+        assert byclass > randomized + 0.15
+
+    def test_byclass_beats_randomized_on_fn4(self, quest_fn2_split):
+        train = quest.generate(6_000, function=4, seed=35)
+        test = quest.generate(2_000, function=4, seed=36)
+        randomized, randomizers = quest.randomize(train, privacy=1.0, seed=37)
+        accs = {}
+        for strategy in ("randomized", "global", "byclass"):
+            clf = PrivacyPreservingClassifier(strategy, privacy=1.0, seed=38)
+            clf.fit(train, randomized_table=randomized, randomizers=randomizers)
+            accs[strategy] = clf.score(test)
+        assert accs["byclass"] > accs["randomized"]
+        assert accs["global"] > accs["randomized"] - 0.02
+
+    def test_accuracy_degrades_gracefully_with_privacy(self, quest_fn2_split):
+        train, test = quest_fn2_split
+        accuracies = []
+        for privacy in (0.25, 1.0, 2.0):
+            clf = PrivacyPreservingClassifier(
+                "byclass", privacy=privacy, seed=39
+            ).fit(train)
+            accuracies.append(clf.score(test))
+        # monotone-ish decay: low privacy much better than very high
+        assert accuracies[0] > accuracies[2]
+        assert accuracies[0] > 0.85
+        assert accuracies[2] > 0.55  # still far better than coin flip
+
+
+class TestPrivacyClaims:
+    """Paper §2 + follow-on: the privacy metric behaves as advertised."""
+
+    def test_posterior_privacy_decreases_with_information(self):
+        part = shapes.plateau().partition(16)
+        x = shapes.plateau().sample(5_000, seed=41)
+        prior = HistogramDistribution.from_values(x, part)
+        fractions = [
+            posterior_privacy(prior, UniformRandomizer.from_privacy(p, 1.0)).privacy_fraction
+            for p in (0.25, 1.0, 2.0)
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_interval_privacy_matches_paper_convention(self):
+        noise = UniformRandomizer.from_privacy(1.0, 130_000, 0.95)
+        # "100% privacy": the 95% interval is as wide as the salary domain
+        assert noise.privacy_interval_width(0.95) == pytest.approx(130_000)

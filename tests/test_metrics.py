@@ -1,0 +1,141 @@
+"""Tests for classification metrics and distribution distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    accuracy,
+    confusion_matrix,
+    hellinger_distance,
+    kolmogorov_distance,
+    l1_distance,
+    l2_distance,
+    per_class_recall,
+    total_variation,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_zero(self):
+        assert accuracy([0, 0], [1, 1]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([0, 1, 0, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            accuracy([0, 1], [0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            accuracy([], [])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValidationError):
+            accuracy([-1, 0], [0, 0])
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        matrix = confusion_matrix(predicted=[0, 1, 1, 0], actual=[0, 1, 0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 1]])
+
+    def test_row_sums_are_class_counts(self):
+        actual = [0, 0, 0, 1, 2, 2]
+        matrix = confusion_matrix([0, 1, 2, 1, 2, 0], actual)
+        np.testing.assert_array_equal(matrix.sum(axis=1), [3, 1, 2])
+
+    def test_explicit_n_classes(self):
+        matrix = confusion_matrix([0], [0], n_classes=4)
+        assert matrix.shape == (4, 4)
+
+    def test_diagonal_is_correct_predictions(self):
+        predicted = [0, 1, 1, 0, 1]
+        actual = [0, 1, 0, 0, 1]
+        matrix = confusion_matrix(predicted, actual)
+        assert np.trace(matrix) == 4
+
+
+class TestPerClassRecall:
+    def test_values(self):
+        recall = per_class_recall([0, 1, 1, 1], [0, 1, 1, 0])
+        assert recall[0] == pytest.approx(0.5)
+        assert recall[1] == pytest.approx(1.0)
+
+    def test_absent_class_is_nan(self):
+        recall = per_class_recall([0, 2], [0, 2])
+        assert np.isnan(recall[1])
+
+
+class TestDistances:
+    @pytest.fixture
+    def pair(self):
+        part = Partition.uniform(0, 1, 4)
+        a = HistogramDistribution(part, [0.5, 0.5, 0.0, 0.0])
+        b = HistogramDistribution(part, [0.0, 0.0, 0.5, 0.5])
+        return a, b
+
+    def test_l1_disjoint(self, pair):
+        assert l1_distance(*pair) == pytest.approx(2.0)
+
+    def test_tv_disjoint(self, pair):
+        assert total_variation(*pair) == pytest.approx(1.0)
+
+    def test_hellinger_disjoint(self, pair):
+        assert hellinger_distance(*pair) == pytest.approx(1.0)
+
+    def test_ks_disjoint(self, pair):
+        assert kolmogorov_distance(*pair) == pytest.approx(1.0)
+
+    def test_identity_all_zero(self, pair):
+        a, _ = pair
+        for fn in (l1_distance, l2_distance, total_variation,
+                   kolmogorov_distance, hellinger_distance):
+            assert fn(a, a) == pytest.approx(0.0)
+
+    def test_accepts_raw_arrays(self):
+        assert l1_distance([0.5, 0.5], [0.25, 0.75]) == pytest.approx(0.5)
+
+    def test_rejects_mismatched_grids(self):
+        with pytest.raises(ValidationError):
+            l1_distance([0.5, 0.5], [1.0])
+
+    def test_ks_le_tv(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.dirichlet(np.ones(8))
+            b = rng.dirichlet(np.ones(8))
+            assert kolmogorov_distance(a, b) <= total_variation(a, b) + 1e-12
+
+
+@given(
+    a=st.lists(st.floats(0.001, 1.0), min_size=4, max_size=4),
+    b=st.lists(st.floats(0.001, 1.0), min_size=4, max_size=4),
+    c=st.lists(st.floats(0.001, 1.0), min_size=4, max_size=4),
+)
+def test_property_l1_triangle_inequality(a, b, c):
+    norm = lambda v: np.asarray(v) / np.sum(v)
+    pa, pb, pc = norm(a), norm(b), norm(c)
+    assert l1_distance(pa, pc) <= l1_distance(pa, pb) + l1_distance(pb, pc) + 1e-9
+
+
+@given(
+    a=st.lists(st.floats(0.001, 1.0), min_size=6, max_size=6),
+    b=st.lists(st.floats(0.001, 1.0), min_size=6, max_size=6),
+)
+def test_property_distance_ranges(a, b):
+    norm = lambda v: np.asarray(v) / np.sum(v)
+    pa, pb = norm(a), norm(b)
+    assert 0 <= total_variation(pa, pb) <= 1
+    assert 0 <= hellinger_distance(pa, pb) <= 1
+    assert 0 <= kolmogorov_distance(pa, pb) <= 1

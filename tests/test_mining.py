@@ -1,0 +1,226 @@
+"""Tests for the association-mining extension (Apriori + randomized response)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.mining import (
+    MaskMiner,
+    RandomizedResponse,
+    association_rules,
+    frequent_itemsets,
+    generate_baskets,
+)
+from repro.mining.apriori import support
+
+
+@pytest.fixture(scope="module")
+def planted_baskets():
+    return generate_baskets(6_000, 10, seed=17)
+
+
+class TestApriori:
+    def test_matches_bruteforce_on_small_data(self, rng):
+        baskets = rng.random((200, 5)) < 0.4
+        mined = frequent_itemsets(baskets, 0.2)
+        # brute force every itemset up to size 5
+        for size in range(1, 6):
+            for combo in combinations(range(5), size):
+                s = support(baskets, combo)
+                itemset = frozenset(combo)
+                if s >= 0.2:
+                    assert itemset in mined, itemset
+                    assert mined[itemset] == pytest.approx(s)
+                else:
+                    assert itemset not in mined
+
+    def test_planted_patterns_found(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.15)
+        assert frozenset({0, 1}) in mined
+        assert frozenset({2, 3, 4}) in mined
+
+    def test_downward_closure(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.1)
+        for itemset in mined:
+            for item in itemset:
+                assert itemset - {item} in mined or len(itemset) == 1
+
+    def test_max_size_respected(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.1, max_size=2)
+        assert all(len(itemset) <= 2 for itemset in mined)
+
+    def test_support_bounds(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.05)
+        assert all(0.05 <= s <= 1.0 for s in mined.values())
+
+    def test_empty_itemset_support(self, planted_baskets):
+        assert support(planted_baskets, set()) == 1.0
+
+    def test_out_of_range_item_rejected(self, planted_baskets):
+        with pytest.raises(ValidationError):
+            support(planted_baskets, {99})
+
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ValidationError):
+            frequent_itemsets(np.zeros(5), 0.1)
+        with pytest.raises(ValidationError):
+            frequent_itemsets(np.zeros((0, 3)), 0.1)
+
+
+class TestAssociationRules:
+    def test_rules_from_planted_pattern(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.1)
+        rules = association_rules(mined, 0.5)
+        pairs = {(tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))) for r in rules}
+        assert ((0,), (1,)) in pairs or ((1,), (0,)) in pairs
+
+    def test_confidence_bounds(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.1)
+        for rule in association_rules(mined, 0.3):
+            assert 0.3 <= rule.confidence <= 1.0
+            assert rule.support <= 1.0
+            assert rule.lift > 0
+
+    def test_sorted_by_confidence(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.1)
+        rules = association_rules(mined, 0.2)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_lift_of_planted_rule_above_one(self, planted_baskets):
+        mined = frequent_itemsets(planted_baskets, 0.1)
+        rules = association_rules(mined, 0.5)
+        planted = [
+            r for r in rules
+            if r.antecedent == frozenset({0}) and r.consequent == frozenset({1})
+        ]
+        assert planted and planted[0].lift > 1.5
+
+
+class TestRandomizedResponse:
+    def test_rejects_half(self):
+        with pytest.raises(ValidationError):
+            RandomizedResponse(0.5)
+
+    def test_channel_is_stochastic(self):
+        channel = RandomizedResponse(0.8).channel
+        np.testing.assert_allclose(channel.sum(axis=0), 1.0)
+
+    def test_flip_rate(self, rng):
+        rr = RandomizedResponse(0.9)
+        baskets = np.zeros((20_000, 3), dtype=bool)
+        disclosed = rr.randomize(baskets, seed=rng)
+        assert disclosed.mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_keep_prob_one_is_identity(self, planted_baskets):
+        rr = RandomizedResponse(1.0)
+        disclosed = rr.randomize(planted_baskets, seed=0)
+        np.testing.assert_array_equal(disclosed, planted_baskets)
+
+    def test_deniability(self):
+        assert RandomizedResponse(0.8).privacy_of_bit() == pytest.approx(0.2)
+
+
+class TestMaskMiner:
+    def test_support_recovery_single_items(self, planted_baskets):
+        rr = RandomizedResponse(0.9)
+        disclosed = rr.randomize(planted_baskets, seed=3)
+        miner = MaskMiner(rr)
+        for item in range(5):
+            true = support(planted_baskets, {item})
+            estimate = miner.estimate_support(disclosed, {item})
+            assert estimate == pytest.approx(true, abs=0.03)
+
+    def test_support_recovery_pairs(self, planted_baskets):
+        rr = RandomizedResponse(0.9)
+        disclosed = rr.randomize(planted_baskets, seed=4)
+        miner = MaskMiner(rr)
+        true = support(planted_baskets, {0, 1})
+        estimate = miner.estimate_support(disclosed, {0, 1})
+        assert estimate == pytest.approx(true, abs=0.04)
+
+    def test_estimate_beats_naive_support(self, planted_baskets):
+        """Counting the randomized data directly is badly biased."""
+        rr = RandomizedResponse(0.85)
+        disclosed = rr.randomize(planted_baskets, seed=5)
+        miner = MaskMiner(rr)
+        true = support(planted_baskets, {2, 3, 4})
+        naive = support(disclosed, {2, 3, 4})
+        estimate = miner.estimate_support(disclosed, {2, 3, 4})
+        assert abs(estimate - true) < abs(naive - true)
+
+    def test_frequent_itemsets_recovered(self, planted_baskets):
+        rr = RandomizedResponse(0.95)
+        disclosed = rr.randomize(planted_baskets, seed=6)
+        mined = MaskMiner(rr).frequent_itemsets(disclosed, 0.15)
+        assert frozenset({0, 1}) in mined
+        assert frozenset({2, 3, 4}) in mined
+
+    def test_max_size_enforced(self, planted_baskets):
+        rr = RandomizedResponse(0.9)
+        miner = MaskMiner(rr, max_size=2)
+        with pytest.raises(ValidationError):
+            miner.estimate_support(planted_baskets, {0, 1, 2})
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(ValidationError):
+            MaskMiner(RandomizedResponse(0.9), max_size=0)
+
+    def test_empty_itemset(self, planted_baskets):
+        miner = MaskMiner(RandomizedResponse(0.9))
+        assert miner.estimate_support(planted_baskets, set()) == 1.0
+
+
+class TestBasketGenerator:
+    def test_shape_and_dtype(self):
+        baskets = generate_baskets(100, 7, seed=0)
+        assert baskets.shape == (100, 7)
+        assert baskets.dtype == bool
+
+    def test_reproducible(self):
+        a = generate_baskets(50, 6, seed=1)
+        b = generate_baskets(50, 6, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_planted_support_approximate(self):
+        baskets = generate_baskets(20_000, 10, seed=2)
+        # pattern (0,1) at 0.35 plus background coincidences
+        assert support(baskets, {0, 1}) == pytest.approx(0.35, abs=0.05)
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValidationError):
+            generate_baskets(10, 3, patterns=(((5,), 0.5),))
+        with pytest.raises(ValidationError):
+            generate_baskets(10, 3, patterns=(((), 0.5),))
+        with pytest.raises(ValidationError):
+            generate_baskets(10, 3, patterns=(((0,), 1.5),))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            generate_baskets(0, 5)
+        with pytest.raises(ValidationError):
+            generate_baskets(5, 5, background=1.5)
+
+
+@given(
+    keep_prob=st.sampled_from([0.7, 0.8, 0.9, 0.95]),
+    seed=st.integers(0, 500),
+)
+def test_property_estimator_unbiasedness(keep_prob, seed):
+    """Across random data, channel inversion stays near the truth."""
+    rng = np.random.default_rng(seed)
+    baskets = rng.random((3_000, 4)) < rng.uniform(0.1, 0.6)
+    rr = RandomizedResponse(keep_prob)
+    disclosed = rr.randomize(baskets, seed=rng)
+    miner = MaskMiner(rr)
+    true = support(baskets, {0, 1})
+    estimate = miner.estimate_support(disclosed, {0, 1})
+    # tolerance widens as keep_prob drops (variance grows)
+    tolerance = 0.05 if keep_prob >= 0.9 else 0.12
+    assert abs(estimate - true) < tolerance

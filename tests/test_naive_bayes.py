@@ -1,0 +1,149 @@
+"""Tests for naive Bayes over reconstructed distributions."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bayes import NaiveBayesClassifier, PrivacyPreservingNaiveBayes
+from repro.bayes.naive import NB_STRATEGIES
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.datasets import quest
+from repro.exceptions import NotFittedError, ValidationError
+
+warnings.filterwarnings("ignore", category=UserWarning, module="repro")
+
+
+class TestNaiveBayesClassifier:
+    def test_simple_threshold(self, rng):
+        x = rng.random((800, 1))
+        y = (x[:, 0] > 0.5).astype(int)
+        model = NaiveBayesClassifier([Partition.uniform(0, 1, 10)]).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_independent_attributes(self, rng):
+        """NB is exact when attributes are conditionally independent."""
+        n = 4_000
+        y = rng.integers(0, 2, n)
+        x0 = rng.normal(y * 2.0, 1.0)
+        x1 = rng.normal(-y * 2.0, 1.0)
+        x = np.column_stack([x0, x1])
+        parts = [Partition.from_values(x[:, j], 20) for j in range(2)]
+        model = NaiveBayesClassifier(parts).fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_multiclass(self, rng):
+        x = rng.random((900, 1))
+        y = np.digitize(x[:, 0], [1 / 3, 2 / 3])
+        model = NaiveBayesClassifier([Partition.uniform(0, 1, 30)]).fit(x, y)
+        assert model.score(x, y) > 0.93
+
+    def test_log_proba_shape(self, rng):
+        x = rng.random((100, 1))
+        y = (x[:, 0] > 0.5).astype(int)
+        model = NaiveBayesClassifier([Partition.uniform(0, 1, 10)]).fit(x, y)
+        assert model.predict_log_proba(x[:7]).shape == (7, 2)
+
+    def test_not_fitted(self):
+        model = NaiveBayesClassifier([Partition.uniform(0, 1, 4)])
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 1)))
+
+    def test_rejects_bad_laplace(self):
+        with pytest.raises(ValidationError):
+            NaiveBayesClassifier([Partition.uniform(0, 1, 4)], laplace=-1)
+
+    def test_rejects_empty_fit(self):
+        model = NaiveBayesClassifier([Partition.uniform(0, 1, 4)])
+        with pytest.raises(ValidationError):
+            model.fit(np.empty((0, 1)), np.empty(0, dtype=int))
+
+    def test_fit_distributions_direct(self, unit_partition):
+        low = np.zeros(10)
+        low[:5] = 0.2
+        high = np.zeros(10)
+        high[5:] = 0.2
+        model = NaiveBayesClassifier([unit_partition]).fit_distributions(
+            [0.5, 0.5],
+            [[HistogramDistribution(unit_partition, low),
+              HistogramDistribution(unit_partition, high)]],
+        )
+        preds = model.predict(np.array([[0.1], [0.9]]))
+        np.testing.assert_array_equal(preds, [0, 1])
+
+    def test_fit_distributions_validates_shapes(self, unit_partition):
+        model = NaiveBayesClassifier([unit_partition])
+        with pytest.raises(ValidationError):
+            model.fit_distributions([1.0], [[np.full(10, 0.1)]])  # one class
+        with pytest.raises(ValidationError):
+            model.fit_distributions([0.5, 0.5], [])  # missing attribute
+        with pytest.raises(ValidationError):
+            model.fit_distributions(
+                [0.5, 0.5], [[np.full(4, 0.25), np.full(10, 0.1)]]
+            )  # wrong interval count
+
+
+class TestPrivacyPreservingNaiveBayes:
+    @pytest.fixture(scope="class")
+    def fn1(self):
+        train = quest.generate(6_000, function=1, seed=51)
+        test = quest.generate(2_000, function=1, seed=52)
+        return train, test
+
+    def test_strategy_registry(self):
+        assert set(NB_STRATEGIES) == {"original", "randomized", "byclass"}
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValidationError):
+            PrivacyPreservingNaiveBayes("local")
+
+    @pytest.mark.parametrize("strategy", NB_STRATEGIES)
+    def test_each_strategy_runs(self, fn1, strategy):
+        train, test = fn1
+        clf = PrivacyPreservingNaiveBayes(strategy, privacy=0.5, seed=1).fit(train)
+        assert 0.4 < clf.score(test) <= 1.0
+
+    def test_byclass_needs_no_correction_yet_tracks_original(self, fn1):
+        """The headline: reconstruction alone suffices for naive Bayes."""
+        train, test = fn1
+        original = PrivacyPreservingNaiveBayes("original").fit(train).score(test)
+        byclass = (
+            PrivacyPreservingNaiveBayes("byclass", privacy=1.0, seed=2)
+            .fit(train)
+            .score(test)
+        )
+        randomized = (
+            PrivacyPreservingNaiveBayes("randomized", privacy=1.0, seed=2)
+            .fit(train)
+            .score(test)
+        )
+        assert byclass > original - 0.08
+        assert byclass > randomized + 0.15
+
+    def test_reconstructions_recorded(self, fn1):
+        train, _ = fn1
+        clf = PrivacyPreservingNaiveBayes("byclass", privacy=0.5, seed=3).fit(train)
+        assert set(clf.reconstructions_) == set(train.attribute_names)
+
+    def test_not_fitted(self, fn1):
+        clf = PrivacyPreservingNaiveBayes("original")
+        with pytest.raises(NotFittedError):
+            clf.predict(fn1[1])
+
+    def test_gaussian_noise(self, fn1):
+        train, test = fn1
+        clf = PrivacyPreservingNaiveBayes(
+            "byclass", noise="gaussian", privacy=0.5, seed=4
+        ).fit(train)
+        assert clf.score(test) > 0.8
+
+    def test_attribute_subset(self, fn1):
+        train, test = fn1
+        clf = PrivacyPreservingNaiveBayes(
+            "byclass", privacy=1.0, seed=5, attributes=("age",)
+        ).fit(train)
+        assert set(clf.randomizers_) == {"age"}
+        assert clf.score(test) > 0.85

@@ -1,0 +1,216 @@
+"""Unit and property tests for repro.core.partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import Partition
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_uniform_edges(self):
+        part = Partition.uniform(0.0, 1.0, 4)
+        np.testing.assert_allclose(part.edges, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_uniform_single_interval(self):
+        part = Partition.uniform(-1.0, 1.0, 1)
+        assert part.n_intervals == 1
+        assert part.span == 2.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValidationError):
+            Partition.uniform(1.0, 1.0, 3)
+        with pytest.raises(ValidationError):
+            Partition.uniform(2.0, 1.0, 3)
+        with pytest.raises(ValidationError):
+            Partition.uniform(0.0, float("inf"), 3)
+
+    def test_rejects_zero_intervals(self):
+        with pytest.raises(ValidationError):
+            Partition.uniform(0.0, 1.0, 0)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValidationError):
+            Partition(np.array([0.0, 0.5, 0.4, 1.0]))
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(ValidationError):
+            Partition(np.array([0.0, 0.5, 0.5, 1.0]))
+
+    def test_rejects_scalar_edges(self):
+        with pytest.raises(ValidationError):
+            Partition(np.array([1.0]))
+
+    def test_from_values_covers_range(self):
+        values = np.array([3.0, 7.0, 5.0])
+        part = Partition.from_values(values, 5)
+        assert part.low == 3.0
+        assert part.high == 7.0
+
+    def test_from_values_pad(self):
+        part = Partition.from_values([0.0, 10.0], 5, pad=0.1)
+        assert part.low == pytest.approx(-1.0)
+        assert part.high == pytest.approx(11.0)
+
+    def test_from_values_degenerate_sample(self):
+        part = Partition.from_values([5.0, 5.0, 5.0], 4)
+        assert part.low < 5.0 < part.high
+
+    def test_non_uniform_edges_accepted(self):
+        part = Partition(np.array([0.0, 0.1, 0.5, 1.0]))
+        assert part.n_intervals == 3
+        np.testing.assert_allclose(part.widths, [0.1, 0.4, 0.5])
+
+
+class TestGeometry:
+    def test_midpoints(self, unit_partition):
+        np.testing.assert_allclose(
+            unit_partition.midpoints, np.arange(0.05, 1.0, 0.1)
+        )
+
+    def test_widths_sum_to_span(self, unit_partition):
+        assert unit_partition.widths.sum() == pytest.approx(unit_partition.span)
+
+    def test_len(self, unit_partition):
+        assert len(unit_partition) == 10
+
+
+class TestLocate:
+    def test_interior_values(self, unit_partition):
+        idx = unit_partition.locate([0.05, 0.15, 0.95])
+        np.testing.assert_array_equal(idx, [0, 1, 9])
+
+    def test_left_edge_inclusive(self, unit_partition):
+        assert unit_partition.locate([0.0])[0] == 0
+
+    def test_boundary_goes_right(self, unit_partition):
+        # Half-open intervals: 0.1 belongs to interval 1.
+        assert unit_partition.locate([0.1])[0] == 1
+
+    def test_right_edge_clipped_into_last(self, unit_partition):
+        assert unit_partition.locate([1.0])[0] == 9
+
+    def test_out_of_domain_clipped(self, unit_partition):
+        idx = unit_partition.locate([-5.0, 5.0])
+        np.testing.assert_array_equal(idx, [0, 9])
+
+    def test_histogram_counts(self, unit_partition):
+        values = [0.05, 0.06, 0.55, 2.0]
+        counts = unit_partition.histogram(values)
+        assert counts[0] == 2
+        assert counts[5] == 1
+        assert counts[9] == 1
+        assert counts.sum() == 4
+
+    def test_histogram_empty(self, unit_partition):
+        counts = unit_partition.histogram([])
+        assert counts.sum() == 0
+        assert counts.shape == (10,)
+
+
+class TestExpanded:
+    def test_zero_margin_is_identity(self, unit_partition):
+        assert unit_partition.expanded(0.0) is unit_partition
+
+    def test_margin_covered(self, unit_partition):
+        bigger = unit_partition.expanded(0.25)
+        assert bigger.low <= -0.25
+        assert bigger.high >= 1.25
+
+    def test_widths_preserved(self, unit_partition):
+        bigger = unit_partition.expanded(0.33)
+        np.testing.assert_allclose(bigger.widths, 0.1)
+
+    def test_original_edges_are_subset(self, unit_partition):
+        bigger = unit_partition.expanded(0.2)
+        for edge in unit_partition.edges:
+            assert np.any(np.isclose(bigger.edges, edge))
+
+    def test_negative_margin_rejected(self, unit_partition):
+        with pytest.raises(ValidationError):
+            unit_partition.expanded(-0.1)
+
+
+class TestEquidepth:
+    def test_equal_mass(self, rng):
+        values = rng.exponential(1.0, size=10_000)
+        part = Partition.equidepth(values, 10)
+        counts = part.histogram(values)
+        # each interval holds ~10% of the sample
+        assert counts.min() > 0.08 * values.size
+        assert counts.max() < 0.12 * values.size
+
+    def test_covers_sample(self, rng):
+        values = rng.normal(0, 3, size=500)
+        part = Partition.equidepth(values, 8)
+        assert part.low == pytest.approx(values.min())
+        assert part.high == pytest.approx(values.max())
+
+    def test_ties_collapse_intervals(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        part = Partition.equidepth(values, 10)
+        assert part.n_intervals < 10  # duplicate quantiles were merged
+
+    def test_all_identical_values(self):
+        part = Partition.equidepth(np.full(50, 3.0), 5)
+        assert part.n_intervals >= 1
+        assert part.low < 3.0 < part.high
+
+    def test_rejects_zero_intervals(self):
+        with pytest.raises(ValidationError):
+            Partition.equidepth([1.0, 2.0], 0)
+
+    def test_narrow_where_dense(self, rng):
+        # density concentrated near 0: early intervals must be narrower
+        values = rng.beta(0.5, 5.0, size=20_000)
+        part = Partition.equidepth(values, 10)
+        assert part.widths[0] < part.widths[-1]
+
+
+@given(
+    low=st.floats(-1e6, 1e6),
+    span=st.floats(1e-3, 1e6),
+    m=st.integers(1, 200),
+)
+def test_property_uniform_partition_consistency(low, span, m):
+    part = Partition.uniform(low, low + span, m)
+    assert part.n_intervals == m
+    assert part.widths.min() > 0
+    # span is recomputed as high - low: allow float cancellation when
+    # |low| >> span
+    assert part.span == pytest.approx(span, rel=1e-6, abs=1e-9 * max(abs(low), 1.0))
+    # midpoints are strictly inside their intervals
+    assert np.all(part.midpoints > part.edges[:-1])
+    assert np.all(part.midpoints < part.edges[1:])
+
+
+@given(
+    values=st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+    m=st.integers(1, 30),
+)
+def test_property_locate_roundtrip(values, m):
+    """Every located value lies inside (or is clipped to) its interval."""
+    part = Partition.uniform(-100, 100, m)
+    idx = part.locate(values)
+    arr = np.asarray(values)
+    assert np.all(idx >= 0)
+    assert np.all(idx < m)
+    inside = (arr >= part.edges[idx]) & (arr < part.edges[idx + 1])
+    at_top = idx == m - 1
+    assert np.all(inside | at_top)
+
+
+@given(
+    n=st.integers(1, 200),
+    m=st.integers(1, 20),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_histogram_total(n, m, seed):
+    rng = np.random.default_rng(seed)
+    part = Partition.uniform(0, 1, m)
+    values = rng.normal(0.5, 1.0, size=n)  # may fall outside on purpose
+    assert part.histogram(values).sum() == n

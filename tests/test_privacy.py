@@ -1,0 +1,122 @@
+"""Tests for privacy quantification (paper §2.1 and the a-posteriori metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.core.privacy import (
+    noise_for_privacy,
+    posterior_privacy,
+    privacy_of_randomizer,
+)
+from repro.core.randomizers import GaussianRandomizer, UniformRandomizer
+from repro.exceptions import ValidationError
+
+
+class TestNoiseForPrivacy:
+    def test_uniform_factory(self):
+        r = noise_for_privacy("uniform", 1.0, 100.0, 0.95)
+        assert isinstance(r, UniformRandomizer)
+        assert r.half_width == pytest.approx(100.0 / 1.9)
+
+    def test_gaussian_factory(self):
+        r = noise_for_privacy("gaussian", 1.0, 100.0, 0.95)
+        assert isinstance(r, GaussianRandomizer)
+        assert r.privacy_interval_width(0.95) == pytest.approx(100.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            noise_for_privacy("laplace", 1.0, 1.0)
+
+    def test_paper_convention_100_percent(self):
+        """100% privacy: the 95% confidence interval spans the whole domain."""
+        span = 130_000.0  # salary
+        r = noise_for_privacy("uniform", 1.0, span, 0.95)
+        assert r.privacy_interval_width(0.95) == pytest.approx(span)
+
+    def test_privacy_monotone_in_level(self):
+        r_small = noise_for_privacy("uniform", 0.25, 1.0)
+        r_large = noise_for_privacy("uniform", 2.0, 1.0)
+        assert r_small.half_width < r_large.half_width
+
+
+class TestPrivacyOfRandomizer:
+    def test_roundtrip_uniform(self):
+        r = noise_for_privacy("uniform", 0.5, 60.0, 0.95)
+        assert privacy_of_randomizer(r, 60.0, 0.95) == pytest.approx(0.5)
+
+    def test_roundtrip_gaussian(self):
+        r = noise_for_privacy("gaussian", 2.0, 60.0, 0.95)
+        assert privacy_of_randomizer(r, 60.0, 0.95) == pytest.approx(2.0)
+
+    def test_confidence_matters(self):
+        r = noise_for_privacy("gaussian", 1.0, 1.0, 0.95)
+        # at higher confidence the same noise provides more privacy
+        assert privacy_of_randomizer(r, 1.0, 0.999) > 1.0
+
+    def test_rejects_bad_span(self):
+        r = UniformRandomizer(1.0)
+        with pytest.raises(ValidationError):
+            privacy_of_randomizer(r, 0.0)
+
+
+class TestPosteriorPrivacy:
+    @pytest.fixture
+    def uniform_prior(self):
+        part = Partition.uniform(0, 1, 16)
+        return HistogramDistribution.uniform(part)
+
+    def test_heavy_noise_high_privacy(self, uniform_prior):
+        result = posterior_privacy(uniform_prior, UniformRandomizer(half_width=5.0))
+        assert result.privacy_fraction > 0.9
+        assert result.privacy_loss < 0.1
+
+    def test_light_noise_low_privacy(self, uniform_prior):
+        result = posterior_privacy(uniform_prior, UniformRandomizer(half_width=0.01))
+        assert result.privacy_fraction < 0.2
+        assert result.privacy_loss > 0.8
+
+    def test_privacy_monotone_in_noise(self, uniform_prior):
+        widths = [0.05, 0.2, 0.8]
+        fractions = [
+            posterior_privacy(uniform_prior, UniformRandomizer(w)).privacy_fraction
+            for w in widths
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_mutual_information_bounds(self, uniform_prior):
+        result = posterior_privacy(uniform_prior, UniformRandomizer(0.3))
+        assert 0 <= result.mutual_information_bits <= result.prior_entropy_bits + 1e-9
+        assert 0 <= result.privacy_loss < 1
+
+    def test_concentrated_prior_already_low_entropy(self):
+        part = Partition.uniform(0, 1, 16)
+        probs = np.zeros(16)
+        probs[3] = 1.0
+        prior = HistogramDistribution(part, probs)
+        result = posterior_privacy(prior, UniformRandomizer(0.5))
+        # nothing to learn: mutual information is ~0
+        assert result.mutual_information_bits == pytest.approx(0.0, abs=1e-9)
+        assert result.prior_entropy_bits == pytest.approx(0.0, abs=1e-9)
+
+    def test_gaussian_noise_supported(self, uniform_prior):
+        result = posterior_privacy(uniform_prior, GaussianRandomizer(sigma=0.3))
+        assert 0 < result.privacy_fraction <= 1.0
+
+
+@given(
+    privacy=st.floats(0.1, 3.0),
+    span=st.floats(1.0, 1e4),
+    confidence=st.floats(0.5, 0.99),
+    kind=st.sampled_from(["uniform", "gaussian"]),
+)
+def test_property_factory_roundtrip(privacy, span, confidence, kind):
+    r = noise_for_privacy(kind, privacy, span, confidence)
+    assert privacy_of_randomizer(r, span, confidence) == pytest.approx(
+        privacy, rel=1e-8
+    )

@@ -1,0 +1,196 @@
+"""Tests for the Quest synthetic workload (paper §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import quest
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def big_table():
+    return quest.generate(30_000, function=1, seed=5)
+
+
+class TestGenerator:
+    def test_size_and_schema(self, big_table):
+        assert big_table.n_records == 30_000
+        assert big_table.attribute_names == tuple(a.name for a in quest.ATTRIBUTES)
+
+    def test_attribute_domains_respected(self, big_table):
+        for attribute in quest.ATTRIBUTES:
+            column = big_table.column(attribute.name)
+            assert column.min() >= attribute.low, attribute.name
+            assert column.max() <= attribute.high, attribute.name
+
+    def test_discrete_attributes_integral(self, big_table):
+        for name in ("elevel", "car", "zipcode", "hyears"):
+            column = big_table.column(name)
+            np.testing.assert_array_equal(column, np.round(column))
+
+    def test_commission_rule(self, big_table):
+        salary = big_table.column("salary")
+        commission = big_table.column("commission")
+        high_earners = salary >= 75_000
+        assert np.all(commission[high_earners] == 0)
+        assert np.all(commission[~high_earners] >= 10_000)
+
+    def test_hvalue_depends_on_zipcode(self, big_table):
+        zipcode = big_table.column("zipcode")
+        hvalue = big_table.column("hvalue")
+        assert np.all(hvalue >= 50_000 * zipcode - 1e-9)
+        assert np.all(hvalue <= 150_000 * zipcode + 1e-9)
+
+    def test_reproducible(self):
+        a = quest.generate(100, function=2, seed=3)
+        b = quest.generate(100, function=2, seed=3)
+        np.testing.assert_array_equal(a.matrix(), b.matrix())
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = quest.generate(100, function=2, seed=3)
+        b = quest.generate(100, function=2, seed=4)
+        assert not np.array_equal(a.matrix(), b.matrix())
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            quest.generate(0, function=1)
+
+    def test_rejects_bad_function(self):
+        with pytest.raises(ValidationError):
+            quest.generate(10, function=9)
+
+
+class TestFunctions:
+    def test_function1_exact_semantics(self, big_table):
+        age = big_table.column("age")
+        expected = ((age < 40) | (age >= 60)).astype(np.int64)
+        np.testing.assert_array_equal(big_table.labels, expected)
+
+    def test_function1_group_a_fraction(self, big_table):
+        # age ~ U[20, 80]: P(A) = P(age<40) + P(age>=60) = 2/3
+        assert big_table.labels.mean() == pytest.approx(2 / 3, abs=0.02)
+
+    @pytest.mark.parametrize("function", quest.FUNCTION_IDS)
+    def test_both_classes_present(self, function):
+        table = quest.generate(5_000, function=function, seed=1)
+        assert set(np.unique(table.labels)) == {0, 1}
+
+    @pytest.mark.parametrize("function", quest.FUNCTION_IDS)
+    def test_labels_depend_only_on_inputs(self, function):
+        """Re-deriving labels from the documented inputs must reproduce them."""
+        table = quest.generate(2_000, function=function, seed=2)
+        columns = {name: table.column(name) for name in table.attribute_names}
+        np.testing.assert_array_equal(
+            quest.classify(columns, function), table.labels
+        )
+
+    def test_function2_semantics_spot_check(self):
+        columns = {
+            "age": np.array([30.0, 30.0, 50.0, 70.0]),
+            "salary": np.array([60_000.0, 120_000.0, 100_000.0, 50_000.0]),
+        }
+        labels = quest.classify(columns, 2)
+        np.testing.assert_array_equal(labels, [1, 0, 1, 1])
+
+    def test_function3_semantics_spot_check(self):
+        columns = {
+            "age": np.array([30.0, 30.0, 50.0, 70.0]),
+            "elevel": np.array([1.0, 3.0, 2.0, 1.0]),
+        }
+        labels = quest.classify(columns, 3)
+        np.testing.assert_array_equal(labels, [1, 0, 1, 0])
+
+    def test_function5_uses_loan(self):
+        columns = {
+            "age": np.array([30.0, 30.0]),
+            "salary": np.array([60_000.0, 60_000.0]),
+            "loan": np.array([200_000.0, 450_000.0]),
+        }
+        labels = quest.classify(columns, 5)
+        np.testing.assert_array_equal(labels, [1, 0])
+
+    def test_function_inputs_registry(self):
+        assert quest.FUNCTION_INPUTS[1] == ("age",)
+        assert "loan" in quest.FUNCTION_INPUTS[5]
+        assert set(quest.FUNCTION_INPUTS) == set(quest.FUNCTION_IDS)
+
+    def test_function6_uses_total_income(self):
+        columns = {
+            "age": np.array([30.0, 30.0]),
+            "salary": np.array([40_000.0, 40_000.0]),
+            "commission": np.array([20_000.0, 70_000.0]),
+        }
+        # totals 60k (in the young window) and 110k (outside it)
+        labels = quest.classify(columns, 6)
+        np.testing.assert_array_equal(labels, [1, 0])
+
+    def test_function7_disposable_income(self):
+        columns = {
+            "salary": np.array([120_000.0, 40_000.0]),
+            "commission": np.array([0.0, 0.0]),
+            "loan": np.array([100_000.0, 400_000.0]),
+        }
+        # 0.67*120k - 0.2*100k - 20k = +40.4k ; 0.67*40k - 0.2*400k - 20k < 0
+        labels = quest.classify(columns, 7)
+        np.testing.assert_array_equal(labels, [1, 0])
+
+    def test_function7_boundary_not_group_a(self):
+        # disposable exactly zero is Group B (strict inequality)
+        salary = (20_000 + 0.2 * 100_000) / 0.67
+        columns = {
+            "salary": np.array([salary]),
+            "commission": np.array([0.0]),
+            "loan": np.array([100_000.0]),
+        }
+        assert quest.classify(columns, 7)[0] == 0
+
+
+class TestRandomize:
+    def test_labels_untouched(self, big_table):
+        randomized, _ = quest.randomize(big_table, privacy=0.5, seed=1)
+        np.testing.assert_array_equal(randomized.labels, big_table.labels)
+
+    def test_all_attributes_randomized_by_default(self, big_table):
+        randomized, randomizers = quest.randomize(big_table, privacy=0.5, seed=1)
+        assert set(randomizers) == set(big_table.attribute_names)
+        for name in big_table.attribute_names:
+            assert not np.array_equal(
+                randomized.column(name), big_table.column(name)
+            ), name
+
+    def test_subset_of_attributes(self, big_table):
+        randomized, randomizers = quest.randomize(
+            big_table, privacy=0.5, seed=1, attributes=("age",)
+        )
+        assert set(randomizers) == {"age"}
+        np.testing.assert_array_equal(
+            randomized.column("salary"), big_table.column("salary")
+        )
+
+    def test_noise_scaled_per_attribute(self, big_table):
+        _, randomizers = quest.randomize(big_table, privacy=1.0, seed=1)
+        # salary span (130k) >> age span (60): so must be the noise
+        assert randomizers["salary"].half_width > 1000 * randomizers["age"].half_width / 60
+
+    def test_gaussian_kind(self, big_table):
+        _, randomizers = quest.randomize(
+            big_table, kind="gaussian", privacy=0.5, seed=1
+        )
+        assert all(hasattr(r, "sigma") for r in randomizers.values())
+
+    def test_reproducible_with_seed(self, big_table):
+        a, _ = quest.randomize(big_table, privacy=0.5, seed=42)
+        b, _ = quest.randomize(big_table, privacy=0.5, seed=42)
+        np.testing.assert_array_equal(a.matrix(), b.matrix())
+
+
+@given(function=st.sampled_from(quest.FUNCTION_IDS), seed=st.integers(0, 999))
+def test_property_generate_valid(function, seed):
+    table = quest.generate(50, function=function, seed=seed)
+    assert table.n_records == 50
+    assert set(np.unique(table.labels)) <= {0, 1}

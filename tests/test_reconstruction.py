@@ -1,0 +1,203 @@
+"""Tests for the Bayesian reconstruction algorithm (paper §3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.core.randomizers import GaussianRandomizer, UniformRandomizer
+from repro.core.reconstruction import BayesReconstructor
+from repro.datasets import shapes
+from repro.exceptions import ConvergenceWarning, ValidationError
+
+
+@pytest.fixture
+def plateau_sample(rng):
+    density = shapes.plateau()
+    x = density.sample(6_000, seed=rng)
+    part = density.partition(20)
+    return density, x, part
+
+
+class TestConfiguration:
+    def test_rejects_bad_max_iterations(self):
+        with pytest.raises(ValidationError):
+            BayesReconstructor(max_iterations=0)
+
+    def test_rejects_bad_tol(self):
+        with pytest.raises(ValidationError):
+            BayesReconstructor(tol=0.0)
+
+    def test_rejects_bad_stopping(self):
+        with pytest.raises(ValidationError):
+            BayesReconstructor(stopping="never")
+
+    def test_rejects_bad_transition(self):
+        with pytest.raises(ValidationError):
+            BayesReconstructor(transition_method="midpoint")
+
+
+class TestRecoveryQuality:
+    def test_beats_randomized_histogram_uniform(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=1)
+        original = HistogramDistribution.from_values(x, part)
+        randomized = HistogramDistribution.from_values(w, part)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        assert result.distribution.l1_distance(original) < 0.5 * randomized.l1_distance(
+            original
+        )
+
+    def test_beats_randomized_histogram_gaussian(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = GaussianRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=2)
+        original = HistogramDistribution.from_values(x, part)
+        randomized = HistogramDistribution.from_values(w, part)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        assert result.distribution.l1_distance(original) < randomized.l1_distance(
+            original
+        )
+
+    def test_light_noise_near_perfect(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer(half_width=0.01)
+        w = noise.randomize(x, seed=3)
+        original = HistogramDistribution.from_values(x, part)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        assert result.distribution.l1_distance(original) < 0.05
+
+    def test_probs_form_simplex(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(1.0, 1.0)
+        w = noise.randomize(x, seed=4)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        probs = result.distribution.probs
+        assert probs.min() >= 0.0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_triangles_shape_recovered(self, rng):
+        density = shapes.triangles()
+        x = density.sample(8_000, seed=rng)
+        part = density.partition(20)
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=5)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        true = density.true_distribution(part)
+        assert result.distribution.l1_distance(true) < 0.25
+        # twin peaks: mass in the two bump regions dominates the middle
+        probs = result.distribution.probs
+        middle = probs[9:11].sum()
+        peaks = probs[3:6].sum() + probs[14:17].sum()
+        assert peaks > 4 * middle
+
+
+class TestStopping:
+    @pytest.mark.filterwarnings("ignore::UserWarning")
+    def test_chi2_stops_before_overfitting(self, plateau_sample):
+        """Iterating past the chi2 stop degrades the estimate (paper's point)."""
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(0.25, 1.0)
+        w = noise.randomize(x, seed=6)
+        original = HistogramDistribution.from_values(x, part)
+
+        early = BayesReconstructor(stopping="chi2").reconstruct(w, part, noise)
+        late = BayesReconstructor(
+            stopping="delta", tol=1e-12, max_iterations=400
+        ).reconstruct(w, part, noise)
+        err_early = early.distribution.l1_distance(original)
+        err_late = late.distribution.l1_distance(original)
+        assert early.n_iterations < late.n_iterations
+        assert err_early < err_late
+
+    def test_delta_stopping_converges(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(0.25, 1.0)
+        w = noise.randomize(x, seed=7)
+        result = BayesReconstructor(stopping="delta", tol=1e-3).reconstruct(
+            w, part, noise
+        )
+        assert result.converged
+        assert result.delta_history[-1] < 1e-3
+
+    def test_max_iterations_warns(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(1.0, 1.0)
+        w = noise.randomize(x, seed=8)
+        with pytest.warns(ConvergenceWarning):
+            result = BayesReconstructor(
+                stopping="delta", tol=1e-15, max_iterations=3
+            ).reconstruct(w, part, noise)
+        assert not result.converged
+        assert result.n_iterations == 3
+
+    def test_chi2_statistic_reported(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=9)
+        result = BayesReconstructor().reconstruct(w, part, noise)
+        assert np.isfinite(result.chi2_statistic)
+        assert np.isfinite(result.chi2_threshold)
+
+
+class TestEdgeCases:
+    def test_identity_when_noise_tiny(self, unit_partition):
+        x = np.repeat(unit_partition.midpoints, 50)
+        noise = UniformRandomizer(half_width=1e-6)
+        result = BayesReconstructor().reconstruct(x, unit_partition, noise)
+        empirical = HistogramDistribution.from_values(x, unit_partition)
+        assert result.distribution.l1_distance(empirical) < 1e-3
+
+    def test_point_mass_input(self, unit_partition):
+        noise = UniformRandomizer(half_width=0.05)
+        x = np.full(500, 0.55)
+        w = noise.randomize(x, seed=10)
+        result = BayesReconstructor().reconstruct(w, unit_partition, noise)
+        assert result.distribution.probs[5] > 0.6
+
+    def test_single_value(self, unit_partition):
+        noise = UniformRandomizer(half_width=0.1)
+        result = BayesReconstructor().reconstruct(
+            np.array([0.5]), unit_partition, noise
+        )
+        assert result.distribution.probs.sum() == pytest.approx(1.0)
+
+    def test_rejects_empty_input(self, unit_partition):
+        noise = UniformRandomizer(half_width=0.1)
+        with pytest.raises(ValidationError):
+            BayesReconstructor().reconstruct(np.array([]), unit_partition, noise)
+
+    def test_density_transition_also_works(self, plateau_sample):
+        density, x, part = plateau_sample
+        noise = UniformRandomizer.from_privacy(0.5, 1.0)
+        w = noise.randomize(x, seed=11)
+        original = HistogramDistribution.from_values(x, part)
+        result = BayesReconstructor(transition_method="density").reconstruct(
+            w, part, noise
+        )
+        assert result.distribution.l1_distance(original) < 0.3
+
+
+@given(
+    seed=st.integers(0, 1000),
+    privacy=st.sampled_from([0.25, 0.5, 1.0]),
+    m=st.sampled_from([10, 20]),
+)
+def test_property_reconstruction_is_simplex(seed, privacy, m):
+    rng = np.random.default_rng(seed)
+    x = rng.beta(2, 5, size=400)
+    part = Partition.uniform(0, 1, m)
+    noise = UniformRandomizer.from_privacy(privacy, 1.0)
+    w = noise.randomize(x, seed=rng)
+    result = BayesReconstructor(max_iterations=50, tol=1e-2).reconstruct(
+        w, part, noise
+    )
+    probs = result.distribution.probs
+    assert probs.min() >= 0
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+    assert result.n_iterations <= 50

@@ -1,0 +1,218 @@
+"""Cross-module scenarios beyond the Quest workload.
+
+The pipelines are schema-driven; these tests exercise them on custom
+tables (non-Quest schemas, more than two classes), combine features that
+are usually tested in isolation (pruning + serialization, equi-depth
+grids + reconstruction), and pin down behaviours a downstream user would
+rely on.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bayes import PrivacyPreservingNaiveBayes
+from repro.core import (
+    BayesReconstructor,
+    HistogramDistribution,
+    Partition,
+    StreamingReconstructor,
+    UniformRandomizer,
+)
+from repro.datasets.schema import Attribute, Table
+from repro.serialize import from_jsonable, to_jsonable
+from repro.tree import PrivacyPreservingClassifier
+from repro.utils.rng import ensure_rng
+
+warnings.filterwarnings("ignore", category=UserWarning, module="repro")
+
+
+def three_class_table(n: int, seed) -> Table:
+    """One informative attribute splitting three classes, one noise attribute."""
+    rng = ensure_rng(seed)
+    score = rng.uniform(0, 300, n)
+    noise_attr = rng.uniform(-50, 50, n)
+    labels = np.digitize(score, [100, 200])
+    schema = (Attribute("score", 0, 300), Attribute("hum", -50, 50))
+    return Table({"score": score, "hum": noise_attr}, labels, schema)
+
+
+def two_attr_table(n: int, seed) -> Table:
+    """A small custom workload: loan approval from income and debt."""
+    rng = ensure_rng(seed)
+    income = rng.uniform(10_000, 200_000, n)
+    debt = rng.uniform(0, 100_000, n)
+    labels = ((income > 80_000) & (debt < 60_000)).astype(int)
+    schema = (Attribute("income", 10_000, 200_000), Attribute("debt", 0, 100_000))
+    return Table({"income": income, "debt": debt}, labels, schema)
+
+
+class TestMultiClass:
+    def test_original_three_classes(self):
+        train = three_class_table(3_000, 1)
+        test = three_class_table(1_000, 2)
+        clf = PrivacyPreservingClassifier("original").fit(train)
+        assert clf.score(test) > 0.95
+        assert set(np.unique(clf.predict(test))) == {0, 1, 2}
+
+    def test_byclass_three_classes(self):
+        train = three_class_table(6_000, 3)
+        test = three_class_table(1_500, 4)
+        clf = PrivacyPreservingClassifier("byclass", privacy=0.5, seed=5).fit(train)
+        assert clf.score(test) > 0.8
+        # reconstructions recorded for all three classes
+        assert set(clf.reconstructions_["score"]) == {0, 1, 2}
+
+    def test_naive_bayes_three_classes(self):
+        train = three_class_table(6_000, 6)
+        test = three_class_table(1_500, 7)
+        model = PrivacyPreservingNaiveBayes("byclass", privacy=0.5, seed=8).fit(train)
+        assert model.score(test) > 0.8
+
+    def test_randomized_baseline_degrades_most(self):
+        train = three_class_table(6_000, 9)
+        test = three_class_table(1_500, 10)
+        byclass = PrivacyPreservingClassifier(
+            "byclass", privacy=2.0, seed=11
+        ).fit(train).score(test)
+        randomized = PrivacyPreservingClassifier(
+            "randomized", privacy=2.0, seed=11
+        ).fit(train).score(test)
+        assert byclass > randomized
+
+
+class TestCustomSchema:
+    def test_full_pipeline_on_custom_table(self):
+        train = two_attr_table(6_000, 20)
+        test = two_attr_table(1_500, 21)
+        for strategy in ("original", "randomized", "global", "byclass"):
+            clf = PrivacyPreservingClassifier(strategy, privacy=0.5, seed=22)
+            clf.fit(train)
+            assert clf.score(test) > 0.6, strategy
+
+    def test_perturbing_one_attribute_only(self):
+        train = two_attr_table(4_000, 23)
+        test = two_attr_table(1_200, 24)
+        clf = PrivacyPreservingClassifier(
+            "byclass", privacy=1.0, seed=25, attributes=("income",)
+        ).fit(train)
+        # debt is disclosed exactly, so accuracy stays high
+        assert clf.score(test) > 0.85
+        np.testing.assert_array_equal(
+            clf.randomized_table_.column("debt"), train.column("debt")
+        )
+
+    def test_valueclass_on_custom_table(self):
+        train = two_attr_table(4_000, 26)
+        test = two_attr_table(1_200, 27)
+        clf = PrivacyPreservingClassifier(
+            "valueclass", privacy=0.2, seed=28
+        ).fit(train)
+        assert clf.score(test) > 0.8
+
+
+class TestFeatureCombinations:
+    def test_pruned_tree_serialization_roundtrip(self):
+        train = two_attr_table(4_000, 30)
+        test = two_attr_table(1_200, 31)
+        clf = PrivacyPreservingClassifier(
+            "byclass", privacy=0.5, seed=32, prune_fraction=0.2
+        ).fit(train)
+        clone = from_jsonable(to_jsonable(clf.tree_))
+        matrix = np.column_stack([test.column("income"), test.column("debt")])
+        np.testing.assert_array_equal(
+            clone.predict(matrix), clf.tree_.predict(matrix)
+        )
+
+    def test_reconstruction_on_equidepth_grid(self, rng):
+        """Equi-depth grids concentrate resolution where the data is."""
+        x = rng.beta(2, 8, size=8_000)  # heavily left-skewed
+        noise = UniformRandomizer.from_privacy(0.25, 1.0)
+        w = noise.randomize(x, seed=rng)
+        equidepth = Partition.equidepth(x, 20)
+        result = BayesReconstructor().reconstruct(w, equidepth, noise)
+        truth = HistogramDistribution.from_values(x, equidepth)
+        assert result.distribution.l1_distance(truth) < 0.35
+
+    def test_streaming_with_custom_partition(self, rng):
+        part = Partition(np.array([0.0, 0.1, 0.3, 0.6, 1.0]))  # non-uniform
+        noise = UniformRandomizer(0.1)
+        stream = StreamingReconstructor(part, noise)
+        x = rng.uniform(0.3, 0.6, 2_000)
+        stream.update(noise.randomize(x, seed=rng))
+        result = stream.estimate()
+        assert result.distribution.probs[2] > 0.6
+
+    def test_local_strategy_on_custom_table(self):
+        train = two_attr_table(4_000, 33)
+        test = two_attr_table(1_200, 34)
+        local = PrivacyPreservingClassifier(
+            "local", privacy=0.5, seed=35
+        ).fit(train)
+        byclass = PrivacyPreservingClassifier(
+            "byclass", privacy=0.5, seed=35
+        ).fit(train)
+        assert abs(local.score(test) - byclass.score(test)) < 0.12
+
+    def test_affine_invariance_of_byclass(self):
+        """Metamorphic: rescaling an attribute's domain and data together
+        must leave every prediction unchanged (noise, grids, and splits
+        all scale with the domain span)."""
+        rng = ensure_rng(40)
+        income = rng.uniform(0, 1, 3_000)
+        labels = (income > 0.6).astype(int)
+
+        def build(scale, shift):
+            schema = (Attribute("income", shift, shift + scale),)
+            return Table({"income": shift + scale * income}, labels, schema)
+
+        preds = []
+        for scale, shift in ((1.0, 0.0), (50_000.0, 10_000.0)):
+            train = build(scale, shift)
+            clf = PrivacyPreservingClassifier(
+                "byclass", privacy=0.5, seed=41
+            ).fit(train)
+            test_values = shift + scale * np.linspace(0.01, 0.99, 200)
+            test = Table(
+                {"income": test_values},
+                np.zeros(200, dtype=int),
+                (Attribute("income", shift, shift + scale),),
+            )
+            preds.append(clf.predict(test))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+    def test_nan_columns_rejected(self):
+        with pytest.raises(Exception):
+            Table(
+                {"a": [1.0, float("nan")]},
+                [0, 1],
+                (Attribute("a", 0, 2),),
+            )
+
+    def test_unknown_randomizer_keys_rejected(self):
+        train = two_attr_table(500, 42)
+        from repro.core import UniformRandomizer as UR
+
+        clf = PrivacyPreservingClassifier("byclass", privacy=0.5)
+        with pytest.raises(Exception):
+            clf.fit(
+                train,
+                randomized_table=train,
+                randomizers={"unknown_attr": UR(1.0)},
+            )
+
+    def test_reproducibility_across_full_pipeline(self):
+        train = two_attr_table(2_000, 36)
+        test = two_attr_table(500, 37)
+        runs = [
+            PrivacyPreservingClassifier(
+                "byclass", privacy=1.0, seed=38, prune_fraction=0.15
+            )
+            .fit(train)
+            .predict(test)
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0], runs[1])

@@ -1,0 +1,120 @@
+"""Tests for attribute metadata and the Table container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import Attribute, Table
+from repro.exceptions import SchemaError, ValidationError
+
+
+@pytest.fixture
+def tiny_table():
+    schema = (Attribute("a", 0, 10), Attribute("b", 0, 4, discrete=True))
+    columns = {"a": [1.0, 5.0, 9.0, 2.0], "b": [0, 1, 4, 2]}
+    return Table(columns, [0, 1, 0, 1], schema)
+
+
+class TestAttribute:
+    def test_span(self):
+        assert Attribute("x", 20, 80).span == 60
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            Attribute("x", 10, 10)
+        with pytest.raises(ValidationError):
+            Attribute("x", 10, 5)
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(ValidationError):
+            Attribute("x", 0, float("inf"))
+
+    def test_continuous_partition(self):
+        part = Attribute("x", 0, 10).partition(5)
+        assert part.n_intervals == 5
+        assert part.low == 0 and part.high == 10
+
+    def test_discrete_partition_caps_intervals(self):
+        attr = Attribute("elevel", 0, 4, discrete=True)
+        part = attr.partition(25)
+        assert part.n_intervals == 5  # one per value
+        # integer values sit at interval midpoints
+        np.testing.assert_allclose(part.midpoints, [0, 1, 2, 3, 4])
+
+    def test_discrete_partition_smaller_request(self):
+        attr = Attribute("hyears", 1, 30, discrete=True)
+        part = attr.partition(10)
+        assert part.n_intervals == 10
+
+
+class TestTable:
+    def test_basic_properties(self, tiny_table):
+        assert tiny_table.n_records == 4
+        assert tiny_table.attribute_names == ("a", "b")
+        assert tiny_table.n_classes == 2
+        assert len(tiny_table) == 4
+
+    def test_column_access(self, tiny_table):
+        np.testing.assert_allclose(tiny_table.column("a"), [1, 5, 9, 2])
+
+    def test_unknown_column_rejected(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.column("z")
+
+    def test_attribute_lookup(self, tiny_table):
+        assert tiny_table.attribute("b").discrete
+
+    def test_unknown_attribute_rejected(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.attribute("z")
+
+    def test_matrix_order(self, tiny_table):
+        matrix = tiny_table.matrix()
+        assert matrix.shape == (4, 2)
+        np.testing.assert_allclose(matrix[:, 0], [1, 5, 9, 2])
+
+    def test_subset_by_mask(self, tiny_table):
+        sub = tiny_table.subset(tiny_table.labels == 1)
+        assert sub.n_records == 2
+        np.testing.assert_allclose(sub.column("a"), [5, 2])
+
+    def test_subset_by_indices(self, tiny_table):
+        sub = tiny_table.subset(np.array([2, 0]))
+        np.testing.assert_allclose(sub.column("a"), [9, 1])
+
+    def test_subset_is_copy(self, tiny_table):
+        sub = tiny_table.subset(np.array([0]))
+        sub.column("a")[0] = 99
+        assert tiny_table.column("a")[0] == 1
+
+    def test_with_columns(self, tiny_table):
+        replaced = tiny_table.with_columns({"a": [0.0, 0.0, 0.0, 0.0]})
+        assert replaced.column("a").sum() == 0
+        assert tiny_table.column("a").sum() == 17  # original untouched
+
+    def test_with_columns_unknown_rejected(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.with_columns({"z": [1, 2, 3, 4]})
+
+    def test_class_split(self, tiny_table):
+        parts = tiny_table.class_split()
+        assert set(parts) == {0, 1}
+        assert parts[0].n_records == 2
+        assert np.all(parts[1].labels == 1)
+
+    def test_mismatched_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": [1.0]}, [0], (Attribute("b", 0, 1),))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": [1.0, 2.0]}, [0], (Attribute("a", 0, 1),))
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            Table({"a": [1.0]}, [[0]], (Attribute("a", 0, 1),))
+
+    def test_empty_table_n_classes(self):
+        table = Table({"a": []}, [], (Attribute("a", 0, 1),))
+        assert table.n_classes == 0

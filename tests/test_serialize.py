@@ -1,0 +1,110 @@
+"""Tests for JSON serialization of models and distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayes import NaiveBayesClassifier
+from repro.core.histogram import HistogramDistribution
+from repro.core.partition import Partition
+from repro.exceptions import NotFittedError, ValidationError
+from repro.serialize import from_jsonable, load, save, to_jsonable
+from repro.tree import DecisionTreeClassifier
+
+
+@pytest.fixture
+def fitted_tree(rng):
+    x = rng.random((500, 2))
+    y = ((x[:, 0] > 0.5) ^ (x[:, 1] > 0.5)).astype(int)
+    tree = DecisionTreeClassifier(
+        [Partition.uniform(0, 1, 10), Partition.uniform(0, 1, 10)],
+        attribute_names=["a", "b"],
+    )
+    return tree.fit(x, y), x, y
+
+
+@pytest.fixture
+def fitted_nb(rng):
+    x = rng.random((500, 1))
+    y = (x[:, 0] > 0.5).astype(int)
+    model = NaiveBayesClassifier([Partition.uniform(0, 1, 10)]).fit(x, y)
+    return model, x, y
+
+
+class TestPartitionRoundtrip:
+    def test_roundtrip(self, unit_partition):
+        clone = from_jsonable(to_jsonable(unit_partition))
+        np.testing.assert_allclose(clone.edges, unit_partition.edges)
+
+    def test_json_safe(self, unit_partition):
+        import json
+
+        json.dumps(to_jsonable(unit_partition))  # must not raise
+
+
+class TestHistogramRoundtrip:
+    def test_roundtrip(self, unit_partition):
+        dist = HistogramDistribution(unit_partition, np.full(10, 0.1))
+        clone = from_jsonable(to_jsonable(dist))
+        np.testing.assert_allclose(clone.probs, dist.probs)
+        np.testing.assert_allclose(clone.partition.edges, unit_partition.edges)
+
+
+class TestTreeRoundtrip:
+    def test_predictions_identical(self, fitted_tree):
+        tree, x, y = fitted_tree
+        clone = from_jsonable(to_jsonable(tree))
+        np.testing.assert_array_equal(clone.predict(x), tree.predict(x))
+
+    def test_structure_preserved(self, fitted_tree):
+        tree, _, _ = fitted_tree
+        clone = from_jsonable(to_jsonable(tree))
+        assert clone.n_nodes == tree.n_nodes
+        assert clone.depth == tree.depth
+        assert clone.attribute_names == tree.attribute_names
+
+    def test_unfitted_rejected(self):
+        tree = DecisionTreeClassifier([Partition.uniform(0, 1, 4)])
+        with pytest.raises(NotFittedError):
+            to_jsonable(tree)
+
+    def test_file_roundtrip(self, fitted_tree, tmp_path):
+        tree, x, _ = fitted_tree
+        path = tmp_path / "tree.json"
+        save(tree, path)
+        clone = load(path)
+        np.testing.assert_array_equal(clone.predict(x), tree.predict(x))
+
+
+class TestNaiveBayesRoundtrip:
+    def test_predictions_identical(self, fitted_nb):
+        model, x, _ = fitted_nb
+        clone = from_jsonable(to_jsonable(model))
+        np.testing.assert_array_equal(clone.predict(x), model.predict(x))
+
+    def test_unfitted_rejected(self):
+        model = NaiveBayesClassifier([Partition.uniform(0, 1, 4)])
+        with pytest.raises(NotFittedError):
+            to_jsonable(model)
+
+    def test_file_roundtrip(self, fitted_nb, tmp_path):
+        model, x, _ = fitted_nb
+        path = tmp_path / "nb.json"
+        save(model, path)
+        clone = load(path)
+        np.testing.assert_array_equal(clone.predict(x), model.predict(x))
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            to_jsonable(object())
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            from_jsonable({"not": "a snapshot"})
+        with pytest.raises(ValidationError):
+            from_jsonable({"kind": "hologram"})
+        with pytest.raises(ValidationError):
+            from_jsonable("not even a dict")

@@ -1,0 +1,136 @@
+"""Tests for the piecewise-linear shape densities (paper §3 figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.histogram import HistogramDistribution
+from repro.datasets import shapes
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_rejects_unsorted_knots(self):
+        with pytest.raises(ValidationError):
+            shapes.PiecewiseLinearDensity([0, 2, 1], [1, 1, 1])
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValidationError):
+            shapes.PiecewiseLinearDensity([0, 1, 2], [1, -1, 1])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValidationError):
+            shapes.PiecewiseLinearDensity([0, 1], [0, 0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            shapes.PiecewiseLinearDensity([0, 1, 2], [1, 1])
+
+    def test_normalization(self):
+        density = shapes.PiecewiseLinearDensity([0, 1], [5, 5])
+        grid = np.linspace(0, 1, 1001)
+        assert np.trapezoid(density.pdf(grid), grid) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPdfCdf:
+    @pytest.mark.parametrize("factory", [shapes.plateau, shapes.triangles])
+    def test_cdf_limits(self, factory):
+        density = factory()
+        assert density.cdf(density.low) == pytest.approx(0.0)
+        assert density.cdf(density.high) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("factory", [shapes.plateau, shapes.triangles])
+    def test_cdf_monotone(self, factory):
+        density = factory()
+        grid = np.linspace(density.low, density.high, 500)
+        assert np.all(np.diff(density.cdf(grid)) >= -1e-12)
+
+    @pytest.mark.parametrize("factory", [shapes.plateau, shapes.triangles])
+    def test_cdf_matches_pdf_integral(self, factory):
+        density = factory()
+        grid = np.linspace(density.low, density.high, 5001)
+        numeric = np.concatenate(
+            [[0.0], np.cumsum(np.diff(grid) * 0.5 * (density.pdf(grid)[1:] + density.pdf(grid)[:-1]))]
+        )
+        np.testing.assert_allclose(density.cdf(grid), numeric, atol=1e-6)
+
+    def test_pdf_zero_outside_support(self):
+        density = shapes.plateau()
+        assert density.pdf(-1.0) == 0.0
+        assert density.pdf(2.0) == 0.0
+
+    def test_interval_probs_sum_to_one(self, unit_partition):
+        density = shapes.plateau()
+        probs = density.interval_probs(unit_partition)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_scaling_to_other_domains(self):
+        density = shapes.plateau(low=20, high=80)
+        assert density.low == 20
+        assert density.high == 80
+        assert density.cdf(80) == pytest.approx(1.0)
+
+
+class TestSampling:
+    @pytest.mark.parametrize("factory", [shapes.plateau, shapes.triangles])
+    def test_samples_within_support(self, factory):
+        density = factory()
+        samples = density.sample(5_000, seed=0)
+        assert samples.min() >= density.low
+        assert samples.max() <= density.high
+
+    @pytest.mark.parametrize("factory", [shapes.plateau, shapes.triangles])
+    def test_samples_match_density(self, factory):
+        density = factory()
+        part = density.partition(25)
+        samples = density.sample(60_000, seed=1)
+        empirical = HistogramDistribution.from_values(samples, part)
+        true = density.true_distribution(part)
+        assert empirical.l1_distance(true) < 0.03
+
+    def test_zero_samples(self):
+        assert shapes.plateau().sample(0, seed=0).size == 0
+
+    def test_reproducible(self):
+        density = shapes.triangles()
+        np.testing.assert_array_equal(
+            density.sample(100, seed=5), density.sample(100, seed=5)
+        )
+
+    def test_plateau_flat_top(self):
+        """The plateau's flat region has (roughly) constant density."""
+        density = shapes.plateau()
+        samples = density.sample(100_000, seed=2)
+        inside = samples[(samples >= 0.4) & (samples < 0.6)]
+        left = ((samples >= 0.4) & (samples < 0.5)).sum()
+        right = ((samples >= 0.5) & (samples < 0.6)).sum()
+        assert inside.size > 0
+        assert abs(left - right) / inside.size < 0.05
+
+    def test_triangles_bimodal(self):
+        density = shapes.triangles()
+        samples = density.sample(50_000, seed=3)
+        middle = ((samples > 0.45) & (samples < 0.55)).mean()
+        peak = ((samples > 0.2) & (samples < 0.3)).mean()
+        assert peak > 5 * max(middle, 1e-9)
+
+
+@given(
+    knot_ys=st.lists(st.floats(0.0, 10.0), min_size=3, max_size=8).filter(
+        lambda ys: sum(ys) > 0.5
+    ),
+    seed=st.integers(0, 10_000),
+)
+def test_property_sampling_consistency(knot_ys, seed):
+    xs = np.linspace(0, 1, len(knot_ys))
+    density = shapes.PiecewiseLinearDensity(xs, knot_ys)
+    samples = density.sample(300, seed=seed)
+    assert samples.shape == (300,)
+    assert samples.min() >= 0.0
+    assert samples.max() <= 1.0
+    # samples should concentrate where the density is positive
+    cdf_vals = density.cdf(samples)
+    assert np.all((cdf_vals >= 0) & (cdf_vals <= 1))

@@ -1,0 +1,110 @@
+"""Tests for incremental (streaming) reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BayesReconstructor, UniformRandomizer
+from repro.core.streaming import StreamingReconstructor
+from repro.datasets import shapes
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def setup():
+    density = shapes.plateau()
+    part = density.partition(16)
+    noise = UniformRandomizer.from_privacy(0.5, 1.0)
+    return density, part, noise
+
+
+class TestBasics:
+    def test_requires_data_before_estimate(self, setup):
+        density, part, noise = setup
+        stream = StreamingReconstructor(part, noise)
+        with pytest.raises(ValidationError):
+            stream.estimate()
+
+    def test_rejects_bad_stopping(self, setup):
+        density, part, noise = setup
+        with pytest.raises(ValidationError):
+            StreamingReconstructor(part, noise, stopping="sometimes")
+
+    def test_n_seen_accumulates(self, setup):
+        density, part, noise = setup
+        stream = StreamingReconstructor(part, noise)
+        stream.update(np.zeros(10))
+        stream.update(np.zeros(7))
+        stream.update([])  # empty batches are fine
+        assert stream.n_seen == 17
+
+    def test_reset(self, setup):
+        density, part, noise = setup
+        stream = StreamingReconstructor(part, noise)
+        stream.update(np.full(100, 0.5))
+        stream.estimate()
+        stream.reset()
+        assert stream.n_seen == 0
+        with pytest.raises(ValidationError):
+            stream.estimate()
+
+    def test_update_returns_self_for_chaining(self, setup):
+        density, part, noise = setup
+        stream = StreamingReconstructor(part, noise)
+        assert stream.update([0.5]) is stream
+
+
+class TestEquivalence:
+    def test_matches_batch_reconstruction(self, setup):
+        """Stream-fed reconstruction equals one-shot batch reconstruction."""
+        density, part, noise = setup
+        x = density.sample(6_000, seed=1)
+        w = noise.randomize(x, seed=2)
+
+        batch_result = BayesReconstructor(
+            stopping="delta", tol=1e-6, max_iterations=2000
+        ).reconstruct(w, part, noise)
+
+        stream = StreamingReconstructor(
+            part, noise, stopping="delta", tol=1e-6, max_iterations=2000
+        )
+        for chunk in np.array_split(w, 7):
+            stream.update(chunk)
+        stream_result = stream.estimate()
+
+        assert batch_result.distribution.l1_distance(stream_result.distribution) < 1e-3
+
+    def test_estimate_improves_with_data(self, setup):
+        density, part, noise = setup
+        true = density.true_distribution(part)
+        stream = StreamingReconstructor(part, noise)
+        rng = np.random.default_rng(3)
+
+        stream.update(noise.randomize(density.sample(200, seed=rng), seed=rng))
+        early_error = stream.estimate().distribution.l1_distance(true)
+        stream.update(noise.randomize(density.sample(20_000, seed=rng), seed=rng))
+        late_error = stream.estimate().distribution.l1_distance(true)
+        assert late_error < early_error
+
+    def test_warm_start_converges_fast(self, setup):
+        """Refreshing on a stable stream needs far fewer sweeps."""
+        density, part, noise = setup
+        rng = np.random.default_rng(4)
+        stream = StreamingReconstructor(part, noise, stopping="delta", tol=1e-4)
+        stream.update(noise.randomize(density.sample(10_000, seed=rng), seed=rng))
+        first = stream.estimate()
+        stream.update(noise.randomize(density.sample(500, seed=rng), seed=rng))
+        second = stream.estimate()
+        assert second.n_iterations <= first.n_iterations
+
+    def test_simplex_maintained(self, setup):
+        density, part, noise = setup
+        stream = StreamingReconstructor(part, noise)
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            stream.update(noise.randomize(density.sample(300, seed=rng), seed=rng))
+            result = stream.estimate()
+            probs = result.distribution.probs
+            assert probs.min() >= 0
+            assert probs.sum() == pytest.approx(1.0)

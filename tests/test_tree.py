@@ -1,0 +1,287 @@
+"""Tests for the interval-based decision tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import Partition
+from repro.exceptions import NotFittedError, ValidationError
+from repro.tree.tree import DecisionTreeClassifier, TreeNode
+
+
+def make_tree(n_attrs=1, m=10, **kwargs):
+    return DecisionTreeClassifier(
+        [Partition.uniform(0, 1, m) for _ in range(n_attrs)], **kwargs
+    )
+
+
+@pytest.fixture
+def xor_data(rng):
+    """Two attributes; class = XOR of halves — needs depth 2."""
+    x = rng.random((2_000, 2))
+    y = ((x[:, 0] > 0.5) ^ (x[:, 1] > 0.5)).astype(int)
+    return x, y
+
+
+class TestConfiguration:
+    def test_requires_partitions(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier([])
+
+    def test_rejects_non_partition(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier([np.array([0, 1])])
+
+    def test_rejects_bad_criterion(self):
+        with pytest.raises(ValidationError):
+            make_tree(criterion="mse")
+
+    def test_rejects_bad_min_split(self):
+        with pytest.raises(ValidationError):
+            make_tree(min_records_split=1)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValidationError):
+            make_tree(max_depth=-1)
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValidationError):
+            make_tree(n_attrs=2, attribute_names=["only-one"])
+
+
+class TestFitting:
+    def test_simple_threshold(self):
+        tree = make_tree()
+        x = np.linspace(0, 0.999, 200)[:, None]
+        y = (x[:, 0] >= 0.5).astype(int)
+        tree.fit(x, y)
+        assert tree.root_.attribute_index == 0
+        assert tree.root_.threshold == pytest.approx(0.5)
+        assert tree.score(x, y) == 1.0
+
+    def test_xor_needs_two_levels(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2)
+        tree.fit(x, y)
+        assert tree.depth >= 2
+        assert tree.score(x, y) > 0.95
+
+    def test_pure_labels_give_leaf(self):
+        tree = make_tree()
+        tree.fit(np.random.default_rng(0).random((50, 1)), np.zeros(50, dtype=int))
+        assert tree.root_.is_leaf
+        assert tree.root_.prediction == 0
+
+    def test_max_depth_zero_gives_stump(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2, max_depth=0)
+        tree.fit(x, y)
+        assert tree.root_.is_leaf
+
+    def test_min_records_split_respected(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2, min_records_split=10_000)
+        tree.fit(x, y)
+        assert tree.root_.is_leaf
+
+    def test_min_gain_blocks_marginal_splits(self, rng):
+        x = rng.random((500, 1))
+        y = rng.integers(0, 2, 500)  # pure noise
+        tree = make_tree(min_gain=0.01)
+        tree.fit(x, y)
+        assert tree.n_nodes <= 3
+
+    def test_multiclass(self, rng):
+        x = rng.random((900, 1))
+        y = np.digitize(x[:, 0], [1 / 3, 2 / 3])
+        tree = make_tree(m=30)
+        tree.fit(x, y)
+        assert tree.n_classes_ == 3
+        assert tree.score(x, y) > 0.95
+
+    def test_fit_intervals_direct(self):
+        tree = make_tree(m=4)
+        intervals = np.array([[0], [1], [2], [3]] * 20)
+        labels = (intervals[:, 0] >= 2).astype(int)
+        tree.fit_intervals(intervals, labels)
+        assert tree.score(np.array([[0.1], [0.9]]), np.array([0, 1])) == 1.0
+
+    def test_fit_empty_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValidationError):
+            tree.fit(np.empty((0, 1)), np.empty(0, dtype=int))
+
+    def test_fit_wrong_width_rejected(self):
+        tree = make_tree(n_attrs=2)
+        with pytest.raises(ValidationError):
+            tree.fit(np.zeros((5, 3)), np.zeros(5, dtype=int))
+
+    def test_transformer_requires_raw(self):
+        tree = make_tree()
+        with pytest.raises(ValidationError):
+            tree.fit_intervals(
+                np.zeros((5, 1), dtype=int),
+                np.zeros(5, dtype=int),
+                node_transformer=lambda *a: a[2],
+            )
+
+    def test_node_transformer_receives_used_attributes(self, xor_data):
+        x, y = xor_data
+        seen_used = []
+
+        def transformer(raw, labels, intervals, used):
+            seen_used.append(used)
+            return intervals
+
+        tree = make_tree(n_attrs=2)
+        tree.fit_intervals(
+            tree.locate(x), y, raw_values=x, node_transformer=transformer
+        )
+        assert seen_used  # called at non-root nodes
+        assert all(isinstance(u, frozenset) for u in seen_used)
+        assert any(len(u) >= 1 for u in seen_used)
+
+
+class TestPrediction:
+    def test_not_fitted_raises(self):
+        tree = make_tree()
+        with pytest.raises(NotFittedError):
+            tree.predict(np.zeros((1, 1)))
+        with pytest.raises(NotFittedError):
+            _ = tree.n_nodes
+
+    def test_predict_shape(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2)
+        tree.fit(x, y)
+        assert tree.predict(x[:17]).shape == (17,)
+
+    def test_predict_wrong_width_rejected(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2)
+        tree.fit(x, y)
+        with pytest.raises(ValidationError):
+            tree.predict(np.zeros((3, 5)))
+
+    def test_out_of_domain_values_routed(self):
+        tree = make_tree()
+        x = np.linspace(0, 0.999, 100)[:, None]
+        y = (x[:, 0] >= 0.5).astype(int)
+        tree.fit(x, y)
+        preds = tree.predict(np.array([[-10.0], [10.0]]))
+        np.testing.assert_array_equal(preds, [0, 1])
+
+    def test_export_text(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(
+            n_attrs=2, attribute_names=["alpha", "beta"], max_depth=3
+        )
+        tree.fit(x, y)
+        text = tree.export_text()
+        assert "alpha" in text or "beta" in text
+        assert "predict" in text
+
+    def test_node_counts_consistent(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2)
+        tree.fit(x, y)
+        # internal node counts equal the sum of their children's
+        stack = [tree.root_]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                total = node.left.class_counts + node.right.class_counts
+                np.testing.assert_allclose(node.class_counts, total)
+                stack.extend((node.left, node.right))
+
+
+class TestPruning:
+    def test_noise_tree_collapses(self, rng):
+        """A tree grown on pure noise prunes back to (almost) a stump."""
+        x = rng.random((2_000, 2))
+        y = rng.integers(0, 2, 2_000)
+        tree = make_tree(n_attrs=2, min_records_split=20)
+        tree.fit(x[:1_500], y[:1_500])
+        grown = tree.n_nodes
+        removed = tree.prune(x[1_500:], y[1_500:])
+        assert removed > 0
+        # reduced-error pruning can keep chance-lucky subtrees, but the
+        # bulk of a noise-fitted tree must go
+        assert tree.n_nodes < 0.5 * grown
+
+    def test_signal_tree_survives(self, rng):
+        x = rng.random((2_000, 1))
+        y = (x[:, 0] > 0.5).astype(int)
+        tree = make_tree()
+        tree.fit(x[:1_500], y[:1_500])
+        tree.prune(x[1_500:], y[1_500:])
+        assert tree.depth >= 1  # the real split stays
+        assert tree.score(x[1_500:], y[1_500:]) > 0.95
+
+    def test_prune_never_hurts_validation_accuracy(self, xor_data, rng):
+        x, y = xor_data
+        hold = rng.random((500, 2))
+        hold_y = ((hold[:, 0] > 0.5) ^ (hold[:, 1] > 0.5)).astype(int)
+        tree = make_tree(n_attrs=2, min_records_split=5)
+        tree.fit(x, y)
+        before = tree.score(hold, hold_y)
+        tree.prune(hold, hold_y)
+        assert tree.score(hold, hold_y) >= before - 1e-12
+
+    def test_prune_requires_fit(self):
+        tree = make_tree()
+        with pytest.raises(NotFittedError):
+            tree.prune(np.zeros((1, 1)), np.zeros(1, dtype=int))
+
+    def test_prune_validates_shapes(self, xor_data):
+        x, y = xor_data
+        tree = make_tree(n_attrs=2)
+        tree.fit(x, y)
+        with pytest.raises(ValidationError):
+            tree.prune(np.zeros((3, 5)), np.zeros(3, dtype=int))
+        with pytest.raises(ValidationError):
+            tree.prune(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_unseen_branches_collapse(self, rng):
+        """Branches no validation record reaches are pruned away."""
+        x = rng.random((1_000, 1))
+        y = (x[:, 0] > 0.5).astype(int)
+        tree = make_tree(min_records_split=5)
+        tree.fit(x, y)
+        # validation set confined to [0, 0.4]: the right subtree is unseen
+        hold = rng.random((200, 1)) * 0.4
+        tree.prune(hold, np.zeros(200, dtype=int))
+        assert tree.root_.is_leaf or tree.root_.right.is_leaf
+
+
+class TestTreeNode:
+    def test_leaf_properties(self):
+        node = TreeNode(class_counts=np.array([3.0, 7.0]), depth=0)
+        assert node.is_leaf
+        assert node.prediction == 1
+        assert node.n_records == 10
+
+    def test_tie_breaks_to_lower_label(self):
+        node = TreeNode(class_counts=np.array([5.0, 5.0]), depth=0)
+        assert node.prediction == 0
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    threshold=st.floats(0.15, 0.85),
+    n=st.integers(50, 400),
+)
+def test_property_single_split_recovery(seed, threshold, n):
+    """A tree must recover any single-threshold concept up to grid error."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, 1))
+    y = (x[:, 0] >= threshold).astype(int)
+    if len(np.unique(y)) < 2:
+        return
+    tree = DecisionTreeClassifier([Partition.uniform(0, 1, 40)])
+    tree.fit(x, y)
+    # training accuracy only limited by the 1/40 grid
+    assert tree.score(x, y) >= 0.9

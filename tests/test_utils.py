@@ -1,0 +1,132 @@
+"""Tests for RNG plumbing and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_1d_array,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValidationError):
+            ensure_rng(-1)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("seed")
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+
+    def test_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic_given_seed(self):
+        a1, _ = spawn_rngs(3, 2)
+        a2, _ = spawn_rngs(3, 2)
+        np.testing.assert_array_equal(a1.random(5), a2.random(5))
+
+
+class TestValidation:
+    def test_check_1d_array_coerces_lists(self):
+        arr = check_1d_array([1, 2, 3])
+        assert arr.dtype == float
+
+    def test_check_1d_array_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_1d_array(np.zeros((2, 2)))
+
+    def test_check_1d_array_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_1d_array([])
+
+    def test_check_1d_array_allows_empty_when_asked(self):
+        assert check_1d_array([], allow_empty=True).size == 0
+
+    def test_check_1d_array_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_1d_array([1.0, float("nan")])
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_fraction(0.0)
+        assert check_fraction(0.0, inclusive_low=True) == 0.0
+        with pytest.raises(ValidationError):
+            check_fraction(1.5)
+
+    def test_check_positive(self):
+        assert check_positive(2) == 2.0
+        with pytest.raises(ValidationError):
+            check_positive(0)
+        with pytest.raises(ValidationError):
+            check_positive(float("inf"))
+
+    def test_check_probability_vector_normalizes_noise(self):
+        probs = check_probability_vector([0.5, 0.5 + 1e-9])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_check_probability_vector_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([-0.5, 1.5])
+
+    def test_check_probability_vector_rejects_bad_total(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.2, 0.2])
+
+
+class TestExceptionHierarchy:
+    def test_validation_is_repro_and_value_error(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(ValidationError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+        assert issubclass(NotFittedError, ReproError)
+
+    def test_schema_error(self):
+        assert issubclass(SchemaError, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            check_positive(-1)
