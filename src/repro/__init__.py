@@ -22,10 +22,14 @@ from repro.core import (
     BayesReconstructor,
     BreachAnalysis,
     EMReconstructor,
+    EngineConfig,
     GaussianRandomizer,
     HistogramDistribution,
+    KernelCache,
     NullRandomizer,
     Partition,
+    ReconstructionEngine,
+    ReconstructionProblem,
     ReconstructionResult,
     StreamingReconstructor,
     UniformRandomizer,
@@ -49,6 +53,10 @@ __all__ = [
     "NullRandomizer",
     "BayesReconstructor",
     "EMReconstructor",
+    "EngineConfig",
+    "KernelCache",
+    "ReconstructionEngine",
+    "ReconstructionProblem",
     "StreamingReconstructor",
     "ReconstructionResult",
     "correct_records",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import reconstruct_problems
 from repro.core.histogram import HistogramDistribution
 from repro.core.partition import Partition
 from repro.core.privacy import noise_for_privacy
@@ -259,25 +260,27 @@ class PrivacyPreservingNaiveBayes:
         priors = np.bincount(labels, minlength=int(classes.max()) + 1) / labels.size
         conditionals = []
         for j, name in enumerate(names):
-            per_class = []
             randomizer = self.randomizers_.get(name)
-            attr_results: dict = {}
-            for c in classes:
-                mask = labels == c
-                if randomizer is None:
-                    dist = HistogramDistribution.from_values(
-                        w_matrix[mask, j], partitions[j]
-                    )
-                else:
-                    result = self.reconstructor.reconstruct(
-                        w_matrix[mask, j], partitions[j], randomizer
-                    )
-                    attr_results[int(c)] = result
-                    dist = result.distribution
-                per_class.append(dist)
-            if attr_results:
-                self.reconstructions_[name] = attr_results
-            conditionals.append(per_class)
+            if randomizer is None:
+                conditionals.append(
+                    [
+                        HistogramDistribution.from_values(
+                            w_matrix[labels == c, j], partitions[j]
+                        )
+                        for c in classes
+                    ]
+                )
+                continue
+            # All classes share this attribute's kernel: one batched call
+            # per attribute when the reconstructor supports it.
+            results = reconstruct_problems(
+                self.reconstructor,
+                [(w_matrix[labels == c, j], partitions[j], randomizer) for c in classes],
+            )
+            self.reconstructions_[name] = {
+                int(c): result for c, result in zip(classes, results)
+            }
+            conditionals.append([result.distribution for result in results])
         self.model_ = model.fit_distributions(priors, conditionals)
         return self
 

@@ -8,6 +8,8 @@ This subpackage holds the paper's primary machinery:
 * :mod:`repro.core.privacy` — the confidence-interval privacy metric,
 * :mod:`repro.core.reconstruction` — the Bayesian iterative distribution
   reconstruction of §3,
+* :mod:`repro.core.engine` — the batched, kernel-cached reconstruction
+  engine behind every reconstruction front-end,
 * :mod:`repro.core.em` — the EM refinement (Agrawal–Aggarwal, PODS 2001),
 * :mod:`repro.core.correction` — per-record correction used by the tree
   training algorithms of §4.
@@ -17,6 +19,12 @@ from repro.core.breach import BreachAnalysis, amplification_factor, breach_analy
 from repro.core.categorical import CategoricalRandomizer, CategoricalReconstructor
 from repro.core.correction import correct_records
 from repro.core.em import EMReconstructor
+from repro.core.engine import (
+    EngineConfig,
+    KernelCache,
+    ReconstructionEngine,
+    ReconstructionProblem,
+)
 from repro.core.histogram import HistogramDistribution
 from repro.core.joint import JointBayesReconstructor, JointReconstructionResult
 from repro.core.partition import Partition
@@ -43,6 +51,10 @@ __all__ = [
     "NullRandomizer",
     "BayesReconstructor",
     "EMReconstructor",
+    "EngineConfig",
+    "KernelCache",
+    "ReconstructionEngine",
+    "ReconstructionProblem",
     "StreamingReconstructor",
     "JointBayesReconstructor",
     "JointReconstructionResult",

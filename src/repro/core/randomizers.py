@@ -125,6 +125,10 @@ class UniformRandomizer(AdditiveRandomizer):
         return 2.0 * self.half_width * confidence
 
     def support_half_width(self, coverage: float = 1.0 - 1e-9) -> float:
+        # The support is bounded, so any valid coverage is satisfied by
+        # the full half-width — but an invalid coverage must still fail
+        # here, not pass silently just because the answer ignores it.
+        check_fraction(coverage, "coverage")
         return self.half_width
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -200,7 +204,9 @@ class ValueClassMembership(Randomizer):
     def randomize(self, values, seed=None) -> np.ndarray:
         arr = check_1d_array(values, "values", allow_empty=True)
         if arr.size == 0:
-            return arr
+            # Copy even when empty: randomize() never returns the caller's
+            # buffer (matching NullRandomizer and the additive operators).
+            return arr.copy()
         return self.partition.midpoints[self.partition.locate(arr)]
 
     def privacy_interval_width(self, confidence: float) -> float:

@@ -15,103 +15,33 @@ into an ``O(m^2)`` matrix iteration independent of ``n``.
 :class:`BayesReconstructor` implements that partition algorithm with the
 paper's two stopping rules: successive-estimate change (default) and a
 chi-squared goodness-of-fit test of the observed randomized histogram
-against the randomization of the current estimate.
+against the randomization of the current estimate.  Since the engine
+refactor it is a thin single-problem wrapper over
+:class:`~repro.core.engine.ReconstructionEngine`, which caches noise
+kernels across calls and can solve many problems batched;
+:func:`_run_bayes` remains here as the looped reference implementation
+the engine's batched sweeps are verified against (bit for bit).
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
-
 import numpy as np
-from scipy import stats
 
-from repro.core.histogram import HistogramDistribution
+# Re-exported for historical importers (EM, joint, categorical, tests):
+# the primitives now live in the engine module.
+from repro.core.engine import (  # noqa: F401
+    _EPS,
+    EngineConfig,
+    KernelCache,
+    ReconstructionEngine,
+    ReconstructionResult,
+    _chi2_fit,
+    _prepare,
+    config_property,
+)
 from repro.core.partition import Partition
-from repro.core.randomizers import AdditiveRandomizer, transition_matrix
-from repro.exceptions import ConvergenceWarning, ValidationError
-from repro.utils.validation import check_1d_array, check_positive
-
-#: smallest admissible mixture weight during iteration (guards 0/0)
-_EPS = 1e-300
-
-
-@dataclass(frozen=True)
-class ReconstructionResult:
-    """Outcome of a distribution reconstruction.
-
-    Attributes
-    ----------
-    distribution:
-        Estimated distribution of the *original* values on the requested
-        partition.
-    n_iterations:
-        Number of Bayes sweeps performed.
-    converged:
-        ``False`` when iteration stopped on the iteration cap instead of
-        the tolerance / chi-squared criterion.
-    chi2_statistic / chi2_threshold:
-        Final goodness-of-fit statistic of the observed randomized
-        histogram against the randomization of the estimate, and the 95 %
-        critical value it is compared to (``nan`` when not computed).
-    delta_history:
-        L1 change of the estimate at each sweep (diagnostic).
-    """
-
-    distribution: HistogramDistribution
-    n_iterations: int
-    converged: bool
-    chi2_statistic: float = float("nan")
-    chi2_threshold: float = float("nan")
-    delta_history: tuple = field(default=())
-
-
-def _prepare(
-    randomized_values,
-    x_partition: Partition,
-    randomizer: AdditiveRandomizer,
-    *,
-    transition_method: str,
-    coverage: float,
-):
-    """Shared setup: bucket the randomized values and build the noise kernel.
-
-    Returns ``(y_counts, kernel)`` where ``kernel[s, p]`` is
-    ``P(Y in I_s | X = midpoint_p)`` — also used by the EM reconstructor.
-    """
-    w = check_1d_array(randomized_values, "randomized_values")
-    margin = randomizer.support_half_width(coverage)
-    y_partition = x_partition.expanded(margin)
-    y_counts = y_partition.histogram(w).astype(float)
-    kernel = transition_matrix(
-        y_partition, x_partition, randomizer, method=transition_method
-    )
-    return y_counts, kernel
-
-
-def _chi2_fit(y_counts: np.ndarray, expected: np.ndarray) -> tuple[float, float]:
-    """Chi-squared statistic of observed vs expected interval counts.
-
-    Intervals with tiny expectation are pooled into their neighbours
-    (classic rule of thumb: expected >= 5) so the statistic is stable.
-    """
-    total = y_counts.sum()
-    expected = expected / max(expected.sum(), _EPS) * total
-    order = np.argsort(-expected, kind="stable")
-    obs_sorted, exp_sorted = y_counts[order], expected[order]
-    keep = exp_sorted >= 5.0
-    if not np.any(keep):
-        return float("nan"), float("nan")
-    obs_main, exp_main = obs_sorted[keep], exp_sorted[keep]
-    # Pool everything below the threshold into one pseudo-cell.
-    obs_rest, exp_rest = obs_sorted[~keep].sum(), exp_sorted[~keep].sum()
-    if exp_rest > 0:
-        obs_main = np.append(obs_main, obs_rest)
-        exp_main = np.append(exp_main, exp_rest)
-    statistic = float(((obs_main - exp_main) ** 2 / exp_main).sum())
-    dof = max(obs_main.size - 1, 1)
-    threshold = float(stats.chi2.ppf(0.95, dof))
-    return statistic, threshold
+from repro.core.randomizers import AdditiveRandomizer
+from repro.exceptions import ValidationError
 
 
 def _run_bayes(
@@ -123,11 +53,16 @@ def _run_bayes(
     tol: float,
     stopping: str,
 ):
-    """Core Bayes sweep loop shared by batch and streaming reconstruction.
+    """Reference single-problem Bayes sweep loop.
 
     Returns ``(theta, n_iterations, converged, deltas, chi2_stat,
     chi2_threshold)``.  ``theta`` is the starting estimate and is not
     mutated.
+
+    This is the looped path the batched engine is held bit-identical to
+    (see :func:`repro.core.engine._run_bayes_batch`); it also remains the
+    sweep loop for the categorical reconstructor, whose kernel is a
+    response-channel matrix rather than an additive-noise kernel.
     """
     n = y_counts.sum()
     theta = theta.copy()
@@ -209,7 +144,20 @@ class BayesReconstructor:
         equally fast.
     coverage:
         Noise mass that the expanded bucketing grid must cover (only
-        matters for unbounded noise such as Gaussian).
+        matters for unbounded noise such as Gaussian).  Must be a
+        fraction in ``(0, 1]``.
+    kernel_cache:
+        Optionally share a :class:`~repro.core.engine.KernelCache` with
+        other reconstructors; by default each instance owns one, so
+        repeated calls on the same partition/randomizer (the Local
+        strategy, experiment sweeps) reuse the kernel.
+
+    Attributes
+    ----------
+    engine:
+        The :class:`~repro.core.engine.ReconstructionEngine` doing the
+        work; callers with many problems sharing a kernel should use its
+        :meth:`~repro.core.engine.ReconstructionEngine.reconstruct_batch`.
 
     Examples
     --------
@@ -233,22 +181,22 @@ class BayesReconstructor:
         stopping: str = "chi2",
         transition_method: str = "integrated",
         coverage: float = 1.0 - 1e-9,
+        kernel_cache: KernelCache = None,
     ) -> None:
-        if max_iterations < 1:
-            raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
-        check_positive(tol, "tol")
-        if stopping not in ("delta", "chi2"):
-            raise ValidationError(f"stopping must be 'delta' or 'chi2', got {stopping!r}")
-        if transition_method not in ("density", "integrated"):
-            raise ValidationError(
-                f"transition_method must be 'density' or 'integrated', "
-                f"got {transition_method!r}"
-            )
-        self.max_iterations = int(max_iterations)
-        self.tol = float(tol)
-        self.stopping = stopping
-        self.transition_method = transition_method
-        self.coverage = coverage
+        config = EngineConfig(
+            max_iterations=max_iterations,
+            tol=tol,
+            stopping=stopping,
+            transition_method=transition_method,
+            coverage=coverage,
+        )
+        self.engine = ReconstructionEngine(config, kernel_cache=kernel_cache)
+
+    max_iterations = config_property("max_iterations")
+    tol = config_property("tol")
+    stopping = config_property("stopping")
+    transition_method = config_property("transition_method")
+    coverage = config_property("coverage")
 
     def reconstruct(
         self,
@@ -268,34 +216,15 @@ class BayesReconstructor:
         randomizer:
             The (public) noise process that produced the values.
         """
-        y_counts, kernel = _prepare(
-            randomized_values,
-            x_partition,
-            randomizer,
-            transition_method=self.transition_method,
-            coverage=self.coverage,
+        return self.engine.reconstruct(
+            randomized_values, x_partition, randomizer, _stacklevel=3
         )
-        theta0 = np.full(x_partition.n_intervals, 1.0 / x_partition.n_intervals)
-        theta, iteration, converged, deltas, chi2_stat, chi2_thresh = _run_bayes(
-            y_counts,
-            kernel,
-            theta0,
-            max_iterations=self.max_iterations,
-            tol=self.tol,
-            stopping=self.stopping,
-        )
-        if not converged:
-            warnings.warn(
-                f"reconstruction stopped at max_iterations={self.max_iterations} "
-                f"with last delta {deltas[-1]:.3g}",
-                ConvergenceWarning,
-                stacklevel=2,
-            )
-        return ReconstructionResult(
-            distribution=HistogramDistribution(x_partition, theta),
-            n_iterations=iteration,
-            converged=converged,
-            chi2_statistic=chi2_stat,
-            chi2_threshold=chi2_thresh,
-            delta_history=tuple(deltas),
-        )
+
+    def reconstruct_batch(self, problems, *, _stacklevel: int = 2) -> list:
+        """Reconstruct many ``(values, partition, randomizer)`` problems at once.
+
+        Problems sharing a noise kernel are stacked and solved by one
+        batched sweep; see
+        :meth:`repro.core.engine.ReconstructionEngine.reconstruct_batch`.
+        """
+        return self.engine.reconstruct_batch(problems, _stacklevel=_stacklevel + 1)

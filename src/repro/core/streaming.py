@@ -10,17 +10,25 @@ independent of how many records have been seen.
 :class:`StreamingReconstructor` does exactly that: ``update()`` buckets a
 batch into the noise-expanded histogram in O(batch), and ``estimate()``
 re-runs the Bayes sweeps warm-started from the previous estimate (usually
-a handful of sweeps once the stream has stabilized).
+a handful of sweeps once the stream has stabilized).  The sweeps run on
+the shared :class:`~repro.core.engine.ReconstructionEngine`, so several
+streams over the same grid can share one kernel via a common
+:class:`~repro.core.engine.KernelCache`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.histogram import HistogramDistribution
+from repro.core.engine import (
+    EngineConfig,
+    KernelCache,
+    ReconstructionEngine,
+    ReconstructionResult,
+    config_property,
+)
 from repro.core.partition import Partition
-from repro.core.randomizers import AdditiveRandomizer, transition_matrix
-from repro.core.reconstruction import ReconstructionResult, _run_bayes
+from repro.core.randomizers import AdditiveRandomizer
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_1d_array
 
@@ -36,7 +44,12 @@ class StreamingReconstructor:
         The (public) noise process producing the stream.
     max_iterations / tol / stopping / transition_method / coverage:
         As in :class:`~repro.core.reconstruction.BayesReconstructor`;
-        they govern each ``estimate()`` refresh.
+        they govern each ``estimate()`` refresh and are validated by the
+        shared :class:`~repro.core.engine.EngineConfig`.
+    kernel_cache:
+        Optionally share a kernel cache with other reconstructors over
+        the same grid (the kernel is fetched through it once, at
+        construction).
 
     Examples
     --------
@@ -67,25 +80,33 @@ class StreamingReconstructor:
         stopping: str = "chi2",
         transition_method: str = "integrated",
         coverage: float = 1.0 - 1e-9,
+        kernel_cache: KernelCache = None,
     ) -> None:
-        if stopping not in ("delta", "chi2"):
-            raise ValidationError(f"stopping must be 'delta' or 'chi2', got {stopping!r}")
+        config = EngineConfig(
+            max_iterations=max_iterations,
+            tol=tol,
+            stopping=stopping,
+            transition_method=transition_method,
+            coverage=coverage,
+        )
+        self._engine = ReconstructionEngine(config, kernel_cache=kernel_cache)
         self.x_partition = x_partition
         self.randomizer = randomizer
-        self.max_iterations = int(max_iterations)
-        self.tol = float(tol)
-        self.stopping = stopping
 
-        margin = randomizer.support_half_width(coverage)
-        self._y_partition = x_partition.expanded(margin)
-        self._kernel = transition_matrix(
-            self._y_partition, x_partition, randomizer, method=transition_method
+        self._y_partition, self._kernel = self._engine.kernel_for(
+            x_partition, randomizer
         )
         self._y_counts = np.zeros(self._y_partition.n_intervals)
         # warm start: carry the previous estimate between refreshes
         m = x_partition.n_intervals
         self._theta = np.full(m, 1.0 / m)
         self._n_seen = 0
+
+    # The kernel is fixed at construction, so only the sweep settings are
+    # exposed as live config views.
+    max_iterations = config_property("max_iterations", engine_attr="_engine")
+    tol = config_property("tol", engine_attr="_engine")
+    stopping = config_property("stopping", engine_attr="_engine")
 
     @property
     def n_seen(self) -> int:
@@ -104,31 +125,25 @@ class StreamingReconstructor:
         """Current estimate of the original distribution.
 
         Warm-starts from the previous call's estimate, so successive
-        refreshes on a stable stream converge in very few sweeps.
+        refreshes on a stable stream converge in very few sweeps.  Emits
+        a :class:`~repro.exceptions.ConvergenceWarning` when the refresh
+        stops on the iteration cap, exactly like the batch reconstructor.
         """
         if self._n_seen == 0:
             raise ValidationError("no data yet: call update() before estimate()")
-        theta, iteration, converged, deltas, chi2_stat, chi2_thresh = _run_bayes(
-            self._y_counts,
-            self._kernel,
-            self._theta,
-            max_iterations=self.max_iterations,
-            tol=self.tol,
-            stopping=self.stopping,
+        batch = self._engine.sweep_batch(
+            self._y_counts[None, :], self._kernel, self._theta[None, :]
         )
-        self._theta = theta
-        return ReconstructionResult(
-            distribution=HistogramDistribution(self.x_partition, theta),
-            n_iterations=iteration,
-            converged=converged,
-            chi2_statistic=chi2_stat,
-            chi2_threshold=chi2_thresh,
-            delta_history=tuple(deltas),
+        self._theta = batch.theta[0]
+        return self._engine.result_from_sweep(
+            batch, 0, self.x_partition, _stacklevel=2
         )
 
     def reset(self) -> "StreamingReconstructor":
         """Forget all absorbed data and the warm-start estimate."""
         self._y_counts[:] = 0.0
-        self._theta[:] = 1.0 / self.x_partition.n_intervals
+        self._theta = np.full(
+            self.x_partition.n_intervals, 1.0 / self.x_partition.n_intervals
+        )
         self._n_seen = 0
         return self

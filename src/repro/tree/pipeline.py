@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.correction import correct_records
+from repro.core.engine import reconstruct_problems
 from repro.core.privacy import noise_for_privacy
 from repro.core.randomizers import ValueClassMembership
 from repro.core.reconstruction import BayesReconstructor
@@ -88,6 +89,23 @@ class PrivacyPreservingClassifier:
     reconstructions_:
         For ``global``: ``{attribute: ReconstructionResult}``; for
         ``byclass``/``local`` roots: ``{attribute: {class: result}}``.
+    intervals_:
+        For the reconstruction strategies: the corrected ``(n, d)``
+        interval-index matrix produced before tree growth (diagnostics
+        and equivalence testing).  For ``global``/``byclass`` this is
+        exactly what the tree trained on; for ``local`` it is the root
+        ByClass correction — per-node refits during growth are applied
+        on top of it and are not recorded here.
+
+    Notes
+    -----
+    When the reconstructor exposes ``reconstruct_batch`` (the default
+    :class:`~repro.core.reconstruction.BayesReconstructor` does, via its
+    :class:`~repro.core.engine.ReconstructionEngine`), the ByClass and
+    Local strategies issue one batched call per attribute (respectively
+    per tree node) instead of looping attribute × class, and identical
+    noise kernels are built once per fit instead of once per problem.
+    The results are bit-identical to the looped path.
     """
 
     def __init__(
@@ -142,6 +160,7 @@ class PrivacyPreservingClassifier:
         self.randomized_table_: Table | None = None
         self.randomizers_: dict = {}
         self.reconstructions_: dict = {}
+        self.intervals_: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -209,12 +228,15 @@ class PrivacyPreservingClassifier:
             self._fit_raw(tree, w_matrix, labels)
         elif self.strategy == "global":
             intervals = self._correct_global(w_matrix, tree)
+            self.intervals_ = intervals
             self._fit_corrected(tree, intervals, labels)
         elif self.strategy == "byclass":
             intervals = self._correct_byclass(w_matrix, labels, tree)
+            self.intervals_ = intervals
             self._fit_corrected(tree, intervals, labels)
         else:  # local
             intervals = self._correct_byclass(w_matrix, labels, tree)
+            self.intervals_ = intervals
             self._fit_corrected(
                 tree, intervals, labels, raw_values=w_matrix
             )
@@ -288,14 +310,21 @@ class PrivacyPreservingClassifier:
         """Reconstruct each attribute once over all classes and correct."""
         intervals = np.empty(w_matrix.shape, dtype=np.int64)
         self.reconstructions_ = {}
+        jobs = []  # attribute column indices with a randomizer
         for j, partition in enumerate(self._partitions):
             randomizer = self._column_randomizer(j)
             if randomizer is None:
                 intervals[:, j] = partition.locate(w_matrix[:, j])
                 continue
-            result = self.reconstructor.reconstruct(
-                w_matrix[:, j], partition, randomizer
-            )
+            jobs.append(j)
+        results = reconstruct_problems(
+            self.reconstructor,
+            [
+                (w_matrix[:, j], self._partitions[j], self._column_randomizer(j))
+                for j in jobs
+            ],
+        )
+        for j, result in zip(jobs, results):
             self.reconstructions_[self._names[j]] = result
             intervals[:, j] = correct_records(
                 w_matrix[:, j], result.distribution
@@ -305,7 +334,7 @@ class PrivacyPreservingClassifier:
     def _correct_byclass(
         self, w_matrix: np.ndarray, labels: np.ndarray, tree: DecisionTreeClassifier
     ):
-        """Reconstruct each attribute per class and correct per class."""
+        """Reconstruct each attribute per class (all classes batched) and correct."""
         intervals = np.empty(w_matrix.shape, dtype=np.int64)
         self.reconstructions_ = {}
         class_masks = [(c, labels == c) for c in np.unique(labels)]
@@ -314,11 +343,14 @@ class PrivacyPreservingClassifier:
             if randomizer is None:
                 intervals[:, j] = partition.locate(w_matrix[:, j])
                 continue
+            # One batched call per attribute: every class shares this
+            # attribute's noise kernel, so the sweeps stack into one run.
+            results = reconstruct_problems(
+                self.reconstructor,
+                [(w_matrix[mask, j], partition, randomizer) for _, mask in class_masks],
+            )
             per_class: dict = {}
-            for c, mask in class_masks:
-                result = self.reconstructor.reconstruct(
-                    w_matrix[mask, j], partition, randomizer
-                )
+            for (c, mask), result in zip(class_masks, results):
                 per_class[int(c)] = result
                 intervals[mask, j] = correct_records(
                     w_matrix[mask, j], result.distribution
@@ -334,24 +366,41 @@ class PrivacyPreservingClassifier:
         and a convolution with wide noise cannot reproduce that cliff, so
         re-reconstructing them over-sharpens pathologically.  Their
         inherited assignments are kept instead.
+
+        All of a node's (attribute × class) refits go out as one batched
+        call: per attribute the classes share a kernel, and across nodes
+        the engine's kernel cache means each attribute's kernel is built
+        once per fit, not once per node.
         """
         out = intervals.copy()
+        class_masks = [
+            (c, mask)
+            for c in np.unique(labels)
+            for mask in [labels == c]
+            if int(mask.sum()) >= self.local_min_records
+        ]
+        jobs = []  # (column index, class mask)
         for j, partition in enumerate(self._partitions):
             if j in used:
                 continue
             randomizer = self._column_randomizer(j)
             if randomizer is None:
                 continue
-            for c in np.unique(labels):
-                mask = labels == c
-                if int(mask.sum()) < self.local_min_records:
-                    continue  # inherit the parent's assignment
-                result = self._local_reconstructor.reconstruct(
-                    raw[mask, j], partition, randomizer
-                )
-                out[mask, j] = correct_records(
-                    raw[mask, j], result.distribution
-                ).interval_indices
+            for _, mask in class_masks:
+                jobs.append((j, mask))
+        if not jobs:
+            return out
+        results = reconstruct_problems(
+            self._local_reconstructor,
+            [
+                (raw[mask, j], self._partitions[j], self._column_randomizer(j))
+                for j, mask in jobs
+            ],
+        )
+        for (j, mask), result in zip(jobs, results):
+            out[mask, j] = correct_records(
+                raw[mask, j], result.distribution
+            ).interval_indices
         return out
 
     # ------------------------------------------------------------------

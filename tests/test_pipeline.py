@@ -7,6 +7,7 @@ import warnings
 import numpy as np
 import pytest
 
+from repro.core.reconstruction import BayesReconstructor
 from repro.datasets import quest
 from repro.exceptions import NotFittedError, ValidationError
 from repro.tree.pipeline import STRATEGIES, PrivacyPreservingClassifier
@@ -48,6 +49,70 @@ class TestConfiguration:
         clf = PrivacyPreservingClassifier("original")
         with pytest.raises(NotFittedError):
             clf.predict(fn1_data[1])
+
+
+class _LoopedReconstructor:
+    """The pre-engine behaviour: one problem at a time, nothing shared.
+
+    No ``reconstruct_batch`` attribute, and a fresh reconstructor per call
+    so no kernel or chi-squared threshold survives between problems.
+    """
+
+    def reconstruct(self, values, partition, randomizer):
+        return BayesReconstructor().reconstruct(values, partition, randomizer)
+
+
+class TestBatchedEquivalence:
+    """The engine-batched fits are bit-identical to the looped path."""
+
+    @pytest.mark.parametrize("strategy", ["global", "byclass", "local"])
+    @pytest.mark.parametrize("noise", ["uniform", "gaussian"])
+    def test_fit_matches_looped_path(self, fn1_data, strategy, noise):
+        train, test = fn1_data
+        base = PrivacyPreservingClassifier(strategy, noise=noise, seed=5)
+        base.fit(train)
+        randomized, randomizers = base.randomized_table_, base.randomizers_
+
+        looped = PrivacyPreservingClassifier(
+            strategy, noise=noise, seed=5, reconstructor=_LoopedReconstructor()
+        ).fit(train, randomized_table=randomized, randomizers=randomizers)
+        batched = PrivacyPreservingClassifier(strategy, noise=noise, seed=5).fit(
+            train, randomized_table=randomized, randomizers=randomizers
+        )
+
+        assert np.array_equal(looped.intervals_, batched.intervals_)
+        assert looped.tree_.export_text() == batched.tree_.export_text()
+        assert np.array_equal(looped.predict(test), batched.predict(test))
+        for name, looped_result in looped.reconstructions_.items():
+            batched_result = batched.reconstructions_[name]
+            if isinstance(looped_result, dict):
+                pairs = [
+                    (looped_result[c], batched_result[c]) for c in looped_result
+                ]
+            else:
+                pairs = [(looped_result, batched_result)]
+            for a, b in pairs:
+                assert np.array_equal(a.distribution.probs, b.distribution.probs)
+                assert a.n_iterations == b.n_iterations
+                assert a.converged == b.converged
+
+    def test_byclass_kernels_cached_across_attributes(self, fn1_data):
+        train, _ = fn1_data
+        clf = PrivacyPreservingClassifier("byclass", seed=3).fit(train)
+        cache = clf.reconstructor.engine.kernel_cache
+        # One lookup per attribute × class; only distinct
+        # (partition, randomizer) pairs are built, the rest are hits.
+        n_problems = len(clf.randomizers_) * train.n_classes
+        assert cache.misses + cache.hits == n_problems
+        assert cache.misses <= len(clf.randomizers_)
+        assert cache.hits >= n_problems - len(clf.randomizers_)
+
+    def test_intervals_attribute_exposed(self, fn1_data):
+        train, _ = fn1_data
+        clf = PrivacyPreservingClassifier("byclass", seed=3).fit(train)
+        assert clf.intervals_ is not None
+        assert clf.intervals_.shape == (train.n_records, len(train.attribute_names))
+        assert clf.intervals_.dtype == np.int64
 
 
 class TestStrategies:

@@ -57,6 +57,15 @@ class TestUniformRandomizer:
         assert r.privacy_interval_width(0.95) == pytest.approx(1.9)
         assert r.privacy_interval_width(1.0) == pytest.approx(2.0)
 
+    def test_support_half_width_validates_coverage(self):
+        """Bad coverage fails loudly even though the answer ignores it."""
+        r = UniformRandomizer(half_width=1.0)
+        assert r.support_half_width(0.5) == 1.0
+        with pytest.raises(ValidationError):
+            r.support_half_width(2.0)
+        with pytest.raises(ValidationError):
+            r.support_half_width(0.0)
+
     def test_from_privacy_roundtrip(self):
         r = UniformRandomizer.from_privacy(0.5, domain_span=10.0, confidence=0.95)
         assert r.privacy_interval_width(0.95) == pytest.approx(5.0)
@@ -131,6 +140,12 @@ class TestValueClassMembership:
     def test_empty_input(self, unit_partition):
         r = ValueClassMembership(unit_partition)
         assert r.randomize([]).size == 0
+
+    def test_empty_input_returns_copy(self, unit_partition):
+        """The no-mutation contract holds for empty input too."""
+        r = ValueClassMembership(unit_partition)
+        x = np.empty(0)
+        assert r.randomize(x) is not x
 
 
 class TestNullRandomizer:

@@ -36,6 +36,11 @@ class TestConfiguration:
         with pytest.raises(ValidationError):
             BayesReconstructor(stopping="never")
 
+    @pytest.mark.parametrize("coverage", [0.0, -0.1, 1.5, 2.0])
+    def test_rejects_bad_coverage(self, coverage):
+        with pytest.raises(ValidationError):
+            BayesReconstructor(coverage=coverage)
+
     def test_rejects_bad_transition(self):
         with pytest.raises(ValidationError):
             BayesReconstructor(transition_method="midpoint")

@@ -5,10 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import BayesReconstructor, UniformRandomizer
+from repro.core import BayesReconstructor, KernelCache, UniformRandomizer
 from repro.core.streaming import StreamingReconstructor
 from repro.datasets import shapes
-from repro.exceptions import ValidationError
+from repro.exceptions import ConvergenceWarning, ValidationError
 
 
 @pytest.fixture
@@ -30,6 +30,33 @@ class TestBasics:
         density, part, noise = setup
         with pytest.raises(ValidationError):
             StreamingReconstructor(part, noise, stopping="sometimes")
+
+    def test_rejects_bad_max_iterations(self, setup):
+        density, part, noise = setup
+        with pytest.raises(ValidationError):
+            StreamingReconstructor(part, noise, max_iterations=0)
+
+    def test_rejects_bad_tol(self, setup):
+        density, part, noise = setup
+        with pytest.raises(ValidationError):
+            StreamingReconstructor(part, noise, tol=0.0)
+
+    def test_rejects_bad_coverage(self, setup):
+        density, part, noise = setup
+        with pytest.raises(ValidationError):
+            StreamingReconstructor(part, noise, coverage=2.0)
+
+    def test_max_iterations_warns(self, setup):
+        """Hitting the sweep cap warns exactly like BayesReconstructor."""
+        density, part, noise = setup
+        stream = StreamingReconstructor(
+            part, noise, stopping="delta", tol=1e-15, max_iterations=3
+        )
+        stream.update(noise.randomize(density.sample(2_000, seed=1), seed=2))
+        with pytest.warns(ConvergenceWarning):
+            result = stream.estimate()
+        assert not result.converged
+        assert result.n_iterations == 3
 
     def test_n_seen_accumulates(self, setup):
         density, part, noise = setup
@@ -56,6 +83,46 @@ class TestBasics:
 
 
 class TestEquivalence:
+    def test_single_batch_is_bit_identical_to_batch_reconstruction(self, setup):
+        """A stream fed one batch reproduces BayesReconstructor exactly."""
+        density, part, noise = setup
+        w = noise.randomize(density.sample(5_000, seed=10), seed=11)
+
+        batch_result = BayesReconstructor().reconstruct(w, part, noise)
+        stream_result = StreamingReconstructor(part, noise).update(w).estimate()
+
+        assert np.array_equal(
+            batch_result.distribution.probs, stream_result.distribution.probs
+        )
+        assert batch_result.n_iterations == stream_result.n_iterations
+        assert batch_result.converged == stream_result.converged
+        assert batch_result.delta_history == stream_result.delta_history
+        assert batch_result.chi2_statistic == stream_result.chi2_statistic
+
+    def test_chunked_stream_is_bit_identical_to_batch(self, setup):
+        """Histogram accumulation is exact: chunking cannot change bits."""
+        density, part, noise = setup
+        w = noise.randomize(density.sample(5_000, seed=12), seed=13)
+
+        batch_result = BayesReconstructor().reconstruct(w, part, noise)
+        stream = StreamingReconstructor(part, noise)
+        for chunk in np.array_split(w, 13):
+            stream.update(chunk)
+        stream_result = stream.estimate()
+
+        assert np.array_equal(
+            batch_result.distribution.probs, stream_result.distribution.probs
+        )
+        assert batch_result.n_iterations == stream_result.n_iterations
+
+    def test_streams_share_kernel_cache(self, setup):
+        density, part, noise = setup
+        cache = KernelCache()
+        StreamingReconstructor(part, noise, kernel_cache=cache)
+        StreamingReconstructor(part, noise, kernel_cache=cache)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
     def test_matches_batch_reconstruction(self, setup):
         """Stream-fed reconstruction equals one-shot batch reconstruction."""
         density, part, noise = setup
