@@ -10,18 +10,29 @@ Three design choices the paper (and its PODS 2001 successor) motivate:
 
 from __future__ import annotations
 
-from _common import once, report
+import warnings
+
+from _common import experiment, run_experiment
 
 from repro.core import BayesReconstructor, EMReconstructor
 from repro.experiments import ReconstructionConfig, format_table, run_reconstruction
-from repro.experiments.config import scaled
+
+GRID_SIZES = (5, 10, 20, 40, 80)
 
 
-def _ablate():
+@experiment(
+    "e10",
+    title="Ablation: stopping rule, grid resolution, Bayes vs EM",
+    tags=("reconstruction", "ablation", "smoke"),
+    seed=1000,
+)
+def run_e10(ctx):
     # Stopping ablation runs at 25% privacy: deconvolution there is easy,
     # so *all* the error of the fixed-point variant is overfitting — the
     # cleanest demonstration of why the paper stops early.
-    base = dict(shape="plateau", noise="uniform", privacy=0.25, n=scaled(10_000))
+    n = ctx.scaled(10_000)
+    base = dict(shape="plateau", noise="uniform", privacy=0.25, n=n)
+    ctx.record(shape="plateau", noise="uniform", n=n)
 
     variants = {
         "chi2 stop (paper)": BayesReconstructor(stopping="chi2"),
@@ -33,31 +44,25 @@ def _ablate():
         "density transition": BayesReconstructor(transition_method="density"),
     }
     stopping_rows = []
-    for name, reconstructor in variants.items():
-        outcome = run_reconstruction(
-            ReconstructionConfig(**base, n_intervals=20, seed=1000),
-            reconstructor=reconstructor,
-        )
-        stopping_rows.append(
-            (name, f"{outcome.l1_reconstructed:.4f}", outcome.n_iterations)
-        )
+    with warnings.catch_warnings():
+        # the overfit variant warns by design
+        warnings.simplefilter("ignore", UserWarning)
+        for name, reconstructor in variants.items():
+            outcome = run_reconstruction(
+                ReconstructionConfig(**base, n_intervals=20, seed=ctx.seed),
+                reconstructor=reconstructor,
+            )
+            stopping_rows.append(
+                (name, f"{outcome.l1_reconstructed:.4f}", outcome.n_iterations)
+            )
 
-    grid_rows = []
-    grid_base = dict(base, privacy=0.5)
-    for m in (5, 10, 20, 40, 80):
-        outcome = run_reconstruction(
-            ReconstructionConfig(**grid_base, n_intervals=m, seed=1001)
-        )
-        grid_rows.append((m, f"{outcome.l1_reconstructed:.4f}"))
-    return stopping_rows, grid_rows
-
-
-import pytest
-
-
-@pytest.mark.filterwarnings("ignore::UserWarning")  # the overfit variant warns by design
-def test_e10_ablation_reconstruction(benchmark):
-    stopping_rows, grid_rows = once(benchmark, _ablate)
+        grid_rows = []
+        grid_base = dict(base, privacy=0.5)
+        for m in GRID_SIZES:
+            outcome = run_reconstruction(
+                ReconstructionConfig(**grid_base, n_intervals=m, seed=ctx.seed + 1)
+            )
+            grid_rows.append((m, f"{outcome.l1_reconstructed:.4f}"))
 
     stopping_table = format_table(
         ("variant", "L1 to original", "iterations"),
@@ -69,7 +74,21 @@ def test_e10_ablation_reconstruction(benchmark):
         grid_rows,
         title="E10b: grid-resolution ablation",
     )
-    report("e10_ablation_reconstruction", stopping_table + "\n\n" + grid_table)
+    ctx.report(
+        stopping_table + "\n\n" + grid_table, name="e10_ablation_reconstruction"
+    )
+
+    slugs = {
+        "chi2 stop (paper)": "chi2",
+        "delta 1e-3": "delta",
+        "fixed point (overfit)": "fixed_point",
+        "EM (AA'01)": "em",
+        "density transition": "density",
+    }
+    metrics = {
+        f"l1_{slugs[name]}": float(l1) for name, l1, _ in stopping_rows
+    }
+    metrics.update({f"l1_grid_{m}": float(l1) for m, l1 in grid_rows})
 
     by_name = {name: float(l1) for name, l1, _ in stopping_rows}
     # the paper's chi-squared rule must beat the overfit fixed point
@@ -80,3 +99,9 @@ def test_e10_ablation_reconstruction(benchmark):
     assert by_name["EM (AA'01)"] > by_name["chi2 stop (paper)"]
     # the density-transition approximation is usable (same ballpark)
     assert by_name["density transition"] < 3 * by_name["chi2 stop (paper)"] + 0.05
+    return metrics
+
+
+def test_e10_ablation_reconstruction(benchmark):
+    # the run body suppresses the overfit variant's deliberate warning
+    run_experiment(benchmark, "e10")

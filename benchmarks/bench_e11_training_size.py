@@ -8,31 +8,40 @@ reconstruction gets more data.
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import (
     ClassificationConfig,
     format_table,
     run_training_size_sweep,
 )
-from repro.experiments.config import scaled
 
 SIZES = (1_000, 3_000, 10_000, 30_000)
 
-CONFIG = ClassificationConfig(
-    functions=(3,),
-    noise="uniform",
-    privacy=1.0,
-    n_test=scaled(3_000),
+
+@experiment(
+    "e11",
+    title="Training-set size ablation, Fn3 ByClass vs Original",
+    tags=("classification", "ablation"),
     seed=1100,
 )
-
-
-def test_e11_training_size(benchmark):
-    sizes = tuple(scaled(s) for s in SIZES)
-    rows = once(
-        benchmark, lambda: run_training_size_sweep(CONFIG, sizes, strategy="byclass")
+def run_e11(ctx):
+    config = ClassificationConfig(
+        functions=(3,),
+        noise="uniform",
+        privacy=1.0,
+        n_test=ctx.scaled(3_000),
+        seed=ctx.seed,
     )
+    sizes = tuple(ctx.scaled(s) for s in SIZES)
+    ctx.record(
+        function=3,
+        noise=config.noise,
+        privacy=config.privacy,
+        n_test=config.n_test,
+        sizes=",".join(str(s) for s in sizes),
+    )
+    rows = run_training_size_sweep(config, sizes, strategy="byclass")
 
     acc = {(r.n_train, r.strategy): r.accuracy for r in rows}
     table_rows = [
@@ -48,9 +57,18 @@ def test_e11_training_size(benchmark):
         table_rows,
         title="E11: Fn3 accuracy vs training size (100% privacy, uniform)",
     )
-    report("e11_training_size", table)
+    ctx.report(table, name="e11_training_size")
 
+    metrics = {}
+    for base_size, n in zip(SIZES, sizes):
+        metrics[f"original_n{base_size}"] = float(acc[(n, "original")])
+        metrics[f"byclass_n{base_size}"] = float(acc[(n, "byclass")])
     # byclass benefits from data: largest size beats smallest clearly
     assert acc[(sizes[-1], "byclass")] > acc[(sizes[0], "byclass")]
     # original is roughly size-insensitive past a few thousand records
     assert abs(acc[(sizes[-1], "original")] - acc[(sizes[-2], "original")]) < 0.05
+    return metrics
+
+
+def test_e11_training_size(benchmark):
+    run_experiment(benchmark, "e11")

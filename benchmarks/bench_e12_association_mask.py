@@ -9,10 +9,9 @@ keep_prob approaches 0.5 (full deniability).
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 from repro.mining import MaskMiner, RandomizedResponse, generate_baskets
 from repro.mining.apriori import frequent_itemsets, support
 
@@ -20,13 +19,29 @@ KEEP_PROBS = (0.95, 0.9, 0.8, 0.7)
 TARGETS = ({0}, {0, 1}, {2, 3, 4})
 
 
-def _run():
-    baskets = generate_baskets(scaled(20_000), 12, seed=1200)
+def _label(itemset) -> str:
+    return "{" + ",".join(str(i) for i in sorted(itemset)) + "}"
+
+
+@experiment(
+    "e12",
+    title="Association mining over randomized-response baskets",
+    tags=("mining", "smoke"),
+    seed=1200,
+)
+def run_e12(ctx):
+    n = ctx.scaled(20_000)
+    ctx.record(
+        n=n,
+        n_items=12,
+        keep_probs=",".join(f"{k:g}" for k in KEEP_PROBS),
+    )
+    baskets = generate_baskets(n, 12, seed=ctx.seed)
     truth = {frozenset(t): support(baskets, t) for t in TARGETS}
     results = {}
     for keep in KEEP_PROBS:
         rr = RandomizedResponse(keep)
-        disclosed = rr.randomize(baskets, seed=1201)
+        disclosed = rr.randomize(baskets, seed=ctx.seed + 1)
         miner = MaskMiner(rr)
         results[keep] = {
             frozenset(t): {
@@ -36,22 +51,16 @@ def _run():
             for t in TARGETS
         }
     mined = MaskMiner(RandomizedResponse(0.9)).frequent_itemsets(
-        RandomizedResponse(0.9).randomize(baskets, seed=1202), 0.15
+        RandomizedResponse(0.9).randomize(baskets, seed=ctx.seed + 2), 0.15
     )
-    return truth, results, mined
-
-
-def test_e12_association_mask(benchmark):
-    truth, results, mined = once(benchmark, _run)
 
     rows = []
     for keep in KEEP_PROBS:
         for itemset, values in results[keep].items():
-            label = "{" + ",".join(str(i) for i in sorted(itemset)) + "}"
             rows.append(
                 (
                     f"{keep:g}",
-                    label,
+                    _label(itemset),
                     f"{truth[itemset]:.3f}",
                     f"{values['estimated']:.3f}",
                     f"{values['naive']:.3f}",
@@ -63,9 +72,18 @@ def test_e12_association_mask(benchmark):
         title="E12: support recovery from randomized-response baskets",
     )
     mined_line = "\nmined at keep=0.9, min_supp=0.15: " + ", ".join(
-        "{" + ",".join(str(i) for i in sorted(s)) + "}" for s in sorted(mined, key=sorted)
+        _label(s) for s in sorted(mined, key=sorted)
     )
-    report("e12_association_mask", table + mined_line)
+    ctx.report(table + mined_line, name="e12_association_mask")
+
+    metrics = {"n_mined": len(mined)}
+    for itemset in truth:
+        slug = "_".join(str(i) for i in sorted(itemset))
+        metrics[f"true_supp_{slug}"] = float(truth[itemset])
+        for keep in KEEP_PROBS:
+            metrics[f"est_supp_{slug}_keep{keep:g}"] = float(
+                results[keep][itemset]["estimated"]
+            )
 
     # estimates track truth; naive counting does not (for multi-item sets)
     for keep in KEEP_PROBS[:3]:
@@ -78,8 +96,15 @@ def test_e12_association_mask(benchmark):
     # planted itemsets are re-discovered
     assert frozenset({0, 1}) in mined
     assert frozenset({2, 3, 4}) in mined
+
     # error grows as deniability rises
-    err = lambda keep: abs(
-        results[keep][frozenset({2, 3, 4})]["estimated"] - truth[frozenset({2, 3, 4})]
-    )
+    def err(keep):
+        cell = results[keep][frozenset({2, 3, 4})]
+        return abs(cell["estimated"] - truth[frozenset({2, 3, 4})])
+
     assert err(0.7) >= err(0.95) - 0.01
+    return metrics
+
+
+def test_e12_association_mask(benchmark):
+    run_experiment(benchmark, "e12")

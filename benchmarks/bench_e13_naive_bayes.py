@@ -10,40 +10,41 @@ NB on joint-structure functions (Fn2/Fn4/Fn5) in every mode.
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.bayes import PrivacyPreservingNaiveBayes
 from repro.datasets import quest
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 from repro.tree import PrivacyPreservingClassifier
 
 FUNCTIONS = (1, 2, 3, 4, 5)
 NB_STRATEGIES = ("original", "randomized", "byclass")
 
 
-def _run():
-    n_train, n_test = scaled(10_000), scaled(3_000)
+@experiment(
+    "e13",
+    title="Naive Bayes over reconstructed distributions",
+    tags=("bayes", "classification", "smoke"),
+    seed=1300,
+)
+def run_e13(ctx):
+    n_train, n_test = ctx.scaled(10_000), ctx.scaled(3_000)
+    ctx.record(n_train=n_train, n_test=n_test, privacy=1.0, noise="uniform")
     results = {}
     for fn in FUNCTIONS:
-        train = quest.generate(n_train, function=fn, seed=1300 + fn)
-        test = quest.generate(n_test, function=fn, seed=1350 + fn)
+        train = quest.generate(n_train, function=fn, seed=ctx.seed + fn)
+        test = quest.generate(n_test, function=fn, seed=ctx.seed + 50 + fn)
         cell = {}
         for strategy in NB_STRATEGIES:
             model = PrivacyPreservingNaiveBayes(
-                strategy, privacy=1.0, seed=1399
+                strategy, privacy=1.0, seed=ctx.seed + 99
             ).fit(train)
             cell[f"nb-{strategy}"] = model.score(test)
         tree = PrivacyPreservingClassifier(
-            "byclass", privacy=1.0, seed=1399
+            "byclass", privacy=1.0, seed=ctx.seed + 99
         ).fit(train)
         cell["tree-byclass"] = tree.score(test)
         results[fn] = cell
-    return results
-
-
-def test_e13_naive_bayes(benchmark):
-    results = once(benchmark, _run)
 
     columns = ("nb-original", "nb-randomized", "nb-byclass", "tree-byclass")
     rows = [
@@ -56,8 +57,13 @@ def test_e13_naive_bayes(benchmark):
         title="E13: naive Bayes over reconstructed distributions "
         "(100% privacy, uniform)",
     )
-    report("e13_naive_bayes", table)
+    ctx.report(table, name="e13_naive_bayes")
 
+    metrics = {
+        f"fn{fn}_{column.replace('-', '_')}": float(results[fn][column])
+        for fn in FUNCTIONS
+        for column in columns
+    }
     wins = 0
     for fn in FUNCTIONS:
         cell = results[fn]
@@ -74,3 +80,9 @@ def test_e13_naive_bayes(benchmark):
     # while NB-randomized collapses far below it
     assert results[1]["nb-byclass"] > 0.85
     assert results[1]["nb-randomized"] < results[1]["nb-byclass"] - 0.2
+    metrics["nb_byclass_wins"] = int(wins)
+    return metrics
+
+
+def test_e13_naive_bayes(benchmark):
+    run_experiment(benchmark, "e13")

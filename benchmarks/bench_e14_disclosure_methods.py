@@ -10,21 +10,32 @@ default configuration exposes via ``prune_fraction``).
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.datasets import quest
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 from repro.tree import PrivacyPreservingClassifier
 
 LEVELS = (0.1, 0.25, 0.5, 1.0)
 FUNCTION = 2
 
 
-def _run():
-    n_train, n_test = scaled(10_000), scaled(3_000)
-    train = quest.generate(n_train, function=FUNCTION, seed=1400)
-    test = quest.generate(n_test, function=FUNCTION, seed=1401)
+@experiment(
+    "e14",
+    title="Value distortion vs value-class membership; pruning ablation",
+    tags=("classification", "ablation"),
+    seed=1400,
+)
+def run_e14(ctx):
+    n_train, n_test = ctx.scaled(10_000), ctx.scaled(3_000)
+    ctx.record(
+        function=FUNCTION,
+        n_train=n_train,
+        n_test=n_test,
+        levels=",".join(f"{level:g}" for level in LEVELS),
+    )
+    train = quest.generate(n_train, function=FUNCTION, seed=ctx.seed)
+    test = quest.generate(n_test, function=FUNCTION, seed=ctx.seed + 1)
 
     # Method comparison: both disclosure methods get the same stronger
     # tree (deeper growth + reduced-error pruning), so the measured gap is
@@ -33,10 +44,10 @@ def _run():
     methods = {}
     for level in LEVELS:
         byclass = PrivacyPreservingClassifier(
-            "byclass", privacy=level, seed=1402, **tree_options
+            "byclass", privacy=level, seed=ctx.seed + 2, **tree_options
         ).fit(train)
         valueclass = PrivacyPreservingClassifier(
-            "valueclass", privacy=level, seed=1402, **tree_options
+            "valueclass", privacy=level, seed=ctx.seed + 2, **tree_options
         ).fit(train)
         methods[level] = {
             "byclass": byclass.score(test),
@@ -46,10 +57,10 @@ def _run():
     pruning = {}
     for strategy in ("randomized", "byclass"):
         grown = PrivacyPreservingClassifier(
-            strategy, privacy=1.0, seed=1403
+            strategy, privacy=1.0, seed=ctx.seed + 3
         ).fit(train)
         pruned = PrivacyPreservingClassifier(
-            strategy, privacy=1.0, seed=1403, prune_fraction=0.2
+            strategy, privacy=1.0, seed=ctx.seed + 3, prune_fraction=0.2
         ).fit(train)
         pruning[strategy] = {
             "grown_acc": grown.score(test),
@@ -57,11 +68,6 @@ def _run():
             "pruned_acc": pruned.score(test),
             "pruned_nodes": pruned.tree_.n_nodes,
         }
-    return methods, pruning
-
-
-def test_e14_disclosure_methods(benchmark):
-    methods, pruning = once(benchmark, _run)
 
     method_rows = [
         (
@@ -76,7 +82,6 @@ def test_e14_disclosure_methods(benchmark):
         method_rows,
         title=f"E14a: Fn{FUNCTION} — value distortion vs value-class membership",
     )
-
     prune_rows = [
         (
             strategy,
@@ -92,7 +97,19 @@ def test_e14_disclosure_methods(benchmark):
         prune_rows,
         title="E14b: reduced-error pruning at 100% privacy",
     )
-    report("e14_disclosure_methods", method_table + "\n\n" + prune_table)
+    ctx.report(
+        method_table + "\n\n" + prune_table, name="e14_disclosure_methods"
+    )
+
+    metrics = {}
+    for level in LEVELS:
+        metrics[f"byclass_p{level:g}"] = float(methods[level]["byclass"])
+        metrics[f"valueclass_p{level:g}"] = float(methods[level]["valueclass"])
+    for strategy, cell in pruning.items():
+        metrics[f"{strategy}_grown_acc"] = float(cell["grown_acc"])
+        metrics[f"{strategy}_grown_nodes"] = int(cell["grown_nodes"])
+        metrics[f"{strategy}_pruned_acc"] = float(cell["pruned_acc"])
+        metrics[f"{strategy}_pruned_nodes"] = int(cell["pruned_nodes"])
 
     # the paper's §2 choice: distortion at least matches discretization
     for level in LEVELS:
@@ -108,3 +125,8 @@ def test_e14_disclosure_methods(benchmark):
     for strategy, cell in pruning.items():
         assert cell["pruned_nodes"] < cell["grown_nodes"], strategy
         assert cell["pruned_acc"] > cell["grown_acc"] - 0.05, strategy
+    return metrics
+
+
+def test_e14_disclosure_methods(benchmark):
+    run_experiment(benchmark, "e14")

@@ -14,7 +14,7 @@ worst-case argument the average-case metric cannot express.
 from __future__ import annotations
 
 import numpy as np
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.core import (
     HistogramDistribution,
@@ -25,20 +25,26 @@ from repro.core import (
 )
 from repro.datasets import shapes
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 
 
-def _run():
+@experiment(
+    "e15",
+    title="Streaming reconstruction and worst-case breach analysis",
+    tags=("streaming", "privacy", "smoke"),
+    seed=1500,
+)
+def run_e15(ctx):
     density = shapes.triangles()
     part = density.partition(20)
     noise = noise_for_privacy("uniform", 0.5, 1.0)
     true = density.true_distribution(part)
 
     stream = StreamingReconstructor(part, noise)
-    rng = np.random.default_rng(1500)
-    batch = scaled(2_000)
+    rng = np.random.default_rng(ctx.seed)
+    batch = ctx.scaled(2_000)
+    ctx.record(batch_size=batch, n_batches=5, privacy=0.5, n_intervals=20)
     streaming_rows = []
-    for step in range(1, 6):
+    for _step in range(1, 6):
         x = density.sample(batch, seed=rng)
         stream.update(noise.randomize(x, seed=rng))
         result = stream.estimate()
@@ -50,28 +56,33 @@ def _run():
             )
         )
 
-    prior_x = density.sample(scaled(20_000), seed=rng)
+    prior_x = density.sample(ctx.scaled(20_000), seed=rng)
     prior = HistogramDistribution.from_values(prior_x, part)
-    breach_rows = []
+    breach_cells = []
     for kind in ("uniform", "gaussian"):
         for level in (0.25, 1.0):
             randomizer = noise_for_privacy(kind, level, 1.0)
             analysis = breach_analysis(prior, randomizer, rho1=0.06, rho2=0.5)
             gamma = amplification_factor(part, randomizer)
-            breach_rows.append(
-                (
-                    kind,
-                    f"{level:g}",
-                    f"{analysis.worst_posterior:.3f}",
-                    "yes" if analysis.breached else "no",
-                    "inf" if np.isinf(gamma) else f"{gamma:.3g}",
-                )
+            breach_cells.append(
+                {
+                    "kind": kind,
+                    "level": level,
+                    "posterior": float(analysis.worst_posterior),
+                    "breached": bool(analysis.breached),
+                    "gamma": float(gamma),
+                }
             )
-    return streaming_rows, breach_rows
-
-
-def test_e15_streaming_breach(benchmark):
-    streaming_rows, breach_rows = once(benchmark, _run)
+    breach_rows = [
+        (
+            cell["kind"],
+            f"{cell['level']:g}",
+            f"{cell['posterior']:.3f}",
+            "yes" if cell["breached"] else "no",
+            "inf" if np.isinf(cell["gamma"]) else f"{cell['gamma']:.3g}",
+        )
+        for cell in breach_cells
+    ]
 
     streaming_table = format_table(
         ("records seen", "L1 to truth", "sweeps"),
@@ -83,17 +94,35 @@ def test_e15_streaming_breach(benchmark):
         breach_rows,
         title="E15b: worst-case (0.06, 0.5) breach analysis",
     )
-    report("e15_streaming_breach", streaming_table + "\n\n" + breach_table)
+    ctx.report(
+        streaming_table + "\n\n" + breach_table, name="e15_streaming_breach"
+    )
+
+    errors = [float(row[1]) for row in streaming_rows]
+    sweeps = [int(row[2]) for row in streaming_rows]
+    metrics = {
+        "stream_l1_first": errors[0],
+        "stream_l1_last": errors[-1],
+        "stream_sweeps_first": sweeps[0],
+        "stream_sweeps_last": sweeps[-1],
+    }
+    for cell in breach_cells:
+        slug = f"{cell['kind']}_p{cell['level']:g}"
+        metrics[f"worst_posterior_{slug}"] = cell["posterior"]
+        metrics[f"amplification_{slug}"] = cell["gamma"]
 
     # the stream's error decreases as records accumulate
-    errors = [float(row[1]) for row in streaming_rows]
     assert errors[-1] < errors[0]
     # warm-started refreshes get cheap
-    assert streaming_rows[-1][2] <= streaming_rows[0][2] + 5
+    assert sweeps[-1] <= sweeps[0] + 5
 
-    by_key = {(row[0], row[1]): row for row in breach_rows}
     # bounded-support noise: unbounded amplification at every level
-    assert by_key[("uniform", "0.25")][4] == "inf"
-    assert by_key[("uniform", "1")][4] == "inf"
+    assert np.isinf(metrics["amplification_uniform_p0.25"])
+    assert np.isinf(metrics["amplification_uniform_p1"])
     # Gaussian amplification is finite at 100% privacy
-    assert by_key[("gaussian", "1")][4] != "inf"
+    assert np.isfinite(metrics["amplification_gaussian_p1"])
+    return metrics
+
+
+def test_e15_streaming_breach(benchmark):
+    run_experiment(benchmark, "e15")

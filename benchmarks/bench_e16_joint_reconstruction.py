@@ -11,13 +11,12 @@ is zero by construction, and (c) the joint estimate tracks the truth.
 from __future__ import annotations
 
 import numpy as np
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.core import UniformRandomizer
 from repro.core.joint import JointBayesReconstructor
 from repro.core.partition import Partition
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 
 RHOS = (0.0, 0.4, 0.8)
 
@@ -25,15 +24,25 @@ RHOS = (0.0, 0.4, 0.8)
 def _sample(n, rho, rng):
     z1 = rng.normal(size=n)
     z2 = rho * z1 + np.sqrt(1 - rho**2) * rng.normal(size=n)
-    clip = lambda z: np.clip((z + 3) / 6, 0, 1)
+
+    def clip(z):
+        return np.clip((z + 3) / 6, 0, 1)
+
     return clip(z1), clip(z2)
 
 
-def _run():
-    n = scaled(10_000)
+@experiment(
+    "e16",
+    title="Joint reconstruction recovers intra-class correlation",
+    tags=("joint", "reconstruction", "smoke"),
+    seed=1600,
+)
+def run_e16(ctx):
+    n = ctx.scaled(10_000)
+    ctx.record(n=n, privacy=0.5, n_intervals=15)
     part = Partition.uniform(0, 1, 15)
     noise = UniformRandomizer.from_privacy(0.5, 1.0)
-    rng = np.random.default_rng(1600)
+    rng = np.random.default_rng(ctx.seed)
     rows = []
     for rho in RHOS:
         x1, x2 = _sample(n, rho, rng)
@@ -53,15 +62,16 @@ def _run():
                 "iterations": joint.n_iterations,
             }
         )
-    return rows
-
-
-def test_e16_joint_reconstruction(benchmark):
-    rows = once(benchmark, _run)
 
     table = format_table(
-        ("target rho", "true corr", "randomized corr", "joint recon corr",
-         "product recon corr", "sweeps"),
+        (
+            "target rho",
+            "true corr",
+            "randomized corr",
+            "joint recon corr",
+            "product recon corr",
+            "sweeps",
+        ),
         [
             (
                 f"{r['rho']:g}",
@@ -76,7 +86,14 @@ def test_e16_joint_reconstruction(benchmark):
         title="E16: correlation through randomization and reconstruction "
         "(uniform noise, 50% privacy)",
     )
-    report("e16_joint_reconstruction", table)
+    ctx.report(table, name="e16_joint_reconstruction")
+
+    metrics = {}
+    for r in rows:
+        slug = f"rho{r['rho']:g}".replace(".", "_")
+        metrics[f"true_corr_{slug}"] = r["true"]
+        metrics[f"randomized_corr_{slug}"] = r["randomized"]
+        metrics[f"joint_corr_{slug}"] = float(r["joint"])
 
     for r in rows:
         if r["rho"] == 0.0:
@@ -87,3 +104,8 @@ def test_e16_joint_reconstruction(benchmark):
             # ... joint reconstruction recovers most of it
             assert r["joint"] > r["randomized"]
             assert abs(r["joint"] - r["true"]) < 0.2
+    return metrics
+
+
+def test_e16_joint_reconstruction(benchmark):
+    run_experiment(benchmark, "e16")

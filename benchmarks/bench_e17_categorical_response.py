@@ -11,19 +11,29 @@ error grows as deniability rises.
 from __future__ import annotations
 
 import numpy as np
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.core import CategoricalRandomizer, CategoricalReconstructor
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 
 KEEP_PROBS = (0.9, 0.7, 0.5, 0.3)
 TRUE_PROBS = np.array([0.45, 0.25, 0.15, 0.10, 0.05])
 
 
-def _run():
-    rng = np.random.default_rng(1700)
-    n = scaled(20_000)
+@experiment(
+    "e17",
+    title="Categorical distribution recovery under randomized response",
+    tags=("categorical", "smoke"),
+    seed=1700,
+)
+def run_e17(ctx):
+    rng = np.random.default_rng(ctx.seed)
+    n = ctx.scaled(20_000)
+    ctx.record(
+        n=n,
+        n_categories=len(TRUE_PROBS),
+        keep_probs=",".join(f"{k:g}" for k in KEEP_PROBS),
+    )
     values = rng.choice(5, size=n, p=TRUE_PROBS)
     empirical = np.bincount(values, minlength=5) / n
 
@@ -41,11 +51,6 @@ def _run():
                 "err_estimate": float(np.abs(estimate - empirical).sum()),
             }
         )
-    return rows
-
-
-def test_e17_categorical_response(benchmark):
-    rows = once(benchmark, _run)
 
     table = format_table(
         ("keep_prob", "deniability", "L1 naive", "L1 inverted"),
@@ -60,7 +65,13 @@ def test_e17_categorical_response(benchmark):
         ],
         title="E17: categorical distribution recovery under randomized response",
     )
-    report("e17_categorical_response", table)
+    ctx.report(table, name="e17_categorical_response")
+
+    metrics = {}
+    for r in rows:
+        slug = f"keep{r['keep']:g}".replace(".", "_")
+        metrics[f"err_naive_{slug}"] = r["err_naive"]
+        metrics[f"err_inverted_{slug}"] = r["err_estimate"]
 
     for r in rows:
         # inversion beats naive counting at every deniability level
@@ -71,3 +82,8 @@ def test_e17_categorical_response(benchmark):
     # naive bias grows with deniability (sanity of the workload)
     naive_errors = [r["err_naive"] for r in rows]
     assert naive_errors == sorted(naive_errors)
+    return metrics
+
+
+def test_e17_categorical_response(benchmark):
+    run_experiment(benchmark, "e17")

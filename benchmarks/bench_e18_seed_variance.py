@@ -14,21 +14,30 @@ flip on individual seeds.
 from __future__ import annotations
 
 import numpy as np
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.datasets import quest
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 from repro.tree import PrivacyPreservingClassifier
 
-SEEDS = (1801, 1845, 1899)
+SEED_OFFSETS = (1, 45, 99)
 FUNCTIONS = (1, 3, 5)
 
 
-def _run():
-    n_train, n_test = scaled(10_000), scaled(3_000)
+@experiment(
+    "e18",
+    title="Seed variance of ByClass vs Randomized at 100% privacy",
+    tags=("classification", "variance"),
+    seed=1800,
+)
+def run_e18(ctx):
+    n_train, n_test = ctx.scaled(10_000), ctx.scaled(3_000)
+    ctx.record(
+        n_train=n_train, n_test=n_test, n_seeds=len(SEED_OFFSETS), privacy=1.0
+    )
     results: dict = {fn: {"byclass": [], "randomized": []} for fn in FUNCTIONS}
-    for seed in SEEDS:
+    for offset in SEED_OFFSETS:
+        seed = ctx.seed + offset
         for fn in FUNCTIONS:
             train = quest.generate(n_train, function=fn, seed=seed)
             test = quest.generate(n_test, function=fn, seed=seed + 7)
@@ -41,11 +50,6 @@ def _run():
                 )
                 clf.fit(train, randomized_table=randomized, randomizers=randomizers)
                 results[fn][strategy].append(clf.score(test))
-    return results
-
-
-def test_e18_seed_variance(benchmark):
-    results = once(benchmark, _run)
 
     rows = []
     for fn in FUNCTIONS:
@@ -64,9 +68,17 @@ def test_e18_seed_variance(benchmark):
     table = format_table(
         ("function", "strategy", "mean %", "std %", "min %", "max %"),
         rows,
-        title=f"E18: accuracy across {len(SEEDS)} seeds (100% privacy, uniform)",
+        title=f"E18: accuracy across {len(SEED_OFFSETS)} seeds "
+        "(100% privacy, uniform)",
     )
-    report("e18_seed_variance", table)
+    ctx.report(table, name="e18_seed_variance")
+
+    metrics = {}
+    for fn in FUNCTIONS:
+        for strategy in ("byclass", "randomized"):
+            accs = np.asarray(results[fn][strategy])
+            metrics[f"fn{fn}_{strategy}_mean"] = float(accs.mean())
+            metrics[f"fn{fn}_{strategy}_std"] = float(accs.std())
 
     for fn in FUNCTIONS:
         byclass = np.asarray(results[fn]["byclass"])
@@ -82,3 +94,8 @@ def test_e18_seed_variance(benchmark):
         randomized = np.asarray(results[fn]["randomized"])
         assert byclass.mean() > randomized.mean() + 0.05, fn
         assert np.all(byclass > randomized), fn
+    return metrics
+
+
+def test_e18_seed_variance(benchmark):
+    run_experiment(benchmark, "e18")

@@ -6,7 +6,9 @@ problems that share a noise kernel, caches kernels across calls, and
 memoizes chi-squared critical values.  This benchmark measures the
 speedup on a 4-class × 8-attribute workload and asserts the batched path
 is **bit-identical** to the looped one: same reconstructions, same
-corrected interval assignments, same tree.
+corrected interval assignments, same tree.  The looped arm is
+:func:`repro.core.engine.run_bayes_reference` — the public pre-engine
+reference path (kernel rebuilt, critical values re-derived, no batching).
 """
 
 from __future__ import annotations
@@ -15,65 +17,38 @@ import os
 import time
 
 import numpy as np
-from _common import once, report
+from _common import experiment, run_experiment
 
-from repro.core.histogram import HistogramDistribution
-from repro.core.reconstruction import (
-    ReconstructionResult,
-    _prepare,
-    _run_bayes,
-)
+from repro.core.engine import run_bayes_reference
 from repro.datasets.schema import Attribute, Table
-from repro.experiments.config import scaled
 from repro.experiments.reporting import format_table
 from repro.tree.pipeline import PrivacyPreservingClassifier
 
 N_CLASSES = 4
 N_ATTRIBUTES = 8
 
-#: scales the wall-clock speedup thresholds (bit-identity asserts are
-#: unaffected).  Shared CI runners set this below 1 so a noisy neighbour
-#: cannot flake the build while a real regression still fails.
-_SPEEDUP_FLOOR_SCALE = float(os.environ.get("PPDM_E19_SPEEDUP_FLOOR", "1.0"))
+
+def _speedup_floor_scale() -> float:
+    """Scales the wall-clock speedup thresholds (bit-identity asserts are
+    unaffected).  Shared CI runners set this below 1 so a noisy neighbour
+    cannot flake the build while a real regression still fails."""
+    return float(os.environ.get("PPDM_E19_SPEEDUP_FLOOR", "1.0"))
 
 
 class LoopedReconstructor:
-    """The pre-engine reconstruction path, verbatim.
+    """The pre-engine reconstruction path.
 
-    ``_prepare`` + ``_run_bayes`` per problem: the kernel is rebuilt and
-    every chi-squared critical value re-derived for each problem, and no
-    ``reconstruct_batch`` attribute exists, so the pipeline falls back to
-    its one-problem-at-a-time loops.
+    Delegates to :func:`repro.core.engine.run_bayes_reference` — one
+    kernel build and one fresh chi-squared table per problem — and
+    exposes no ``reconstruct_batch`` attribute, so the pipeline falls
+    back to its one-problem-at-a-time loops.
     """
 
     def reconstruct(self, values, partition, randomizer):
-        y_counts, kernel = _prepare(
-            values,
-            partition,
-            randomizer,
-            transition_method="integrated",
-            coverage=1.0 - 1e-9,
-        )
-        m = partition.n_intervals
-        theta, iters, converged, deltas, chi2_stat, chi2_thresh = _run_bayes(
-            y_counts,
-            kernel,
-            np.full(m, 1.0 / m),
-            max_iterations=500,
-            tol=1e-3,
-            stopping="chi2",
-        )
-        return ReconstructionResult(
-            distribution=HistogramDistribution(partition, theta),
-            n_iterations=iters,
-            converged=converged,
-            chi2_statistic=chi2_stat,
-            chi2_threshold=chi2_thresh,
-            delta_history=tuple(deltas),
-        )
+        return run_bayes_reference(values, partition, randomizer)
 
 
-def _workload(n: int, seed: int = 0):
+def _workload(n: int, seed: int):
     """A 4-class table whose 8 attributes have distinct domains and
     class-dependent distributions (so every reconstruction has work to do
     and every attribute needs its own kernel)."""
@@ -89,13 +64,15 @@ def _workload(n: int, seed: int = 0):
     return Table(columns, labels, schema)
 
 
-def _fit_pair(table, strategy: str, *, repeats: int = 3, **kwargs):
+def _fit_pair(table, strategy: str, *, seed: int, repeats: int = 3, **kwargs):
     """Fit looped and batched classifiers on identical randomized data.
 
     Each arm is fitted ``repeats`` times and the best wall time kept, so
     scheduler noise cannot fake (or hide) a speedup.
     """
-    base = PrivacyPreservingClassifier(strategy, noise="gaussian", seed=7, **kwargs)
+    base = PrivacyPreservingClassifier(
+        strategy, noise="gaussian", seed=seed, **kwargs
+    )
     base.fit(table)  # also serves as a warm-up run
     randomized, randomizers = base.randomized_table_, base.randomizers_
 
@@ -105,7 +82,7 @@ def _fit_pair(table, strategy: str, *, repeats: int = 3, **kwargs):
         looped = PrivacyPreservingClassifier(
             strategy,
             noise="gaussian",
-            seed=7,
+            seed=seed,
             reconstructor=LoopedReconstructor(),
             **kwargs,
         )
@@ -114,7 +91,7 @@ def _fit_pair(table, strategy: str, *, repeats: int = 3, **kwargs):
         looped_seconds = min(looped_seconds, time.perf_counter() - start)
 
         batched = PrivacyPreservingClassifier(
-            strategy, noise="gaussian", seed=7, **kwargs
+            strategy, noise="gaussian", seed=seed, **kwargs
         )
         start = time.perf_counter()
         batched.fit(table, randomized_table=randomized, randomizers=randomizers)
@@ -138,15 +115,19 @@ def _assert_identical(looped, batched) -> None:
             assert a.n_iterations == b.n_iterations
 
 
-def test_e19_byclass_engine_batching(benchmark):
-    table = _workload(scaled(6_000))
-
-    def run():
-        # High privacy + a fine grid: the paper's hard regime, where the
-        # noise kernel is large and reconstruction does real work.
-        return _fit_pair(table, "byclass", max_depth=2, n_intervals=80, privacy=1.5)
-
-    looped, batched, looped_s, batched_s = once(benchmark, run)
+def _run_engine_comparison(ctx, *, strategy, n, workload_seed_offset, title, **kwargs):
+    """Shared body of the two E19 experiments; returns (metrics, cache, speedup)."""
+    table = _workload(ctx.scaled(n), seed=ctx.seed + workload_seed_offset)
+    ctx.record(
+        strategy=strategy,
+        n=ctx.scaled(n),
+        n_classes=N_CLASSES,
+        n_attributes=N_ATTRIBUTES,
+        noise="gaussian",
+    )
+    looped, batched, looped_s, batched_s = _fit_pair(
+        table, strategy, seed=ctx.seed, **kwargs
+    )
     _assert_identical(looped, batched)
 
     cache = batched.reconstructor.engine.kernel_cache
@@ -158,7 +139,39 @@ def test_e19_byclass_engine_batching(benchmark):
     table_text = format_table(
         ("path", "fit ms", "kernel hits", "kernel misses"),
         rows,
+        title=title,
+    )
+    ctx.record_timing(
+        looped_ms=looped_s * 1e3,
+        batched_ms=batched_s * 1e3,
+        speedup=speedup,
+    )
+    metrics = {
+        "kernel_hits": int(cache.hits),
+        "kernel_misses": int(cache.misses),
+        "bit_identical": True,
+    }
+    return metrics, cache, speedup, table_text
+
+
+@experiment(
+    "e19_byclass",
+    title="Engine batching vs looped reference, ByClass fit",
+    tags=("engine", "smoke"),
+    seed=7,
+)
+def run_e19_byclass(ctx):
+    metrics, cache, speedup, table_text = _run_engine_comparison(
+        ctx,
+        strategy="byclass",
+        n=6_000,
+        workload_seed_offset=0,
         title="E19: ByClass fit, 4 classes x 8 attributes, gaussian noise",
+        # High privacy + a fine grid: the paper's hard regime, where the
+        # noise kernel is large and reconstruction does real work.
+        max_depth=2,
+        n_intervals=80,
+        privacy=1.5,
     )
     summary = (
         f"\nspeedup = {speedup:.2f}x"
@@ -166,35 +179,31 @@ def test_e19_byclass_engine_batching(benchmark):
         f"\nkernels built (batched) = {cache.misses}"
         f"\nresults bit-identical to the looped path"
     )
-    report("e19_engine_batching_byclass", table_text + summary)
+    ctx.report(table_text + summary, name="e19_engine_batching_byclass")
 
     # The engine must at least halve the ByClass fit.
-    floor = 2.0 * _SPEEDUP_FLOOR_SCALE
+    floor = 2.0 * _speedup_floor_scale()
     assert speedup >= floor, f"expected >= {floor:.2f}x, got {speedup:.2f}x"
     # One kernel per attribute instead of one per attribute x class.
-    assert cache.misses == N_ATTRIBUTES
-    assert cache.hits == N_ATTRIBUTES * (N_CLASSES - 1)
+    assert metrics["kernel_misses"] == N_ATTRIBUTES
+    assert metrics["kernel_hits"] == N_ATTRIBUTES * (N_CLASSES - 1)
+    return metrics
 
 
-def test_e19_local_engine_batching(benchmark):
-    table = _workload(scaled(8_000), seed=1)
-
-    def run():
-        return _fit_pair(table, "local", max_depth=4)
-
-    looped, batched, looped_s, batched_s = once(benchmark, run)
-    _assert_identical(looped, batched)
-
-    cache = batched.reconstructor.engine.kernel_cache
-    speedup = looped_s / batched_s
-    rows = [
-        ("looped", f"{looped_s * 1e3:.1f}", "-", "-"),
-        ("batched", f"{batched_s * 1e3:.1f}", str(cache.hits), str(cache.misses)),
-    ]
-    table_text = format_table(
-        ("path", "fit ms", "kernel hits", "kernel misses"),
-        rows,
+@experiment(
+    "e19_local",
+    title="Engine batching vs looped reference, Local fit",
+    tags=("engine",),
+    seed=7,
+)
+def run_e19_local(ctx):
+    metrics, cache, speedup, table_text = _run_engine_comparison(
+        ctx,
+        strategy="local",
+        n=8_000,
+        workload_seed_offset=1,
         title="E19: Local fit, 4 classes x 8 attributes, gaussian noise",
+        max_depth=4,
     )
     summary = (
         f"\nspeedup = {speedup:.2f}x"
@@ -202,10 +211,19 @@ def test_e19_local_engine_batching(benchmark):
         f"(cache absorbed {cache.hits} repeat builds across tree nodes)"
         f"\nresults bit-identical to the looped path"
     )
-    report("e19_engine_batching_local", table_text + summary)
+    ctx.report(table_text + summary, name="e19_engine_batching_local")
 
     # Local refits at every node; the cache must keep kernels at one per
     # attribute no matter how many nodes re-reconstruct.
-    assert cache.misses == N_ATTRIBUTES
-    floor = 1.5 * _SPEEDUP_FLOOR_SCALE
+    assert metrics["kernel_misses"] == N_ATTRIBUTES
+    floor = 1.5 * _speedup_floor_scale()
     assert speedup >= floor, f"expected >= {floor:.2f}x, got {speedup:.2f}x"
+    return metrics
+
+
+def test_e19_byclass_engine_batching(benchmark):
+    run_experiment(benchmark, "e19_byclass")
+
+
+def test_e19_local_engine_batching(benchmark):
+    run_experiment(benchmark, "e19_local")

@@ -9,22 +9,34 @@ series is badly smeared.
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import ReconstructionConfig, format_table, run_reconstruction
-from repro.experiments.config import scaled
 
 
-def test_e1_reconstruction_plateau_uniform(benchmark):
+@experiment(
+    "e1",
+    title="Reconstruction figure: plateau shape, uniform noise",
+    tags=("reconstruction", "smoke"),
+    seed=101,
+)
+def run_e1(ctx):
     config = ReconstructionConfig(
         shape="plateau",
         noise="uniform",
         privacy=0.5,
-        n=scaled(10_000),
+        n=ctx.scaled(10_000),
         n_intervals=20,
-        seed=101,
+        seed=ctx.seed,
     )
-    outcome = once(benchmark, lambda: run_reconstruction(config))
+    ctx.record(
+        shape=config.shape,
+        noise=config.noise,
+        privacy=config.privacy,
+        n=config.n,
+        n_intervals=config.n_intervals,
+    )
+    outcome = run_reconstruction(config)
 
     table = format_table(
         ("midpoint", "true", "original", "randomized", "reconstructed"),
@@ -38,8 +50,20 @@ def test_e1_reconstruction_plateau_uniform(benchmark):
         f"\nKS(original, reconstructed) = {outcome.ks_reconstructed:.4f}"
         f"\niterations = {outcome.n_iterations}"
     )
-    report("e1_reconstruction_plateau", table + summary)
+    ctx.report(table + summary, name="e1_reconstruction_plateau")
 
+    metrics = {
+        "l1_randomized": float(outcome.l1_randomized),
+        "l1_reconstructed": float(outcome.l1_reconstructed),
+        "ks_randomized": float(outcome.ks_randomized),
+        "ks_reconstructed": float(outcome.ks_reconstructed),
+        "iterations": int(outcome.n_iterations),
+    }
     # Paper shape: reconstruction repairs most of the smearing.
-    assert outcome.l1_reconstructed < 0.5 * outcome.l1_randomized
-    assert outcome.ks_reconstructed < outcome.ks_randomized
+    assert metrics["l1_reconstructed"] < 0.5 * metrics["l1_randomized"]
+    assert metrics["ks_reconstructed"] < metrics["ks_randomized"]
+    return metrics
+
+
+def test_e1_reconstruction_plateau_uniform(benchmark):
+    run_experiment(benchmark, "e1")

@@ -7,22 +7,34 @@ back out.  Paper shape: both modes clearly restored.
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import ReconstructionConfig, format_table, run_reconstruction
-from repro.experiments.config import scaled
 
 
-def test_e2_reconstruction_triangles_uniform(benchmark):
+@experiment(
+    "e2",
+    title="Reconstruction figure: triangles shape, uniform noise",
+    tags=("reconstruction", "smoke"),
+    seed=102,
+)
+def run_e2(ctx):
     config = ReconstructionConfig(
         shape="triangles",
         noise="uniform",
         privacy=0.5,
-        n=scaled(10_000),
+        n=ctx.scaled(10_000),
         n_intervals=20,
-        seed=102,
+        seed=ctx.seed,
     )
-    outcome = once(benchmark, lambda: run_reconstruction(config))
+    ctx.record(
+        shape=config.shape,
+        noise=config.noise,
+        privacy=config.privacy,
+        n=config.n,
+        n_intervals=config.n_intervals,
+    )
+    outcome = run_reconstruction(config)
 
     table = format_table(
         ("midpoint", "true", "original", "randomized", "reconstructed"),
@@ -33,17 +45,31 @@ def test_e2_reconstruction_triangles_uniform(benchmark):
         f"\nL1(original, randomized)    = {outcome.l1_randomized:.4f}"
         f"\nL1(original, reconstructed) = {outcome.l1_reconstructed:.4f}"
     )
-    report("e2_reconstruction_triangles", table + summary)
+    ctx.report(table + summary, name="e2_reconstruction_triangles")
 
-    assert outcome.l1_reconstructed < 0.5 * outcome.l1_randomized
-    # bimodality restored: valley (middle intervals) has far less mass
-    # than the two peak regions in the reconstruction
+    # bimodality: the valley (middle intervals) against the peak regions
     rec = outcome.reconstructed_probs
-    valley = rec[9:11].sum()
-    peaks = rec[3:6].sum() + rec[14:17].sum()
+    rand = outcome.randomized_probs
+    valley = float(rec[9:11].sum())
+    peaks = float(rec[3:6].sum() + rec[14:17].sum())
+    rec_contrast = peaks / max(valley, 1e-9)
+    rand_contrast = float(
+        (rand[3:6].sum() + rand[14:17].sum()) / max(rand[9:11].sum(), 1e-9)
+    )
+    metrics = {
+        "l1_randomized": float(outcome.l1_randomized),
+        "l1_reconstructed": float(outcome.l1_reconstructed),
+        "reconstructed_contrast": rec_contrast,
+        "randomized_contrast": rand_contrast,
+        "iterations": int(outcome.n_iterations),
+    }
+    assert metrics["l1_reconstructed"] < 0.5 * metrics["l1_randomized"]
+    # bimodality restored: far less mass in the valley than at the peaks
     assert peaks > 3 * valley
     # and the randomized series does NOT show that contrast as strongly
-    rand = outcome.randomized_probs
-    rand_contrast = (rand[3:6].sum() + rand[14:17].sum()) / max(rand[9:11].sum(), 1e-9)
-    rec_contrast = peaks / max(valley, 1e-9)
     assert rec_contrast > rand_contrast
+    return metrics
+
+
+def test_e2_reconstruction_triangles_uniform(benchmark):
+    run_experiment(benchmark, "e2")

@@ -7,29 +7,31 @@ original, randomization does not) must be noise-kind independent.
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import ReconstructionConfig, format_table, run_reconstruction
-from repro.experiments.config import scaled
 
 
-def _run_both():
+@experiment(
+    "e3",
+    title="Reconstruction with Gaussian noise, both shapes",
+    tags=("reconstruction", "smoke"),
+    seed=103,
+)
+def run_e3(ctx):
+    n = ctx.scaled(10_000)
+    ctx.record(noise="gaussian", privacy=0.5, n=n, n_intervals=20)
     outcomes = {}
-    for shape, seed in (("plateau", 103), ("triangles", 104)):
+    for offset, shape in enumerate(("plateau", "triangles")):
         config = ReconstructionConfig(
             shape=shape,
             noise="gaussian",
             privacy=0.5,
-            n=scaled(10_000),
+            n=n,
             n_intervals=20,
-            seed=seed,
+            seed=ctx.seed + offset,
         )
         outcomes[shape] = run_reconstruction(config)
-    return outcomes
-
-
-def test_e3_reconstruction_gaussian(benchmark):
-    outcomes = once(benchmark, _run_both)
 
     rows = [
         (
@@ -47,7 +49,16 @@ def test_e3_reconstruction_gaussian(benchmark):
         rows,
         title="E3: Gaussian noise, 50% privacy",
     )
-    report("e3_reconstruction_gaussian", table)
+    ctx.report(table, name="e3_reconstruction_gaussian")
 
-    for outcome in outcomes.values():
+    metrics = {}
+    for shape, outcome in outcomes.items():
+        metrics[f"{shape}_l1_randomized"] = float(outcome.l1_randomized)
+        metrics[f"{shape}_l1_reconstructed"] = float(outcome.l1_reconstructed)
+        metrics[f"{shape}_iterations"] = int(outcome.n_iterations)
         assert outcome.l1_reconstructed < 0.6 * outcome.l1_randomized
+    return metrics
+
+
+def test_e3_reconstruction_gaussian(benchmark):
+    run_experiment(benchmark, "e3")

@@ -7,22 +7,25 @@ substrate every classification experiment rests on).
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.datasets import quest
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 
 
-def test_e4_quest_workload(benchmark):
-    n = scaled(50_000)
-    tables = once(
-        benchmark,
-        lambda: {
-            fn: quest.generate(n, function=fn, seed=400 + fn)
-            for fn in quest.FUNCTION_IDS
-        },
-    )
+@experiment(
+    "e4",
+    title="Quest workload: attribute domains and class balance",
+    tags=("quest", "datasets", "smoke"),
+    seed=400,
+)
+def run_e4(ctx):
+    n = ctx.scaled(50_000)
+    ctx.record(n=n, functions=len(quest.FUNCTION_IDS))
+    tables = {
+        fn: quest.generate(n, function=fn, seed=ctx.seed + fn)
+        for fn in quest.FUNCTION_IDS
+    }
 
     attr_rows = [
         (
@@ -34,7 +37,8 @@ def test_e4_quest_workload(benchmark):
         for a in quest.ATTRIBUTES
     ]
     attr_table = format_table(
-        ("attribute", "low", "high", "kind"), attr_rows,
+        ("attribute", "low", "high", "kind"),
+        attr_rows,
         title="E4a: Quest attribute domains",
     )
 
@@ -47,13 +51,23 @@ def test_e4_quest_workload(benchmark):
         for fn in quest.FUNCTION_IDS
     ]
     balance_table = format_table(
-        ("function", "inputs", "Group A %"), balance_rows,
+        ("function", "inputs", "Group A %"),
+        balance_rows,
         title=f"E4b: class balance on {n} records",
     )
-    report("e4_quest_workload", attr_table + "\n\n" + balance_table)
+    ctx.report(attr_table + "\n\n" + balance_table, name="e4_quest_workload")
 
+    metrics = {
+        f"fn{fn}_group_a_fraction": float(tables[fn].labels.mean())
+        for fn in quest.FUNCTION_IDS
+    }
     # analytic check: Fn1's Group A is age<40 or age>=60 => 2/3
-    assert abs(tables[1].labels.mean() - 2 / 3) < 0.02
+    assert abs(metrics["fn1_group_a_fraction"] - 2 / 3) < 0.02
     # every function is non-degenerate
     for fn in quest.FUNCTION_IDS:
-        assert 0.2 < tables[fn].labels.mean() < 0.8
+        assert 0.2 < metrics[f"fn{fn}_group_a_fraction"] < 0.8
+    return metrics
+
+
+def test_e4_quest_workload(benchmark):
+    run_experiment(benchmark, "e4")

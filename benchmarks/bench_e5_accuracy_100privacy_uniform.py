@@ -11,33 +11,52 @@ Original, Randomized, Global, ByClass, and Local.  Paper shape:
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import ClassificationConfig, run_strategy_comparison
-from repro.experiments.config import scaled
 from repro.experiments.reporting import accuracy_matrix
 
-CONFIG = ClassificationConfig(
-    functions=(1, 2, 3, 4, 5),
-    strategies=("original", "randomized", "global", "byclass", "local"),
-    noise="uniform",
-    privacy=1.0,
-    n_train=scaled(10_000),
-    n_test=scaled(3_000),
+FUNCTIONS = (1, 2, 3, 4, 5)
+STRATEGIES = ("original", "randomized", "global", "byclass", "local")
+
+
+@experiment(
+    "e5",
+    title="Accuracy at 100% privacy, uniform noise, all five strategies",
+    tags=("classification",),
     seed=500,
 )
-
-
-def test_e5_accuracy_100privacy_uniform(benchmark):
-    rows = once(benchmark, lambda: run_strategy_comparison(CONFIG))
-    report(
-        "e5_accuracy_100privacy_uniform",
+def run_e5(ctx):
+    config = ClassificationConfig(
+        functions=FUNCTIONS,
+        strategies=STRATEGIES,
+        noise="uniform",
+        privacy=1.0,
+        n_train=ctx.scaled(10_000),
+        n_test=ctx.scaled(3_000),
+        seed=ctx.seed,
+    )
+    ctx.record(
+        noise=config.noise,
+        privacy=config.privacy,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        strategies=",".join(STRATEGIES),
+    )
+    rows = run_strategy_comparison(config)
+    ctx.report(
         "E5: accuracy (%) at 100% privacy, uniform noise, "
-        f"n_train={CONFIG.n_train}\n" + accuracy_matrix(rows),
+        f"n_train={config.n_train}\n" + accuracy_matrix(rows),
+        name="e5_accuracy_100privacy_uniform",
     )
 
     acc = {(r.function, r.strategy): r.accuracy for r in rows}
-    for fn in CONFIG.functions:
+    metrics = {
+        f"fn{fn}_{strategy}": float(acc[(fn, strategy)])
+        for fn in FUNCTIONS
+        for strategy in STRATEGIES
+    }
+    for fn in FUNCTIONS:
         # reconstruction-based training beats the randomized baseline
         assert acc[(fn, "byclass")] > acc[(fn, "randomized")], fn
         # and the original is the (approximate) upper bound
@@ -45,5 +64,10 @@ def test_e5_accuracy_100privacy_uniform(benchmark):
     # Fn1: single-attribute concept survives ByClass nearly unchanged
     assert acc[(1, "byclass")] > acc[(1, "original")] - 0.08
     # ByClass and Local land close together (the paper's observation)
-    for fn in CONFIG.functions:
+    for fn in FUNCTIONS:
         assert abs(acc[(fn, "byclass")] - acc[(fn, "local")]) < 0.15, fn
+    return metrics
+
+
+def test_e5_accuracy_100privacy_uniform(benchmark):
+    run_experiment(benchmark, "e5")

@@ -11,37 +11,62 @@ functions, while tracking Original on Fn1.
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.experiments import ClassificationConfig, run_strategy_comparison
-from repro.experiments.config import scaled
 from repro.experiments.reporting import accuracy_matrix
 
-CONFIG = ClassificationConfig(
-    functions=(1, 2, 3, 4, 5),
-    strategies=("original", "randomized", "global", "byclass"),
-    noise="gaussian",
-    privacy=1.0,
-    n_train=scaled(10_000),
-    n_test=scaled(3_000),
+FUNCTIONS = (1, 2, 3, 4, 5)
+STRATEGIES = ("original", "randomized", "global", "byclass")
+
+
+@experiment(
+    "e6",
+    title="Accuracy at 100% privacy, Gaussian noise",
+    tags=("classification",),
     seed=600,
 )
-
-
-def test_e6_accuracy_100privacy_gaussian(benchmark):
-    rows = once(benchmark, lambda: run_strategy_comparison(CONFIG))
-    report(
-        "e6_accuracy_100privacy_gaussian",
+def run_e6(ctx):
+    config = ClassificationConfig(
+        functions=FUNCTIONS,
+        strategies=STRATEGIES,
+        noise="gaussian",
+        privacy=1.0,
+        n_train=ctx.scaled(10_000),
+        n_test=ctx.scaled(3_000),
+        seed=ctx.seed,
+    )
+    ctx.record(
+        noise=config.noise,
+        privacy=config.privacy,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        strategies=",".join(STRATEGIES),
+    )
+    rows = run_strategy_comparison(config)
+    ctx.report(
         "E6: accuracy (%) at 100% privacy, gaussian noise, "
-        f"n_train={CONFIG.n_train}\n" + accuracy_matrix(rows),
+        f"n_train={config.n_train}\n" + accuracy_matrix(rows),
+        name="e6_accuracy_100privacy_gaussian",
     )
 
     acc = {(r.function, r.strategy): r.accuracy for r in rows}
+    metrics = {
+        f"fn{fn}_{strategy}": float(acc[(fn, strategy)])
+        for fn in FUNCTIONS
+        for strategy in STRATEGIES
+    }
     wins = 0
-    for fn in CONFIG.functions:
+    for fn in FUNCTIONS:
         # never materially worse than the randomized baseline ...
         assert acc[(fn, "byclass")] > acc[(fn, "randomized")] - 0.07, fn
         wins += acc[(fn, "byclass")] > acc[(fn, "randomized")]
     # ... and clearly better on several functions
     assert wins >= 2
     assert acc[(1, "byclass")] > acc[(1, "original")] - 0.08
+    metrics["byclass_wins"] = int(wins)
+    return metrics
+
+
+def test_e6_accuracy_100privacy_gaussian(benchmark):
+    run_experiment(benchmark, "e6")

@@ -8,7 +8,7 @@ levels, and the information-theoretic a-posteriori view (follow-on work).
 
 from __future__ import annotations
 
-from _common import once, report
+from _common import experiment, run_experiment
 
 from repro.core import (
     HistogramDistribution,
@@ -18,12 +18,20 @@ from repro.core import (
 )
 from repro.datasets import quest
 from repro.experiments import format_table
-from repro.experiments.config import scaled
 
 CONFIDENCES = (0.5, 0.95, 0.999)
+POSTERIOR_LEVELS = (0.25, 1.0, 2.0)
 
 
-def _build():
+@experiment(
+    "e9",
+    title="Privacy metric tables: interval and information-theoretic views",
+    tags=("privacy", "smoke"),
+    seed=900,
+)
+def run_e9(ctx):
+    n = ctx.scaled(20_000)
+    ctx.record(n=n, target_privacy=1.0, confidence=0.95)
     rows = []
     for attribute in quest.ATTRIBUTES[:4]:  # salary, commission, age, elevel
         for kind in ("uniform", "gaussian"):
@@ -35,7 +43,7 @@ def _build():
             rows.append((attribute.name, kind, privacy_at))
 
     # a-posteriori (information-theoretic) privacy on real age data
-    table = quest.generate(scaled(20_000), function=1, seed=900)
+    table = quest.generate(n, function=1, seed=ctx.seed)
     age_attr = table.attribute("age")
     prior = HistogramDistribution.from_values(
         table.column("age"), age_attr.partition(24)
@@ -44,13 +52,8 @@ def _build():
         level: posterior_privacy(
             prior, noise_for_privacy("uniform", level, age_attr.span)
         )
-        for level in (0.25, 1.0, 2.0)
+        for level in POSTERIOR_LEVELS
     }
-    return rows, posterior
-
-
-def test_e9_privacy_metrics(benchmark):
-    rows, posterior = once(benchmark, _build)
 
     interval_rows = [
         (name, kind) + tuple(f"{100 * p:.1f}" for p in privacy_at)
@@ -61,7 +64,6 @@ def test_e9_privacy_metrics(benchmark):
         interval_rows,
         title="E9a: privacy (% of range) of 100%-at-95% noise, by confidence",
     )
-
     posterior_rows = [
         (
             f"{level:g}",
@@ -76,19 +78,31 @@ def test_e9_privacy_metrics(benchmark):
         posterior_rows,
         title="E9b: information-theoretic view (age attribute, uniform noise)",
     )
-    report("e9_privacy_metrics", interval_table + "\n\n" + posterior_table)
+    ctx.report(interval_table + "\n\n" + posterior_table, name="e9_privacy_metrics")
+
+    metrics = {}
+    for name, kind, privacy_at in rows:
+        for confidence, value in zip(CONFIDENCES, privacy_at):
+            metrics[f"{name}_{kind}_c{confidence:g}"] = float(value)
+    for level, p in posterior.items():
+        metrics[f"posterior_fraction_p{level:g}"] = float(p.privacy_fraction)
+        metrics[f"mutual_information_p{level:g}"] = float(p.mutual_information_bits)
 
     # all randomizers hit the target exactly at the stated confidence
     for name, kind, privacy_at in rows:
         assert abs(privacy_at[1] - 1.0) < 1e-9, (name, kind)
     # uniform noise caps at 2*alpha: c=0.999 privacy < 1.06x the 95% level
-    uniform_rows = [r for r in rows if r[1] == "uniform"]
-    for name, kind, privacy_at in uniform_rows:
-        assert privacy_at[2] < 1.06
-    # gaussian keeps growing with confidence (heavier tails of uncertainty)
-    gaussian_rows = [r for r in rows if r[1] == "gaussian"]
-    for name, kind, privacy_at in gaussian_rows:
-        assert privacy_at[2] > 1.5
+    for name, kind, privacy_at in rows:
+        if kind == "uniform":
+            assert privacy_at[2] < 1.06
+        else:
+            # gaussian keeps growing with confidence (heavier uncertainty tails)
+            assert privacy_at[2] > 1.5
     # posterior privacy grows with the interval privacy level
     fractions = [p.privacy_fraction for p in posterior.values()]
     assert fractions == sorted(fractions)
+    return metrics
+
+
+def test_e9_privacy_metrics(benchmark):
+    run_experiment(benchmark, "e9")

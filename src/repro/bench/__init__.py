@@ -1,0 +1,61 @@
+"""Benchmark orchestration subsystem.
+
+Turns the ``benchmarks/bench_e*.py`` scripts into a measurable system:
+
+* :mod:`repro.bench.registry` — the ``@experiment`` decorator, the
+  process-global registry, and deterministic discovery,
+* :mod:`repro.bench.runner` — measured (wall clock, peak RSS) serial or
+  process-pool execution with deterministic per-experiment seeding,
+* :mod:`repro.bench.artifacts` — the schema-versioned ``BENCH_<id>.json``
+  documents every run emits,
+* :mod:`repro.bench.compare` — the regression gate diffing two artifact
+  directories (``ppdm bench compare A/ B/ --fail-on-regression 1.3x``).
+
+The CLI front-end is ``ppdm bench run|list|compare``.
+"""
+
+from repro.bench.artifacts import (
+    ARTIFACT_PREFIX,
+    SCHEMA_VERSION,
+    BenchArtifact,
+    load_artifact,
+    load_artifact_dir,
+    write_artifact,
+)
+from repro.bench.compare import (
+    ComparisonReport,
+    Finding,
+    compare_artifacts,
+    compare_dirs,
+    parse_wall_factor,
+)
+from repro.bench.registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentRegistry,
+    discover,
+    experiment,
+)
+from repro.bench.runner import ExperimentContext, derive_seed, run_experiments
+
+__all__ = [
+    "ARTIFACT_PREFIX",
+    "SCHEMA_VERSION",
+    "BenchArtifact",
+    "ComparisonReport",
+    "Experiment",
+    "ExperimentContext",
+    "ExperimentRegistry",
+    "Finding",
+    "REGISTRY",
+    "compare_artifacts",
+    "compare_dirs",
+    "derive_seed",
+    "discover",
+    "experiment",
+    "load_artifact",
+    "load_artifact_dir",
+    "parse_wall_factor",
+    "run_experiments",
+    "write_artifact",
+]

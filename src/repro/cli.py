@@ -9,15 +9,22 @@ Examples
     ppdm sweep --function 3 --levels 0.25 0.5 1.0 2.0
     ppdm privacy --privacy 1.0
     ppdm quest-info
+    ppdm bench run --tags smoke --jobs 2
+    ppdm bench compare baseline/ candidate/ --fail-on-regression 1.3x
 
 Every subcommand prints the same ASCII tables the benchmark harness
-produces, so paper figures can be regenerated without pytest.
+produces, so paper figures can be regenerated without pytest; ``ppdm
+bench`` additionally emits the machine-readable ``BENCH_<id>.json``
+artifacts (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
 
 from repro.core.privacy import NOISE_KINDS, noise_for_privacy, privacy_of_randomizer
 from repro.datasets import quest
@@ -180,6 +187,96 @@ def _cmd_breach(args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    from repro.bench import run_experiments
+    from repro.bench.registry import default_benchmarks_dir
+    from repro.experiments.config import bench_scale
+
+    benchmarks_dir = args.benchmarks_dir or default_benchmarks_dir()
+    # The committed benchmarks/results/ tables are reference views at the
+    # canonical seeds and scale 1; an off-seed or off-scale run must not
+    # silently overwrite them.
+    canonical = args.seed is None and args.scale is None and bench_scale() == 1.0
+    results_dir = None if args.no_tables or not canonical else benchmarks_dir / "results"
+    if not args.no_tables and not canonical:
+        print(
+            "note: non-canonical seed/scale — skipping benchmarks/results/ "
+            "table refresh (JSON artifacts are still written)",
+            file=sys.stderr,
+        )
+    artifacts = run_experiments(
+        ids=args.ids,
+        tags=args.tags,
+        jobs=args.jobs,
+        artifacts_dir=args.out,
+        benchmarks_dir=benchmarks_dir,
+        results_dir=results_dir,
+        base_seed=args.seed,
+        scale=args.scale,
+        verbose=args.verbose,
+    )
+    rows = [
+        (
+            a.experiment_id,
+            a.status,
+            f"{a.timing['wall_seconds']:.3f}",
+            f"{a.timing['peak_rss_kb'] / 1024:.0f}",
+            str(len(a.metrics)),
+        )
+        for a in artifacts
+    ]
+    print(
+        format_table(
+            ("experiment", "status", "wall s", "peak rss MB", "metrics"),
+            rows,
+            title=f"bench run: {len(artifacts)} experiment(s), jobs={args.jobs}",
+        )
+    )
+    failed = [a.experiment_id for a in artifacts if a.status != "ok"]
+    if failed:
+        for artifact in artifacts:
+            if artifact.status != "ok" and artifact.error:
+                print(f"\n--- {artifact.experiment_id} failed ---", file=sys.stderr)
+                print(artifact.error.rstrip(), file=sys.stderr)
+        print(f"\nFAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"\nartifacts written to {args.out}/")
+    return 0
+
+
+def _cmd_bench_list(args) -> int:
+    from repro.bench import REGISTRY, discover
+
+    discover(args.benchmarks_dir)
+    specs = REGISTRY.select(tags=args.tags)
+    rows = [
+        (spec.id, ",".join(spec.tags), str(spec.seed), spec.title)
+        for spec in specs
+    ]
+    print(
+        format_table(
+            ("id", "tags", "seed", "title"),
+            rows,
+            title=f"{len(specs)} registered experiment(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench import compare_dirs
+
+    report = compare_dirs(
+        args.baseline,
+        args.candidate,
+        wall_factor=args.fail_on_regression,
+        metric_rtol=args.metric_rtol,
+        wall_action="warn" if args.wall_warn_only else "fail",
+    )
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 def _cmd_quest_info(args) -> int:
     rows = [
         (
@@ -256,6 +353,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=10_000)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=_cmd_quest_info)
+
+    p = sub.add_parser("bench", help="benchmark orchestration (run/list/compare)")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser("run", help="run experiments, emit BENCH_*.json")
+    b.add_argument("--ids", nargs="+", help="explicit experiment ids")
+    b.add_argument("--tags", nargs="+", help="keep experiments with any of these tags")
+    b.add_argument("--jobs", type=int, default=1, help="process-pool width")
+    b.add_argument(
+        "--out", type=Path, default=Path("benchmarks/artifacts"),
+        help="artifact output directory (default: benchmarks/artifacts)",
+    )
+    b.add_argument(
+        "--benchmarks-dir", type=Path, default=None,
+        help="directory holding bench_*.py (default: ./benchmarks)",
+    )
+    b.add_argument(
+        "--seed", type=int, default=None,
+        help="derive per-experiment seeds from this base "
+        "(default: each experiment's canonical seed)",
+    )
+    b.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset-size multiplier overriding PPDM_BENCH_SCALE",
+    )
+    b.add_argument(
+        "--no-tables", action="store_true",
+        help="skip writing ASCII tables under benchmarks/results/",
+    )
+    b.add_argument("--verbose", action="store_true", help="print ASCII tables")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser("list", help="list registered experiments")
+    b.add_argument("--tags", nargs="+", help="filter by tags")
+    b.add_argument("--benchmarks-dir", type=Path, default=None)
+    b.set_defaults(func=_cmd_bench_list)
+
+    b = bench_sub.add_parser("compare", help="diff two artifact directories")
+    b.add_argument("baseline", type=Path, help="baseline artifact directory")
+    b.add_argument("candidate", type=Path, help="candidate artifact directory")
+    b.add_argument(
+        "--fail-on-regression", default="1.3x", metavar="FACTOR",
+        help="wall-clock slack factor, e.g. 1.3x (default)",
+    )
+    b.add_argument(
+        "--metric-rtol", type=float, default=1e-9,
+        help="relative tolerance for metric drift (default: 1e-9; metrics "
+        "are deterministic at fixed seed)",
+    )
+    b.add_argument(
+        "--wall-warn-only", action="store_true",
+        help="report wall-clock regressions as warnings (shared CI runners)",
+    )
+    b.set_defaults(func=_cmd_bench_compare)
     return parser
 
 
@@ -263,7 +414,13 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # deliberate library errors (bad ids, artifacts, scales, ...)
+        # become one clean line; genuine bugs still traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

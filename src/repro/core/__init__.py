@@ -24,6 +24,7 @@ from repro.core.engine import (
     KernelCache,
     ReconstructionEngine,
     ReconstructionProblem,
+    run_bayes_reference,
 )
 from repro.core.histogram import HistogramDistribution
 from repro.core.joint import JointBayesReconstructor, JointReconstructionResult
@@ -68,4 +69,5 @@ __all__ = [
     "BreachAnalysis",
     "CategoricalRandomizer",
     "CategoricalReconstructor",
+    "run_bayes_reference",
 ]

@@ -21,7 +21,9 @@ This module is the production-scale substrate behind those callers:
   stack of reconstruction problems sharing one kernel, with per-problem
   convergence masking and per-problem chi²/delta stopping,
 * :class:`ReconstructionEngine` — the facade that groups heterogeneous
-  problems by kernel and dispatches them batched.
+  problems by kernel and dispatches them batched,
+* :func:`run_bayes_reference` — the public looped reference path (no
+  cache, no batching) the batched sweeps are held bit-identical to.
 
 Bit-identity contract
 ---------------------
@@ -744,6 +746,55 @@ class ReconstructionEngine:
             f"ReconstructionEngine(stopping={self.config.stopping!r}, "
             f"cache={self.kernel_cache!r})"
         )
+
+
+def run_bayes_reference(
+    randomized_values,
+    x_partition: Partition,
+    randomizer: AdditiveRandomizer,
+    *,
+    config: EngineConfig | None = None,
+) -> ReconstructionResult:
+    """Solve one problem on the looped (pre-engine) reference path.
+
+    The public hook for holding the batched engine to its bit-identity
+    contract: no kernel cache, no memoized chi-squared thresholds, no
+    batching — the kernel is rebuilt and every critical value re-derived,
+    exactly as the pre-engine code did.  Benchmarks (E19) and tests
+    compare :class:`ReconstructionEngine` output against this function
+    instead of reaching into the underscored internals.
+    """
+    from repro.core.reconstruction import _run_bayes
+
+    config = config if config is not None else EngineConfig()
+    if not isinstance(config, EngineConfig):
+        raise ValidationError(
+            f"config must be an EngineConfig, got {type(config).__name__}"
+        )
+    y_counts, kernel = _prepare(
+        randomized_values,
+        x_partition,
+        randomizer,
+        transition_method=config.transition_method,
+        coverage=config.coverage,
+    )
+    m = x_partition.n_intervals
+    theta, iters, converged, deltas, chi2_stat, chi2_thresh = _run_bayes(
+        y_counts,
+        kernel,
+        np.full(m, 1.0 / m),
+        max_iterations=config.max_iterations,
+        tol=config.tol,
+        stopping=config.stopping,
+    )
+    return ReconstructionResult(
+        distribution=HistogramDistribution(x_partition, theta),
+        n_iterations=iters,
+        converged=converged,
+        chi2_statistic=chi2_stat,
+        chi2_threshold=chi2_thresh,
+        delta_history=tuple(deltas),
+    )
 
 
 def reconstruct_problems(reconstructor, problems, *, _stacklevel: int = 2) -> list:

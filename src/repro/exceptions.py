@@ -27,3 +27,12 @@ class ConvergenceWarning(UserWarning):
 
 class SchemaError(ReproError, ValueError):
     """A dataset column does not match the declared attribute schema."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """The benchmark orchestration layer hit an unusable state.
+
+    Raised by :mod:`repro.bench` for duplicate experiment ids, unknown
+    ids/tags, malformed or version-incompatible ``BENCH_*.json``
+    artifacts, and invalid comparator thresholds.
+    """

@@ -9,6 +9,7 @@ DESIGN.md §5 on why the shapes are insensitive to this).
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.exceptions import ValidationError
@@ -16,19 +17,52 @@ from repro.exceptions import ValidationError
 #: environment variable multiplying benchmark dataset sizes
 SCALE_ENV_VAR = "PPDM_BENCH_SCALE"
 
+#: programmatic override installed by :func:`scale_override` (None = use env)
+_SCALE_OVERRIDE = None
+
+
+def _check_scale(scale: float, origin: str) -> float:
+    try:
+        scale = float(scale)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{origin} must be a number, got {scale!r}") from None
+    if scale <= 0:
+        raise ValidationError(f"{origin} must be positive, got {scale}")
+    return scale
+
 
 def bench_scale() -> float:
-    """Dataset-size multiplier taken from :data:`SCALE_ENV_VAR` (default 1)."""
+    """Dataset-size multiplier for benchmark workloads.
+
+    A :func:`scale_override` in effect wins; otherwise the value comes
+    from :data:`SCALE_ENV_VAR` (default 1).
+    """
+    if _SCALE_OVERRIDE is not None:
+        return _SCALE_OVERRIDE
     raw = os.environ.get(SCALE_ENV_VAR, "1")
+    return _check_scale(raw, SCALE_ENV_VAR)
+
+
+@contextmanager
+def scale_override(scale):
+    """Temporarily pin :func:`bench_scale`, bypassing the environment.
+
+    The benchmark runner uses this to plumb an explicit ``--scale``
+    through to every experiment (including process-pool workers, where
+    mutating ``os.environ`` of the parent would not reach).  ``None``
+    is a no-op so callers can pass an optional scale straight through.
+    """
+    global _SCALE_OVERRIDE
+    if scale is None:
+        yield
+        return
+    scale = _check_scale(scale, "scale")
+    previous = _SCALE_OVERRIDE
+    _SCALE_OVERRIDE = scale
     try:
-        scale = float(raw)
-    except ValueError:
-        raise ValidationError(
-            f"{SCALE_ENV_VAR} must be a number, got {raw!r}"
-        ) from None
-    if scale <= 0:
-        raise ValidationError(f"{SCALE_ENV_VAR} must be positive, got {scale}")
-    return scale
+        yield
+    finally:
+        _SCALE_OVERRIDE = previous
 
 
 def scaled(n: int) -> int:

@@ -107,3 +107,100 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "accuracy %" in out
+
+
+class TestBenchParser:
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bench_run_defaults(self):
+        args = build_parser().parse_args(["bench", "run"])
+        assert args.jobs == 1
+        assert args.seed is None
+        assert args.tags is None
+        assert str(args.out).endswith("artifacts")
+
+    def test_bench_run_selection_args(self):
+        args = build_parser().parse_args(
+            ["bench", "run", "--tags", "smoke", "engine", "--jobs", "4"]
+        )
+        assert args.tags == ["smoke", "engine"]
+        assert args.jobs == 4
+
+    def test_bench_compare_positional_dirs(self):
+        args = build_parser().parse_args(
+            ["bench", "compare", "a", "b", "--fail-on-regression", "2x"]
+        )
+        assert str(args.baseline) == "a" and str(args.candidate) == "b"
+        assert args.fail_on_regression == "2x"
+        assert not args.wall_warn_only
+
+
+class TestBenchCommands:
+    def test_bench_list_shows_experiments(self, capsys):
+        code = main(["bench", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "e1" in out and "e19_byclass" in out
+        assert "smoke" in out
+
+    def test_bench_list_filters_by_tag(self, capsys):
+        code = main(["bench", "list", "--tags", "engine"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "e19_local" in out
+        assert "\ne1 " not in out
+
+    def test_bench_run_single_experiment(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "bench", "run",
+                "--ids", "e17",
+                "--out", str(out_dir),
+                "--no-tables",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "e17" in out and "ok" in out
+        assert (out_dir / "BENCH_e17.json").exists()
+
+    def test_bench_run_unknown_id_exits_2(self, capsys):
+        code = main(["bench", "run", "--ids", "nope"])
+        assert code == 2
+        assert "unknown experiment id" in capsys.readouterr().err
+
+    def test_bench_run_invalid_scale_exits_2(self, capsys):
+        code = main(["bench", "run", "--ids", "e17", "--scale", "0"])
+        assert code == 2
+        assert "scale must be positive" in capsys.readouterr().err
+
+    def test_bench_run_off_seed_skips_reference_tables(self, capsys, tmp_path):
+        code = main(
+            ["bench", "run", "--ids", "e17", "--seed", "5", "--out", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipping benchmarks/results" in captured.err
+        assert (tmp_path / "BENCH_e17.json").exists()
+
+    def test_bench_compare_missing_dir_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["bench", "compare", str(tmp_path / "a"), str(tmp_path / "b")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_run_then_compare_round_trip(self, capsys, tmp_path):
+        base = tmp_path / "base"
+        assert main(
+            ["bench", "run", "--ids", "e17", "--out", str(base), "--no-tables"]
+        ) == 0
+        code = main(
+            ["bench", "compare", str(base), str(base), "--fail-on-regression", "1.1x"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result: PASS" in out
