@@ -1,47 +1,88 @@
-"""Streaming survey: reconstruction while responses are still arriving.
+"""Streaming survey, server-style: sharded aggregation with snapshots.
 
 The paper's motivating deployment is an online survey whose respondents
-randomize locally before submitting.  Responses trickle in; the analyst
-wants a running estimate of the answer distribution without storing raw
-submissions.  :class:`~repro.core.streaming.StreamingReconstructor` keeps
-only a histogram of randomized values and refreshes the estimate on
-demand with warm-started Bayes sweeps.  Run:
+randomize locally before submitting.  Responses trickle in across
+several collection workers; the analyst wants running estimates of the
+answer distributions without the server ever storing a raw submission.
+
+:class:`~repro.service.AggregationService` is that server: ingestion
+workers accumulate disclosures into mergeable histogram shards (O(batch)
+work, no coordination), and ``estimate()`` merges the shard partials in
+O(shards x bins) and refreshes the distribution with warm-started Bayes
+sweeps.  Halfway through, the server "restarts" from a snapshot — and
+carries on with bit-identical estimates.  Run:
 
     python examples/streaming_survey.py
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import HistogramDistribution, StreamingReconstructor
+from repro import AggregationService, AttributeSpec
 from repro.core.privacy import noise_for_privacy
 from repro.datasets import shapes
 
-# The (unknown to the analyst) truth: a twin-peaked opinion distribution.
-density = shapes.triangles()
-partition = density.partition(20)
-true = density.true_distribution(partition)
+# Two survey questions, each its own (unknown to the analyst) truth.
+QUESTIONS = {
+    "opinion": shapes.triangles(),  # twin-peaked
+    "hours_online": shapes.plateau(),  # flat-topped
+}
+N_SHARDS = 4
 
-noise = noise_for_privacy("uniform", 0.5, 1.0)  # 50% privacy at 95% conf.
-stream = StreamingReconstructor(partition, noise)
+specs, truths = [], {}
+for name, density in QUESTIONS.items():
+    partition = density.partition(20)
+    noise = noise_for_privacy("uniform", 0.5, 1.0)  # 50% privacy, 95% conf.
+    specs.append(AttributeSpec(name, partition, noise))
+    truths[name] = density.true_distribution(partition)
+
+service = AggregationService(specs, n_shards=N_SHARDS)
 rng = np.random.default_rng(11)
 
-print("batch  records   L1-to-truth  sweeps  (estimate refresh)")
+print(f"collecting on {N_SHARDS} shards; estimates refreshed daily\n")
+print("day  question       records   L1-to-truth  sweeps")
 for day in range(1, 9):
-    respondents = density.sample(1_500, seed=rng)
-    stream.update(noise.randomize(respondents, seed=rng))
-    estimate = stream.estimate()
-    error = estimate.distribution.l1_distance(true)
-    print(
-        f"{day:5d}  {stream.n_seen:7d}   {error:10.4f}  {estimate.n_iterations:6d}"
-    )
+    # Each worker randomizes its respondents locally and ingests into
+    # its own shard — the server only ever sees noise-expanded counts.
+    for worker in range(N_SHARDS):
+        batch = {}
+        for spec in specs:
+            respondents = QUESTIONS[spec.name].sample(400, seed=rng)
+            batch[spec.name] = spec.randomizer.randomize(respondents, seed=rng)
+        service.ingest(batch, shard=worker)
 
-final = stream.estimate().distribution
-print("\nFinal estimate vs truth (interval probabilities):")
-for mid, est, tru in zip(partition.midpoints, final.probs, true.probs):
-    bar = "#" * int(round(40 * est / max(final.probs.max(), 1e-9)))
-    print(f"  {mid:5.2f} {est:6.3f} (true {tru:5.3f}) |{bar}")
+    for name, result in service.estimate_all().items():
+        error = result.distribution.l1_distance(truths[name])
+        print(
+            f"{day:3d}  {name:<12}  {service.n_seen(name):8d}   "
+            f"{error:10.4f}  {result.n_iterations:6d}"
+        )
+
+    if day == 4:
+        # Mid-survey maintenance: snapshot, "restart", restore.  The
+        # snapshot holds merged partials + warm-start estimates, so the
+        # restored service continues bit-identically.
+        with tempfile.TemporaryDirectory() as tmp:
+            snapshot_path = Path(tmp) / "survey.json"
+            service.save(snapshot_path)
+            service = AggregationService.load(snapshot_path)
+        print("      -- server restarted from snapshot --")
+
+print("\nFinal estimates vs truth (interval probabilities):")
+for spec in specs:
+    final = service.estimate(spec.name).distribution
+    true = truths[spec.name]
+    print(f"\n  {spec.name}:")
+    for mid, est, tru in zip(
+        spec.x_partition.midpoints, final.probs, true.probs
+    ):
+        bar = "#" * int(round(40 * est / max(final.probs.max(), 1e-9)))
+        print(f"    {mid:5.2f} {est:6.3f} (true {tru:5.3f}) |{bar}")
 
 print(
-    "\nThe analyst never stored a raw response: only the randomized\n"
-    "histogram, which is all the reconstruction algorithm consumes."
+    "\nNo raw response was ever stored: each shard holds only the\n"
+    "histogram of randomized values, which is all the reconstruction\n"
+    "algorithm consumes — and all a snapshot persists."
 )

@@ -3,8 +3,9 @@
 The package implements the paper's full pipeline — value distortion,
 confidence-interval privacy, Bayesian distribution reconstruction, and
 decision-tree classification over randomized data (Global / ByClass /
-Local) — plus the Quest synthetic workload it was evaluated on and the
-extensions called out in DESIGN.md.
+Local) — plus the Quest synthetic workload it was evaluated on, a
+sharded server-side aggregation tier (:mod:`repro.service`), and the
+extensions documented on the docs site (``docs/``).
 
 Quickstart
 ----------
@@ -70,6 +71,9 @@ __all__ = [
     "PrivacyPreservingNaiveBayes",
     "DecisionTreeClassifier",
     "NaiveBayesClassifier",
+    "AggregationService",
+    "AttributeSpec",
+    "ShardSet",
     "quest",
     "shapes",
     "__version__",
@@ -82,6 +86,9 @@ _LAZY = {
     "DecisionTreeClassifier": ("repro.tree", "DecisionTreeClassifier"),
     "PrivacyPreservingNaiveBayes": ("repro.bayes", "PrivacyPreservingNaiveBayes"),
     "NaiveBayesClassifier": ("repro.bayes", "NaiveBayesClassifier"),
+    "AggregationService": ("repro.service", "AggregationService"),
+    "AttributeSpec": ("repro.service", "AttributeSpec"),
+    "ShardSet": ("repro.service", "ShardSet"),
     "quest": ("repro.datasets", "quest"),
     "shapes": ("repro.datasets", "shapes"),
 }

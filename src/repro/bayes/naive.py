@@ -189,6 +189,15 @@ class PrivacyPreservingNaiveBayes:
     Parameters mirror
     :class:`~repro.tree.pipeline.PrivacyPreservingClassifier` where they
     apply.
+
+    Examples
+    --------
+    >>> from repro import PrivacyPreservingNaiveBayes, quest
+    >>> train = quest.generate(1_500, function=2, seed=0)
+    >>> test = quest.generate(500, function=2, seed=1)
+    >>> model = PrivacyPreservingNaiveBayes(strategy="byclass", privacy=0.5, seed=2)
+    >>> bool(model.fit(train).score(test) > 0.6)
+    True
     """
 
     def __init__(

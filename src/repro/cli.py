@@ -11,6 +11,8 @@ Examples
     ppdm quest-info
     ppdm bench run --tags smoke --jobs 2
     ppdm bench compare baseline/ candidate/ --fail-on-regression 1.3x
+    ppdm serve --spec service.json --snapshot state.json --port 8000
+    ppdm ingest --snapshot state.json --attribute age values.txt --estimate
 
 Every subcommand prints the same ASCII tables the benchmark harness
 produces, so paper figures can be regenerated without pytest; ``ppdm
@@ -277,6 +279,220 @@ def _cmd_bench_compare(args) -> int:
     return 0 if report.passed else 1
 
 
+def _estimate_table(name: str, edges, probs, n_seen: int, extra: str = "") -> str:
+    """Shared ASCII rendering of one attribute estimate (serve/ingest)."""
+    import numpy as np
+
+    edges = np.asarray(edges, dtype=float)
+    probs = np.asarray(probs, dtype=float)
+    midpoints = 0.5 * (edges[:-1] + edges[1:])
+    peak = max(float(probs.max()), 1e-9)
+    rows = [
+        (f"{mid:g}", f"{p:.4f}", "#" * int(round(30 * p / peak)))
+        for mid, p in zip(midpoints, probs)
+    ]
+    return format_table(
+        ("midpoint", "probability", ""),
+        rows,
+        title=f"Estimated distribution of {name!r} ({n_seen} records){extra}",
+    )
+
+
+def _load_values(path: Path):
+    """Read one attribute's values: a text column, or a JSON list (.json)."""
+    import json
+
+    import numpy as np
+
+    from repro.utils.validation import check_1d_array
+
+    path = Path(path)
+    if not path.is_file():
+        raise ReproError(f"values file {str(path)!r} does not exist")
+    if path.suffix == ".json":
+        try:
+            values = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"values file {str(path)!r}: {exc}") from exc
+    else:
+        text = path.read_text().split()
+        try:
+            values = [float(token) for token in text]
+        except ValueError as exc:
+            raise ReproError(f"values file {str(path)!r}: {exc}") from exc
+    return check_1d_array(values, "values")
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.service import AggregationService, ServiceHTTPServer, service_from_spec
+
+    snapshot = Path(args.snapshot) if args.snapshot else None
+    if snapshot is not None and snapshot.is_file():
+        service = AggregationService.load(snapshot)
+        if args.shards is not None and args.shards != service.n_shards:
+            # partials are merged state, so re-sharding on restart is
+            # safe: rebuild the service at the requested width
+            payload = service.snapshot()
+            payload["n_shards"] = args.shards
+            service = AggregationService.restore(payload)
+        print(
+            f"restored service from snapshot {snapshot}"
+            + (
+                "  (note: --spec ignored; the snapshot defines the schema)"
+                if args.spec
+                else ""
+            )
+        )
+    elif args.spec:
+        spec_path = Path(args.spec)
+        if not spec_path.is_file():
+            raise ReproError(f"spec file {str(spec_path)!r} does not exist")
+        try:
+            spec = json.loads(spec_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"spec file {str(spec_path)!r}: {exc}") from exc
+        if args.shards is not None:
+            spec["shards"] = args.shards
+        service = service_from_spec(spec)
+    else:
+        raise ReproError("serve needs --spec (or an existing --snapshot)")
+
+    server = ServiceHTTPServer(
+        service, args.host, args.port, snapshot_path=snapshot
+    )
+    records = sum(service.n_seen().values())
+    print(
+        f"serving {len(service.attributes)} attribute(s) "
+        f"({', '.join(service.attributes)}) on {server.url} "
+        f"with {service.n_shards} shard(s); {records} record(s) loaded"
+    )
+    print("endpoints: /healthz /attributes /stats /estimate /ingest /snapshot")
+    try:
+        server.serve_forever(max_requests=args.max_requests)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        if snapshot is not None:
+            # through the server's snapshot lock, so an in-flight
+            # POST /snapshot cannot interleave with the exit-time save
+            server.persist()
+            print(f"snapshot persisted to {snapshot}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    import json
+
+    if (args.url is None) == (args.snapshot is None):
+        raise ReproError("ingest needs exactly one of --url or --snapshot")
+    values = _load_values(args.values)
+
+    if args.snapshot is not None:
+        from repro.service import AggregationService
+
+        snapshot = Path(args.snapshot)
+        if not snapshot.is_file():
+            raise ReproError(
+                f"snapshot {str(snapshot)!r} does not exist; start it with "
+                "'ppdm serve --spec ... --snapshot ...' or create it from a "
+                "running server's POST /snapshot"
+            )
+        service = AggregationService.load(snapshot)
+        try:
+            spec = service.spec(args.attribute)
+        except ReproError:
+            raise ReproError(
+                f"unknown attribute {args.attribute!r}; the service collects "
+                f"{', '.join(service.attributes)}"
+            ) from None
+        disclosed = (
+            values
+            if args.already_randomized
+            else spec.randomizer.randomize(values, seed=args.seed)
+        )
+        ingested = service.ingest({args.attribute: disclosed}, shard=args.shard)
+        service.save(snapshot)
+        total = service.n_seen(args.attribute)
+        print(f"ingested {ingested} record(s); {args.attribute!r} now holds {total}")
+        if args.estimate:
+            result = service.estimate(args.attribute)
+            service.save(snapshot)  # persist the refreshed warm start
+            print(
+                _estimate_table(
+                    args.attribute,
+                    spec.x_partition.edges,
+                    result.distribution.probs,
+                    total,
+                    extra=f", {result.n_iterations} sweep(s)",
+                )
+            )
+        return 0
+
+    # --url: act as a randomizing client pool against a running server
+    import urllib.error
+    import urllib.request
+
+    from repro.core.privacy import noise_for_privacy
+
+    base = args.url.rstrip("/")
+
+    def _call(path, payload=None):
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            base + path, data=data, method="GET" if data is None else "POST"
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                return json.loads(response.read())
+        except urllib.error.URLError as exc:
+            detail = exc
+            if hasattr(exc, "read"):
+                try:
+                    detail = json.loads(exc.read()).get("error", exc)
+                except Exception:
+                    pass
+            raise ReproError(f"server request {path} failed: {detail}") from exc
+
+    if args.already_randomized:
+        disclosed = values
+    else:
+        schema = {a["name"]: a for a in _call("/attributes")["attributes"]}
+        if args.attribute not in schema:
+            raise ReproError(
+                f"unknown attribute {args.attribute!r}; the server collects "
+                f"{', '.join(schema)}"
+            )
+        attr = schema[args.attribute]
+        randomizer = noise_for_privacy(
+            attr["noise"], attr["privacy"], attr["high"] - attr["low"]
+        )
+        disclosed = randomizer.randomize(values, seed=args.seed)
+    payload = {"batch": {args.attribute: disclosed.tolist()}}
+    if args.shard is not None:
+        payload["shard"] = args.shard
+    reply = _call("/ingest", payload)
+    print(
+        f"ingested {reply['ingested']} record(s); server now holds "
+        f"{reply['records']} total"
+    )
+    if args.estimate:
+        from urllib.parse import quote
+
+        estimate = _call(f"/estimate?attribute={quote(args.attribute)}")
+        print(
+            _estimate_table(
+                args.attribute,
+                estimate["edges"],
+                estimate["probs"],
+                estimate["n_seen"],
+                extra=f", {estimate['n_iterations']} sweep(s)",
+            )
+        )
+    return 0
+
+
 def _cmd_quest_info(args) -> int:
     rows = [
         (
@@ -347,6 +563,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=_cmd_breach)
+
+    p = sub.add_parser(
+        "serve", help="run the sharded aggregation service over HTTP"
+    )
+    p.add_argument(
+        "--spec", type=Path, default=None,
+        help="JSON deployment spec (attributes, domains, privacy targets)",
+    )
+    p.add_argument(
+        "--snapshot", type=Path, default=None,
+        help="snapshot file: restored at startup if present, persisted on "
+        "exit and on POST /snapshot",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000, help="0 picks a free port")
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="override the spec's ingestion shard count",
+    )
+    p.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after N requests (smoke tests; default: run until ^C)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "ingest", help="randomize values locally and ingest them"
+    )
+    p.add_argument("values", type=Path, help="values file (text column or .json)")
+    p.add_argument("--attribute", required=True, help="attribute to ingest into")
+    p.add_argument("--url", default=None, help="running server, e.g. http://127.0.0.1:8000")
+    p.add_argument(
+        "--snapshot", type=Path, default=None,
+        help="offline mode: ingest into (and persist) a snapshot file",
+    )
+    p.add_argument(
+        "--already-randomized", action="store_true",
+        help="values are disclosures already; skip local randomization",
+    )
+    p.add_argument("--seed", type=int, default=None, help="randomization seed")
+    p.add_argument(
+        "--shard", type=int, default=None,
+        help="pin the batch to one ingestion shard",
+    )
+    p.add_argument(
+        "--estimate", action="store_true",
+        help="print the attribute's reconstructed distribution afterwards",
+    )
+    p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser("quest-info", help="describe the Quest workload")
     p.add_argument("--function", type=int, default=1)

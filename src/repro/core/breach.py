@@ -64,6 +64,20 @@ class BreachAnalysis:
         Marginal probability of each disclosed interval (rows of
         ``posterior`` with ~zero mass are not attackable and are excluded
         from the worst cases).
+
+    Examples
+    --------
+    >>> from repro.core import (
+    ...     HistogramDistribution, Partition, UniformRandomizer, breach_analysis,
+    ... )
+    >>> prior = HistogramDistribution.uniform(Partition.uniform(0, 1, 10))
+    >>> report = breach_analysis(
+    ...     prior, UniformRandomizer(half_width=0.05), rho1=0.15, rho2=0.5
+    ... )
+    >>> bool(report.breached)  # tiny noise: disclosures pin values down
+    True
+    >>> report.posterior.shape[1]
+    10
     """
 
     rho1: float
@@ -88,6 +102,18 @@ def amplification_factor(
     observation window is part of the definition).  Infinite when some
     admissible ``s`` is *impossible* under some original value — the case
     for any bounded-support noise such as uniform.
+
+    Examples
+    --------
+    >>> from repro.core import (
+    ...     GaussianRandomizer, Partition, UniformRandomizer,
+    ...     amplification_factor,
+    ... )
+    >>> part = Partition.uniform(0, 1, 5)
+    >>> amplification_factor(part, UniformRandomizer(half_width=0.3))
+    inf
+    >>> bool(amplification_factor(part, GaussianRandomizer(sigma=0.5)) > 1.0)
+    True
     """
     y_partition = prior_partition.expanded(randomizer.support_half_width(coverage))
     kernel = transition_matrix(y_partition, prior_partition, randomizer)
@@ -120,6 +146,20 @@ def breach_analysis(
     rho1 / rho2:
         Breach thresholds: a breach is an x-interval with prior <= rho1
         whose posterior reaches >= rho2 for some disclosed interval.
+
+    Examples
+    --------
+    >>> from repro.core import (
+    ...     HistogramDistribution, Partition, UniformRandomizer, breach_analysis,
+    ... )
+    >>> coarse = HistogramDistribution.uniform(Partition.uniform(0, 1, 4))
+    >>> report = breach_analysis(
+    ...     coarse, UniformRandomizer(half_width=0.05), rho1=0.15, rho2=0.5
+    ... )
+    >>> bool(report.breached)  # no interval is rare enough (prior > rho1)
+    False
+    >>> float(report.worst_posterior)
+    0.0
     """
     rho1 = check_fraction(rho1, "rho1")
     rho2 = check_fraction(rho2, "rho2")

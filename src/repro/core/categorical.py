@@ -96,7 +96,19 @@ class CategoricalRandomizer:
 
 
 class CategoricalReconstructor:
-    """Recover a category distribution from randomized-response counts."""
+    """Recover a category distribution from randomized-response counts.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import CategoricalRandomizer, CategoricalReconstructor
+    >>> rr = CategoricalRandomizer(n_values=3, keep_prob=0.6)
+    >>> true = np.repeat([0, 1, 2], [5000, 3000, 2000])  # 50/30/20 split
+    >>> disclosed = rr.randomize(true, seed=0)
+    >>> estimate = CategoricalReconstructor(rr).invert(disclosed)
+    >>> [round(float(p), 1) for p in estimate]
+    [0.5, 0.3, 0.2]
+    """
 
     def __init__(self, randomizer: CategoricalRandomizer) -> None:
         if randomizer.keep_prob < _MIN_SIGNAL:

@@ -63,6 +63,18 @@ def correct_records(
     CorrectedRecords
         Input-aligned corrected values and interval assignments.  Interval
         occupancy equals ``distribution.integer_counts(n)`` exactly.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import HistogramDistribution, Partition, correct_records
+    >>> part = Partition.uniform(0.0, 1.0, 2)
+    >>> dist = HistogramDistribution(part, np.array([0.5, 0.5]))
+    >>> corrected = correct_records([0.9, 0.1, 0.4, 0.6], dist)
+    >>> corrected.counts.tolist()
+    [2, 2]
+    >>> corrected.values.tolist()  # interval midpoints, input order kept
+    [0.75, 0.25, 0.25, 0.75]
     """
     w = check_1d_array(randomized_values, "randomized_values", allow_empty=True)
     n = w.size

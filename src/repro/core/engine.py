@@ -82,6 +82,19 @@ class ReconstructionResult:
         critical value it is compared to (``nan`` when not computed).
     delta_history:
         L1 change of the estimate at each sweep (diagnostic).
+
+    Examples
+    --------
+    >>> from repro.core import BayesReconstructor, Partition, UniformRandomizer
+    >>> noise = UniformRandomizer(half_width=0.3)
+    >>> w = noise.randomize([0.5] * 2000, seed=0)
+    >>> result = BayesReconstructor().reconstruct(
+    ...     w, Partition.uniform(0, 1, 5), noise
+    ... )
+    >>> bool(result.converged)
+    True
+    >>> round(float(result.distribution.probs.sum()), 9)
+    1.0
     """
 
     distribution: HistogramDistribution
@@ -104,6 +117,17 @@ class EngineConfig:
     * ``stopping`` in ``{"delta", "chi2"}``,
     * ``transition_method`` in ``{"density", "integrated"}``,
     * ``coverage`` a fraction in ``(0, 1]``.
+
+    Examples
+    --------
+    >>> from repro.core import EngineConfig
+    >>> config = EngineConfig(max_iterations=100, stopping="delta")
+    >>> config.tol
+    0.001
+    >>> EngineConfig(stopping="sometimes")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ValidationError: stopping must be 'delta' or 'chi2', got 'sometimes'
     """
 
     max_iterations: int = 500
@@ -159,7 +183,17 @@ def config_property(field: str, *, engine_attr: str = "engine") -> property:
 
 
 class ReconstructionProblem(NamedTuple):
-    """One reconstruction problem for :meth:`ReconstructionEngine.reconstruct_batch`."""
+    """One reconstruction problem for :meth:`ReconstructionEngine.reconstruct_batch`.
+
+    Examples
+    --------
+    >>> from repro.core import Partition, ReconstructionProblem, UniformRandomizer
+    >>> problem = ReconstructionProblem(
+    ...     [0.2, 0.8], Partition.uniform(0, 1, 4), UniformRandomizer(half_width=0.1)
+    ... )
+    >>> problem.x_partition.n_intervals
+    4
+    """
 
     randomized_values: np.ndarray
     x_partition: Partition
@@ -188,6 +222,17 @@ class KernelCache:
     maxsize:
         Entries kept before least-recently-used eviction (0 disables
         storage; lookups then always recompute).
+
+    Examples
+    --------
+    >>> from repro.core import KernelCache, Partition, UniformRandomizer
+    >>> cache = KernelCache(maxsize=8)
+    >>> part = Partition.uniform(0, 1, 6)
+    >>> noise = UniformRandomizer(half_width=0.2)
+    >>> y_part, kernel = cache.get(part, noise, method="integrated", coverage=1.0)
+    >>> _ = cache.get(part, noise, method="integrated", coverage=1.0)
+    >>> cache.hits, cache.misses
+    (1, 1)
     """
 
     def __init__(self, maxsize: int = 64) -> None:
@@ -654,15 +699,17 @@ class ReconstructionEngine:
         x_partition: Partition,
         *,
         _stacklevel: int = 2,
+        warn: bool = True,
     ) -> ReconstructionResult:
         """One problem's :class:`ReconstructionResult` from a sweep batch.
 
         Emits the engine's :class:`~repro.exceptions.ConvergenceWarning`
         when the problem stopped on the iteration cap — the single place
         that message and the result assembly live, shared by the batch
-        facade and the streaming reconstructor.
+        facade and the streaming reconstructor.  ``warn=False`` leaves
+        the cap-hit visible only on ``result.converged``.
         """
-        if not batch.converged[row]:
+        if warn and not batch.converged[row]:
             warnings.warn(
                 f"reconstruction stopped at max_iterations="
                 f"{self.config.max_iterations} with last delta "
@@ -678,6 +725,50 @@ class ReconstructionEngine:
             chi2_threshold=float(batch.chi2_threshold[row]),
             delta_history=batch.deltas[row],
         )
+
+    def estimate_counts(
+        self,
+        y_counts: np.ndarray,
+        kernel: np.ndarray,
+        theta: np.ndarray,
+        x_partition: Partition,
+        *,
+        _stacklevel: int = 2,
+        warn: bool = True,
+    ) -> tuple:
+        """Warm-started reconstruction of one pre-bucketed problem.
+
+        The shared serving path behind
+        :meth:`repro.core.streaming.StreamingReconstructor.estimate` and
+        :meth:`repro.service.AggregationService.estimate`: both hold a
+        running noise-expanded histogram and a carried estimate, and a
+        refresh is one sweep batch of size one.
+
+        Parameters
+        ----------
+        y_counts:
+            ``(S,)`` histogram of randomized values on the kernel's
+            y-partition.
+        kernel:
+            The discretized noise kernel (from :meth:`kernel_for`).
+        theta:
+            ``(P,)`` warm-start estimate (not mutated).
+        x_partition:
+            Grid the result's distribution is expressed on.
+
+        Returns
+        -------
+        ``(result, new_theta)`` — the :class:`ReconstructionResult` and
+        the final estimate to carry into the next refresh.  With
+        ``warn=False`` a cap-hit is reported only through
+        ``result.converged`` (for callers — e.g. request handlers —
+        where a Python warning is the wrong channel).
+        """
+        batch = self.sweep_batch(y_counts[None, :], kernel, theta[None, :])
+        result = self.result_from_sweep(
+            batch, 0, x_partition, _stacklevel=_stacklevel + 1, warn=warn
+        )
+        return result, batch.theta[0]
 
     # ------------------------------------------------------------------
     def reconstruct(
@@ -763,6 +854,23 @@ def run_bayes_reference(
     exactly as the pre-engine code did.  Benchmarks (E19) and tests
     compare :class:`ReconstructionEngine` output against this function
     instead of reaching into the underscored internals.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import (
+    ...     Partition, ReconstructionEngine, UniformRandomizer,
+    ...     run_bayes_reference,
+    ... )
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> w = noise.randomize(np.full(3000, 0.5), seed=0)
+    >>> part = Partition.uniform(0, 1, 5)
+    >>> reference = run_bayes_reference(w, part, noise)
+    >>> batched = ReconstructionEngine().reconstruct(w, part, noise)
+    >>> bool(np.array_equal(
+    ...     reference.distribution.probs, batched.distribution.probs
+    ... ))
+    True
     """
     from repro.core.reconstruction import _run_bayes
 

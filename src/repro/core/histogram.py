@@ -20,7 +20,20 @@ from repro.utils.validation import check_probability_vector
 
 @dataclass(frozen=True)
 class HistogramDistribution:
-    """A probability mass function over the intervals of a partition."""
+    """A probability mass function over the intervals of a partition.
+
+    Examples
+    --------
+    >>> from repro.core import HistogramDistribution, Partition
+    >>> part = Partition.uniform(0.0, 1.0, 4)
+    >>> dist = HistogramDistribution.from_values([0.1, 0.2, 0.6, 0.7], part)
+    >>> dist.probs.tolist()
+    [0.5, 0.0, 0.5, 0.0]
+    >>> float(dist.mean())
+    0.375
+    >>> float(dist.l1_distance(HistogramDistribution.uniform(part)))
+    1.0
+    """
 
     partition: Partition
     probs: np.ndarray

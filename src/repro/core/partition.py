@@ -30,6 +30,19 @@ class Partition:
     ----------
     edges:
         Strictly increasing array of ``m + 1`` boundary values.
+
+    Examples
+    --------
+    >>> from repro.core import Partition
+    >>> part = Partition.uniform(0.0, 1.0, 4)
+    >>> part.n_intervals
+    4
+    >>> part.midpoints
+    array([0.125, 0.375, 0.625, 0.875])
+    >>> part.locate([0.3, 0.99]).tolist()
+    [1, 3]
+    >>> part.histogram([0.1, 0.15, 0.8]).tolist()
+    [2, 0, 0, 1]
     """
 
     edges: np.ndarray

@@ -50,6 +50,13 @@ def noise_for_privacy(
         Width of the attribute's domain.
     confidence:
         Confidence level at which the privacy is stated (paper uses 0.95).
+
+    Examples
+    --------
+    >>> from repro.core import noise_for_privacy
+    >>> noise = noise_for_privacy("uniform", 1.0, 100.0)
+    >>> round(float(noise.half_width), 4)
+    52.6316
     """
     if kind == "uniform":
         return UniformRandomizer.from_privacy(privacy, domain_span, confidence)
@@ -66,6 +73,12 @@ def privacy_of_randomizer(
     Inverse of :func:`noise_for_privacy`: returns ``W(confidence) /
     domain_span`` where ``W`` is the randomizer's confidence-interval
     width.  Works for any randomizer exposing ``privacy_interval_width``.
+
+    Examples
+    --------
+    >>> from repro.core import UniformRandomizer, privacy_of_randomizer
+    >>> privacy_of_randomizer(UniformRandomizer(half_width=50.0), 100.0)
+    0.95
     """
     check_positive(domain_span, "domain_span")
     confidence = check_fraction(confidence, "confidence")
@@ -122,6 +135,19 @@ def posterior_privacy(
     The resolution of the answer is the prior's interval grid: residual
     uncertainty below one interval width is invisible.  Use a finer
     partition for sharper estimates.
+
+    Examples
+    --------
+    >>> from repro.core import (
+    ...     HistogramDistribution, Partition, UniformRandomizer,
+    ...     posterior_privacy,
+    ... )
+    >>> prior = HistogramDistribution.uniform(Partition.uniform(0, 1, 8))
+    >>> report = posterior_privacy(prior, UniformRandomizer(half_width=0.5))
+    >>> round(report.prior_entropy_bits, 1)
+    3.0
+    >>> bool(0 < report.privacy_loss < 1)
+    True
     """
     x_part = prior.partition
     margin = randomizer.support_half_width(coverage)

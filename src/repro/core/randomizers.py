@@ -82,7 +82,19 @@ class AdditiveRandomizer(Randomizer):
 
 @dataclass(frozen=True, repr=False)
 class UniformRandomizer(AdditiveRandomizer):
-    """Additive uniform noise on ``[-half_width, +half_width]``."""
+    """Additive uniform noise on ``[-half_width, +half_width]``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import UniformRandomizer
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> w = noise.randomize([0.5, 0.5, 0.5], seed=0)
+    >>> bool(np.all(np.abs(w - 0.5) <= 0.25))
+    True
+    >>> noise.privacy_interval_width(0.95)  # the paper's W(95%)
+    0.475
+    """
 
     half_width: float
     name = "uniform"
@@ -137,7 +149,17 @@ class UniformRandomizer(AdditiveRandomizer):
 
 @dataclass(frozen=True, repr=False)
 class GaussianRandomizer(AdditiveRandomizer):
-    """Additive Gaussian noise ``N(0, sigma^2)``."""
+    """Additive Gaussian noise ``N(0, sigma^2)``.
+
+    Examples
+    --------
+    >>> from repro.core import GaussianRandomizer
+    >>> noise = GaussianRandomizer.from_privacy(1.0, domain_span=100.0)
+    >>> round(float(noise.sigma), 2)
+    25.51
+    >>> round(float(noise.privacy_interval_width(0.95)), 6)  # the target back
+    100.0
+    """
 
     sigma: float
     name = "gaussian"
@@ -196,6 +218,15 @@ class ValueClassMembership(Randomizer):
     The disclosed value is the midpoint of the interval containing ``x`` —
     a deterministic, discretization-based disclosure.  Privacy at every
     confidence level is the interval width.
+
+    Examples
+    --------
+    >>> from repro.core import Partition, ValueClassMembership
+    >>> vcm = ValueClassMembership(Partition.uniform(0.0, 1.0, 4))
+    >>> vcm.randomize([0.1, 0.45, 0.99]).tolist()
+    [0.125, 0.375, 0.875]
+    >>> vcm.privacy_interval_width(0.95)
+    0.25
     """
 
     partition: Partition
@@ -219,7 +250,16 @@ class ValueClassMembership(Randomizer):
 
 
 class NullRandomizer(Randomizer):
-    """Identity disclosure — the "Original" (no privacy) baseline."""
+    """Identity disclosure — the "Original" (no privacy) baseline.
+
+    Examples
+    --------
+    >>> from repro.core import NullRandomizer
+    >>> NullRandomizer().randomize([1.0, 2.0]).tolist()
+    [1.0, 2.0]
+    >>> NullRandomizer().privacy_interval_width(0.95)
+    0.0
+    """
 
     name = "none"
 

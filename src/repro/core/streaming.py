@@ -131,13 +131,11 @@ class StreamingReconstructor:
         """
         if self._n_seen == 0:
             raise ValidationError("no data yet: call update() before estimate()")
-        batch = self._engine.sweep_batch(
-            self._y_counts[None, :], self._kernel, self._theta[None, :]
+        result, self._theta = self._engine.estimate_counts(
+            self._y_counts, self._kernel, self._theta, self.x_partition,
+            _stacklevel=2,
         )
-        self._theta = batch.theta[0]
-        return self._engine.result_from_sweep(
-            batch, 0, self.x_partition, _stacklevel=2
-        )
+        return result
 
     def reset(self) -> "StreamingReconstructor":
         """Forget all absorbed data and the warm-start estimate."""

@@ -7,16 +7,30 @@ plain JSON-able dicts:
 
 * :class:`~repro.core.partition.Partition`
 * :class:`~repro.core.histogram.HistogramDistribution`
+* the additive randomizers of :mod:`repro.core.randomizers`
 * :class:`~repro.tree.tree.DecisionTreeClassifier` (fitted)
 * :class:`~repro.bayes.naive.NaiveBayesClassifier` (fitted)
+* :class:`~repro.service.AggregationService` (the serving tier's
+  snapshot/restore path)
 
 Use :func:`to_jsonable` / :func:`from_jsonable` for in-memory dicts and
 :func:`save` / :func:`load` for files.
+
+Examples
+--------
+>>> from repro import serialize
+>>> from repro.core import Partition
+>>> payload = serialize.to_jsonable(Partition.uniform(0, 1, 4))
+>>> payload["kind"]
+'partition'
+>>> serialize.from_jsonable(payload).n_intervals
+4
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -24,11 +38,30 @@ import numpy as np
 from repro.bayes.naive import NaiveBayesClassifier
 from repro.core.histogram import HistogramDistribution
 from repro.core.partition import Partition
+from repro.core.randomizers import (
+    GaussianRandomizer,
+    NullRandomizer,
+    UniformRandomizer,
+)
 from repro.exceptions import NotFittedError, ValidationError
 from repro.tree.tree import DecisionTreeClassifier, TreeNode
 
 #: schema version embedded in every snapshot
 FORMAT_VERSION = 1
+
+#: additive randomizer kinds <-> their defining parameters
+_RANDOMIZER_KINDS = {
+    "uniform": (UniformRandomizer, ("half_width",)),
+    "gaussian": (GaussianRandomizer, ("sigma",)),
+    "none": (NullRandomizer, ()),
+}
+
+
+def _is_aggregation_service(obj) -> bool:
+    """Imported lazily: the service tier snapshots *through* this module."""
+    from repro.service.service import AggregationService
+
+    return isinstance(obj, AggregationService)
 
 
 def _node_to_dict(node: TreeNode) -> dict:
@@ -87,6 +120,16 @@ def to_jsonable(obj) -> dict:
             "n_classes": obj.n_classes_,
             "root": _node_to_dict(obj.root_),
         }
+    for noise, (cls, params) in _RANDOMIZER_KINDS.items():
+        if type(obj) is cls:
+            return {
+                "kind": "randomizer",
+                "version": FORMAT_VERSION,
+                "noise": noise,
+                **{p: float(getattr(obj, p)) for p in params},
+            }
+    if _is_aggregation_service(obj):
+        return obj.snapshot()
     if isinstance(obj, NaiveBayesClassifier):
         if obj.log_priors_ is None:
             raise NotFittedError("cannot serialize an unfitted classifier")
@@ -131,6 +174,21 @@ def from_jsonable(payload: dict):
         tree.n_classes_ = int(payload["n_classes"])
         tree.root_ = _node_from_dict(payload["root"])
         return tree
+    if kind == "randomizer":
+        noise = payload.get("noise")
+        if noise not in _RANDOMIZER_KINDS:
+            raise ValidationError(f"unknown randomizer noise kind {noise!r}")
+        cls, params = _RANDOMIZER_KINDS[noise]
+        try:
+            return cls(**{p: float(payload[p]) for p in params})
+        except KeyError as exc:
+            raise ValidationError(
+                f"randomizer payload is missing parameter {exc}"
+            ) from exc
+    if kind == "aggregation_service":
+        from repro.service.service import AggregationService
+
+        return AggregationService.restore(payload)
     if kind == "naive_bayes":
         partitions = [
             Partition(np.asarray(edges, dtype=float))
@@ -146,12 +204,26 @@ def from_jsonable(payload: dict):
 
 
 def save(obj, path) -> None:
-    """Serialize ``obj`` to a JSON file."""
+    """Serialize ``obj`` to a JSON file (atomically).
+
+    The document is written to a sibling temp file and moved into place
+    with ``os.replace``, so a crash — or a server killed mid-snapshot —
+    can never leave a truncated file where a valid snapshot was.
+    """
     path = Path(path)
-    path.write_text(json.dumps(to_jsonable(obj)))
+    payload = json.dumps(to_jsonable(obj))
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(payload)
+    os.replace(temp, path)
 
 
 def load(path):
     """Load an object saved with :func:`save`."""
     path = Path(path)
-    return from_jsonable(json.loads(path.read_text()))
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"{str(path)!r} is not valid JSON ({exc}); not a repro snapshot"
+        ) from exc
+    return from_jsonable(payload)

@@ -1,0 +1,35 @@
+"""Sharded server-side aggregation of randomized disclosures.
+
+The paper's deployment is a server reconstructing distributions from
+millions of independently randomized disclosures.  This subpackage is
+that server's aggregation tier:
+
+* :mod:`repro.service.shards` — :class:`HistogramShard` /
+  :class:`ShardSet`: mergeable noise-expanded histogram partials, so N
+  ingestion workers accumulate concurrently and a refresh merges in
+  O(shards x bins),
+* :mod:`repro.service.service` — :class:`AggregationService`: the facade
+  gluing the shard set to one shared
+  :class:`~repro.core.engine.ReconstructionEngine` (one kernel cache
+  across all attributes), with warm-started ``estimate()`` and
+  snapshot/restore through :mod:`repro.serialize`,
+* :mod:`repro.service.httpd` — a stdlib JSON-over-HTTP front end behind
+  ``ppdm serve``.
+
+Estimates are bit-identical to a single-stream
+:class:`~repro.core.streaming.StreamingReconstructor` fed the same
+disclosures — sharding changes the ingestion topology, never the math.
+"""
+
+from repro.service.httpd import ServiceHTTPServer
+from repro.service.service import AggregationService, service_from_spec
+from repro.service.shards import AttributeSpec, HistogramShard, ShardSet
+
+__all__ = [
+    "AggregationService",
+    "AttributeSpec",
+    "HistogramShard",
+    "ShardSet",
+    "ServiceHTTPServer",
+    "service_from_spec",
+]

@@ -1,0 +1,250 @@
+"""A small JSON-over-HTTP front end for :class:`AggregationService`.
+
+Standard-library only (``http.server``): one ``ppdm serve`` process is a
+complete collection endpoint — providers POST randomized disclosures,
+analysts GET reconstructed distributions — with the sharded service
+behind it.  The threading server gives each request its own handler
+thread; ingestion is shard-parallel by construction and estimation is
+serialized by the service itself.
+
+Endpoints (all JSON):
+
+=========================  ==================================================
+``GET /healthz``           liveness + total records absorbed
+``GET /attributes``        the collected schema (domain, grid, noise)
+``GET /stats``             per-attribute record counts, shard and cache stats
+``GET /estimate?attribute=NAME``  reconstructed distribution for ``NAME``
+``POST /ingest``           body ``{"batch": {name: [values...]}, "shard": i?}``
+``POST /snapshot``         persist to the configured snapshot path
+=========================  ==================================================
+
+Errors return ``{"error": message}`` with status 400 (validation) or
+404 (unknown route/attribute-less estimate).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.privacy import privacy_of_randomizer
+from repro.exceptions import ValidationError
+
+__all__ = ["ServiceHTTPServer"]
+
+
+class ServiceHTTPServer:
+    """Serve an :class:`~repro.service.AggregationService` over HTTP.
+
+    Parameters
+    ----------
+    service:
+        The aggregation service to expose.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`address`).
+    snapshot_path:
+        Where ``POST /snapshot`` persists the service; ``None`` disables
+        the endpoint (400).
+    """
+
+    def __init__(
+        self, service, host: str = "127.0.0.1", port: int = 0, *,
+        snapshot_path=None,
+    ) -> None:
+        self.service = service
+        self.snapshot_path = snapshot_path
+        self._requests_served = 0
+        self._served_lock = threading.Lock()
+        self._snapshot_lock = threading.Lock()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        # Track handler threads (ThreadingHTTPServer defaults to
+        # untracked daemons): server_close() then joins in-flight
+        # requests, so max_requests mode and process exit can never kill
+        # a response — or a snapshot write — midway.
+        self._httpd.daemon_threads = False
+
+    @property
+    def address(self) -> tuple:
+        """Actual ``(host, port)`` the server is bound to."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served
+
+    def serve_forever(self, *, max_requests: int = None) -> None:
+        """Handle requests until :meth:`shutdown` (or ``max_requests``).
+
+        With ``max_requests`` the server accepts exactly that many
+        connections (one request each — HTTP/1.0), then joins the
+        handler threads and closes the socket itself; do not also call
+        :meth:`shutdown` in that mode.
+        """
+        if max_requests is None:
+            # a tight poll keeps shutdown() latency low (the default
+            # 0.5 s poll makes every stop feel sluggish)
+            self._httpd.serve_forever(poll_interval=0.05)
+        else:
+            for _ in range(max_requests):
+                self._httpd.handle_request()
+            # joins the per-request handler threads before returning
+            self._httpd.server_close()
+
+    def shutdown(self) -> None:
+        """Stop a concurrent :meth:`serve_forever` and close the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+    def persist(self) -> str:
+        """Save the service to the configured snapshot path (serialized).
+
+        The single snapshot-write entry point: ``POST /snapshot`` and the
+        CLI's exit-time save both come through here, so two writers can
+        never interleave on the same snapshot file.
+        """
+        if self.snapshot_path is None:
+            raise ValidationError("server started without a snapshot path")
+        with self._snapshot_lock:
+            self.service.save(self.snapshot_path)
+        return str(self.snapshot_path)
+
+    # ------------------------------------------------------------------
+    # Route implementations (handler threads call into these)
+    # ------------------------------------------------------------------
+    def handle_get(self, path: str, query: dict) -> tuple:
+        service = self.service
+        if path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "records": sum(service.n_seen().values()),
+            }
+        if path == "/attributes":
+            return 200, {
+                "attributes": [
+                    {
+                        "name": name,
+                        "low": service.spec(name).x_partition.low,
+                        "high": service.spec(name).x_partition.high,
+                        "n_intervals": service.spec(name).x_partition.n_intervals,
+                        "noise": service.spec(name).randomizer.name,
+                        "privacy": privacy_of_randomizer(
+                            service.spec(name).randomizer,
+                            service.spec(name).x_partition.span,
+                        ),
+                    }
+                    for name in service.attributes
+                ]
+            }
+        if path == "/stats":
+            cache = service.engine.kernel_cache
+            return 200, {
+                "n_shards": service.n_shards,
+                "records": service.n_seen(),
+                "kernel_cache": {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "size": len(cache),
+                },
+            }
+        if path == "/estimate":
+            names = query.get("attribute")
+            if not names:
+                return 400, {"error": "missing ?attribute=NAME"}
+            name = names[0]
+            # warn=False: the cap-hit is reported as converged=false in
+            # the payload, and toggling the (process-global) warning
+            # filter from handler threads would race other requests.
+            result = service.estimate(name, warn=False)
+            return 200, {
+                "attribute": name,
+                "edges": service.spec(name).x_partition.edges.tolist(),
+                "probs": result.distribution.probs.tolist(),
+                "n_iterations": result.n_iterations,
+                "converged": result.converged,
+                "chi2_statistic": _finite_or_none(result.chi2_statistic),
+                "chi2_threshold": _finite_or_none(result.chi2_threshold),
+                "n_seen": service.n_seen(name),
+            }
+        return 404, {"error": f"unknown route {path!r}"}
+
+    def handle_post(self, path: str, payload) -> tuple:
+        if path == "/ingest":
+            if not isinstance(payload, dict) or "batch" not in payload:
+                return 400, {"error": 'body must be {"batch": {name: [values]}}'}
+            batch = payload["batch"]
+            if not isinstance(batch, dict):
+                return 400, {"error": "'batch' must map attribute -> values"}
+            shard = payload.get("shard")
+            ingested = self.service.ingest(
+                batch, shard=None if shard is None else int(shard)
+            )
+            return 200, {
+                "ingested": ingested,
+                "records": sum(self.service.n_seen().values()),
+            }
+        if path == "/snapshot":
+            return 200, {"saved": self.persist()}
+        return 404, {"error": f"unknown route {path!r}"}
+
+
+def _finite_or_none(value: float):
+    """NaN has no JSON spelling; estimates without a chi2 pass send null."""
+    return float(value) if value == value else None
+
+
+def _make_handler(server: ServiceHTTPServer):
+    class Handler(BaseHTTPRequestHandler):
+        # one service request per TCP request keeps max_requests exact
+        protocol_version = "HTTP/1.0"
+
+        def log_message(self, *args) -> None:  # quiet by default
+            pass
+
+        def _reply(self, status: int, payload: dict) -> None:
+            # Count before replying: a client that already holds its
+            # response must observe requests_served as including it,
+            # whatever the handler thread's scheduling after the socket
+            # write (threads are only joined at server close).
+            with server._served_lock:
+                server._requests_served += 1
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            parsed = urlparse(self.path)
+            try:
+                status, payload = server.handle_get(
+                    parsed.path, parse_qs(parsed.query)
+                )
+            except ValidationError as exc:
+                status, payload = 400, {"error": str(exc)}
+            self._reply(status, payload)
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._reply(400, {"error": "body is not valid JSON"})
+                return
+            try:
+                status, out = server.handle_post(urlparse(self.path).path, payload)
+            except (ValidationError, ValueError) as exc:
+                status, out = 400, {"error": str(exc)}
+            self._reply(status, out)
+
+    return Handler

@@ -1,0 +1,435 @@
+"""The aggregation service: sharded ingestion + warm-started estimation.
+
+:class:`AggregationService` is the server-shaped face of the paper's
+deployment: N ingestion workers accumulate randomized disclosures into
+:class:`~repro.service.shards.ShardSet` partials, and ``estimate()``
+merges the partials in O(shards x bins) and refreshes the attribute's
+distribution with warm-started Bayes sweeps on one shared
+:class:`~repro.core.engine.ReconstructionEngine` (one
+:class:`~repro.core.engine.KernelCache` across all attributes).
+
+The estimates it serves are **bit-identical** to feeding the same
+disclosures through a single-stream
+:class:`~repro.core.streaming.StreamingReconstructor` and refreshing at
+the same points — sharding changes the ingestion topology, never the
+math (``tests/test_service.py`` pins this at several shard counts).
+
+Snapshots round-trip through :mod:`repro.serialize` (kind
+``"aggregation_service"``): schema, engine config, merged partials, and
+the carried warm-start estimates, so a restarted server resumes with
+bit-identical estimates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.engine import (
+    EngineConfig,
+    KernelCache,
+    ReconstructionEngine,
+    ReconstructionResult,
+    config_property,
+)
+from repro.core.partition import Partition
+from repro.core.privacy import NOISE_KINDS, noise_for_privacy
+from repro.exceptions import ValidationError
+from repro.service.shards import AttributeSpec, ShardSet
+
+
+class _AttributeState:
+    """Per-attribute serving state: kernel, grid, and carried estimate."""
+
+    __slots__ = ("spec", "y_partition", "kernel", "theta")
+
+    def __init__(self, spec, y_partition, kernel, theta) -> None:
+        self.spec = spec
+        self.y_partition = y_partition
+        self.kernel = kernel
+        self.theta = theta
+
+
+class AggregationService:
+    """Sharded multi-attribute aggregation with warm-started estimates.
+
+    Parameters
+    ----------
+    attributes:
+        Iterable of :class:`~repro.service.AttributeSpec` (or
+        ``(name, x_partition, randomizer)`` triples), one per collected
+        attribute.  Names must be unique.
+    n_shards:
+        Number of ingestion shards (see
+        :class:`~repro.service.shards.ShardSet`).
+    max_iterations / tol / stopping / transition_method / coverage:
+        Engine settings, exactly as on
+        :class:`~repro.core.streaming.StreamingReconstructor`.
+    kernel_cache:
+        Optionally share a kernel cache with other services or
+        reconstructors over the same grids.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service import AggregationService, AttributeSpec
+    >>> noise = UniformRandomizer(half_width=0.2)
+    >>> service = AggregationService(
+    ...     [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+    ...     n_shards=2,
+    ... )
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.uniform(0.3, 0.7, size=1000)
+    >>> service.ingest({"opinion": noise.randomize(x, seed=rng)})
+    1000
+    >>> result = service.estimate("opinion")
+    >>> bool(result.distribution.probs[4] > 0.1)
+    True
+    """
+
+    def __init__(
+        self,
+        attributes,
+        *,
+        n_shards: int = 1,
+        max_iterations: int = 500,
+        tol: float = 1e-3,
+        stopping: str = "chi2",
+        transition_method: str = "integrated",
+        coverage: float = 1.0 - 1e-9,
+        kernel_cache: KernelCache = None,
+    ) -> None:
+        config = EngineConfig(
+            max_iterations=max_iterations,
+            tol=tol,
+            stopping=stopping,
+            transition_method=transition_method,
+            coverage=coverage,
+        )
+        self._engine = ReconstructionEngine(config, kernel_cache=kernel_cache)
+        self._states: dict = {}
+        for spec in attributes:
+            if not isinstance(spec, AttributeSpec):
+                spec = AttributeSpec(*spec)
+            if spec.name in self._states:
+                raise ValidationError(f"duplicate attribute name {spec.name!r}")
+            y_partition, kernel = self._engine.kernel_for(
+                spec.x_partition, spec.randomizer
+            )
+            m = spec.x_partition.n_intervals
+            self._states[spec.name] = _AttributeState(
+                spec, y_partition, kernel, np.full(m, 1.0 / m)
+            )
+        if not self._states:
+            raise ValidationError("the service needs at least one attribute")
+        self._shards = ShardSet(
+            {name: state.y_partition for name, state in self._states.items()},
+            n_shards,
+        )
+        # estimate() mutates the carried theta; refreshes are serialized
+        # so concurrent queries cannot interleave a warm start.
+        self._estimate_lock = threading.Lock()
+
+    max_iterations = config_property("max_iterations", engine_attr="_engine")
+    tol = config_property("tol", engine_attr="_engine")
+    stopping = config_property("stopping", engine_attr="_engine")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple:
+        """Collected attribute names, in schema order."""
+        return tuple(self._states)
+
+    @property
+    def shards(self) -> ShardSet:
+        """The ingestion shard set (for one-worker-per-shard deployments)."""
+        return self._shards
+
+    @property
+    def engine(self) -> ReconstructionEngine:
+        """The shared reconstruction engine (one kernel cache for all)."""
+        return self._engine
+
+    @property
+    def n_shards(self) -> int:
+        return self._shards.n_shards
+
+    def spec(self, name: str) -> AttributeSpec:
+        """The :class:`AttributeSpec` registered under ``name``."""
+        return self._state(name).spec
+
+    def n_seen(self, name: str = None):
+        """Records absorbed for one attribute, or ``{name: n}`` for all."""
+        if name is not None:
+            self._state(name)
+        return self._shards.n_seen(name)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def ingest(self, batch, *, shard: int = None) -> int:
+        """Absorb ``{attribute: randomized values}``; return records added.
+
+        O(batch) work: each attribute's values are bucketed into the
+        routed shard's noise-expanded histogram.  ``shard`` pins the
+        batch to a specific shard (one-worker-per-shard ingestion);
+        otherwise batches round-robin.
+        """
+        return self._shards.ingest(batch, shard=shard)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def estimate(self, name: str, *, warn: bool = True) -> ReconstructionResult:
+        """Current estimate of ``name``'s original distribution.
+
+        Merges the shard partials in O(shards x bins) and runs Bayes
+        sweeps warm-started from the previous refresh — bit-identical to
+        a single-stream
+        :class:`~repro.core.streaming.StreamingReconstructor` fed the
+        same disclosures and refreshed at the same points.
+
+        ``warn=False`` suppresses the
+        :class:`~repro.exceptions.ConvergenceWarning` on cap-hit (the
+        HTTP front end reports ``converged`` in the payload instead —
+        and per-request warning-filter toggling is not thread-safe).
+        """
+        state = self._state(name)
+        # The merge happens under the estimate lock too: merging outside
+        # would let two concurrent refreshes pair a stale histogram with
+        # a newer warm start, breaking the single-stream equivalence.
+        with self._estimate_lock:
+            counts, seen = self._shards.merged(name)
+            if seen == 0:
+                raise ValidationError(
+                    f"no data for attribute {name!r}: ingest() before estimate()"
+                )
+            result, state.theta = self._engine.estimate_counts(
+                counts, state.kernel, state.theta, state.spec.x_partition,
+                _stacklevel=2, warn=warn,
+            )
+        return result
+
+    def estimate_all(self, *, warn: bool = True) -> dict:
+        """``{name: result}`` for every attribute that has data.
+
+        Attributes with no ingested records are skipped (an empty
+        service raises, matching :meth:`estimate`).
+        """
+        results = {}
+        for name in self._states:
+            if self._shards.n_seen(name):
+                results[name] = self.estimate(name, warn=warn)
+        if not results:
+            raise ValidationError("no data yet: ingest() before estimate_all()")
+        return results
+
+    def reset(self) -> "AggregationService":
+        """Forget all absorbed data and the warm-start estimates."""
+        self._shards.clear()
+        for state in self._states.values():
+            m = state.spec.x_partition.n_intervals
+            state.theta = np.full(m, 1.0 / m)
+        return self
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of schema, config, partials, and estimates.
+
+        Shard partials are stored *merged* — the per-shard layout is an
+        ingestion topology, not state (partials are mergeable, so the
+        merged histogram is the complete sufficient statistic).  A
+        service restored from the snapshot serves bit-identical
+        estimates and keeps ingesting where this one left off.
+        """
+        from repro.serialize import FORMAT_VERSION, to_jsonable
+
+        config = self._engine.config
+        attributes = []
+        state_section = {}
+        for name, state in self._states.items():
+            attributes.append(
+                {
+                    "name": name,
+                    "edges": state.spec.x_partition.edges.tolist(),
+                    "randomizer": to_jsonable(state.spec.randomizer),
+                }
+            )
+            counts, seen = self._shards.merged(name)
+            state_section[name] = {
+                "y_counts": counts.tolist(),
+                "n_seen": int(seen),
+                "theta": state.theta.tolist(),
+            }
+        return {
+            "kind": "aggregation_service",
+            "version": FORMAT_VERSION,
+            "config": {
+                "max_iterations": config.max_iterations,
+                "tol": config.tol,
+                "stopping": config.stopping,
+                "transition_method": config.transition_method,
+                "coverage": config.coverage,
+            },
+            "n_shards": self._shards.n_shards,
+            "attributes": attributes,
+            "state": state_section,
+        }
+
+    @classmethod
+    def restore(cls, payload: dict) -> "AggregationService":
+        """Rebuild a service from :meth:`snapshot` output.
+
+        The merged partials land in shard 0 — merge-equivalent to the
+        saved state — and the warm-start estimates are carried over, so
+        the first refresh after a restart is bit-identical to the
+        refresh the saved server would have produced.
+        """
+        from repro.serialize import from_jsonable
+
+        try:
+            config = payload["config"]
+            service = cls(
+                [
+                    AttributeSpec(
+                        attr["name"],
+                        Partition(np.asarray(attr["edges"], dtype=float)),
+                        from_jsonable(attr["randomizer"]),
+                    )
+                    for attr in payload["attributes"]
+                ],
+                n_shards=payload["n_shards"],
+                **config,
+            )
+            shard0 = service._shards.shard(0)
+            for name, saved in payload["state"].items():
+                state = service._state(name)
+                counts = np.asarray(saved["y_counts"], dtype=float)
+                if counts.shape != (state.y_partition.n_intervals,):
+                    raise ValidationError(
+                        f"snapshot counts for {name!r} have "
+                        f"{counts.size} bins; the noise-expanded grid has "
+                        f"{state.y_partition.n_intervals}"
+                    )
+                theta = np.asarray(saved["theta"], dtype=float)
+                if theta.shape != (state.spec.x_partition.n_intervals,):
+                    raise ValidationError(
+                        f"snapshot estimate for {name!r} has {theta.size} "
+                        "intervals; the partition has "
+                        f"{state.spec.x_partition.n_intervals}"
+                    )
+                shard0._counts[name] += counts
+                shard0._n_seen[name] += int(saved["n_seen"])
+                state.theta = theta
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"malformed aggregation_service snapshot: {exc}"
+            ) from exc
+        return service
+
+    def save(self, path) -> None:
+        """Persist the snapshot as JSON (see :func:`repro.serialize.save`)."""
+        from repro import serialize
+
+        serialize.save(self, path)
+
+    @classmethod
+    def load(cls, path) -> "AggregationService":
+        """Restore a service saved with :meth:`save`."""
+        from repro import serialize
+
+        service = serialize.load(path)
+        if not isinstance(service, cls):
+            raise ValidationError(
+                f"{str(path)!r} does not hold an aggregation_service snapshot"
+            )
+        return service
+
+    # ------------------------------------------------------------------
+    def _state(self, name: str) -> _AttributeState:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown attribute {name!r}; the service collects "
+                f"{list(self._states)}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AggregationService(attributes={len(self._states)}, "
+            f"n_shards={self._shards.n_shards}, "
+            f"records={sum(self._shards.n_seen().values())})"
+        )
+
+
+def service_from_spec(spec: dict) -> AggregationService:
+    """Build a service from a plain-dict deployment spec (``ppdm serve``).
+
+    The spec names each attribute's domain and privacy target; noise is
+    sized with :func:`repro.core.privacy.noise_for_privacy`:
+
+    .. code-block:: python
+
+        {
+          "shards": 4,                      # optional, default 1
+          "intervals": 24,                  # optional global default
+          "attributes": [
+            {"name": "age", "low": 20, "high": 80,
+             "noise": "uniform",            # or "gaussian"
+             "privacy": 1.0,                # of the domain span
+             "confidence": 0.95,            # optional
+             "intervals": 24},              # optional per-attribute
+          ],
+        }
+
+    Examples
+    --------
+    >>> from repro.service import service_from_spec
+    >>> service = service_from_spec({
+    ...     "shards": 2,
+    ...     "attributes": [
+    ...         {"name": "age", "low": 20, "high": 80,
+    ...          "noise": "uniform", "privacy": 1.0},
+    ...     ],
+    ... })
+    >>> service.attributes, service.n_shards
+    (('age',), 2)
+    """
+    if not isinstance(spec, dict):
+        raise ValidationError("service spec must be a dict")
+    attributes = spec.get("attributes")
+    if not attributes:
+        raise ValidationError("service spec needs a non-empty 'attributes' list")
+    default_intervals = int(spec.get("intervals", 24))
+    specs = []
+    for attr in attributes:
+        try:
+            name = attr["name"]
+            low, high = float(attr["low"]), float(attr["high"])
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"malformed attribute entry {attr!r}: {exc}"
+            ) from exc
+        kind = attr.get("noise", "uniform")
+        if kind not in NOISE_KINDS:
+            raise ValidationError(
+                f"unknown noise kind {kind!r}; choose from {NOISE_KINDS}"
+            )
+        partition = Partition.uniform(
+            low, high, int(attr.get("intervals", default_intervals))
+        )
+        randomizer = noise_for_privacy(
+            kind,
+            float(attr.get("privacy", 1.0)),
+            high - low,
+            float(attr.get("confidence", 0.95)),
+        )
+        specs.append(AttributeSpec(name, partition, randomizer))
+    return AggregationService(specs, n_shards=int(spec.get("shards", 1)))

@@ -1,0 +1,311 @@
+"""Mergeable histogram partials for sharded disclosure ingestion.
+
+The reconstruction algorithm never needs raw disclosures — only the
+histogram of randomized values on the noise-expanded grid.  Histograms
+are *mergeable*: the histogram of a union of batches is the elementwise
+sum of the batches' histograms, exactly (counts are integers, and float64
+addition of integers is exact far beyond any realistic record count).
+
+That makes server-side aggregation embarrassingly shardable:
+
+* each ingestion worker owns (or is routed to) a :class:`HistogramShard`
+  and accumulates its batches in O(batch) work with no cross-worker
+  coordination,
+* a refresh merges the shard partials in O(shards x bins) — independent
+  of how many records have ever been seen — and hands the merged counts
+  to the reconstruction engine.
+
+:class:`ShardSet` is the fixed-size collection of shards over one
+attribute schema, with round-robin routing and the O(bins) merge.  The
+control plane (engine, warm-started estimates, persistence) lives in
+:class:`repro.service.AggregationService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.core.randomizers import AdditiveRandomizer
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d_array
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute the aggregation service collects disclosures for.
+
+    Attributes
+    ----------
+    name:
+        Unique attribute name; the routing key of every ingested batch.
+    x_partition:
+        Grid over the original domain on which estimates are expressed.
+    randomizer:
+        The (public) additive noise process providers disclose through.
+
+    Examples
+    --------
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service import AttributeSpec
+    >>> spec = AttributeSpec("age", Partition.uniform(20, 80, 12),
+    ...                      UniformRandomizer(half_width=15.0))
+    >>> spec.name, spec.x_partition.n_intervals
+    ('age', 12)
+    """
+
+    name: str
+    x_partition: Partition
+    randomizer: AdditiveRandomizer
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError("attribute name must be a non-empty string")
+        if not isinstance(self.x_partition, Partition):
+            raise ValidationError(
+                f"x_partition must be a Partition, got "
+                f"{type(self.x_partition).__name__}"
+            )
+        if not isinstance(self.randomizer, AdditiveRandomizer):
+            raise ValidationError(
+                "randomizer must be an AdditiveRandomizer (the service "
+                f"aggregates additive disclosures), got "
+                f"{type(self.randomizer).__name__}"
+            )
+
+
+class HistogramShard:
+    """One worker's running histogram partials, one per attribute.
+
+    ``ingest`` buckets a batch of randomized values into the attribute's
+    noise-expanded histogram — O(batch) work.  Bucketing happens outside
+    the shard lock (it is pure); only the elementwise accumulate is
+    guarded, so concurrent ingestion into the *same* shard is safe and
+    ingestion into different shards never contends at all.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service.shards import HistogramShard
+    >>> part = Partition.uniform(0, 1, 4)
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> y_part = part.expanded(noise.support_half_width())
+    >>> shard = HistogramShard({"x": y_part})
+    >>> shard.ingest({"x": [0.1, 0.4, 0.9]})
+    3
+    >>> shard.n_seen("x")
+    3
+    """
+
+    def __init__(self, y_partitions) -> None:
+        if not y_partitions:
+            raise ValidationError("a shard needs at least one attribute")
+        self._y_partitions = dict(y_partitions)
+        self._counts = {
+            name: np.zeros(partition.n_intervals)
+            for name, partition in self._y_partitions.items()
+        }
+        self._n_seen = dict.fromkeys(self._y_partitions, 0)
+        self._lock = threading.Lock()
+
+    @property
+    def attributes(self) -> tuple:
+        """Attribute names this shard accumulates, in schema order."""
+        return tuple(self._y_partitions)
+
+    def ingest(self, batch) -> int:
+        """Absorb ``{attribute: randomized values}``; return records added."""
+        prepared = []
+        for name, values in batch.items():
+            partition = self._y_partitions.get(name)
+            if partition is None:
+                raise ValidationError(
+                    f"unknown attribute {name!r}; shard holds "
+                    f"{list(self._y_partitions)}"
+                )
+            arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
+            if arr.size:
+                prepared.append((name, partition.histogram(arr), arr.size))
+        total = 0
+        with self._lock:
+            for name, counts, size in prepared:
+                self._counts[name] += counts
+                self._n_seen[name] += size
+                total += size
+        return total
+
+    def n_seen(self, name: str) -> int:
+        """Records absorbed so far for ``name``."""
+        self._require(name)
+        return self._n_seen[name]
+
+    def partial(self, name: str) -> tuple:
+        """Consistent ``(counts copy, n_seen)`` snapshot for one attribute."""
+        self._require(name)
+        with self._lock:
+            return self._counts[name].copy(), self._n_seen[name]
+
+    def merge_from(self, other: "HistogramShard") -> "HistogramShard":
+        """Fold another shard's partials into this one (same schema)."""
+        if tuple(other._y_partitions) != tuple(self._y_partitions):
+            raise ValidationError("cannot merge shards with different schemas")
+        for name, counts in other._counts.items():
+            mine = self._y_partitions[name]
+            theirs = other._y_partitions[name]
+            if not np.array_equal(mine.edges, theirs.edges):
+                raise ValidationError(
+                    f"cannot merge shards: attribute {name!r} is bucketed "
+                    "on different grids"
+                )
+        with other._lock:
+            partials = {
+                name: (counts.copy(), other._n_seen[name])
+                for name, counts in other._counts.items()
+            }
+        with self._lock:
+            for name, (counts, seen) in partials.items():
+                self._counts[name] += counts
+                self._n_seen[name] += seen
+        return self
+
+    def clear(self) -> None:
+        """Zero all partials."""
+        with self._lock:
+            for counts in self._counts.values():
+                counts[:] = 0.0
+            for name in self._n_seen:
+                self._n_seen[name] = 0
+
+    def _require(self, name: str) -> None:
+        if name not in self._y_partitions:
+            raise ValidationError(
+                f"unknown attribute {name!r}; shard holds "
+                f"{list(self._y_partitions)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        total = sum(self._n_seen.values())
+        return (
+            f"HistogramShard(attributes={len(self._y_partitions)}, "
+            f"records={total})"
+        )
+
+
+class ShardSet:
+    """A fixed number of :class:`HistogramShard` over one schema.
+
+    Workers either address a shard explicitly (``shard=i`` — the
+    one-worker-per-shard deployment, no lock contention) or let the set
+    route round-robin.  ``merged`` sums the per-shard partials in
+    O(shards x bins): because histogram counts are exact integers in
+    float64, the merged counts are bit-identical to bucketing the whole
+    stream into a single histogram, at any shard count and any batch
+    interleaving.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service.shards import ShardSet
+    >>> part = Partition.uniform(0, 1, 4)
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> y_part = part.expanded(noise.support_half_width())
+    >>> shards = ShardSet({"x": y_part}, n_shards=2)
+    >>> shards.ingest({"x": [0.1, 0.2]}, shard=0)
+    2
+    >>> shards.ingest({"x": [0.8]}, shard=1)
+    1
+    >>> counts, seen = shards.merged("x")
+    >>> seen, float(counts.sum())
+    (3, 3.0)
+    """
+
+    def __init__(self, y_partitions, n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        self._y_partitions = dict(y_partitions)
+        self._shards = tuple(
+            HistogramShard(self._y_partitions) for _ in range(int(n_shards))
+        )
+        self._route = 0
+        self._route_lock = threading.Lock()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def attributes(self) -> tuple:
+        """Attribute names, in schema order."""
+        return tuple(self._y_partitions)
+
+    def shard(self, index: int) -> HistogramShard:
+        """The ``index``-th shard (for one-worker-per-shard deployments)."""
+        if not 0 <= index < len(self._shards):
+            raise ValidationError(
+                f"shard index {index} out of range [0, {len(self._shards)})"
+            )
+        return self._shards[index]
+
+    def __iter__(self):
+        return iter(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def ingest(self, batch, *, shard: int = None) -> int:
+        """Route a batch to a shard (round-robin unless ``shard`` given)."""
+        if shard is None:
+            with self._route_lock:
+                shard = self._route
+                self._route = (self._route + 1) % len(self._shards)
+        return self.shard(shard).ingest(batch)
+
+    def merged(self, name: str) -> tuple:
+        """Merged ``(counts, n_seen)`` for one attribute — O(shards x bins)."""
+        if name not in self._y_partitions:
+            raise ValidationError(
+                f"unknown attribute {name!r}; schema holds "
+                f"{list(self._y_partitions)}"
+            )
+        counts = np.zeros(self._y_partitions[name].n_intervals)
+        seen = 0
+        for shard in self._shards:
+            partial, partial_seen = shard.partial(name)
+            counts += partial
+            seen += partial_seen
+        return counts, seen
+
+    def merge(self) -> dict:
+        """Merged partials for every attribute: ``{name: (counts, n_seen)}``."""
+        return {name: self.merged(name) for name in self._y_partitions}
+
+    def n_seen(self, name: str = None):
+        """Records absorbed for one attribute, or ``{name: n}`` for all.
+
+        Sums the shards' integer counters directly — no histogram copies
+        — so the ingest/health hot paths never pay the O(bins) merge.
+        """
+        if name is not None:
+            if name not in self._y_partitions:
+                raise ValidationError(
+                    f"unknown attribute {name!r}; schema holds "
+                    f"{list(self._y_partitions)}"
+                )
+            return sum(shard.n_seen(name) for shard in self._shards)
+        return {attr: self.n_seen(attr) for attr in self._y_partitions}
+
+    def clear(self) -> None:
+        """Zero every shard."""
+        for shard in self._shards:
+            shard.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardSet(n_shards={len(self._shards)}, "
+            f"attributes={len(self._y_partitions)})"
+        )

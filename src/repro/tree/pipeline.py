@@ -80,6 +80,15 @@ class PrivacyPreservingClassifier:
     seed:
         Seed / generator driving the randomization step.
 
+    Examples
+    --------
+    >>> from repro import PrivacyPreservingClassifier, quest
+    >>> train = quest.generate(1_500, function=1, seed=0)
+    >>> test = quest.generate(500, function=1, seed=1)
+    >>> clf = PrivacyPreservingClassifier(strategy="byclass", privacy=0.5, seed=2)
+    >>> bool(clf.fit(train).score(test) > 0.8)
+    True
+
     Attributes (after :meth:`fit`)
     ------------------------------
     tree_:

@@ -109,6 +109,244 @@ class TestCommands:
         assert "accuracy %" in out
 
 
+class TestServeIngestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.spec is None and args.snapshot is None
+        assert args.max_requests is None
+
+    def test_ingest_requires_attribute(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "values.txt"])
+
+    def test_ingest_args(self):
+        args = build_parser().parse_args(
+            [
+                "ingest", "values.txt",
+                "--attribute", "age",
+                "--snapshot", "snap.json",
+                "--seed", "3",
+                "--estimate",
+            ]
+        )
+        assert str(args.values) == "values.txt"
+        assert args.attribute == "age"
+        assert args.estimate
+        assert not args.already_randomized
+
+
+class TestServeIngestCommands:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "shards": 2,
+                    "attributes": [
+                        {
+                            "name": "age",
+                            "low": 20,
+                            "high": 80,
+                            "noise": "uniform",
+                            "privacy": 1.0,
+                            "intervals": 8,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_serve_without_spec_exits_2(self, capsys):
+        code = main(["serve"])
+        assert code == 2
+        assert "needs --spec" in capsys.readouterr().err
+
+    def test_serve_creates_snapshot(self, capsys, tmp_path, spec_file):
+        snapshot = tmp_path / "snap.json"
+        code = main(
+            [
+                "serve",
+                "--spec", str(spec_file),
+                "--snapshot", str(snapshot),
+                "--port", "0",
+                "--max-requests", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving 1 attribute(s)" in out
+        assert snapshot.is_file()
+
+    def test_ingest_into_snapshot_then_estimate(
+        self, capsys, tmp_path, spec_file
+    ):
+        import numpy as np
+
+        snapshot = tmp_path / "snap.json"
+        assert main(
+            [
+                "serve", "--spec", str(spec_file),
+                "--snapshot", str(snapshot),
+                "--port", "0", "--max-requests", "0",
+            ]
+        ) == 0
+        values = tmp_path / "ages.txt"
+        rng = np.random.default_rng(4)
+        np.savetxt(values, rng.normal(45, 8, 1_000))
+        capsys.readouterr()
+
+        code = main(
+            [
+                "ingest", str(values),
+                "--attribute", "age",
+                "--snapshot", str(snapshot),
+                "--seed", "5",
+                "--estimate",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ingested 1000 record(s)" in out
+        assert "Estimated distribution of 'age'" in out
+
+        # the snapshot persisted the ingested records
+        code = main(
+            [
+                "ingest", str(values),
+                "--attribute", "age",
+                "--snapshot", str(snapshot),
+                "--seed", "6",
+            ]
+        )
+        assert code == 0
+        assert "now holds 2000" in capsys.readouterr().out
+
+    def test_serve_restore_applies_shards_override(
+        self, capsys, tmp_path, spec_file
+    ):
+        snapshot = tmp_path / "snap.json"
+        assert main(
+            [
+                "serve", "--spec", str(spec_file),
+                "--snapshot", str(snapshot),
+                "--port", "0", "--max-requests", "0",
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "serve",
+                "--snapshot", str(snapshot),
+                "--spec", str(spec_file),
+                "--shards", "8",
+                "--port", "0", "--max-requests", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "with 8 shard(s)" in out
+        assert "--spec ignored" in out
+
+    def test_serve_missing_spec_file_exits_2(self, capsys, tmp_path):
+        code = main(["serve", "--spec", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_malformed_spec_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["serve", "--spec", str(bad)])
+        assert code == 2
+        assert "spec file" in capsys.readouterr().err
+
+    def test_ingest_malformed_json_values_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(
+            ["ingest", str(bad), "--attribute", "age",
+             "--snapshot", str(tmp_path / "snap.json")]
+        )
+        assert code == 2
+        assert "values file" in capsys.readouterr().err
+
+    def test_ingest_unknown_attribute_exits_2(
+        self, capsys, tmp_path, spec_file
+    ):
+        snapshot = tmp_path / "snap.json"
+        assert main(
+            [
+                "serve", "--spec", str(spec_file),
+                "--snapshot", str(snapshot),
+                "--port", "0", "--max-requests", "0",
+            ]
+        ) == 0
+        values = tmp_path / "v.txt"
+        values.write_text("1.0\n2.0\n")
+        capsys.readouterr()
+        code = main(
+            ["ingest", str(values), "--attribute", "nope",
+             "--snapshot", str(snapshot)]
+        )
+        assert code == 2
+        assert "unknown attribute" in capsys.readouterr().err
+
+    def test_ingest_needs_exactly_one_target(self, capsys, tmp_path):
+        values = tmp_path / "v.txt"
+        values.write_text("1.0\n")
+        code = main(["ingest", str(values), "--attribute", "age"])
+        assert code == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_ingest_missing_values_file_exits_2(self, capsys, tmp_path):
+        code = main(
+            [
+                "ingest", str(tmp_path / "absent.txt"),
+                "--attribute", "age",
+                "--snapshot", str(tmp_path / "snap.json"),
+            ]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_ingest_json_values_against_live_server(self, capsys, tmp_path, spec_file):
+        """Full loop: background server, URL-mode ingest, estimate."""
+        import json
+        import threading
+
+        from repro.service import ServiceHTTPServer, service_from_spec
+
+        service = service_from_spec(json.loads(spec_file.read_text()))
+        server = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            values = tmp_path / "ages.json"
+            values.write_text(json.dumps([40.0, 45.0, 50.0] * 50))
+            code = main(
+                [
+                    "ingest", str(values),
+                    "--attribute", "age",
+                    "--url", server.url,
+                    "--seed", "7",
+                    "--estimate",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "ingested 150 record(s)" in out
+            assert "Estimated distribution of 'age'" in out
+            assert service.n_seen("age") == 150
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+
 class TestBenchParser:
     def test_bench_requires_subcommand(self):
         with pytest.raises(SystemExit):

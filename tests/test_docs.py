@@ -1,0 +1,65 @@
+"""Keep the documentation site honest without building it.
+
+CI's docs job runs the real ``mkdocs build --strict``; this test file
+covers the parts that must hold in *every* environment (mkdocs is not a
+runtime dependency):
+
+* the generated API reference under ``docs/api/`` matches the current
+  docstrings (``docs/gen_api.py --check``),
+* every internal markdown link and anchor in README/ROADMAP/docs
+  resolves (``tools/check_links.py``),
+* every page named in the mkdocs nav exists.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _run(args):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    return subprocess.run(
+        [sys.executable, *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_generated_api_reference_in_sync():
+    result = _run(["docs/gen_api.py", "--check"])
+    assert result.returncode == 0, (
+        "docs/api is stale — regenerate with "
+        "'PYTHONPATH=src python docs/gen_api.py'\n" + result.stderr
+    )
+
+
+def test_markdown_links_resolve():
+    result = _run(["tools/check_links.py", "README.md", "ROADMAP.md", "docs"])
+    assert result.returncode == 0, result.stderr
+
+
+def test_mkdocs_nav_pages_exist():
+    text = (REPO_ROOT / "mkdocs.yml").read_text()
+    nav = text.split("nav:", 1)[1].split("markdown_extensions:", 1)[0]
+    pages = re.findall(r":\s*([\w\-./]+\.md)\s*$", nav, re.MULTILINE)
+    assert pages, "no pages parsed from mkdocs.yml nav"
+    for page in pages:
+        assert (REPO_ROOT / "docs" / page).is_file(), f"nav names missing page {page}"
+
+
+def test_api_pages_are_marked_generated():
+    for path in sorted((REPO_ROOT / "docs" / "api").glob("*.md")):
+        head = path.read_text()[:200]
+        assert "GENERATED FILE" in head, f"{path.name} lost its generated marker"

@@ -26,6 +26,16 @@ def _module_names():
     return sorted(names)
 
 
+def test_walk_covers_service_subpackage():
+    """The walker must see the serving tier (a packaging regression —
+    e.g. a missing __init__ — would silently drop its doctests)."""
+    names = _module_names()
+    assert "repro.service" in names
+    assert "repro.service.shards" in names
+    assert "repro.service.service" in names
+    assert "repro.service.httpd" in names
+
+
 @pytest.mark.parametrize("module_name", _module_names())
 def test_module_doctests(module_name):
     module = importlib.import_module(module_name)

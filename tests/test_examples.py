@@ -1,0 +1,52 @@
+"""Smoke-run every example script.
+
+The ``examples/`` directory is living documentation: each script must
+run clean from a fresh checkout.  This parametrizes over the directory
+so a new example is covered the day it lands, and a doc-breaking API
+change fails CI instead of a user's first session.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: generous per-script budget; the slowest (classifier_comparison) takes
+#: ~10 s locally, everything else ~1-2 s
+TIMEOUT_SECONDS = 300
+
+
+def test_examples_exist():
+    assert EXAMPLES, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_SECONDS,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -8,6 +8,11 @@ import pytest
 from repro.bayes import NaiveBayesClassifier
 from repro.core.histogram import HistogramDistribution
 from repro.core.partition import Partition
+from repro.core.randomizers import (
+    GaussianRandomizer,
+    NullRandomizer,
+    UniformRandomizer,
+)
 from repro.exceptions import NotFittedError, ValidationError
 from repro.serialize import from_jsonable, load, save, to_jsonable
 from repro.tree import DecisionTreeClassifier
@@ -94,6 +99,56 @@ class TestNaiveBayesRoundtrip:
         save(model, path)
         clone = load(path)
         np.testing.assert_array_equal(clone.predict(x), model.predict(x))
+
+
+class TestRandomizerRoundtrip:
+    @pytest.mark.parametrize(
+        "randomizer",
+        [
+            UniformRandomizer(half_width=0.37),
+            GaussianRandomizer(sigma=1.25),
+            NullRandomizer(),
+        ],
+        ids=lambda r: r.name,
+    )
+    def test_roundtrip(self, randomizer):
+        payload = to_jsonable(randomizer)
+        assert payload["kind"] == "randomizer"
+        restored = from_jsonable(payload)
+        assert type(restored) is type(randomizer)
+        assert restored == randomizer or isinstance(restored, NullRandomizer)
+
+    def test_parameters_preserved_exactly(self):
+        restored = from_jsonable(to_jsonable(UniformRandomizer(half_width=0.37)))
+        assert restored.half_width == 0.37
+
+    def test_unknown_noise_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            from_jsonable({"kind": "randomizer", "noise": "laplace"})
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(ValidationError):
+            from_jsonable({"kind": "randomizer", "noise": "uniform"})
+
+
+class TestAggregationServiceRoundtrip:
+    def test_dispatch_through_serialize(self, tmp_path):
+        from repro.service import AggregationService, AttributeSpec
+
+        noise = UniformRandomizer(half_width=0.2)
+        service = AggregationService(
+            [AttributeSpec("x", Partition.uniform(0, 1, 8), noise)],
+            n_shards=2,
+        )
+        service.ingest({"x": noise.randomize(np.linspace(0.2, 0.8, 200), seed=0)})
+        path = tmp_path / "service.json"
+        save(service, path)
+        restored = load(path)
+        assert isinstance(restored, AggregationService)
+        assert restored.n_seen("x") == 200
+        a = service.estimate("x")
+        b = restored.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
 
 
 class TestErrors:

@@ -1,0 +1,499 @@
+"""Tests for the sharded aggregation service (repro.service)."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GaussianRandomizer,
+    KernelCache,
+    NullRandomizer,
+    Partition,
+    StreamingReconstructor,
+    UniformRandomizer,
+)
+from repro.datasets import shapes
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.service import (
+    AggregationService,
+    AttributeSpec,
+    HistogramShard,
+    ShardSet,
+    service_from_spec,
+)
+
+
+@pytest.fixture
+def noise():
+    return UniformRandomizer(half_width=0.2)
+
+
+@pytest.fixture
+def part():
+    return Partition.uniform(0.0, 1.0, 12)
+
+
+@pytest.fixture
+def spec(part, noise):
+    return AttributeSpec("x", part, noise)
+
+
+def _disclose(noise, n, seed):
+    density = shapes.plateau()
+    return noise.randomize(density.sample(n, seed=seed), seed=seed + 1)
+
+
+class TestAttributeSpec:
+    def test_rejects_empty_name(self, part, noise):
+        with pytest.raises(ValidationError):
+            AttributeSpec("", part, noise)
+
+    def test_rejects_non_partition(self, noise):
+        with pytest.raises(ValidationError):
+            AttributeSpec("x", [0.0, 1.0], noise)
+
+    def test_rejects_non_additive_randomizer(self, part):
+        with pytest.raises(ValidationError):
+            AttributeSpec("x", part, NullRandomizer())
+
+
+class TestHistogramShard:
+    def test_ingest_counts(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        added = shard.ingest({"x": [0.1, 0.5, 0.9]})
+        assert added == 3
+        assert shard.n_seen("x") == 3
+        counts, seen = shard.partial("x")
+        assert counts.sum() == 3
+        assert seen == 3
+
+    def test_empty_batches_are_fine(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        assert shard.ingest({"x": []}) == 0
+        assert shard.n_seen("x") == 0
+
+    def test_unknown_attribute_rejected(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        with pytest.raises(ValidationError):
+            shard.ingest({"nope": [0.5]})
+        with pytest.raises(ValidationError):
+            shard.n_seen("nope")
+
+    def test_needs_at_least_one_attribute(self):
+        with pytest.raises(ValidationError):
+            HistogramShard({})
+
+    def test_merge_from(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        a = HistogramShard({"x": y_part})
+        b = HistogramShard({"x": y_part})
+        a.ingest({"x": [0.1, 0.2]})
+        b.ingest({"x": [0.8]})
+        a.merge_from(b)
+        assert a.n_seen("x") == 3
+        assert b.n_seen("x") == 1  # source untouched
+
+    def test_merge_from_rejects_different_schema(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        a = HistogramShard({"x": y_part})
+        b = HistogramShard({"y": y_part})
+        with pytest.raises(ValidationError):
+            a.merge_from(b)
+
+    def test_merge_from_rejects_different_grid(self, part, noise):
+        a = HistogramShard({"x": part.expanded(noise.support_half_width())})
+        b = HistogramShard({"x": Partition.uniform(-1, 2, 7)})
+        with pytest.raises(ValidationError):
+            a.merge_from(b)
+
+
+class TestShardSet:
+    def test_round_robin_routing(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=3)
+        for _ in range(6):
+            shards.ingest({"x": [0.5]})
+        assert [shard.n_seen("x") for shard in shards] == [2, 2, 2]
+
+    def test_explicit_shard_pinning(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=2)
+        shards.ingest({"x": [0.5, 0.6]}, shard=1)
+        assert shards.shard(0).n_seen("x") == 0
+        assert shards.shard(1).n_seen("x") == 2
+
+    def test_shard_index_validated(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=2)
+        with pytest.raises(ValidationError):
+            shards.shard(2)
+        with pytest.raises(ValidationError):
+            shards.ingest({"x": [0.5]}, shard=-1)
+
+    def test_rejects_bad_shard_count(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        with pytest.raises(ValidationError):
+            ShardSet({"x": y_part}, n_shards=0)
+
+    def test_merged_equals_single_histogram(self, part, noise):
+        """The acceptance contract at the histogram level: merged shard
+        partials are bit-identical to one histogram of the whole stream."""
+        y_part = part.expanded(noise.support_half_width())
+        w = _disclose(noise, 5_000, seed=3)
+        expected = y_part.histogram(w).astype(float)
+        for n_shards in (1, 2, 4, 8):
+            shards = ShardSet({"x": y_part}, n_shards=n_shards)
+            for chunk in np.array_split(w, 17):
+                shards.ingest({"x": chunk})
+            counts, seen = shards.merged("x")
+            assert np.array_equal(counts, expected)
+            assert seen == w.size
+
+    def test_unknown_attribute(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=2)
+        with pytest.raises(ValidationError):
+            shards.merged("nope")
+
+    def test_clear(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=2)
+        shards.ingest({"x": [0.5]})
+        shards.clear()
+        assert shards.n_seen("x") == 0
+
+
+class TestAggregationServiceBasics:
+    def test_accepts_triples(self, part, noise):
+        service = AggregationService([("x", part, noise)])
+        assert service.attributes == ("x",)
+
+    def test_rejects_duplicate_names(self, spec):
+        with pytest.raises(ValidationError):
+            AggregationService([spec, spec])
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(ValidationError):
+            AggregationService([])
+
+    def test_rejects_bad_config(self, spec):
+        with pytest.raises(ValidationError):
+            AggregationService([spec], stopping="sometimes")
+        with pytest.raises(ValidationError):
+            AggregationService([spec], max_iterations=0)
+
+    def test_estimate_requires_data(self, spec):
+        service = AggregationService([spec])
+        with pytest.raises(ValidationError):
+            service.estimate("x")
+        with pytest.raises(ValidationError):
+            service.estimate_all()
+
+    def test_unknown_attribute(self, spec):
+        service = AggregationService([spec])
+        with pytest.raises(ValidationError):
+            service.estimate("nope")
+        with pytest.raises(ValidationError):
+            service.ingest({"nope": [0.5]})
+        with pytest.raises(ValidationError):
+            service.n_seen("nope")
+        with pytest.raises(ValidationError):
+            service.spec("nope")
+
+    def test_n_seen_shapes(self, spec, noise):
+        service = AggregationService([spec], n_shards=2)
+        service.ingest({"x": _disclose(noise, 100, seed=0)})
+        assert service.n_seen("x") == 100
+        assert service.n_seen() == {"x": 100}
+
+    def test_reset(self, spec, noise):
+        service = AggregationService([spec])
+        service.ingest({"x": _disclose(noise, 500, seed=1)})
+        service.estimate("x")
+        service.reset()
+        assert service.n_seen("x") == 0
+        with pytest.raises(ValidationError):
+            service.estimate("x")
+
+    def test_one_kernel_cache_across_attributes(self, noise):
+        """All attributes share the engine's cache: one miss per grid."""
+        part_a = Partition.uniform(0, 1, 10)
+        part_b = Partition.uniform(0, 1, 16)
+        service = AggregationService(
+            [
+                AttributeSpec("a", part_a, noise),
+                AttributeSpec("b", part_b, noise),
+                AttributeSpec("c", part_a, noise),  # same grid as "a"
+            ]
+        )
+        assert service.engine.kernel_cache.misses == 2
+        assert service.engine.kernel_cache.hits == 1
+
+    def test_shared_external_kernel_cache(self, part, noise, spec):
+        cache = KernelCache()
+        StreamingReconstructor(part, noise, kernel_cache=cache)
+        AggregationService([spec], kernel_cache=cache)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_config_properties_live(self, spec):
+        service = AggregationService([spec], max_iterations=100)
+        assert service.max_iterations == 100
+        service.tol = 1e-5
+        assert service.tol == 1e-5
+        with pytest.raises(ValidationError):
+            service.stopping = "sometimes"
+
+    def test_convergence_warning_propagates(self, spec, noise):
+        service = AggregationService(
+            [spec], stopping="delta", tol=1e-15, max_iterations=3
+        )
+        service.ingest({"x": _disclose(noise, 2_000, seed=5)})
+        with pytest.warns(ConvergenceWarning):
+            result = service.estimate("x")
+        assert not result.converged
+        assert result.n_iterations == 3
+
+    def test_warn_false_suppresses_convergence_warning(self, spec, noise):
+        """The HTTP front end reads converged from the result instead of
+        toggling (process-global, thread-unsafe) warning filters."""
+        import warnings
+
+        service = AggregationService(
+            [spec], stopping="delta", tol=1e-15, max_iterations=3
+        )
+        service.ingest({"x": _disclose(noise, 2_000, seed=5)})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ConvergenceWarning)
+            result = service.estimate("x", warn=False)
+        assert not result.converged
+
+
+class TestSingleStreamParity:
+    """The acceptance contract: merge + estimate is bit-identical to the
+    single-stream StreamingReconstructor at any shard count."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    def test_one_refresh_parity(self, part, noise, n_shards):
+        w = _disclose(noise, 6_000, seed=11)
+        stream = StreamingReconstructor(part, noise)
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=n_shards
+        )
+        for chunk in np.array_split(w, 13):
+            stream.update(chunk)
+            service.ingest({"x": chunk})
+        a = stream.estimate()
+        b = service.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+        assert a.n_iterations == b.n_iterations
+        assert a.converged == b.converged
+        assert a.chi2_statistic == b.chi2_statistic
+        assert a.delta_history == b.delta_history
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_refresh_trajectory_parity(self, part, noise, n_shards):
+        """Warm-start trajectories match refresh for refresh."""
+        stream = StreamingReconstructor(part, noise)
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=n_shards
+        )
+        for day in range(5):
+            w = _disclose(noise, 800, seed=100 + day)
+            stream.update(w)
+            service.ingest({"x": w})
+            a = stream.estimate()
+            b = service.estimate("x")
+            assert np.array_equal(a.distribution.probs, b.distribution.probs)
+            assert a.n_iterations == b.n_iterations
+
+    def test_parity_with_gaussian_noise_and_many_attributes(self):
+        gauss = GaussianRandomizer(sigma=0.15)
+        uni = UniformRandomizer(half_width=0.3)
+        parts = [Partition.uniform(0, 1, 10), Partition.uniform(-1, 2, 18)]
+        specs = [
+            AttributeSpec("g", parts[0], gauss),
+            AttributeSpec("u", parts[1], uni),
+        ]
+        service = AggregationService(specs, n_shards=3)
+        streams = {
+            spec.name: StreamingReconstructor(spec.x_partition, spec.randomizer)
+            for spec in specs
+        }
+        rng = np.random.default_rng(42)
+        for _ in range(3):
+            batch = {
+                "g": gauss.randomize(rng.uniform(0.2, 0.8, 700), seed=rng),
+                "u": uni.randomize(rng.uniform(-0.5, 1.5, 900), seed=rng),
+            }
+            service.ingest(batch)
+            for name, values in batch.items():
+                streams[name].update(values)
+        results = service.estimate_all()
+        for name, stream in streams.items():
+            expected = stream.estimate()
+            assert np.array_equal(
+                expected.distribution.probs, results[name].distribution.probs
+            )
+            assert expected.n_iterations == results[name].n_iterations
+
+    def test_concurrent_ingestion_parity(self, part, noise):
+        """4 threads hammering 4 shards still merge to the exact stream."""
+        w = _disclose(noise, 8_000, seed=21)
+        chunks = np.array_split(w, 32)
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=4
+        )
+
+        def worker(index):
+            for chunk in chunks[index::4]:
+                service.ingest({"x": chunk}, shard=index)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(worker, range(4)))
+
+        stream = StreamingReconstructor(part, noise).update(w)
+        a = stream.estimate()
+        b = service.estimate("x")
+        assert service.n_seen("x") == w.size
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+
+    def test_concurrent_ingestion_single_shard_is_safe(self, part, noise):
+        """Contending writers on one shard never lose or corrupt counts."""
+        w = _disclose(noise, 4_000, seed=22)
+        chunks = np.array_split(w, 40)
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        barrier = threading.Barrier(4)
+
+        def worker(index):
+            barrier.wait()
+            for chunk in chunks[index::4]:
+                service.ingest({"x": chunk}, shard=0)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(worker, range(4)))
+        counts, seen = service.shards.merged("x")
+        assert seen == w.size
+        assert counts.sum() == w.size
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_estimates_bit_identical(self, part, noise):
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=4
+        )
+        service.ingest({"x": _disclose(noise, 3_000, seed=31)})
+        service.estimate("x")  # advance the warm start
+        service.ingest({"x": _disclose(noise, 1_000, seed=32)})
+
+        restored = AggregationService.restore(service.snapshot())
+        assert restored.attributes == service.attributes
+        assert restored.n_shards == 4
+        assert restored.n_seen("x") == service.n_seen("x")
+        a = service.estimate("x")
+        b = restored.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+        assert a.n_iterations == b.n_iterations
+
+    def test_restored_service_keeps_ingesting(self, part, noise, tmp_path):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        service.ingest({"x": _disclose(noise, 2_000, seed=33)})
+        path = tmp_path / "snap.json"
+        service.save(path)
+
+        restored = AggregationService.load(path)
+        more = _disclose(noise, 2_000, seed=34)
+        service.ingest({"x": more})
+        restored.ingest({"x": more})
+        a = service.estimate("x")
+        b = restored.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+
+    def test_snapshot_preserves_config(self, part, noise):
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)],
+            stopping="delta",
+            tol=1e-6,
+            max_iterations=77,
+        )
+        restored = AggregationService.restore(service.snapshot())
+        assert restored.stopping == "delta"
+        assert restored.tol == 1e-6
+        assert restored.max_iterations == 77
+
+    def test_load_rejects_other_kinds(self, part, tmp_path):
+        from repro import serialize
+
+        path = tmp_path / "part.json"
+        serialize.save(part, path)
+        with pytest.raises(ValidationError):
+            AggregationService.load(path)
+
+    def test_restore_rejects_malformed(self):
+        with pytest.raises(ValidationError):
+            AggregationService.restore(
+                {"kind": "aggregation_service", "version": 1}
+            )
+
+    def test_restore_rejects_mismatched_counts(self, part, noise):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        payload = service.snapshot()
+        payload["state"]["x"]["y_counts"] = [1.0, 2.0]
+        with pytest.raises(ValidationError):
+            AggregationService.restore(payload)
+
+    def test_restore_rejects_mismatched_theta(self, part, noise):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        payload = service.snapshot()
+        payload["state"]["x"]["theta"] = [0.5, 0.5]
+        with pytest.raises(ValidationError):
+            AggregationService.restore(payload)
+
+
+class TestServiceFromSpec:
+    def test_builds_attributes(self):
+        service = service_from_spec(
+            {
+                "shards": 3,
+                "intervals": 10,
+                "attributes": [
+                    {"name": "age", "low": 20, "high": 80, "privacy": 1.0},
+                    {
+                        "name": "salary",
+                        "low": 0,
+                        "high": 100_000,
+                        "noise": "gaussian",
+                        "privacy": 0.5,
+                        "intervals": 16,
+                    },
+                ],
+            }
+        )
+        assert service.attributes == ("age", "salary")
+        assert service.n_shards == 3
+        assert service.spec("age").x_partition.n_intervals == 10
+        assert service.spec("salary").x_partition.n_intervals == 16
+        assert isinstance(service.spec("salary").randomizer, GaussianRandomizer)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValidationError):
+            service_from_spec("not a dict")
+        with pytest.raises(ValidationError):
+            service_from_spec({"attributes": []})
+        with pytest.raises(ValidationError):
+            service_from_spec({"attributes": [{"name": "x"}]})
+        with pytest.raises(ValidationError):
+            service_from_spec(
+                {
+                    "attributes": [
+                        {"name": "x", "low": 0, "high": 1, "noise": "laplace"}
+                    ]
+                }
+            )

@@ -1,0 +1,182 @@
+"""Tests for the JSON-over-HTTP front end (repro.service.httpd)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import Partition, StreamingReconstructor, UniformRandomizer
+from repro.service import AggregationService, AttributeSpec, ServiceHTTPServer
+
+
+@pytest.fixture
+def noise():
+    return UniformRandomizer(half_width=0.2)
+
+
+@pytest.fixture
+def service(noise):
+    return AggregationService(
+        [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+        n_shards=2,
+    )
+
+
+@pytest.fixture
+def server(service, tmp_path):
+    srv = ServiceHTTPServer(
+        service, port=0, snapshot_path=tmp_path / "snap.json"
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=5)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path, data=json.dumps(payload).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _error_of(callable_):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    return excinfo.value.code, json.loads(excinfo.value.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "records": 0}
+
+    def test_attributes(self, server):
+        _, payload = _get(server, "/attributes")
+        (attr,) = payload["attributes"]
+        assert attr["name"] == "opinion"
+        assert attr["n_intervals"] == 10
+        assert attr["noise"] == "uniform"
+        assert attr["privacy"] == pytest.approx(0.38)
+
+    def test_ingest_and_stats(self, server):
+        status, payload = _post(
+            server, "/ingest", {"batch": {"opinion": [0.5, 0.6, 0.7]}}
+        )
+        assert status == 200
+        assert payload == {"ingested": 3, "records": 3}
+        _, stats = _get(server, "/stats")
+        assert stats["records"] == {"opinion": 3}
+        assert stats["n_shards"] == 2
+        assert stats["kernel_cache"]["misses"] == 1
+
+    def test_ingest_with_shard_pin(self, server, service):
+        _post(server, "/ingest", {"batch": {"opinion": [0.5]}, "shard": 1})
+        assert service.shards.shard(1).n_seen("opinion") == 1
+
+    def test_estimate_matches_single_stream(self, server, noise):
+        rng = np.random.default_rng(0)
+        w = noise.randomize(rng.uniform(0.3, 0.7, 2_000), seed=1)
+        _post(server, "/ingest", {"batch": {"opinion": w.tolist()}})
+        _, estimate = _get(server, "/estimate?attribute=opinion")
+
+        stream = StreamingReconstructor(
+            Partition.uniform(0, 1, 10), noise
+        ).update(np.asarray(w.tolist()))
+        expected = stream.estimate()
+        assert estimate["n_seen"] == 2_000
+        assert estimate["n_iterations"] == expected.n_iterations
+        assert np.array_equal(
+            np.asarray(estimate["probs"]), expected.distribution.probs
+        )
+
+    def test_snapshot_persists(self, server, service, tmp_path):
+        _post(server, "/ingest", {"batch": {"opinion": [0.4, 0.5]}})
+        status, payload = _post(server, "/snapshot", None)
+        assert status == 200
+        restored = AggregationService.load(payload["saved"])
+        assert restored.n_seen("opinion") == 2
+
+
+class TestErrors:
+    def test_unknown_route_404(self, server):
+        code, payload = _error_of(lambda: _get(server, "/nope"))
+        assert code == 404
+        assert "unknown route" in payload["error"]
+
+    def test_estimate_needs_attribute(self, server):
+        code, payload = _error_of(lambda: _get(server, "/estimate"))
+        assert code == 400
+        assert "attribute" in payload["error"]
+
+    def test_estimate_unknown_attribute(self, server):
+        code, payload = _error_of(
+            lambda: _get(server, "/estimate?attribute=nope")
+        )
+        assert code == 400
+
+    def test_estimate_before_data(self, server):
+        code, payload = _error_of(
+            lambda: _get(server, "/estimate?attribute=opinion")
+        )
+        assert code == 400
+        assert "ingest" in payload["error"]
+
+    def test_ingest_requires_batch_key(self, server):
+        code, payload = _error_of(
+            lambda: _post(server, "/ingest", {"opinion": [0.5]})
+        )
+        assert code == 400
+
+    def test_ingest_rejects_non_json(self, server):
+        request = urllib.request.Request(
+            server.url + "/ingest", data=b"not json{", method="POST"
+        )
+        code, payload = _error_of(lambda: urllib.request.urlopen(request))
+        assert code == 400
+        assert "JSON" in payload["error"]
+
+    def test_ingest_unknown_attribute(self, server):
+        code, payload = _error_of(
+            lambda: _post(server, "/ingest", {"batch": {"nope": [0.5]}})
+        )
+        assert code == 400
+        assert "unknown attribute" in payload["error"]
+
+    def test_snapshot_without_path_400(self, service):
+        srv = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            code, payload = _error_of(lambda: _post(srv, "/snapshot", None))
+            assert code == 400
+        finally:
+            srv.shutdown()
+            thread.join(timeout=5)
+
+
+class TestMaxRequests:
+    def test_serves_exactly_n_requests(self, service):
+        srv = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(
+            target=srv.serve_forever, kwargs={"max_requests": 2}, daemon=True
+        )
+        thread.start()
+        assert _get(srv, "/healthz")[0] == 200
+        assert _get(srv, "/healthz")[0] == 200
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert srv.requests_served == 2

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Offline markdown link checker (stdlib only).
+
+Validates every ``[text](target)`` and bare ``<relative.md>`` link in
+the given markdown files/directories:
+
+* relative file targets must exist on disk (anchors stripped),
+* intra-file ``#anchor`` targets must match a heading in that file
+  (github/mkdocs slugging: lowercase, spaces to dashes, punctuation
+  dropped) or an explicit ``<a name="...">`` anchor,
+* ``http(s)``/``mailto`` targets are *not* fetched — CI must stay
+  offline-deterministic — but flagrantly malformed ones fail.
+
+Usage::
+
+    python tools/check_links.py README.md ROADMAP.md docs/
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — target captured up to the matching paren
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXPLICIT_ANCHOR = re.compile(r"<a\s+(?:name|id)=\"([^\"]+)\"")
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _slug(heading: str) -> str:
+    """Approximate the github/mkdocs heading slug."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"<[^>]*>", "", text)  # inline HTML (permalinks, anchors)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def _anchors(markdown_text: str) -> set:
+    anchors = {_slug(m.group(1)) for m in _HEADING.finditer(markdown_text)}
+    anchors |= {m.group(1) for m in _EXPLICIT_ANCHOR.finditer(markdown_text)}
+    return anchors
+
+
+def check_file(path: Path) -> list:
+    """Return a list of problem strings for one markdown file."""
+    problems = []
+    text = path.read_text()
+    # links inside fenced code blocks are examples, not navigation
+    stripped = _CODE_FENCE.sub("", text)
+    anchors = _anchors(text)
+    for match in _LINK.finditer(stripped):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                problems.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _slug(anchor) not in _anchors(resolved.read_text()) and (
+                anchor not in _anchors(resolved.read_text())
+            ):
+                problems.append(
+                    f"{path}: broken anchor {target!r} (no such heading in "
+                    f"{resolved.name})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    targets = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not targets:
+        print("usage: check_links.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    files = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.md")))
+        elif target.suffix == ".md":
+            files.append(target)
+        else:
+            print(f"not markdown: {target}", file=sys.stderr)
+            return 2
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
