@@ -382,11 +382,102 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+class _KeepAliveClient:
+    """One persistent HTTP connection to a running aggregation server.
+
+    ``ppdm ingest`` used to open a fresh connection per request; a bulk
+    run (``--repeat``) now streams every batch over one keep-alive
+    socket (the server speaks HTTP/1.1).  A dropped connection — server
+    restart, idle timeout — is transparently re-dialed once, but only
+    when that cannot double-count: GETs always, POSTs only if the
+    request was never fully sent (``POST /ingest`` is not idempotent;
+    once the body is on the wire the server may have absorbed it, so a
+    lost *response* surfaces as an error instead of a silent re-send).
+    """
+
+    def __init__(self, base_url: str) -> None:
+        import http.client
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme == "http":
+            conn_cls, default_port = http.client.HTTPConnection, 80
+        elif parts.scheme == "https":
+            conn_cls, default_port = http.client.HTTPSConnection, 443
+        else:
+            raise ReproError(
+                f"unsupported URL scheme {parts.scheme!r} (http or https)"
+            )
+        # keep any path prefix (server behind a reverse proxy)
+        self._prefix = parts.path.rstrip("/")
+        self._conn = conn_cls(
+            parts.hostname or "127.0.0.1", parts.port or default_port,
+            timeout=60,
+        )
+
+    def request(
+        self, method: str, path: str, body: bytes = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        import http.client
+        import json
+
+        headers = {"Content-Type": content_type} if body is not None else {}
+        path = self._prefix + path
+        for attempt in (1, 2):
+            sent = False
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                sent = True
+                response = self._conn.getresponse()
+                raw = response.read()
+                status = response.status
+                break
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._conn.close()  # drop the stale socket
+                # redial once — but never re-send a request the server
+                # may already have processed (a non-GET that failed
+                # after the body went out): /ingest is not idempotent
+                if attempt == 2 or (sent and method != "GET"):
+                    raise ReproError(
+                        f"server request {path} failed: {exc}"
+                    ) from exc
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {}
+        if status >= 400:
+            detail = payload.get("error") if isinstance(payload, dict) else None
+            raise ReproError(
+                f"server request {path} failed: {detail or f'HTTP {status}'}"
+            )
+        return payload
+
+    def get(self, path: str) -> dict:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: bytes,
+             content_type: str = "application/json") -> dict:
+        return self.request("POST", path, body, content_type)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
 def _cmd_ingest(args) -> int:
     import json
 
     if (args.url is None) == (args.snapshot is None):
         raise ReproError("ingest needs exactly one of --url or --snapshot")
+    if args.url is None and (
+        args.wire != "json" or args.concurrency != 1 or args.repeat != 1
+    ):
+        raise ReproError(
+            "--wire/--concurrency/--repeat generate load against a running "
+            "server; they need --url"
+        )
+    if args.concurrency < 1 or args.repeat < 1:
+        raise ReproError("--concurrency and --repeat must be >= 1")
     values = _load_values(args.values)
 
     if args.snapshot is not None:
@@ -430,66 +521,98 @@ def _cmd_ingest(args) -> int:
             )
         return 0
 
-    # --url: act as a randomizing client pool against a running server
-    import urllib.error
-    import urllib.request
+    # --url: act as a randomizing client pool against a running server,
+    # over persistent keep-alive connections (one per worker)
+    import time
+    from concurrent.futures import ThreadPoolExecutor
 
     from repro.core.privacy import noise_for_privacy
+    from repro.service.wire import CONTENT_TYPE_COLUMNS, encode_columns
 
     base = args.url.rstrip("/")
+    client = _KeepAliveClient(base)
+    try:
+        if args.already_randomized:
+            disclosed = values
+        else:
+            schema = {a["name"]: a for a in client.get("/attributes")["attributes"]}
+            if args.attribute not in schema:
+                raise ReproError(
+                    f"unknown attribute {args.attribute!r}; the server collects "
+                    f"{', '.join(schema)}"
+                )
+            attr = schema[args.attribute]
+            randomizer = noise_for_privacy(
+                attr["noise"], attr["privacy"], attr["high"] - attr["low"]
+            )
+            disclosed = randomizer.randomize(values, seed=args.seed)
 
-    def _call(path, payload=None):
-        data = None if payload is None else json.dumps(payload).encode()
-        request = urllib.request.Request(
-            base + path, data=data, method="GET" if data is None else "POST"
-        )
-        try:
-            with urllib.request.urlopen(request) as response:
-                return json.loads(response.read())
-        except urllib.error.URLError as exc:
-            detail = exc
-            if hasattr(exc, "read"):
+        # the body is encoded once and reused by every request, so the
+        # run measures wire + server cost, not client re-serialization
+        if args.wire == "columns":
+            body = encode_columns({args.attribute: disclosed}, shard=args.shard)
+            content_type = CONTENT_TYPE_COLUMNS
+        else:
+            payload = {"batch": {args.attribute: disclosed.tolist()}}
+            if args.shard is not None:
+                payload["shard"] = args.shard
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+
+        def drive(client_, n_requests):
+            return [
+                client_.post("/ingest", body, content_type)
+                for _ in range(n_requests)
+            ]
+
+        n_workers = min(args.concurrency, args.repeat)
+        start = time.perf_counter()
+        if n_workers == 1:
+            replies = drive(client, args.repeat)
+        else:
+            shares = [
+                args.repeat // n_workers + (1 if w < args.repeat % n_workers else 0)
+                for w in range(n_workers)
+            ]
+
+            def worker(share):
+                extra = _KeepAliveClient(base)
                 try:
-                    detail = json.loads(exc.read()).get("error", exc)
-                except Exception:
-                    pass
-            raise ReproError(f"server request {path} failed: {detail}") from exc
+                    return drive(extra, share)
+                finally:
+                    extra.close()
 
-    if args.already_randomized:
-        disclosed = values
-    else:
-        schema = {a["name"]: a for a in _call("/attributes")["attributes"]}
-        if args.attribute not in schema:
-            raise ReproError(
-                f"unknown attribute {args.attribute!r}; the server collects "
-                f"{', '.join(schema)}"
-            )
-        attr = schema[args.attribute]
-        randomizer = noise_for_privacy(
-            attr["noise"], attr["privacy"], attr["high"] - attr["low"]
-        )
-        disclosed = randomizer.randomize(values, seed=args.seed)
-    payload = {"batch": {args.attribute: disclosed.tolist()}}
-    if args.shard is not None:
-        payload["shard"] = args.shard
-    reply = _call("/ingest", payload)
-    print(
-        f"ingested {reply['ingested']} record(s); server now holds "
-        f"{reply['records']} total"
-    )
-    if args.estimate:
-        from urllib.parse import quote
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                replies = [r for rs in pool.map(worker, shares) for r in rs]
+        elapsed = time.perf_counter() - start
 
-        estimate = _call(f"/estimate?attribute={quote(args.attribute)}")
+        ingested = sum(reply["ingested"] for reply in replies)
+        records = max(reply["records"] for reply in replies)
         print(
-            _estimate_table(
-                args.attribute,
-                estimate["edges"],
-                estimate["probs"],
-                estimate["n_seen"],
-                extra=f", {estimate['n_iterations']} sweep(s)",
-            )
+            f"ingested {ingested} record(s) in {len(replies)} request(s) "
+            f"({args.wire} wire); server now holds {records} total"
         )
+        if args.repeat > 1:
+            rate = ingested / max(elapsed, 1e-9)
+            print(
+                f"load run: {args.concurrency} connection(s), "
+                f"{elapsed:.3f} s, {rate:,.0f} records/s"
+            )
+        if args.estimate:
+            from urllib.parse import quote
+
+            estimate = client.get(f"/estimate?attribute={quote(args.attribute)}")
+            print(
+                _estimate_table(
+                    args.attribute,
+                    estimate["edges"],
+                    estimate["probs"],
+                    estimate["n_seen"],
+                    extra=f", {estimate['n_iterations']} sweep(s)",
+                )
+            )
+    finally:
+        client.close()
     return 0
 
 
@@ -584,7 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--max-requests", type=int, default=None,
-        help="exit after N requests (smoke tests; default: run until ^C)",
+        help="exit after N connections (each keep-alive connection may "
+        "carry many requests; smoke tests; default: run until ^C)",
     )
     p.set_defaults(func=_cmd_serve)
 
@@ -606,6 +730,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shard", type=int, default=None,
         help="pin the batch to one ingestion shard",
+    )
+    p.add_argument(
+        "--wire", choices=("json", "columns"), default="json",
+        help="ingest wire format (--url mode): curl-able JSON or binary "
+        "columnar frames (application/x-ppdm-columns)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=1,
+        help="parallel persistent connections (--url mode load generation)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1,
+        help="send the batch N times over kept-alive connections "
+        "(--url mode load generation)",
     )
     p.add_argument(
         "--estimate", action="store_true",

@@ -5,31 +5,51 @@ millions of independently randomized disclosures.  This subpackage is
 that server's aggregation tier:
 
 * :mod:`repro.service.shards` — :class:`HistogramShard` /
-  :class:`ShardSet`: mergeable noise-expanded histogram partials, so N
-  ingestion workers accumulate concurrently and a refresh merges in
-  O(shards x bins),
+  :class:`ShardSet`: mergeable noise-expanded histogram partials with a
+  fused flat-offset bincount (:class:`ColumnLayout` /
+  :class:`PreparedBatch`) and striped per-thread accumulators, so N
+  ingestion workers accumulate without contention and a refresh merges
+  in O(shards x bins),
+* :mod:`repro.service.wire` — the ``application/x-ppdm-columns`` binary
+  columnar wire format (:func:`encode_columns` / :func:`decode_columns`
+  / :func:`iter_frames`): raw little-endian float64 columns decoded
+  zero-copy via ``np.frombuffer``, plus an NDJSON fallback,
 * :mod:`repro.service.service` — :class:`AggregationService`: the facade
   gluing the shard set to one shared
   :class:`~repro.core.engine.ReconstructionEngine` (one kernel cache
   across all attributes), with warm-started ``estimate()`` and
   snapshot/restore through :mod:`repro.serialize`,
-* :mod:`repro.service.httpd` — a stdlib JSON-over-HTTP front end behind
-  ``ppdm serve``.
+* :mod:`repro.service.httpd` — a stdlib HTTP front end behind
+  ``ppdm serve``, negotiating JSON / NDJSON / columnar ingest bodies
+  per Content-Type over keep-alive connections.
 
 Estimates are bit-identical to a single-stream
 :class:`~repro.core.streaming.StreamingReconstructor` fed the same
-disclosures — sharding changes the ingestion topology, never the math.
+disclosures — sharding, striping, and wire format change the ingestion
+topology, never the math.
 """
 
 from repro.service.httpd import ServiceHTTPServer
 from repro.service.service import AggregationService, service_from_spec
-from repro.service.shards import AttributeSpec, HistogramShard, ShardSet
+from repro.service.shards import (
+    AttributeSpec,
+    ColumnLayout,
+    HistogramShard,
+    PreparedBatch,
+    ShardSet,
+)
+from repro.service.wire import decode_columns, encode_columns, iter_frames
 
 __all__ = [
     "AggregationService",
     "AttributeSpec",
+    "ColumnLayout",
     "HistogramShard",
+    "PreparedBatch",
     "ShardSet",
     "ServiceHTTPServer",
     "service_from_spec",
+    "decode_columns",
+    "encode_columns",
+    "iter_frames",
 ]

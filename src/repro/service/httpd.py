@@ -1,20 +1,30 @@
-"""A small JSON-over-HTTP front end for :class:`AggregationService`.
+"""The HTTP front end for :class:`AggregationService`.
 
 Standard-library only (``http.server``): one ``ppdm serve`` process is a
 complete collection endpoint — providers POST randomized disclosures,
 analysts GET reconstructed distributions — with the sharded service
-behind it.  The threading server gives each request its own handler
-thread; ingestion is shard-parallel by construction and estimation is
-serialized by the service itself.
+behind it.  The threading server gives each connection its own handler
+thread; connections are HTTP/1.1 keep-alive, so a bulk client streams
+batch after batch over one socket.  Ingestion is contention-free by
+construction (striped shard accumulators) and estimation is serialized
+by the service itself.
 
-Endpoints (all JSON):
+``POST /ingest`` negotiates its wire format via ``Content-Type``:
+
+* ``application/json`` (default) — ``{"batch": {name: [values...]},
+  "shard": i?}``, the curl-able format,
+* ``application/x-ndjson`` — many such objects, one per line,
+* ``application/x-ppdm-columns`` — concatenated binary columnar frames
+  (:mod:`repro.service.wire`), the zero-copy bulk fast path.
+
+Endpoints (responses are always JSON):
 
 =========================  ==================================================
 ``GET /healthz``           liveness + total records absorbed
 ``GET /attributes``        the collected schema (domain, grid, noise)
 ``GET /stats``             per-attribute record counts, shard and cache stats
 ``GET /estimate?attribute=NAME``  reconstructed distribution for ``NAME``
-``POST /ingest``           body ``{"batch": {name: [values...]}, "shard": i?}``
+``POST /ingest``           one or many batches, wire format per Content-Type
 ``POST /snapshot``         persist to the configured snapshot path
 =========================  ==================================================
 
@@ -31,8 +41,17 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.privacy import privacy_of_randomizer
 from repro.exceptions import ValidationError
+from repro.service.wire import (
+    CONTENT_TYPE_COLUMNS,
+    CONTENT_TYPE_NDJSON,
+    iter_frames,
+    iter_ndjson,
+)
 
 __all__ = ["ServiceHTTPServer"]
+
+#: dead handler threads are pruned from the join list this often
+_REAP_INTERVAL = 64
 
 
 class ServiceHTTPServer:
@@ -64,7 +83,10 @@ class ServiceHTTPServer:
         # Track handler threads (ThreadingHTTPServer defaults to
         # untracked daemons): server_close() then joins in-flight
         # requests, so max_requests mode and process exit can never kill
-        # a response — or a snapshot write — midway.
+        # a response — or a snapshot write — midway.  A long-running
+        # server reaps finished threads from that join list every
+        # _REAP_INTERVAL requests (see reap_handler_threads) so heavy
+        # traffic cannot accumulate dead-thread references.
         self._httpd.daemon_threads = False
 
     @property
@@ -85,9 +107,9 @@ class ServiceHTTPServer:
         """Handle requests until :meth:`shutdown` (or ``max_requests``).
 
         With ``max_requests`` the server accepts exactly that many
-        connections (one request each — HTTP/1.0), then joins the
-        handler threads and closes the socket itself; do not also call
-        :meth:`shutdown` in that mode.
+        connections (each may carry several keep-alive requests), then
+        joins the handler threads and closes the socket itself; do not
+        also call :meth:`shutdown` in that mode.
         """
         if max_requests is None:
             # a tight poll keeps shutdown() latency low (the default
@@ -96,13 +118,39 @@ class ServiceHTTPServer:
         else:
             for _ in range(max_requests):
                 self._httpd.handle_request()
-            # joins the per-request handler threads before returning
+            # joins the per-connection handler threads before returning
             self._httpd.server_close()
 
     def shutdown(self) -> None:
         """Stop a concurrent :meth:`serve_forever` and close the socket."""
         self._httpd.shutdown()
         self._httpd.server_close()
+
+    def reap_handler_threads(self) -> int:
+        """Drop finished handler threads from the join list; return count.
+
+        ``ThreadingHTTPServer`` keeps every non-daemon handler thread in
+        a list so ``server_close()`` can join them.  Python 3.11+ prunes
+        dead threads itself on every append (``socketserver._Threads``);
+        on 3.10 the list is a plain ``list`` that grows by one dead
+        ``Thread`` object per connection for the life of the server.
+        Called automatically every ``_REAP_INTERVAL`` requests; removal
+        is per-element (``list.remove``), so it never races the accept
+        loop's concurrent ``append``.
+        """
+        threads = getattr(self._httpd, "_threads", None)
+        if not isinstance(threads, list):
+            # daemon-mode sentinel (_NoThreads) or a future stdlib layout
+            return 0
+        reaped = 0
+        for thread in list(threads):
+            if not thread.is_alive():
+                try:
+                    threads.remove(thread)
+                    reaped += 1
+                except ValueError:  # pragma: no cover - lost a race, fine
+                    pass
+        return reaped
 
     def persist(self) -> str:
         """Save the service to the configured snapshot path (serialized).
@@ -184,9 +232,9 @@ class ServiceHTTPServer:
             if not isinstance(batch, dict):
                 return 400, {"error": "'batch' must map attribute -> values"}
             shard = payload.get("shard")
-            ingested = self.service.ingest(
-                batch, shard=None if shard is None else int(shard)
-            )
+            if shard is not None and not isinstance(shard, int):
+                return 400, {"error": "'shard' must be an integer"}
+            ingested = self.service.ingest(batch, shard=shard)
             return 200, {
                 "ingested": ingested,
                 "records": sum(self.service.n_seen().values()),
@@ -194,6 +242,33 @@ class ServiceHTTPServer:
         if path == "/snapshot":
             return 200, {"saved": self.persist()}
         return 404, {"error": f"unknown route {path!r}"}
+
+    def handle_ingest_frames(self, frames) -> tuple:
+        """Ingest decoded ``(batch, shard)`` frames (columnar/NDJSON bodies).
+
+        All-or-nothing per request body: every frame is decoded,
+        validated, and located (pure, lock-free) *before* the first one
+        is accumulated, so a 400 — truncated frame, unknown attribute,
+        bad shard — means nothing from the body was absorbed and the
+        client can safely re-send the whole thing.
+        """
+        n_shards = self.service.n_shards
+        prepared_frames = []
+        for batch, shard in frames:
+            if shard is not None and not 0 <= shard < n_shards:
+                raise ValidationError(
+                    f"shard index {shard} out of range [0, {n_shards})"
+                )
+            prepared_frames.append((self.service.prepare(batch), shard))
+        ingested = sum(
+            self.service.ingest_prepared(prepared, shard=shard)
+            for prepared, shard in prepared_frames
+        )
+        return 200, {
+            "ingested": ingested,
+            "frames": len(prepared_frames),
+            "records": sum(self.service.n_seen().values()),
+        }
 
 
 def _finite_or_none(value: float):
@@ -203,23 +278,35 @@ def _finite_or_none(value: float):
 
 def _make_handler(server: ServiceHTTPServer):
     class Handler(BaseHTTPRequestHandler):
-        # one service request per TCP request keeps max_requests exact
-        protocol_version = "HTTP/1.0"
+        # keep-alive: one bulk client streams many /ingest bodies over a
+        # single connection; every reply carries Content-Length, so the
+        # connection stays open until the client closes it
+        protocol_version = "HTTP/1.1"
+        # idle keep-alive connections drop after this many seconds;
+        # handler threads are non-daemon and joined at server close, so
+        # without a socket timeout one silent client would make
+        # shutdown()/max_requests block forever on the join
+        timeout = 30
 
         def log_message(self, *args) -> None:  # quiet by default
             pass
 
-        def _reply(self, status: int, payload: dict) -> None:
+        def _reply(self, status: int, payload: dict, *, close: bool = False) -> None:
             # Count before replying: a client that already holds its
             # response must observe requests_served as including it,
             # whatever the handler thread's scheduling after the socket
             # write (threads are only joined at server close).
             with server._served_lock:
                 server._requests_served += 1
+                reap = server._requests_served % _REAP_INTERVAL == 0
+            if reap:
+                server.reap_handler_threads()
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if close:
+                self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
 
@@ -233,16 +320,38 @@ def _make_handler(server: ServiceHTTPServer):
                 status, payload = 400, {"error": str(exc)}
             self._reply(status, payload)
 
+        def _content_type(self) -> str:
+            ctype = self.headers.get("Content-Type", "")
+            return ctype.split(";", 1)[0].strip().lower()
+
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            if self.headers.get("Transfer-Encoding"):
+                # only Content-Length bodies are read; leaving chunked
+                # bytes on a keep-alive socket would desync every later
+                # request, so refuse and drop the connection
+                self.close_connection = True
+                self._reply(
+                    501, {"error": "Transfer-Encoding is not supported; "
+                          "send a Content-Length body"},
+                    close=True,
+                )
+                return
             length = int(self.headers.get("Content-Length", 0))
             raw = self.rfile.read(length) if length else b""
+            path = urlparse(self.path).path
+            ctype = self._content_type()
             try:
-                payload = json.loads(raw.decode() or "null")
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                self._reply(400, {"error": "body is not valid JSON"})
-                return
-            try:
-                status, out = server.handle_post(urlparse(self.path).path, payload)
+                if path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
+                    status, out = server.handle_ingest_frames(iter_frames(raw))
+                elif path == "/ingest" and ctype == CONTENT_TYPE_NDJSON:
+                    status, out = server.handle_ingest_frames(iter_ndjson(raw))
+                else:
+                    try:
+                        payload = json.loads(raw.decode() or "null")
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        self._reply(400, {"error": "body is not valid JSON"})
+                        return
+                    status, out = server.handle_post(path, payload)
             except (ValidationError, ValueError) as exc:
                 status, out = 400, {"error": str(exc)}
             self._reply(status, out)

@@ -174,12 +174,28 @@ class AggregationService:
     def ingest(self, batch, *, shard: int = None) -> int:
         """Absorb ``{attribute: randomized values}``; return records added.
 
-        O(batch) work: each attribute's values are bucketed into the
-        routed shard's noise-expanded histogram.  ``shard`` pins the
-        batch to a specific shard (one-worker-per-shard ingestion);
+        O(batch) work: each attribute's values are located on its
+        noise-expanded grid and all attributes of the batch are binned
+        in one fused ``np.bincount`` into the routed shard's striped
+        accumulators (see :mod:`repro.service.shards`).  ``shard`` pins
+        the batch to a specific shard (one-worker-per-shard ingestion);
         otherwise batches round-robin.
         """
         return self._shards.ingest(batch, shard=shard)
+
+    def prepare(self, batch):
+        """Locate a batch into fused flat bin indices, outside any lock.
+
+        The pure half of ingestion, exposed so front ends (e.g. the
+        columnar HTTP fast path) can decode + locate per request thread
+        and hand the :class:`~repro.service.shards.PreparedBatch` to
+        :meth:`ingest_prepared`.
+        """
+        return self._shards.prepare(batch)
+
+    def ingest_prepared(self, prepared, *, shard: int = None) -> int:
+        """Absorb a batch pre-located by :meth:`prepare`."""
+        return self._shards.ingest_prepared(prepared, shard=shard)
 
     # ------------------------------------------------------------------
     # Control plane
@@ -324,8 +340,7 @@ class AggregationService:
                         "intervals; the partition has "
                         f"{state.spec.x_partition.n_intervals}"
                     )
-                shard0._counts[name] += counts
-                shard0._n_seen[name] += int(saved["n_seen"])
+                shard0.absorb_counts(name, counts, int(saved["n_seen"]))
                 state.theta = theta
         except (KeyError, TypeError) as exc:
             raise ValidationError(

@@ -15,6 +15,21 @@ That makes server-side aggregation embarrassingly shardable:
   of how many records have ever been seen — and hands the merged counts
   to the reconstruction engine.
 
+The hot path is built for memory bandwidth, not Python speed:
+
+* every attribute's noise-expanded grid occupies one contiguous stripe
+  of a single flat counts buffer (:class:`ColumnLayout`), so a batch
+  touching any subset of attributes bins **all** of them in one fused
+  ``np.bincount`` over offset indices (``offset + locate(values)``, the
+  same flat-offset trick the tree's split search uses),
+* :meth:`HistogramShard.ingest_prepared` accepts those pre-located
+  indices (:class:`PreparedBatch`, built once per batch outside any
+  lock), and
+* each shard accumulates into **striped per-thread buffers**: a writer
+  thread owns its stripe, so its stripe lock is uncontended on the hot
+  path and reads (:meth:`HistogramShard.partial`) merge the stripes —
+  exact, because integer-valued float64 sums are associative.
+
 :class:`ShardSet` is the fixed-size collection of shards over one
 attribute schema, with round-robin routing and the O(bins) merge.  The
 control plane (engine, warm-started estimates, persistence) lives in
@@ -77,14 +92,175 @@ class AttributeSpec:
             )
 
 
+class ColumnLayout:
+    """Flat-offset layout of a schema's noise-expanded grids.
+
+    Attribute ``j``'s bins occupy ``[offsets[j], offsets[j] + m_j)`` of
+    one flat counts vector of ``total_bins`` entries, so locating a
+    value and adding the attribute's offset yields a *global* bin index
+    — and one ``np.bincount`` over those fused indices bins every
+    attribute of a batch in a single vectorized pass.
+
+    Shared by every shard of a :class:`ShardSet` (the layout is
+    immutable schema geometry, not state).
+
+    Examples
+    --------
+    >>> from repro.core import Partition
+    >>> from repro.service.shards import ColumnLayout
+    >>> layout = ColumnLayout({"a": Partition.uniform(0, 1, 4),
+    ...                        "b": Partition.uniform(0, 1, 6)})
+    >>> layout.total_bins, layout.offset_of("b")
+    (10, 4)
+    >>> layout.prepare({"b": [0.05, 0.95]}).flat.tolist()
+    [4, 9]
+    """
+
+    __slots__ = ("_partitions", "_names", "_offsets", "_index", "total_bins")
+
+    def __init__(self, y_partitions) -> None:
+        if not y_partitions:
+            raise ValidationError("a layout needs at least one attribute")
+        self._partitions = dict(y_partitions)
+        self._names = tuple(self._partitions)
+        self._index = {name: k for k, name in enumerate(self._names)}
+        self._offsets = {}
+        total = 0
+        for name, partition in self._partitions.items():
+            self._offsets[name] = total
+            total += partition.n_intervals
+        self.total_bins = total
+
+    @property
+    def names(self) -> tuple:
+        """Attribute names, in schema order."""
+        return self._names
+
+    def partition(self, name: str) -> Partition:
+        """The noise-expanded grid of attribute ``name``."""
+        self.require(name)
+        return self._partitions[name]
+
+    def offset_of(self, name: str) -> int:
+        """First flat bin of attribute ``name``."""
+        self.require(name)
+        return self._offsets[name]
+
+    def index_of(self, name: str) -> int:
+        """Schema position of attribute ``name`` (for per-attribute counters)."""
+        self.require(name)
+        return self._index[name]
+
+    def slice_of(self, name: str) -> slice:
+        """``name``'s bin range within the flat counts vector."""
+        self.require(name)
+        offset = self._offsets[name]
+        return slice(offset, offset + self._partitions[name].n_intervals)
+
+    def require(self, name: str) -> None:
+        """Raise :class:`ValidationError` unless ``name`` is in the schema."""
+        if name not in self._partitions:
+            raise ValidationError(
+                f"unknown attribute {name!r}; schema holds {list(self._names)}"
+            )
+
+    def compatible_with(self, other: "ColumnLayout") -> bool:
+        """Same attributes on the same grids (merge/ingest compatibility)."""
+        if self is other:
+            return True
+        return self._names == other._names and all(
+            np.array_equal(self._partitions[n].edges, other._partitions[n].edges)
+            for n in self._names
+        )
+
+    def prepare(self, batch) -> "PreparedBatch":
+        """Locate a ``{attribute: values}`` batch into fused flat indices.
+
+        The pure, lock-free half of ingestion: values are validated,
+        bucketed on their attribute's grid, and offset into the flat bin
+        space.  The returned :class:`PreparedBatch` can be handed to any
+        shard built on this layout.
+        """
+        if not isinstance(batch, dict):
+            raise ValidationError("batch must map attribute -> values")
+        located = []
+        seen = np.zeros(len(self._names), dtype=np.int64)
+        total = 0
+        for name, values in batch.items():
+            partition = self._partitions.get(name)
+            if partition is None:
+                raise ValidationError(
+                    f"unknown attribute {name!r}; schema holds "
+                    f"{list(self._names)}"
+                )
+            arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
+            if arr.size == 0:
+                continue
+            located.append(partition.locate(arr) + self._offsets[name])
+            seen[self._index[name]] = arr.size
+            total += arr.size
+        if not located:
+            flat = np.empty(0, dtype=np.intp)
+        elif len(located) == 1:
+            # single-attribute batches skip the concatenation entirely
+            flat = located[0]
+        else:
+            flat = np.concatenate(located)
+        return PreparedBatch(self, flat, seen, total)
+
+
+class PreparedBatch:
+    """A batch located into fused flat bin indices, ready to accumulate.
+
+    Produced by :meth:`ColumnLayout.prepare` (or the ``prepare`` methods
+    of :class:`HistogramShard` / :class:`ShardSet` /
+    :class:`~repro.service.AggregationService`); consumed by
+    ``ingest_prepared``.  Splitting ingestion this way keeps the O(batch)
+    locate work outside every lock and lets one prepared batch be binned
+    with a single fused ``np.bincount``.
+
+    Examples
+    --------
+    >>> from repro.core import Partition
+    >>> from repro.service.shards import ColumnLayout
+    >>> layout = ColumnLayout({"x": Partition.uniform(0, 1, 4)})
+    >>> prepared = layout.prepare({"x": [0.1, 0.9]})
+    >>> prepared.total, prepared.flat.tolist()
+    (2, [0, 3])
+    """
+
+    __slots__ = ("layout", "flat", "seen", "total")
+
+    def __init__(self, layout, flat, seen, total) -> None:
+        self.layout = layout
+        self.flat = flat
+        self.seen = seen
+        self.total = int(total)
+
+
+class _Stripe:
+    """One writer thread's private accumulator within a shard."""
+
+    __slots__ = ("counts", "seen", "lock")
+
+    def __init__(self, total_bins: int, n_attributes: int) -> None:
+        self.counts = np.zeros(total_bins)
+        self.seen = np.zeros(n_attributes, dtype=np.int64)
+        # owned by one writer thread, so acquiring it on the hot path
+        # never contends; readers take it briefly while merging stripes
+        self.lock = threading.Lock()
+
+
 class HistogramShard:
     """One worker's running histogram partials, one per attribute.
 
     ``ingest`` buckets a batch of randomized values into the attribute's
     noise-expanded histogram — O(batch) work.  Bucketing happens outside
-    the shard lock (it is pure); only the elementwise accumulate is
-    guarded, so concurrent ingestion into the *same* shard is safe and
-    ingestion into different shards never contends at all.
+    any lock (it is pure); the accumulate lands in the calling thread's
+    private *stripe*, so concurrent ingestion into the *same* shard
+    never contends either: each writer owns its stripe, and reads merge
+    the stripes (bit-exact — integer counts in float64 sum exactly in
+    any order).
 
     Examples
     --------
@@ -101,96 +277,154 @@ class HistogramShard:
     3
     """
 
-    def __init__(self, y_partitions) -> None:
-        if not y_partitions:
-            raise ValidationError("a shard needs at least one attribute")
-        self._y_partitions = dict(y_partitions)
-        self._counts = {
-            name: np.zeros(partition.n_intervals)
-            for name, partition in self._y_partitions.items()
-        }
-        self._n_seen = dict.fromkeys(self._y_partitions, 0)
-        self._lock = threading.Lock()
+    def __init__(self, y_partitions, *, layout: ColumnLayout = None) -> None:
+        if layout is None:
+            if not y_partitions:
+                raise ValidationError("a shard needs at least one attribute")
+            layout = ColumnLayout(y_partitions)
+        self._layout = layout
+        self._stripes: dict = {}
+        self._stripes_lock = threading.Lock()
+
+    @property
+    def layout(self) -> ColumnLayout:
+        """The shared flat-offset layout this shard accumulates on."""
+        return self._layout
 
     @property
     def attributes(self) -> tuple:
         """Attribute names this shard accumulates, in schema order."""
-        return tuple(self._y_partitions)
+        return self._layout.names
+
+    def _stripe(self) -> _Stripe:
+        """The calling thread's stripe, created on first use."""
+        ident = threading.get_ident()
+        stripe = self._stripes.get(ident)
+        if stripe is None:
+            with self._stripes_lock:
+                stripe = self._stripes.get(ident)
+                if stripe is None:
+                    stripe = _Stripe(
+                        self._layout.total_bins, len(self._layout.names)
+                    )
+                    self._stripes[ident] = stripe
+        return stripe
+
+    def _stripes_snapshot(self) -> tuple:
+        with self._stripes_lock:
+            return tuple(self._stripes.values())
+
+    def prepare(self, batch) -> PreparedBatch:
+        """Locate a batch into fused flat indices (see :class:`ColumnLayout`)."""
+        return self._layout.prepare(batch)
 
     def ingest(self, batch) -> int:
         """Absorb ``{attribute: randomized values}``; return records added."""
-        prepared = []
-        for name, values in batch.items():
-            partition = self._y_partitions.get(name)
-            if partition is None:
-                raise ValidationError(
-                    f"unknown attribute {name!r}; shard holds "
-                    f"{list(self._y_partitions)}"
-                )
-            arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
-            if arr.size:
-                prepared.append((name, partition.histogram(arr), arr.size))
-        total = 0
-        with self._lock:
-            for name, counts, size in prepared:
-                self._counts[name] += counts
-                self._n_seen[name] += size
-                total += size
-        return total
+        return self.ingest_prepared(self._layout.prepare(batch))
+
+    def ingest_prepared(self, prepared: PreparedBatch) -> int:
+        """Absorb a :class:`PreparedBatch`; return records added.
+
+        The hot half of ingestion: one fused ``np.bincount`` bins every
+        attribute of the batch, then the calling thread's stripe absorbs
+        the binned counts under its (uncontended) stripe lock, keeping
+        each batch atomic with respect to readers.
+        """
+        if not isinstance(prepared, PreparedBatch):
+            raise ValidationError(
+                "ingest_prepared() takes a PreparedBatch (from prepare()); "
+                f"got {type(prepared).__name__}"
+            )
+        if not prepared.layout.compatible_with(self._layout):
+            raise ValidationError(
+                "prepared batch was built on a different schema/grid layout"
+            )
+        if prepared.total == 0:
+            return 0
+        binned = np.bincount(prepared.flat, minlength=self._layout.total_bins)
+        stripe = self._stripe()
+        with stripe.lock:
+            stripe.counts += binned
+            stripe.seen += prepared.seen
+        return prepared.total
 
     def n_seen(self, name: str) -> int:
         """Records absorbed so far for ``name``."""
-        self._require(name)
-        return self._n_seen[name]
+        k = self._layout.index_of(name)
+        total = 0
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                total += int(stripe.seen[k])
+        return total
 
     def partial(self, name: str) -> tuple:
-        """Consistent ``(counts copy, n_seen)`` snapshot for one attribute."""
-        self._require(name)
-        with self._lock:
-            return self._counts[name].copy(), self._n_seen[name]
+        """Merged ``(counts copy, n_seen)`` over this shard's stripes."""
+        sl = self._layout.slice_of(name)
+        k = self._layout.index_of(name)
+        counts = np.zeros(sl.stop - sl.start)
+        seen = 0
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                counts += stripe.counts[sl]
+                seen += int(stripe.seen[k])
+        return counts, seen
+
+    def _flat_partial(self) -> tuple:
+        """Merged ``(flat counts, seen vector)`` over all stripes."""
+        counts = np.zeros(self._layout.total_bins)
+        seen = np.zeros(len(self._layout.names), dtype=np.int64)
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                counts += stripe.counts
+                seen += stripe.seen
+        return counts, seen
+
+    def _absorb_flat(self, counts: np.ndarray, seen: np.ndarray) -> None:
+        """Fold pre-merged flat totals into the calling thread's stripe."""
+        stripe = self._stripe()
+        with stripe.lock:
+            stripe.counts += counts
+            stripe.seen += seen
+
+    def absorb_counts(self, name: str, counts, n_seen: int) -> None:
+        """Add pre-bucketed counts for one attribute (snapshot restore)."""
+        sl = self._layout.slice_of(name)
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (sl.stop - sl.start,):
+            raise ValidationError(
+                f"counts for {name!r} must have {sl.stop - sl.start} bins, "
+                f"got {counts.size}"
+            )
+        stripe = self._stripe()
+        with stripe.lock:
+            stripe.counts[sl] += counts
+            stripe.seen[self._layout.index_of(name)] += int(n_seen)
 
     def merge_from(self, other: "HistogramShard") -> "HistogramShard":
         """Fold another shard's partials into this one (same schema)."""
-        if tuple(other._y_partitions) != tuple(self._y_partitions):
-            raise ValidationError("cannot merge shards with different schemas")
-        for name, counts in other._counts.items():
-            mine = self._y_partitions[name]
-            theirs = other._y_partitions[name]
-            if not np.array_equal(mine.edges, theirs.edges):
+        if not other._layout.compatible_with(self._layout):
+            if other._layout.names != self._layout.names:
                 raise ValidationError(
-                    f"cannot merge shards: attribute {name!r} is bucketed "
-                    "on different grids"
+                    "cannot merge shards with different schemas"
                 )
-        with other._lock:
-            partials = {
-                name: (counts.copy(), other._n_seen[name])
-                for name, counts in other._counts.items()
-            }
-        with self._lock:
-            for name, (counts, seen) in partials.items():
-                self._counts[name] += counts
-                self._n_seen[name] += seen
+            raise ValidationError(
+                "cannot merge shards bucketed on different grids"
+            )
+        counts, seen = other._flat_partial()
+        self._absorb_flat(counts, seen)
         return self
 
     def clear(self) -> None:
         """Zero all partials."""
-        with self._lock:
-            for counts in self._counts.values():
-                counts[:] = 0.0
-            for name in self._n_seen:
-                self._n_seen[name] = 0
-
-    def _require(self, name: str) -> None:
-        if name not in self._y_partitions:
-            raise ValidationError(
-                f"unknown attribute {name!r}; shard holds "
-                f"{list(self._y_partitions)}"
-            )
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                stripe.counts[:] = 0.0
+                stripe.seen[:] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        total = sum(self._n_seen.values())
+        total = int(self._flat_partial()[1].sum())
         return (
-            f"HistogramShard(attributes={len(self._y_partitions)}, "
+            f"HistogramShard(attributes={len(self._layout.names)}, "
             f"records={total})"
         )
 
@@ -199,12 +433,13 @@ class ShardSet:
     """A fixed number of :class:`HistogramShard` over one schema.
 
     Workers either address a shard explicitly (``shard=i`` — the
-    one-worker-per-shard deployment, no lock contention) or let the set
-    route round-robin.  ``merged`` sums the per-shard partials in
-    O(shards x bins): because histogram counts are exact integers in
-    float64, the merged counts are bit-identical to bucketing the whole
-    stream into a single histogram, at any shard count and any batch
-    interleaving.
+    one-worker-per-shard deployment) or let the set route round-robin;
+    either way the accumulate itself is contention-free (striped per
+    writer thread, see :class:`HistogramShard`).  ``merged`` sums the
+    per-shard partials in O(shards x bins): because histogram counts are
+    exact integers in float64, the merged counts are bit-identical to
+    bucketing the whole stream into a single histogram, at any shard
+    count, thread count, and batch interleaving.
 
     Examples
     --------
@@ -227,12 +462,18 @@ class ShardSet:
     def __init__(self, y_partitions, n_shards: int = 1) -> None:
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
-        self._y_partitions = dict(y_partitions)
+        self._layout = ColumnLayout(y_partitions)
         self._shards = tuple(
-            HistogramShard(self._y_partitions) for _ in range(int(n_shards))
+            HistogramShard(None, layout=self._layout)
+            for _ in range(int(n_shards))
         )
         self._route = 0
         self._route_lock = threading.Lock()
+
+    @property
+    def layout(self) -> ColumnLayout:
+        """The flat-offset layout shared by every shard."""
+        return self._layout
 
     @property
     def n_shards(self) -> int:
@@ -241,7 +482,7 @@ class ShardSet:
     @property
     def attributes(self) -> tuple:
         """Attribute names, in schema order."""
-        return tuple(self._y_partitions)
+        return self._layout.names
 
     def shard(self, index: int) -> HistogramShard:
         """The ``index``-th shard (for one-worker-per-shard deployments)."""
@@ -257,22 +498,26 @@ class ShardSet:
     def __len__(self) -> int:
         return len(self._shards)
 
+    def prepare(self, batch) -> PreparedBatch:
+        """Locate a batch into fused flat indices, outside any lock."""
+        return self._layout.prepare(batch)
+
     def ingest(self, batch, *, shard: int = None) -> int:
         """Route a batch to a shard (round-robin unless ``shard`` given)."""
+        return self.ingest_prepared(self._layout.prepare(batch), shard=shard)
+
+    def ingest_prepared(self, prepared: PreparedBatch, *, shard: int = None) -> int:
+        """Route a :class:`PreparedBatch` to a shard and accumulate it."""
         if shard is None:
             with self._route_lock:
                 shard = self._route
                 self._route = (self._route + 1) % len(self._shards)
-        return self.shard(shard).ingest(batch)
+        return self.shard(shard).ingest_prepared(prepared)
 
     def merged(self, name: str) -> tuple:
         """Merged ``(counts, n_seen)`` for one attribute — O(shards x bins)."""
-        if name not in self._y_partitions:
-            raise ValidationError(
-                f"unknown attribute {name!r}; schema holds "
-                f"{list(self._y_partitions)}"
-            )
-        counts = np.zeros(self._y_partitions[name].n_intervals)
+        self._layout.require(name)
+        counts = np.zeros(self._layout.partition(name).n_intervals)
         seen = 0
         for shard in self._shards:
             partial, partial_seen = shard.partial(name)
@@ -282,7 +527,7 @@ class ShardSet:
 
     def merge(self) -> dict:
         """Merged partials for every attribute: ``{name: (counts, n_seen)}``."""
-        return {name: self.merged(name) for name in self._y_partitions}
+        return {name: self.merged(name) for name in self._layout.names}
 
     def n_seen(self, name: str = None):
         """Records absorbed for one attribute, or ``{name: n}`` for all.
@@ -291,13 +536,9 @@ class ShardSet:
         — so the ingest/health hot paths never pay the O(bins) merge.
         """
         if name is not None:
-            if name not in self._y_partitions:
-                raise ValidationError(
-                    f"unknown attribute {name!r}; schema holds "
-                    f"{list(self._y_partitions)}"
-                )
+            self._layout.require(name)
             return sum(shard.n_seen(name) for shard in self._shards)
-        return {attr: self.n_seen(attr) for attr in self._y_partitions}
+        return {attr: self.n_seen(attr) for attr in self._layout.names}
 
     def clear(self) -> None:
         """Zero every shard."""
@@ -307,5 +548,5 @@ class ShardSet:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardSet(n_shards={len(self._shards)}, "
-            f"attributes={len(self._y_partitions)})"
+            f"attributes={len(self._layout.names)})"
         )

@@ -1,0 +1,285 @@
+"""The columnar binary wire format for bulk disclosure ingestion.
+
+JSON is the service's lingua franca, but parsing a float list builds one
+Python object per disclosed value — the ingest hot path of a server
+absorbing millions of randomized reports should never do that.  This
+module defines ``application/x-ppdm-columns``: a versioned, columnar
+frame whose float columns are raw little-endian ``float64`` bytes, so
+the decoder is ``np.frombuffer`` over the request body (zero copies, no
+per-value objects) and the encoder is one ``tobytes()`` per column.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"PPDM"
+    4       2     u16    wire version (currently 1)
+    6       2     u16    n_attributes
+    8       4     i32    shard pin (-1 = unpinned, round-robin)
+    12      ...   attribute table, n_attributes entries:
+                    u16    name length L (UTF-8 bytes)
+                    L      attribute name
+                    u64    row count
+    ...     ...   columns: row_count x 8 bytes of raw little-endian
+                  float64 per attribute, in table order
+
+Frames are self-delimiting, so a request body may concatenate any
+number of them (:func:`iter_frames`) and a persistent connection can
+stream batch after batch.  The NDJSON fallback
+(``application/x-ndjson``) keeps the same many-batches-per-body shape
+curl-able: one ``{"batch": ..., "shard": ...}`` JSON object per line.
+
+Malformed frames raise :class:`~repro.exceptions.ValidationError`,
+which the HTTP front end maps to status 400.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "CONTENT_TYPE_COLUMNS",
+    "CONTENT_TYPE_NDJSON",
+    "MAGIC",
+    "WIRE_VERSION",
+    "decode_columns",
+    "encode_columns",
+    "encode_ndjson",
+    "iter_frames",
+    "iter_ndjson",
+]
+
+#: content type negotiating the binary columnar frames
+CONTENT_TYPE_COLUMNS = "application/x-ppdm-columns"
+#: content type for the newline-delimited JSON fallback
+CONTENT_TYPE_NDJSON = "application/x-ndjson"
+#: the four magic bytes every columnar frame starts with
+MAGIC = b"PPDM"
+#: current frame version; bumped on any layout change
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHi")
+_NAME_LEN = struct.Struct("<H")
+_ROW_COUNT = struct.Struct("<Q")
+_F8 = np.dtype("<f8")
+
+
+def encode_columns(batch, *, shard: int = None) -> bytes:
+    """Encode one ``{attribute: values}`` batch as a columnar frame.
+
+    Parameters
+    ----------
+    batch:
+        Mapping of attribute name to a 1-D sequence of float values.
+    shard:
+        Optional shard pin carried in the frame header (``None`` routes
+        round-robin on the server).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import decode_columns, encode_columns
+    >>> frame = encode_columns({"age": [31.5, 47.0]}, shard=2)
+    >>> frame[:4]
+    b'PPDM'
+    >>> batch, shard = decode_columns(frame)
+    >>> batch["age"].tolist(), shard
+    ([31.5, 47.0], 2)
+    """
+    if not isinstance(batch, dict):
+        raise ValidationError("batch must map attribute -> values")
+    columns = []
+    table = []
+    for name, values in batch.items():
+        if not isinstance(name, str) or not name:
+            raise ValidationError("attribute names must be non-empty strings")
+        encoded_name = name.encode("utf-8")
+        if len(encoded_name) > 0xFFFF:
+            raise ValidationError(f"attribute name {name!r} is too long")
+        arr = np.ascontiguousarray(values, dtype=_F8)
+        if arr.ndim != 1:
+            raise ValidationError(
+                f"batch[{name!r}] must be 1-dimensional, got shape {arr.shape}"
+            )
+        table.append(
+            _NAME_LEN.pack(len(encoded_name))
+            + encoded_name
+            + _ROW_COUNT.pack(arr.size)
+        )
+        columns.append(arr.tobytes())
+    if len(batch) > 0xFFFF:
+        raise ValidationError("a frame holds at most 65535 attributes")
+    header = _HEADER.pack(
+        MAGIC, WIRE_VERSION, len(batch), -1 if shard is None else int(shard)
+    )
+    return header + b"".join(table) + b"".join(columns)
+
+
+def _decode_frame(view: memoryview, offset: int) -> tuple:
+    """Decode one frame at ``offset``; return ``(batch, shard, next_offset)``."""
+    end = len(view)
+    if end - offset < _HEADER.size:
+        raise ValidationError(
+            f"truncated columnar frame: {end - offset} byte(s) left, "
+            f"header needs {_HEADER.size}"
+        )
+    magic, version, n_attributes, shard = _HEADER.unpack_from(view, offset)
+    if magic != MAGIC:
+        raise ValidationError(
+            f"bad frame magic {bytes(magic)!r}; expected {MAGIC!r} "
+            f"(is the body really {CONTENT_TYPE_COLUMNS}?)"
+        )
+    if version != WIRE_VERSION:
+        raise ValidationError(
+            f"unsupported wire version {version}; this server speaks "
+            f"version {WIRE_VERSION}"
+        )
+    offset += _HEADER.size
+    names = []
+    rows = []
+    for _ in range(n_attributes):
+        if end - offset < _NAME_LEN.size:
+            raise ValidationError("truncated columnar frame attribute table")
+        (name_len,) = _NAME_LEN.unpack_from(view, offset)
+        offset += _NAME_LEN.size
+        if end - offset < name_len + _ROW_COUNT.size:
+            raise ValidationError("truncated columnar frame attribute table")
+        try:
+            name = str(view[offset : offset + name_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValidationError(f"attribute name is not UTF-8: {exc}") from exc
+        offset += name_len
+        (row_count,) = _ROW_COUNT.unpack_from(view, offset)
+        offset += _ROW_COUNT.size
+        if name in names:
+            raise ValidationError(f"duplicate attribute {name!r} in frame")
+        names.append(name)
+        rows.append(row_count)
+    batch = {}
+    for name, row_count in zip(names, rows):
+        nbytes = row_count * _F8.itemsize
+        if end - offset < nbytes:
+            raise ValidationError(
+                f"truncated columnar frame: column {name!r} declares "
+                f"{row_count} rows but only {end - offset} byte(s) remain"
+            )
+        batch[name] = np.frombuffer(view, dtype=_F8, count=row_count, offset=offset)
+        offset += nbytes
+    return batch, (None if shard < 0 else shard), offset
+
+
+def decode_columns(payload) -> tuple:
+    """Decode a single columnar frame; return ``(batch, shard)``.
+
+    The inverse of :func:`encode_columns`.  Columns come back as
+    read-only ``float64`` views into ``payload`` — no bytes are copied.
+    Trailing bytes after the frame are an error; bodies carrying several
+    concatenated frames go through :func:`iter_frames`.
+
+    Examples
+    --------
+    >>> from repro.service.wire import decode_columns, encode_columns
+    >>> batch, shard = decode_columns(encode_columns({"x": [0.5]}))
+    >>> batch["x"].tolist(), shard
+    ([0.5], None)
+    """
+    view = memoryview(payload)
+    batch, shard, offset = _decode_frame(view, 0)
+    if offset != len(view):
+        raise ValidationError(
+            f"{len(view) - offset} trailing byte(s) after the frame; "
+            "multi-frame bodies decode with iter_frames()"
+        )
+    return batch, shard
+
+
+def iter_frames(payload):
+    """Yield ``(batch, shard)`` for every concatenated frame in ``payload``.
+
+    The decoder behind ``POST /ingest`` with
+    ``Content-Type: application/x-ppdm-columns``: a client holding a
+    persistent connection can pack many batches into one body, and each
+    column is decoded as a zero-copy ``np.frombuffer`` view.
+
+    Examples
+    --------
+    >>> from repro.service.wire import encode_columns, iter_frames
+    >>> body = encode_columns({"x": [0.1]}) + encode_columns({"x": [0.9]}, shard=1)
+    >>> [(b["x"].tolist(), s) for b, s in iter_frames(body)]
+    [([0.1], None), ([0.9], 1)]
+    """
+    view = memoryview(payload)
+    offset = 0
+    while offset < len(view):
+        batch, shard, offset = _decode_frame(view, offset)
+        yield batch, shard
+
+
+def encode_ndjson(frames) -> bytes:
+    """Encode ``(batch, shard)`` pairs as newline-delimited JSON.
+
+    The curl-able fallback with the same many-batches-per-body shape as
+    the columnar format: each line is exactly a ``POST /ingest`` JSON
+    body (``{"batch": {...}, "shard": i}``, the shard key omitted when
+    unpinned).
+
+    Examples
+    --------
+    >>> from repro.service.wire import encode_ndjson
+    >>> encode_ndjson([({"x": [0.5]}, None), ({"x": [0.9]}, 1)])
+    b'{"batch": {"x": [0.5]}}\\n{"batch": {"x": [0.9]}, "shard": 1}\\n'
+    """
+    lines = []
+    for batch, shard in frames:
+        if not isinstance(batch, dict):
+            raise ValidationError("batch must map attribute -> values")
+        payload = {
+            "batch": {
+                name: np.asarray(values, dtype=float).tolist()
+                for name, values in batch.items()
+            }
+        }
+        if shard is not None:
+            payload["shard"] = int(shard)
+        lines.append(json.dumps(payload).encode())
+    return b"\n".join(lines) + (b"\n" if lines else b"")
+
+
+def iter_ndjson(payload):
+    """Yield ``(batch, shard)`` for every line of an NDJSON body.
+
+    Blank lines are skipped, so trailing newlines and curl-assembled
+    bodies are fine.  Each line must carry a ``"batch"`` object; an
+    optional integer ``"shard"`` pins the batch.
+
+    Examples
+    --------
+    >>> from repro.service.wire import iter_ndjson
+    >>> list(iter_ndjson(b'{"batch": {"x": [0.5]}, "shard": 0}\\n'))
+    [({'x': [0.5]}, 0)]
+    """
+    for lineno, line in enumerate(bytes(payload).splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"NDJSON line {lineno} is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict) or "batch" not in record:
+            raise ValidationError(
+                f'NDJSON line {lineno} must be {{"batch": {{name: [values]}}}}'
+            )
+        batch = record["batch"]
+        if not isinstance(batch, dict):
+            raise ValidationError(f"NDJSON line {lineno}: 'batch' must map attribute -> values")
+        shard = record.get("shard")
+        if shard is not None and not isinstance(shard, int):
+            raise ValidationError(
+                f"NDJSON line {lineno}: 'shard' must be an integer, "
+                f"got {type(shard).__name__}"
+            )
+        yield batch, shard

@@ -136,6 +136,36 @@ class TestServeIngestParser:
         assert args.estimate
         assert not args.already_randomized
 
+    def test_ingest_load_generation_defaults(self):
+        args = build_parser().parse_args(
+            ["ingest", "values.txt", "--attribute", "age"]
+        )
+        assert args.wire == "json"
+        assert args.concurrency == 1
+        assert args.repeat == 1
+
+    def test_ingest_load_generation_flags(self):
+        args = build_parser().parse_args(
+            [
+                "ingest", "values.txt",
+                "--attribute", "age",
+                "--url", "http://127.0.0.1:8000",
+                "--wire", "columns",
+                "--concurrency", "4",
+                "--repeat", "32",
+            ]
+        )
+        assert args.wire == "columns"
+        assert args.concurrency == 4
+        assert args.repeat == 32
+
+    def test_ingest_rejects_unknown_wire(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["ingest", "values.txt", "--attribute", "age",
+                 "--wire", "protobuf"]
+            )
+
 
 class TestServeIngestCommands:
     @pytest.fixture
@@ -314,6 +344,26 @@ class TestServeIngestCommands:
         assert code == 2
         assert "does not exist" in capsys.readouterr().err
 
+    def test_ingest_load_flags_need_url(self, capsys, tmp_path):
+        values = tmp_path / "ages.json"
+        values.write_text("[40.0]")
+        code = main(
+            ["ingest", str(values), "--attribute", "age",
+             "--snapshot", str(tmp_path / "snap.json"), "--wire", "columns"]
+        )
+        assert code == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_ingest_rejects_nonpositive_repeat(self, capsys, tmp_path):
+        values = tmp_path / "ages.json"
+        values.write_text("[40.0]")
+        code = main(
+            ["ingest", str(values), "--attribute", "age",
+             "--url", "http://127.0.0.1:1", "--repeat", "0"]
+        )
+        assert code == 2
+        assert ">= 1" in capsys.readouterr().err
+
     def test_ingest_json_values_against_live_server(self, capsys, tmp_path, spec_file):
         """Full loop: background server, URL-mode ingest, estimate."""
         import json
@@ -342,6 +392,44 @@ class TestServeIngestCommands:
             assert "ingested 150 record(s)" in out
             assert "Estimated distribution of 'age'" in out
             assert service.n_seen("age") == 150
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_ingest_columnar_load_run_against_live_server(
+        self, capsys, tmp_path, spec_file
+    ):
+        """The load-generator shape: binary wire, repeats, parallel
+        persistent connections — all records land, estimates still work."""
+        import json
+        import threading
+
+        from repro.service import ServiceHTTPServer, service_from_spec
+
+        service = service_from_spec(json.loads(spec_file.read_text()))
+        server = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            values = tmp_path / "ages.json"
+            values.write_text(json.dumps([40.0, 45.0, 50.0] * 20))
+            code = main(
+                [
+                    "ingest", str(values),
+                    "--attribute", "age",
+                    "--url", server.url,
+                    "--wire", "columns",
+                    "--repeat", "5",
+                    "--concurrency", "2",
+                    "--seed", "7",
+                    "--estimate",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "ingested 300 record(s) in 5 request(s) (columns wire)" in out
+            assert "load run: 2 connection(s)" in out
+            assert service.n_seen("age") == 300
         finally:
             server.shutdown()
             thread.join(timeout=5)

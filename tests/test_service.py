@@ -21,8 +21,11 @@ from repro.exceptions import ConvergenceWarning, ValidationError
 from repro.service import (
     AggregationService,
     AttributeSpec,
+    ColumnLayout,
     HistogramShard,
     ShardSet,
+    decode_columns,
+    encode_columns,
     service_from_spec,
 )
 
@@ -168,6 +171,151 @@ class TestShardSet:
         shards.ingest({"x": [0.5]})
         shards.clear()
         assert shards.n_seen("x") == 0
+
+
+class TestPreparedFastPath:
+    """The zero-copy ingest path: prepare() + ingest_prepared()."""
+
+    def test_prepare_then_ingest_matches_ingest(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        w = _disclose(noise, 2_000, seed=40)
+        plain = HistogramShard({"x": y_part})
+        fast = HistogramShard({"x": y_part})
+        plain.ingest({"x": w})
+        assert fast.ingest_prepared(fast.prepare({"x": w})) == w.size
+        a, seen_a = plain.partial("x")
+        b, seen_b = fast.partial("x")
+        assert np.array_equal(a, b)
+        assert seen_a == seen_b == w.size
+
+    def test_fused_multi_attribute_bincount(self, noise):
+        """One prepared batch bins every attribute; per-attribute partials
+        match bucketing each attribute separately."""
+        parts = {
+            "a": Partition.uniform(0, 1, 6),
+            "b": Partition.uniform(-2, 2, 9),
+        }
+        shard = HistogramShard(parts)
+        rng = np.random.default_rng(8)
+        batch = {"a": rng.uniform(0, 1, 500), "b": rng.uniform(-2, 2, 700)}
+        assert shard.ingest_prepared(shard.prepare(batch)) == 1200
+        for name, partition in parts.items():
+            counts, seen = shard.partial(name)
+            assert np.array_equal(counts, partition.histogram(batch[name]))
+            assert seen == batch[name].size
+
+    def test_prepared_batch_reusable_across_shards(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=2)
+        prepared = shards.prepare({"x": [0.1, 0.9]})
+        shards.ingest_prepared(prepared, shard=0)
+        shards.ingest_prepared(prepared, shard=1)
+        assert shards.n_seen("x") == 4
+
+    def test_prepare_validates_like_ingest(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        with pytest.raises(ValidationError):
+            shard.prepare({"nope": [0.5]})
+        with pytest.raises(ValidationError):
+            shard.prepare({"x": [float("nan")]})
+        with pytest.raises(ValidationError):
+            shard.prepare({"x": [[0.5]]})
+        with pytest.raises(ValidationError):
+            shard.prepare([("x", [0.5])])
+
+    def test_ingest_prepared_rejects_foreign_layout(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        other = ColumnLayout({"x": Partition.uniform(-9, 9, 5)})
+        with pytest.raises(ValidationError):
+            shard.ingest_prepared(other.prepare({"x": [0.5]}))
+        with pytest.raises(ValidationError):
+            shard.ingest_prepared({"x": [0.5]})
+
+    def test_equal_layouts_are_compatible(self, part, noise):
+        """Two services over the same schema can exchange prepared batches."""
+        y_part = part.expanded(noise.support_half_width())
+        a = HistogramShard({"x": y_part})
+        b = HistogramShard({"x": y_part})
+        assert b.ingest_prepared(a.prepare({"x": [0.5]})) == 1
+
+    def test_decoded_readonly_columns_ingest_fine(self, part, noise):
+        """Wire-decoded columns are read-only frombuffer views; the fast
+        path must consume them without copying or writing."""
+        w = _disclose(noise, 1_000, seed=41)
+        batch, _ = decode_columns(encode_columns({"x": w}))
+        assert not batch["x"].flags.writeable
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        assert service.ingest_prepared(service.prepare(batch)) == w.size
+        reference = AggregationService([AttributeSpec("x", part, noise)])
+        reference.ingest({"x": w})
+        assert np.array_equal(
+            service.estimate("x").distribution.probs,
+            reference.estimate("x").distribution.probs,
+        )
+
+    def test_empty_prepared_batch(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        assert shard.ingest_prepared(shard.prepare({})) == 0
+        assert shard.ingest_prepared(shard.prepare({"x": []})) == 0
+
+
+class TestStripedAccumulators:
+    def test_stripes_merge_to_exact_counts(self, part, noise):
+        """Many writer threads -> many stripes; partial() is still the
+        exact histogram of everything ingested."""
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        w = _disclose(noise, 6_000, seed=42)
+        chunks = np.array_split(w, 24)
+        barrier = threading.Barrier(6)
+
+        def worker(index):
+            barrier.wait()
+            for chunk in chunks[index::6]:
+                shard.ingest({"x": chunk})
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(worker, range(6)))
+        assert len(shard._stripes) >= 1  # striped, not a single buffer
+        counts, seen = shard.partial("x")
+        assert np.array_equal(counts, y_part.histogram(w))
+        assert seen == w.size
+
+    def test_clear_zeroes_every_stripe(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shard = HistogramShard({"x": y_part})
+        shard.ingest({"x": [0.5]})
+
+        def other_thread():
+            shard.ingest({"x": [0.7, 0.8]})
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+        assert shard.n_seen("x") == 3
+        shard.clear()
+        assert shard.n_seen("x") == 0
+        counts, _ = shard.partial("x")
+        assert counts.sum() == 0
+
+    def test_merge_from_collects_all_stripes(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        a = HistogramShard({"x": y_part})
+        b = HistogramShard({"x": y_part})
+
+        def other_thread():
+            b.ingest({"x": [0.2, 0.3]})
+
+        b.ingest({"x": [0.1]})
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+        a.merge_from(b)
+        assert a.n_seen("x") == 3
+        assert b.n_seen("x") == 3  # source untouched
 
 
 class TestAggregationServiceBasics:
@@ -364,6 +512,60 @@ class TestSingleStreamParity:
         b = service.estimate("x")
         assert service.n_seen("x") == w.size
         assert np.array_equal(a.distribution.probs, b.distribution.probs)
+
+    def test_concurrent_mixed_wire_parity_with_snapshot(self, part, noise):
+        """The acceptance contract for the fast path: 4 threads hammering
+        mixed JSON-shaped and columnar-decoded batches across 4 shards —
+        with a snapshot/restore in the middle of the run — still produce
+        estimates bit-identical to the serial single-shard reference."""
+        w = _disclose(noise, 8_000, seed=55)
+        chunks = np.array_split(w, 48)
+        first_half, second_half = chunks[:24], chunks[24:]
+
+        def hammer(service, chunk_list):
+            def worker(index):
+                for i, chunk in enumerate(chunk_list[index::4]):
+                    if i % 2:
+                        # the columnar wire: encode, decode (read-only
+                        # frombuffer views), prepare, fast-path ingest
+                        batch, _ = decode_columns(encode_columns({"x": chunk}))
+                        service.ingest_prepared(
+                            service.prepare(batch), shard=index
+                        )
+                    else:
+                        # the JSON wire: plain Python float lists
+                        service.ingest({"x": chunk.tolist()}, shard=index)
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(worker, range(4)))
+
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=4
+        )
+        hammer(service, first_half)
+        mid = service.estimate("x")  # advance the warm start pre-snapshot
+
+        restored = AggregationService.restore(service.snapshot())
+        hammer(restored, second_half)
+        final = restored.estimate("x")
+
+        stream = StreamingReconstructor(part, noise)
+        for chunk in first_half:
+            stream.update(chunk)
+        expected_mid = stream.estimate()
+        for chunk in second_half:
+            stream.update(chunk)
+        expected_final = stream.estimate()
+
+        assert restored.n_seen("x") == w.size
+        assert np.array_equal(
+            expected_mid.distribution.probs, mid.distribution.probs
+        )
+        assert np.array_equal(
+            expected_final.distribution.probs, final.distribution.probs
+        )
+        assert expected_final.n_iterations == final.n_iterations
+        assert expected_final.chi2_statistic == final.chi2_statistic
 
     def test_concurrent_ingestion_single_shard_is_safe(self, part, noise):
         """Contending writers on one shard never lose or corrupt counts."""

@@ -1,10 +1,12 @@
-"""Tests for the JSON-over-HTTP front end (repro.service.httpd)."""
+"""Tests for the HTTP front end (repro.service.httpd)."""
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import numpy as np
@@ -12,6 +14,12 @@ import pytest
 
 from repro.core import Partition, StreamingReconstructor, UniformRandomizer
 from repro.service import AggregationService, AttributeSpec, ServiceHTTPServer
+from repro.service.wire import (
+    CONTENT_TYPE_COLUMNS,
+    CONTENT_TYPE_NDJSON,
+    encode_columns,
+    encode_ndjson,
+)
 
 
 @pytest.fixture
@@ -111,6 +119,230 @@ class TestRoutes:
         assert restored.n_seen("opinion") == 2
 
 
+def _post_raw(server, path, body, content_type):
+    request = urllib.request.Request(
+        server.url + path, data=body, method="POST",
+        headers={"Content-Type": content_type},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestColumnarIngest:
+    def test_single_frame(self, server, service):
+        body = encode_columns({"opinion": [0.4, 0.5, 0.6]})
+        status, payload = _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        assert status == 200
+        assert payload == {"ingested": 3, "frames": 1, "records": 3}
+        assert service.n_seen("opinion") == 3
+
+    def test_multi_frame_body_with_shard_pins(self, server, service):
+        body = encode_columns({"opinion": [0.4]}, shard=0) + encode_columns(
+            {"opinion": [0.5, 0.6]}, shard=1
+        )
+        status, payload = _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        assert status == 200
+        assert payload["ingested"] == 3
+        assert payload["frames"] == 2
+        assert service.shards.shard(0).n_seen("opinion") == 1
+        assert service.shards.shard(1).n_seen("opinion") == 2
+
+    def test_content_type_parameters_tolerated(self, server, service):
+        body = encode_columns({"opinion": [0.5]})
+        status, _ = _post_raw(
+            server, "/ingest", body, CONTENT_TYPE_COLUMNS + "; charset=binary"
+        )
+        assert status == 200
+        assert service.n_seen("opinion") == 1
+
+    def test_estimate_parity_with_json_wire(self, server, noise):
+        """The two wires are interchangeable: same disclosures, bitwise
+        the same estimate."""
+        rng = np.random.default_rng(3)
+        w = noise.randomize(rng.uniform(0.3, 0.7, 2_000), seed=4)
+        half = w.size // 2
+        _post(server, "/ingest", {"batch": {"opinion": w[:half].tolist()}})
+        _post_raw(
+            server, "/ingest", encode_columns({"opinion": w[half:]}),
+            CONTENT_TYPE_COLUMNS,
+        )
+        _, estimate = _get(server, "/estimate?attribute=opinion")
+        stream = StreamingReconstructor(Partition.uniform(0, 1, 10), noise)
+        stream.update(np.asarray(w[:half].tolist()))
+        stream.update(w[half:])
+        expected = stream.estimate()
+        assert np.array_equal(
+            np.asarray(estimate["probs"]), expected.distribution.probs
+        )
+        assert estimate["n_iterations"] == expected.n_iterations
+
+    def test_bad_magic_is_400(self, server):
+        code, payload = _error_of(
+            lambda: _post_raw(
+                server, "/ingest", b"JUNKJUNKJUNKJUNK", CONTENT_TYPE_COLUMNS
+            )
+        )
+        assert code == 400
+        assert "magic" in payload["error"]
+
+    def test_truncated_frame_is_400(self, server):
+        body = encode_columns({"opinion": [0.5, 0.6]})[:-4]
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert "truncated" in payload["error"]
+
+    def test_unknown_attribute_is_400(self, server):
+        body = encode_columns({"nope": [0.5]})
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert "unknown attribute" in payload["error"]
+
+    def test_failing_frame_aborts_whole_body(self, server, service):
+        """All-or-nothing: a bad frame anywhere in the body means no
+        frame of the body is absorbed (safe to re-send everything)."""
+        body = encode_columns({"opinion": [0.4, 0.5]}) + encode_columns(
+            {"opinion": [0.6, 0.7]}
+        )[:-4]
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert "truncated" in payload["error"]
+        assert service.n_seen("opinion") == 0
+
+    def test_bad_shard_pin_aborts_whole_body(self, server, service):
+        body = encode_columns({"opinion": [0.4]}) + encode_columns(
+            {"opinion": [0.5]}, shard=7
+        )
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert "shard index" in payload["error"]
+        assert service.n_seen("opinion") == 0
+
+    def test_columnar_only_negotiated_on_ingest(self, server):
+        """Other routes ignore the columnar content type (body is JSON)."""
+        code, _ = _error_of(
+            lambda: _post_raw(
+                server, "/nope", encode_columns({}), CONTENT_TYPE_COLUMNS
+            )
+        )
+        assert code == 400  # body is not valid JSON -> 400, not a crash
+
+
+class TestNDJSONIngest:
+    def test_multi_line_body(self, server, service):
+        body = encode_ndjson(
+            [({"opinion": [0.4, 0.5]}, None), ({"opinion": [0.6]}, 1)]
+        )
+        status, payload = _post_raw(server, "/ingest", body, CONTENT_TYPE_NDJSON)
+        assert status == 200
+        assert payload == {"ingested": 3, "frames": 2, "records": 3}
+        assert service.shards.shard(1).n_seen("opinion") == 1
+
+    def test_bad_line_is_400(self, server):
+        body = b'{"batch": {"opinion": [0.5]}}\nnot json\n'
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_NDJSON)
+        )
+        assert code == 400
+        assert "line 2" in payload["error"]
+
+    def test_non_integer_shard_is_400(self, server, service):
+        body = b'{"batch": {"opinion": [0.5]}, "shard": []}\n'
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_NDJSON)
+        )
+        assert code == 400
+        assert "shard" in payload["error"]
+        assert service.n_seen("opinion") == 0
+
+
+class TestKeepAlive:
+    def test_connection_survives_many_requests(self, server):
+        """HTTP/1.1 keep-alive: one socket carries the whole batch run."""
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            sockets = set()
+            for i in range(4):
+                body = encode_columns({"opinion": [0.1 * (i + 1)]})
+                conn.request(
+                    "POST", "/ingest", body=body,
+                    headers={"Content-Type": CONTENT_TYPE_COLUMNS},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                assert response.status == 200
+                assert payload["records"] == i + 1
+                sockets.add(id(conn.sock))
+            assert len(sockets) == 1  # never re-dialed
+        finally:
+            conn.close()
+
+    def test_mixed_wire_formats_on_one_connection(self, server, service):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for body, ctype in [
+                (json.dumps({"batch": {"opinion": [0.4]}}).encode(),
+                 "application/json"),
+                (encode_columns({"opinion": [0.5]}), CONTENT_TYPE_COLUMNS),
+                (encode_ndjson([({"opinion": [0.6]}, None)]),
+                 CONTENT_TYPE_NDJSON),
+            ]:
+                conn.request(
+                    "POST", "/ingest", body=body,
+                    headers={"Content-Type": ctype},
+                )
+                assert json.loads(conn.getresponse().read())["ingested"] == 1
+            assert service.n_seen("opinion") == 3
+        finally:
+            conn.close()
+
+
+class TestTransferEncoding:
+    def test_chunked_request_rejected_and_connection_closed(self, server):
+        """Only Content-Length bodies are read; chunked bytes left on a
+        keep-alive socket would desync every later request."""
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/ingest")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 501
+            assert "Transfer-Encoding" in payload["error"]
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+
+class TestThreadReaping:
+    def test_finished_handler_threads_are_reaped(self, server):
+        for _ in range(5):
+            _get(server, "/healthz")
+        # every urllib request closed its connection, so the handler
+        # threads are finished; the reaper must drop them from the
+        # join-on-close list (only the in-flight ones may remain)
+        server.reap_handler_threads()
+        threads = getattr(server._httpd, "_threads", None)
+        assert threads is not None
+        assert sum(1 for t in threads if not t.is_alive()) == 0
+
+    def test_reap_returns_zero_when_nothing_to_do(self, server):
+        server.reap_handler_threads()
+        assert server.reap_handler_threads() == 0
+
+
 class TestErrors:
     def test_unknown_route_404(self, server):
         code, payload = _error_of(lambda: _get(server, "/nope"))
@@ -155,6 +387,16 @@ class TestErrors:
         )
         assert code == 400
         assert "unknown attribute" in payload["error"]
+
+    def test_ingest_non_integer_shard(self, server):
+        code, payload = _error_of(
+            lambda: _post(
+                server, "/ingest",
+                {"batch": {"opinion": [0.5]}, "shard": {"i": 0}},
+            )
+        )
+        assert code == 400
+        assert "shard" in payload["error"]
 
     def test_snapshot_without_path_400(self, service):
         srv = ServiceHTTPServer(service, port=0)

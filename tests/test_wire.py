@@ -1,0 +1,173 @@
+"""Tests for the columnar binary wire format (repro.service.wire)."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.service.wire import (
+    MAGIC,
+    WIRE_VERSION,
+    decode_columns,
+    encode_columns,
+    encode_ndjson,
+    iter_frames,
+    iter_ndjson,
+)
+
+
+class TestColumnarRoundtrip:
+    def test_roundtrip_single_attribute(self):
+        values = np.linspace(-5.0, 5.0, 100)
+        batch, shard = decode_columns(encode_columns({"age": values}))
+        assert shard is None
+        assert batch["age"].dtype == np.dtype("<f8")
+        assert np.array_equal(batch["age"], values)
+
+    def test_roundtrip_multi_attribute_preserves_order(self):
+        original = {
+            "a": np.array([1.0, 2.0]),
+            "b": np.array([3.0]),
+            "c": np.array([], dtype=float),
+        }
+        batch, _ = decode_columns(encode_columns(original))
+        assert list(batch) == ["a", "b", "c"]
+        for name, values in original.items():
+            assert np.array_equal(batch[name], values)
+
+    def test_shard_pin_roundtrips(self):
+        _, shard = decode_columns(encode_columns({"x": [0.5]}, shard=3))
+        assert shard == 3
+        _, shard = decode_columns(encode_columns({"x": [0.5]}))
+        assert shard is None
+
+    def test_exact_bit_patterns_survive(self):
+        """Raw float64 bytes on the wire: no repr/parse rounding at all."""
+        tricky = np.array([0.1, 1e-308, 1.7976931348623157e308, -0.0])
+        batch, _ = decode_columns(encode_columns({"x": tricky}))
+        assert batch["x"].tobytes() == tricky.tobytes()
+
+    def test_decoded_columns_are_zero_copy_views(self):
+        payload = encode_columns({"x": np.arange(1000, dtype=float)})
+        batch, _ = decode_columns(payload)
+        assert not batch["x"].flags.owndata  # a view into the body
+        assert not batch["x"].flags.writeable
+
+    def test_unicode_attribute_names(self):
+        batch, _ = decode_columns(encode_columns({"âge": [1.0]}))
+        assert list(batch) == ["âge"]
+
+    def test_empty_batch_roundtrips(self):
+        batch, shard = decode_columns(encode_columns({}))
+        assert batch == {}
+        assert shard is None
+
+    def test_iter_frames_concatenated(self):
+        body = b"".join(
+            [
+                encode_columns({"x": [0.1, 0.2]}),
+                encode_columns({"x": [0.3]}, shard=1),
+                encode_columns({"y": [9.0]}, shard=0),
+            ]
+        )
+        frames = list(iter_frames(body))
+        assert [(list(b), s) for b, s in frames] == [
+            (["x"], None),
+            (["x"], 1),
+            (["y"], 0),
+        ]
+        assert frames[0][0]["x"].size == 2
+
+    def test_iter_frames_empty_body(self):
+        assert list(iter_frames(b"")) == []
+
+
+class TestColumnarErrors:
+    def test_bad_magic(self):
+        frame = bytearray(encode_columns({"x": [0.5]}))
+        frame[:4] = b"NOPE"
+        with pytest.raises(ValidationError, match="magic"):
+            decode_columns(bytes(frame))
+
+    def test_unsupported_version(self):
+        frame = bytearray(encode_columns({"x": [0.5]}))
+        struct.pack_into("<H", frame, 4, WIRE_VERSION + 1)
+        with pytest.raises(ValidationError, match="version"):
+            decode_columns(bytes(frame))
+
+    def test_truncated_header(self):
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_columns(MAGIC)
+
+    def test_truncated_column_data(self):
+        frame = encode_columns({"x": [0.5, 0.6, 0.7]})
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_columns(frame[:-8])
+
+    def test_truncated_attribute_table(self):
+        frame = encode_columns({"abcdef": [0.5]})
+        header_plus_partial_table = frame[: struct.calcsize("<4sHHi") + 3]
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_columns(header_plus_partial_table)
+
+    def test_trailing_bytes_rejected_by_single_decode(self):
+        frame = encode_columns({"x": [0.5]})
+        with pytest.raises(ValidationError, match="trailing"):
+            decode_columns(frame + b"\x00")
+
+    def test_duplicate_attribute_rejected(self):
+        good = encode_columns({"x": [0.5]})
+        # craft a 2-entry table that names "x" twice
+        table_entry = struct.pack("<H", 1) + b"x" + struct.pack("<Q", 1)
+        column = np.array([0.5]).tobytes()
+        frame = (
+            struct.pack("<4sHHi", MAGIC, WIRE_VERSION, 2, -1)
+            + table_entry * 2
+            + column * 2
+        )
+        assert decode_columns(good)  # sanity: the crafting matches the layout
+        with pytest.raises(ValidationError, match="duplicate"):
+            decode_columns(frame)
+
+    def test_encode_rejects_non_dict(self):
+        with pytest.raises(ValidationError):
+            encode_columns([("x", [0.5])])
+
+    def test_encode_rejects_2d_values(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            encode_columns({"x": [[0.5, 0.6]]})
+
+    def test_encode_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            encode_columns({"": [0.5]})
+
+
+class TestNDJSON:
+    def test_roundtrip(self):
+        body = encode_ndjson([({"x": [0.5, 0.6]}, None), ({"y": [1.0]}, 2)])
+        frames = list(iter_ndjson(body))
+        assert frames == [({"x": [0.5, 0.6]}, None), ({"y": [1.0]}, 2)]
+
+    def test_blank_lines_skipped(self):
+        body = b'\n{"batch": {"x": [0.5]}}\n\n'
+        assert len(list(iter_ndjson(body))) == 1
+
+    def test_empty_body(self):
+        assert list(iter_ndjson(b"")) == []
+        assert encode_ndjson([]) == b""
+
+    def test_bad_json_line_names_the_line(self):
+        body = b'{"batch": {"x": [0.5]}}\nnot json\n'
+        with pytest.raises(ValidationError, match="line 2"):
+            list(iter_ndjson(body))
+
+    def test_line_without_batch_rejected(self):
+        with pytest.raises(ValidationError, match="batch"):
+            list(iter_ndjson(b'{"values": [1.0]}\n'))
+
+    def test_batch_must_be_dict(self):
+        with pytest.raises(ValidationError):
+            list(iter_ndjson(b'{"batch": [1.0]}\n'))
