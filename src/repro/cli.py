@@ -13,6 +13,8 @@ Examples
     ppdm bench compare baseline/ candidate/ --fail-on-regression 1.3x
     ppdm serve --spec service.json --snapshot state.json --port 8000
     ppdm ingest --snapshot state.json --attribute age values.txt --estimate
+    ppdm ingest --url http://127.0.0.1:8000 --attribute age --class-label 1 values.txt
+    ppdm train --url http://127.0.0.1:8000 --strategy byclass --save model.json
 
 Every subcommand prints the same ASCII tables the benchmark harness
 produces, so paper figures can be regenerated without pytest; ``ppdm
@@ -298,11 +300,24 @@ def _estimate_table(name: str, edges, probs, n_seen: int, extra: str = "") -> st
     )
 
 
-def _load_values(path: Path):
-    """Read one attribute's values: a text column, or a JSON list (.json)."""
-    import json
+def _by_class_line(name: str, by_class: dict) -> str:
+    """One summary line of per-class record counts (serve/ingest)."""
+    parts = []
+    for key, count in by_class.items():
+        label = "unlabeled" if key == "unlabeled" else f"class {key}"
+        parts.append(f"{label}={count}")
+    return f"per-class records for {name!r}: " + ", ".join(parts)
 
-    import numpy as np
+
+def _load_values(path: Path):
+    """Read values: a text column, a JSON list, or a JSON column dict.
+
+    Returns a 1-D array for single-column files, or — for a ``.json``
+    file holding ``{attribute: [values...]}`` — a dict of equal-length
+    columns (a *full-row* batch: what a ``--train`` server's labeled
+    ingest requires when it collects several attributes).
+    """
+    import json
 
     from repro.utils.validation import check_1d_array
 
@@ -314,6 +329,22 @@ def _load_values(path: Path):
             values = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             raise ReproError(f"values file {str(path)!r}: {exc}") from exc
+        if isinstance(values, dict):
+            if not values:
+                raise ReproError(
+                    f"values file {str(path)!r} holds an empty column dict"
+                )
+            columns = {
+                name: check_1d_array(column, f"values[{name!r}]")
+                for name, column in values.items()
+            }
+            lengths = {column.size for column in columns.values()}
+            if len(lengths) > 1:
+                raise ReproError(
+                    f"values file {str(path)!r}: full-row columns must share "
+                    f"one length, got {sorted(lengths)}"
+                )
+            return columns
     else:
         text = path.read_text().split()
         try:
@@ -326,7 +357,12 @@ def _load_values(path: Path):
 def _cmd_serve(args) -> int:
     import json
 
-    from repro.service import AggregationService, ServiceHTTPServer, service_from_spec
+    from repro.service import (
+        AggregationService,
+        ServiceHTTPServer,
+        TrainingService,
+        service_from_spec,
+    )
 
     snapshot = Path(args.snapshot) if args.snapshot else None
     if snapshot is not None and snapshot.is_file():
@@ -359,16 +395,30 @@ def _cmd_serve(args) -> int:
     else:
         raise ReproError("serve needs --spec (or an existing --snapshot)")
 
+    training = None
+    if args.train:
+        if service.classes < 1:
+            raise ReproError(
+                "--train needs a class-aware service: set \"classes\" in "
+                "the spec (or snapshot) to the number of class labels"
+            )
+        training = TrainingService(service)
     server = ServiceHTTPServer(
-        service, args.host, args.port, snapshot_path=snapshot
+        service, args.host, args.port, snapshot_path=snapshot,
+        training=training,
     )
     records = sum(service.n_seen().values())
     print(
         f"serving {len(service.attributes)} attribute(s) "
         f"({', '.join(service.attributes)}) on {server.url} "
-        f"with {service.n_shards} shard(s); {records} record(s) loaded"
+        f"with {service.n_shards} shard(s)"
+        + (f" and {service.classes} class(es)" if service.classes else "")
+        + f"; {records} record(s) loaded"
     )
-    print("endpoints: /healthz /attributes /stats /estimate /ingest /snapshot")
+    print(
+        "endpoints: /healthz /attributes /stats /estimate /ingest /snapshot"
+        + (" /train /model" if training is not None else "")
+    )
     try:
         server.serve_forever(max_requests=args.max_requests)
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -467,6 +517,8 @@ class _KeepAliveClient:
 def _cmd_ingest(args) -> int:
     import json
 
+    from repro.utils.rng import ensure_rng
+
     if (args.url is None) == (args.snapshot is None):
         raise ReproError("ingest needs exactly one of --url or --snapshot")
     if args.url is None and (
@@ -478,7 +530,27 @@ def _cmd_ingest(args) -> int:
         )
     if args.concurrency < 1 or args.repeat < 1:
         raise ReproError("--concurrency and --repeat must be >= 1")
-    values = _load_values(args.values)
+    loaded = _load_values(args.values)
+    if isinstance(loaded, dict):
+        columns = loaded
+        if args.attribute is not None and args.attribute not in columns:
+            raise ReproError(
+                f"--attribute {args.attribute!r} is not a column of the "
+                f"values file ({', '.join(columns)})"
+            )
+    else:
+        if args.attribute is None:
+            raise ReproError(
+                "--attribute is required for single-column values files "
+                "(full-row JSON column dicts name their own attributes)"
+            )
+        columns = {args.attribute: loaded}
+    if args.estimate and args.attribute is None:
+        raise ReproError("--estimate needs --attribute (which one to display)")
+    n_rows = next(iter(columns.values())).size
+    classes = None
+    if args.class_label is not None:
+        classes = [args.class_label] * n_rows
 
     if args.snapshot is not None:
         from repro.service import AggregationService
@@ -491,23 +563,37 @@ def _cmd_ingest(args) -> int:
                 "running server's POST /snapshot"
             )
         service = AggregationService.load(snapshot)
-        try:
-            spec = service.spec(args.attribute)
-        except ReproError:
-            raise ReproError(
-                f"unknown attribute {args.attribute!r}; the service collects "
-                f"{', '.join(service.attributes)}"
-            ) from None
-        disclosed = (
-            values
-            if args.already_randomized
-            else spec.randomizer.randomize(values, seed=args.seed)
-        )
-        ingested = service.ingest({args.attribute: disclosed}, shard=args.shard)
+        rng = ensure_rng(args.seed)
+        batch = {}
+        for name, column in columns.items():
+            try:
+                spec = service.spec(name)
+            except ReproError:
+                raise ReproError(
+                    f"unknown attribute {name!r}; the service collects "
+                    f"{', '.join(service.attributes)}"
+                ) from None
+            batch[name] = (
+                column
+                if args.already_randomized
+                else spec.randomizer.randomize(column, seed=rng)
+            )
+        ingested = service.ingest(batch, shard=args.shard, classes=classes)
         service.save(snapshot)
-        total = service.n_seen(args.attribute)
-        print(f"ingested {ingested} record(s); {args.attribute!r} now holds {total}")
+        if len(batch) == 1:
+            total = service.n_seen(args.attribute or next(iter(batch)))
+            name = args.attribute or next(iter(batch))
+            print(f"ingested {ingested} record(s); {name!r} now holds {total}")
+        else:
+            print(
+                f"ingested {ingested} record(s) across {len(batch)} "
+                f"attribute(s) ({n_rows} full row(s))"
+            )
+        if service.classes:
+            for name in batch:
+                print(_by_class_line(name, service.n_seen_by_class(name)))
         if args.estimate:
+            spec = service.spec(args.attribute)
             result = service.estimate(args.attribute)
             service.save(snapshot)  # persist the refreshed warm start
             print(
@@ -515,7 +601,7 @@ def _cmd_ingest(args) -> int:
                     args.attribute,
                     spec.x_partition.edges,
                     result.distribution.probs,
-                    total,
+                    service.n_seen(args.attribute),
                     extra=f", {result.n_iterations} sweep(s)",
                 )
             )
@@ -533,29 +619,39 @@ def _cmd_ingest(args) -> int:
     client = _KeepAliveClient(base)
     try:
         if args.already_randomized:
-            disclosed = values
+            batch = columns
         else:
             schema = {a["name"]: a for a in client.get("/attributes")["attributes"]}
-            if args.attribute not in schema:
-                raise ReproError(
-                    f"unknown attribute {args.attribute!r}; the server collects "
-                    f"{', '.join(schema)}"
+            for name in columns:
+                if name not in schema:
+                    raise ReproError(
+                        f"unknown attribute {name!r}; the server collects "
+                        f"{', '.join(schema)}"
+                    )
+            rng = ensure_rng(args.seed)
+            batch = {}
+            for name, column in columns.items():
+                attr = schema[name]
+                randomizer = noise_for_privacy(
+                    attr["noise"], attr["privacy"], attr["high"] - attr["low"]
                 )
-            attr = schema[args.attribute]
-            randomizer = noise_for_privacy(
-                attr["noise"], attr["privacy"], attr["high"] - attr["low"]
-            )
-            disclosed = randomizer.randomize(values, seed=args.seed)
+                batch[name] = randomizer.randomize(column, seed=rng)
 
         # the body is encoded once and reused by every request, so the
         # run measures wire + server cost, not client re-serialization
         if args.wire == "columns":
-            body = encode_columns({args.attribute: disclosed}, shard=args.shard)
+            body = encode_columns(batch, shard=args.shard, classes=classes)
             content_type = CONTENT_TYPE_COLUMNS
         else:
-            payload = {"batch": {args.attribute: disclosed.tolist()}}
+            payload = {
+                "batch": {
+                    name: column.tolist() for name, column in batch.items()
+                }
+            }
             if args.shard is not None:
                 payload["shard"] = args.shard
+            if classes is not None:
+                payload["classes"] = classes
             body = json.dumps(payload).encode()
             content_type = "application/json"
 
@@ -598,6 +694,14 @@ def _cmd_ingest(args) -> int:
                 f"load run: {args.concurrency} connection(s), "
                 f"{elapsed:.3f} s, {rate:,.0f} records/s"
             )
+        if classes is not None:
+            # only labeled runs need the per-class summary (and the
+            # /stats round-trip it costs)
+            stats = client.get("/stats")
+            for name in batch:
+                by_class = stats.get("records_by_class", {}).get(name)
+                if by_class:
+                    print(_by_class_line(name, by_class))
         if args.estimate:
             from urllib.parse import quote
 
@@ -611,6 +715,42 @@ def _cmd_ingest(args) -> int:
                     extra=f", {estimate['n_iterations']} sweep(s)",
                 )
             )
+    finally:
+        client.close()
+    return 0
+
+
+def _cmd_train(args) -> int:
+    import json
+
+    from repro import serialize
+    from repro.service.training import TRAINING_STRATEGIES
+
+    if args.strategy not in TRAINING_STRATEGIES:
+        raise ReproError(
+            f"--strategy must be one of {TRAINING_STRATEGIES}, "
+            f"got {args.strategy!r}"
+        )
+    client = _KeepAliveClient(args.url.rstrip("/"))
+    try:
+        summary = client.post(
+            "/train", json.dumps({"strategy": args.strategy}).encode()
+        )
+        print(
+            f"trained {summary['strategy']} tree on {summary['n_train']} "
+            f"labeled record(s): {summary['n_nodes']} node(s), depth "
+            f"{summary['depth']}, {summary['fit_seconds']:.3f} s"
+        )
+        if args.save or args.show_tree:
+            # the serialized tree can be large; only fetch when used
+            payload = client.get(f"/model?strategy={args.strategy}")
+            if args.save:
+                path = Path(args.save)
+                path.write_text(json.dumps(payload))
+                print(f"model saved to {path}")
+            if args.show_tree:
+                model = serialize.from_jsonable(payload)
+                print(model.tree.export_text())
     finally:
         client.close()
     return 0
@@ -710,13 +850,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after N connections (each keep-alive connection may "
         "carry many requests; smoke tests; default: run until ^C)",
     )
+    p.add_argument(
+        "--train", action="store_true",
+        help="enable POST /train and GET /model (needs a class-aware "
+        'spec: "classes" >= 1)',
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "ingest", help="randomize values locally and ingest them"
     )
-    p.add_argument("values", type=Path, help="values file (text column or .json)")
-    p.add_argument("--attribute", required=True, help="attribute to ingest into")
+    p.add_argument(
+        "values", type=Path,
+        help="values file: a text column, a JSON list, or a JSON "
+        '{"attribute": [values...]} dict of full rows (what a --train '
+        "server's labeled ingest requires across several attributes)",
+    )
+    p.add_argument(
+        "--attribute", default=None,
+        help="attribute to ingest into (required for single-column files; "
+        "full-row JSON dicts name their own attributes)",
+    )
     p.add_argument("--url", default=None, help="running server, e.g. http://127.0.0.1:8000")
     p.add_argument(
         "--snapshot", type=Path, default=None,
@@ -730,6 +884,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shard", type=int, default=None,
         help="pin the batch to one ingestion shard",
+    )
+    p.add_argument(
+        "--class-label", type=int, default=None,
+        help="class label attached to every record of the batch "
+        "(class-aware services; feeds the per-class shard stripes)",
     )
     p.add_argument(
         "--wire", choices=("json", "columns"), default="json",
@@ -750,6 +909,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the attribute's reconstructed distribution afterwards",
     )
     p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "train", help="train a decision tree on a running server"
+    )
+    p.add_argument(
+        "--url", required=True,
+        help="running server with training enabled (ppdm serve --train)",
+    )
+    p.add_argument(
+        "--strategy", default="byclass",
+        help="training strategy: global, byclass (default), or local",
+    )
+    p.add_argument(
+        "--save", type=Path, default=None,
+        help="write the trained_tree snapshot (GET /model payload) here",
+    )
+    p.add_argument(
+        "--show-tree", action="store_true",
+        help="print the trained tree's split structure",
+    )
+    p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("quest-info", help="describe the Quest workload")
     p.add_argument("--function", type=int, default=1)

@@ -29,6 +29,18 @@ class SchemaError(ReproError, ValueError):
     """A dataset column does not match the declared attribute schema."""
 
 
+class SerializationError(ValidationError):
+    """A snapshot payload does not match the schema it claims to describe.
+
+    Raised by :mod:`repro.serialize` and the service restore paths when a
+    stored document is structurally valid JSON but semantically
+    inconsistent — e.g. class-conditional counts whose block count
+    disagrees with the snapshot's declared class count.  Subclasses
+    :class:`ValidationError`, so existing ``except ValidationError``
+    callers keep working.
+    """
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """The benchmark orchestration layer hit an unusable state.
 

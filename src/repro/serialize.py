@@ -12,6 +12,8 @@ plain JSON-able dicts:
 * :class:`~repro.bayes.naive.NaiveBayesClassifier` (fitted)
 * :class:`~repro.service.AggregationService` (the serving tier's
   snapshot/restore path)
+* :class:`~repro.service.training.TrainedModel` (kind
+  ``"trained_tree"`` — a service-trained tree plus its provenance)
 
 Use :func:`to_jsonable` / :func:`from_jsonable` for in-memory dicts and
 :func:`save` / :func:`load` for files.
@@ -43,7 +45,7 @@ from repro.core.randomizers import (
     NullRandomizer,
     UniformRandomizer,
 )
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import NotFittedError, SerializationError, ValidationError
 from repro.tree.tree import DecisionTreeClassifier, TreeNode
 
 #: schema version embedded in every snapshot
@@ -62,6 +64,13 @@ def _is_aggregation_service(obj) -> bool:
     from repro.service.service import AggregationService
 
     return isinstance(obj, AggregationService)
+
+
+def _is_trained_model(obj) -> bool:
+    """Imported lazily: the training tier snapshots *through* this module."""
+    from repro.service.training import TrainedModel
+
+    return isinstance(obj, TrainedModel)
 
 
 def _node_to_dict(node: TreeNode) -> dict:
@@ -130,6 +139,17 @@ def to_jsonable(obj) -> dict:
             }
     if _is_aggregation_service(obj):
         return obj.snapshot()
+    if _is_trained_model(obj):
+        return {
+            "kind": "trained_tree",
+            "version": FORMAT_VERSION,
+            "strategy": obj.strategy,
+            "n_train": obj.n_train,
+            "attributes": list(obj.attributes),
+            "classes": obj.classes,
+            "fit_seconds": obj.fit_seconds,
+            "tree": to_jsonable(obj.tree),
+        }
     if isinstance(obj, NaiveBayesClassifier):
         if obj.log_priors_ is None:
             raise NotFittedError("cannot serialize an unfitted classifier")
@@ -189,6 +209,38 @@ def from_jsonable(payload: dict):
         from repro.service.service import AggregationService
 
         return AggregationService.restore(payload)
+    if kind == "trained_tree":
+        from repro.service.training import TrainedModel
+
+        try:
+            tree = from_jsonable(payload["tree"])
+            model = TrainedModel(
+                strategy=str(payload["strategy"]),
+                tree=tree,
+                n_train=int(payload["n_train"]),
+                attributes=tuple(payload["attributes"]),
+                classes=int(payload["classes"]),
+                fit_seconds=float(payload["fit_seconds"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ValidationError):
+                raise  # deliberate errors keep their specific message
+            raise SerializationError(
+                f"malformed trained_tree snapshot: {exc}"
+            ) from exc
+        if not isinstance(model.tree, DecisionTreeClassifier):
+            raise SerializationError(
+                "trained_tree snapshot must embed a decision_tree payload, "
+                f"got kind {payload['tree'].get('kind') if isinstance(payload['tree'], dict) else payload['tree']!r}"
+            )
+        if len(model.attributes) != len(model.tree.partitions):
+            raise SerializationError(
+                f"trained_tree snapshot names {len(model.attributes)} "
+                f"attribute(s) but its tree has "
+                f"{len(model.tree.partitions)} — the snapshot's schema "
+                "disagrees with the embedded tree"
+            )
+        return model
     if kind == "naive_bayes":
         partitions = [
             Partition(np.asarray(edges, dtype=float))

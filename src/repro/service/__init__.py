@@ -21,12 +21,18 @@ that server's aggregation tier:
   snapshot/restore through :mod:`repro.serialize`,
 * :mod:`repro.service.httpd` — a stdlib HTTP front end behind
   ``ppdm serve``, negotiating JSON / NDJSON / columnar ingest bodies
-  per Content-Type over keep-alive connections.
+  per Content-Type over keep-alive connections,
+* :mod:`repro.service.training` — :class:`TrainingService`: the mining
+  tier, growing the paper's Global/ByClass/Local decision trees
+  directly from the service-held class-conditional aggregates
+  (``POST /train`` / ``GET /model`` / ``ppdm train``).
 
 Estimates are bit-identical to a single-stream
 :class:`~repro.core.streaming.StreamingReconstructor` fed the same
-disclosures — sharding, striping, and wire format change the ingestion
-topology, never the math.
+disclosures — sharding, striping, class partitioning, and wire format
+change the ingestion topology, never the math — and service-trained
+trees are bit-identical to the offline training pipeline fed the same
+randomized rows.
 """
 
 from repro.service.httpd import ServiceHTTPServer
@@ -38,7 +44,15 @@ from repro.service.shards import (
     PreparedBatch,
     ShardSet,
 )
-from repro.service.wire import decode_columns, encode_columns, iter_frames
+from repro.service.training import TrainedModel, TrainingService
+from repro.service.wire import (
+    decode_columns,
+    decode_labeled,
+    encode_columns,
+    iter_frames,
+    iter_labeled_frames,
+    iter_labeled_ndjson,
+)
 
 __all__ = [
     "AggregationService",
@@ -48,8 +62,13 @@ __all__ = [
     "PreparedBatch",
     "ShardSet",
     "ServiceHTTPServer",
+    "TrainedModel",
+    "TrainingService",
     "service_from_spec",
     "decode_columns",
+    "decode_labeled",
     "encode_columns",
     "iter_frames",
+    "iter_labeled_frames",
+    "iter_labeled_ndjson",
 ]

@@ -12,24 +12,32 @@ by the service itself.
 ``POST /ingest`` negotiates its wire format via ``Content-Type``:
 
 * ``application/json`` (default) — ``{"batch": {name: [values...]},
-  "shard": i?}``, the curl-able format,
+  "shard": i?, "classes": [labels...]?}``, the curl-able format,
 * ``application/x-ndjson`` — many such objects, one per line,
 * ``application/x-ppdm-columns`` — concatenated binary columnar frames
-  (:mod:`repro.service.wire`), the zero-copy bulk fast path.
+  (:mod:`repro.service.wire`), the zero-copy bulk fast path; version 2
+  frames carry an optional class column.
 
 Endpoints (responses are always JSON):
 
 =========================  ==================================================
 ``GET /healthz``           liveness + total records absorbed
 ``GET /attributes``        the collected schema (domain, grid, noise)
-``GET /stats``             per-attribute record counts, shard and cache stats
+``GET /stats``             per-attribute record counts (incl. per class),
+                           shard and cache stats
 ``GET /estimate?attribute=NAME``  reconstructed distribution for ``NAME``
+``GET /model?strategy=S``  last trained decision tree (``trained_tree``
+                           snapshot payload)
 ``POST /ingest``           one or many batches, wire format per Content-Type
+``POST /train``            grow a decision tree from the aggregates
 ``POST /snapshot``         persist to the configured snapshot path
 =========================  ==================================================
 
-Errors return ``{"error": message}`` with status 400 (validation) or
-404 (unknown route/attribute-less estimate).
+Errors return ``{"error": message}`` with status 400 (validation),
+404 (unknown route / untrained model), 413 (body over the configured
+size cap), or 501 (chunked transfer).  Any 4xx leaves the connection
+usable (except 413/501, which close it — the body cannot be skipped
+safely) and absorbs nothing from the failing body.
 """
 
 from __future__ import annotations
@@ -41,17 +49,21 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.privacy import privacy_of_randomizer
 from repro.exceptions import ValidationError
+from repro.service.training import TRAINING_STRATEGIES
 from repro.service.wire import (
     CONTENT_TYPE_COLUMNS,
     CONTENT_TYPE_NDJSON,
-    iter_frames,
-    iter_ndjson,
+    iter_labeled_frames,
+    iter_labeled_ndjson,
 )
 
 __all__ = ["ServiceHTTPServer"]
 
 #: dead handler threads are pruned from the join list this often
 _REAP_INTERVAL = 64
+
+#: default request-body cap (bytes); oversized bodies get 413 + close
+_DEFAULT_MAX_BODY = 256 * 1024 * 1024
 
 
 class ServiceHTTPServer:
@@ -67,13 +79,35 @@ class ServiceHTTPServer:
     snapshot_path:
         Where ``POST /snapshot`` persists the service; ``None`` disables
         the endpoint (400).
+    training:
+        Optional :class:`~repro.service.training.TrainingService` over
+        ``service``; enables ``POST /train`` / ``GET /model`` and routes
+        labeled ingest bodies into the training buffer.  ``None``
+        disables the endpoints (400) and labeled batches only feed the
+        class-conditional shards.
+    max_body_bytes:
+        Request bodies larger than this are refused with 413 before any
+        byte is read (the connection closes — an unread body cannot be
+        skipped safely on a keep-alive socket).
     """
 
     def __init__(
         self, service, host: str = "127.0.0.1", port: int = 0, *,
-        snapshot_path=None,
+        snapshot_path=None, training=None,
+        max_body_bytes: int = _DEFAULT_MAX_BODY,
     ) -> None:
         self.service = service
+        self.training = training
+        if training is not None and training.service is not service:
+            raise ValidationError(
+                "the training service must wrap the served "
+                "AggregationService instance"
+            )
+        if max_body_bytes < 1:
+            raise ValidationError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        self.max_body_bytes = int(max_body_bytes)
         self.snapshot_path = snapshot_path
         self._requests_served = 0
         self._served_lock = threading.Lock()
@@ -194,8 +228,9 @@ class ServiceHTTPServer:
             }
         if path == "/stats":
             cache = service.engine.kernel_cache
-            return 200, {
+            payload = {
                 "n_shards": service.n_shards,
+                "classes": service.classes,
                 "records": service.n_seen(),
                 "kernel_cache": {
                     "hits": cache.hits,
@@ -203,6 +238,32 @@ class ServiceHTTPServer:
                     "size": len(cache),
                 },
             }
+            if service.classes:
+                payload["records_by_class"] = {
+                    name: service.n_seen_by_class(name)
+                    for name in service.attributes
+                }
+            if self.training is not None:
+                payload["training_records"] = self.training.n_buffered
+            return 200, payload
+        if path == "/model":
+            if self.training is None:
+                return 400, {"error": "server started without training"}
+            strategies = query.get("strategy")
+            strategy = strategies[0] if strategies else None
+            if strategy is not None and strategy not in TRAINING_STRATEGIES:
+                return 400, {
+                    "error": f"unknown strategy {strategy!r}; choose from "
+                    f"{list(TRAINING_STRATEGIES)}"
+                }
+            model = self.training.model(strategy)
+            if model is None:
+                return 404, {
+                    "error": "no trained model yet: POST /train first"
+                }
+            from repro.serialize import to_jsonable
+
+            return 200, to_jsonable(model)
         if path == "/estimate":
             names = query.get("attribute")
             if not names:
@@ -234,39 +295,79 @@ class ServiceHTTPServer:
             shard = payload.get("shard")
             if shard is not None and not isinstance(shard, int):
                 return 400, {"error": "'shard' must be an integer"}
-            ingested = self.service.ingest(batch, shard=shard)
+            classes = payload.get("classes")
+            if classes is not None and not isinstance(classes, list):
+                return 400, {"error": "'classes' must be a list of labels"}
+            ingested, _ = self._absorb_frames([(batch, classes, shard)])
             return 200, {
                 "ingested": ingested,
                 "records": sum(self.service.n_seen().values()),
+            }
+        if path == "/train":
+            if self.training is None:
+                return 400, {
+                    "error": "server started without training; restart "
+                    "ppdm serve with --train"
+                }
+            payload = payload if isinstance(payload, dict) else {}
+            strategy = payload.get("strategy", "byclass")
+            if not isinstance(strategy, str):
+                return 400, {"error": "'strategy' must be a string"}
+            model = self.training.train(strategy)
+            return 200, {
+                "strategy": model.strategy,
+                "n_train": model.n_train,
+                "n_nodes": model.tree.n_nodes,
+                "depth": model.tree.depth,
+                "fit_seconds": model.fit_seconds,
             }
         if path == "/snapshot":
             return 200, {"saved": self.persist()}
         return 404, {"error": f"unknown route {path!r}"}
 
-    def handle_ingest_frames(self, frames) -> tuple:
-        """Ingest decoded ``(batch, shard)`` frames (columnar/NDJSON bodies).
+    def _absorb_frames(self, frames) -> tuple:
+        """Validate, prepare, and absorb ``(batch, classes, shard)`` frames.
 
         All-or-nothing per request body: every frame is decoded,
         validated, and located (pure, lock-free) *before* the first one
-        is accumulated, so a 400 — truncated frame, unknown attribute,
-        bad shard — means nothing from the body was absorbed and the
-        client can safely re-send the whole thing.
+        is accumulated — and when training is enabled, labeled frames
+        are additionally normalized into full training rows first — so
+        a 400 means nothing from the body was absorbed and the client
+        can safely re-send the whole thing.  Returns
+        ``(records, n_frames)``.
         """
         n_shards = self.service.n_shards
         prepared_frames = []
-        for batch, shard in frames:
+        for batch, classes, shard in frames:
             if shard is not None and not 0 <= shard < n_shards:
                 raise ValidationError(
                     f"shard index {shard} out of range [0, {n_shards})"
                 )
-            prepared_frames.append((self.service.prepare(batch), shard))
-        ingested = sum(
-            self.service.ingest_prepared(prepared, shard=shard)
-            for prepared, shard in prepared_frames
-        )
+            prepared = self.service.prepare(batch, classes)
+            rows = None
+            if self.training is not None and classes is not None:
+                rows = self.training.prepare_rows(batch, classes)
+            prepared_frames.append((prepared, rows, shard))
+        ingested = 0
+        for prepared, rows, shard in prepared_frames:
+            if rows is not None:
+                # shards and training buffer update as one unit, so a
+                # concurrent /train can never see them mid-divergence
+                with self.training.sync_lock:
+                    ingested += self.service.ingest_prepared(
+                        prepared, shard=shard
+                    )
+                    self.training.absorb_rows(rows)
+            else:
+                ingested += self.service.ingest_prepared(prepared, shard=shard)
+        return ingested, len(prepared_frames)
+
+    def handle_ingest_frames(self, frames) -> tuple:
+        """Ingest decoded ``(batch, classes, shard)`` frames (columnar/NDJSON)."""
+        ingested, n_frames = self._absorb_frames(frames)
         return 200, {
             "ingested": ingested,
-            "frames": len(prepared_frames),
+            "frames": n_frames,
             "records": sum(self.service.n_seen().values()),
         }
 
@@ -336,15 +437,42 @@ def _make_handler(server: ServiceHTTPServer):
                     close=True,
                 )
                 return
-            length = int(self.headers.get("Content-Length", 0))
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = -1
+            if length < 0:
+                # an unparseable length leaves an unknown number of body
+                # bytes on the socket: refuse and drop the connection
+                self.close_connection = True
+                self._reply(
+                    400, {"error": "Content-Length must be a non-negative "
+                          "integer"},
+                    close=True,
+                )
+                return
+            if length > server.max_body_bytes:
+                # refuse before reading a byte; the unread body cannot be
+                # skipped safely on a keep-alive socket, so close
+                self.close_connection = True
+                self._reply(
+                    413, {"error": f"request body of {length} bytes exceeds "
+                          f"the {server.max_body_bytes} byte cap"},
+                    close=True,
+                )
+                return
             raw = self.rfile.read(length) if length else b""
             path = urlparse(self.path).path
             ctype = self._content_type()
             try:
                 if path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
-                    status, out = server.handle_ingest_frames(iter_frames(raw))
+                    status, out = server.handle_ingest_frames(
+                        iter_labeled_frames(raw)
+                    )
                 elif path == "/ingest" and ctype == CONTENT_TYPE_NDJSON:
-                    status, out = server.handle_ingest_frames(iter_ndjson(raw))
+                    status, out = server.handle_ingest_frames(
+                        iter_labeled_ndjson(raw)
+                    )
                 else:
                     try:
                         payload = json.loads(raw.decode() or "null")

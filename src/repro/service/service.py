@@ -35,7 +35,7 @@ from repro.core.engine import (
 )
 from repro.core.partition import Partition
 from repro.core.privacy import NOISE_KINDS, noise_for_privacy
-from repro.exceptions import ValidationError
+from repro.exceptions import SerializationError, ValidationError
 from repro.service.shards import AttributeSpec, ShardSet
 
 
@@ -63,6 +63,14 @@ class AggregationService:
     n_shards:
         Number of ingestion shards (see
         :class:`~repro.service.shards.ShardSet`).
+    classes:
+        Number of class labels the shards additionally partition by
+        (0 = class-unaware).  With ``classes >= 1`` batches may carry a
+        class column and the service holds one histogram partial per
+        (attribute, class) — the input the paper's ByClass/Local
+        training consumes (see
+        :class:`~repro.service.training.TrainingService`).  Unlabeled
+        batches still ingest, into a separate unlabeled partition.
     max_iterations / tol / stopping / transition_method / coverage:
         Engine settings, exactly as on
         :class:`~repro.core.streaming.StreamingReconstructor`.
@@ -94,6 +102,7 @@ class AggregationService:
         attributes,
         *,
         n_shards: int = 1,
+        classes: int = 0,
         max_iterations: int = 500,
         tol: float = 1e-3,
         stopping: str = "chi2",
@@ -127,6 +136,7 @@ class AggregationService:
         self._shards = ShardSet(
             {name: state.y_partition for name, state in self._states.items()},
             n_shards,
+            n_classes=int(classes),
         )
         # estimate() mutates the carried theta; refreshes are serialized
         # so concurrent queries cannot interleave a warm start.
@@ -158,6 +168,11 @@ class AggregationService:
     def n_shards(self) -> int:
         return self._shards.n_shards
 
+    @property
+    def classes(self) -> int:
+        """Class labels the shards partition by (0 = class-unaware)."""
+        return self._shards.n_classes
+
     def spec(self, name: str) -> AttributeSpec:
         """The :class:`AttributeSpec` registered under ``name``."""
         return self._state(name).spec
@@ -168,10 +183,36 @@ class AggregationService:
             self._state(name)
         return self._shards.n_seen(name)
 
+    def n_seen_by_class(self, name: str):
+        """Per-class records absorbed for ``name``.
+
+        Returns ``{"unlabeled": n, "0": n, ...}`` — one entry for the
+        unlabeled partition plus one per class label (JSON-friendly
+        string keys; the HTTP ``/stats`` route and the CLI summaries
+        serve this verbatim).
+        """
+        self._state(name)
+        matrix = self._shards.merged_by_class(name)
+        out = {"unlabeled": int(matrix[0].sum())}
+        for c in range(self.classes):
+            out[str(c)] = int(matrix[c + 1].sum())
+        return out
+
+    def merged_by_class(self, name: str):
+        """Merged per-class noise-grid counts: ``(classes + 1, bins)``.
+
+        Row 0 is the unlabeled partition, row ``c + 1`` class ``c`` —
+        the class-conditional aggregates
+        :class:`~repro.service.training.TrainingService` reconstructs
+        from.
+        """
+        self._state(name)
+        return self._shards.merged_by_class(name)
+
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
-    def ingest(self, batch, *, shard: int = None) -> int:
+    def ingest(self, batch, *, shard: int = None, classes=None) -> int:
         """Absorb ``{attribute: randomized values}``; return records added.
 
         O(batch) work: each attribute's values are located on its
@@ -179,11 +220,14 @@ class AggregationService:
         in one fused ``np.bincount`` into the routed shard's striped
         accumulators (see :mod:`repro.service.shards`).  ``shard`` pins
         the batch to a specific shard (one-worker-per-shard ingestion);
-        otherwise batches round-robin.
+        otherwise batches round-robin.  ``classes`` — one integer label
+        per record, shared by every column — bins the batch into its
+        per-class stripes (requires a service built with
+        ``classes >= 1``).
         """
-        return self._shards.ingest(batch, shard=shard)
+        return self._shards.ingest(batch, shard=shard, classes=classes)
 
-    def prepare(self, batch):
+    def prepare(self, batch, classes=None):
         """Locate a batch into fused flat bin indices, outside any lock.
 
         The pure half of ingestion, exposed so front ends (e.g. the
@@ -191,7 +235,7 @@ class AggregationService:
         and hand the :class:`~repro.service.shards.PreparedBatch` to
         :meth:`ingest_prepared`.
         """
-        return self._shards.prepare(batch)
+        return self._shards.prepare(batch, classes)
 
     def ingest_prepared(self, prepared, *, shard: int = None) -> int:
         """Absorb a batch pre-located by :meth:`prepare`."""
@@ -277,9 +321,21 @@ class AggregationService:
                     "randomizer": to_jsonable(state.spec.randomizer),
                 }
             )
-            counts, seen = self._shards.merged(name)
+            if self.classes:
+                # class-aware services persist one block per partition
+                # (unlabeled + each class) so training state survives;
+                # n_seen derives from the same single counts read (a
+                # second pass over the stripes could interleave with a
+                # concurrent ingest and write a snapshot the restore-side
+                # counts/n_seen cross-check would reject)
+                counts = self._shards.merged_by_class(name)
+                seen = int(counts.sum())
+                y_counts = [block.tolist() for block in counts]
+            else:
+                flat, seen = self._shards.merged(name)
+                y_counts = flat.tolist()
             state_section[name] = {
-                "y_counts": counts.tolist(),
+                "y_counts": y_counts,
                 "n_seen": int(seen),
                 "theta": state.theta.tolist(),
             }
@@ -294,6 +350,7 @@ class AggregationService:
                 "coverage": config.coverage,
             },
             "n_shards": self._shards.n_shards,
+            "classes": self.classes,
             "attributes": attributes,
             "state": state_section,
         }
@@ -311,6 +368,7 @@ class AggregationService:
 
         try:
             config = payload["config"]
+            classes = int(payload.get("classes", 0))
             service = cls(
                 [
                     AttributeSpec(
@@ -321,28 +379,42 @@ class AggregationService:
                     for attr in payload["attributes"]
                 ],
                 n_shards=payload["n_shards"],
+                classes=classes,
                 **config,
             )
             shard0 = service._shards.shard(0)
             for name, saved in payload["state"].items():
                 state = service._state(name)
-                counts = np.asarray(saved["y_counts"], dtype=float)
-                if counts.shape != (state.y_partition.n_intervals,):
-                    raise ValidationError(
-                        f"snapshot counts for {name!r} have "
-                        f"{counts.size} bins; the noise-expanded grid has "
-                        f"{state.y_partition.n_intervals}"
-                    )
+                n_bins = state.y_partition.n_intervals
+                blocks = _snapshot_count_blocks(
+                    name, saved["y_counts"], classes, n_bins
+                )
                 theta = np.asarray(saved["theta"], dtype=float)
                 if theta.shape != (state.spec.x_partition.n_intervals,):
-                    raise ValidationError(
+                    raise SerializationError(
                         f"snapshot estimate for {name!r} has {theta.size} "
                         "intervals; the partition has "
                         f"{state.spec.x_partition.n_intervals}"
                     )
-                shard0.absorb_counts(name, counts, int(saved["n_seen"]))
+                n_seen = int(saved["n_seen"])
+                absorbed = int(sum(block.sum() for block in blocks))
+                if absorbed != n_seen:
+                    raise SerializationError(
+                        f"snapshot counts for {name!r} hold {absorbed} "
+                        f"record(s) but n_seen claims {n_seen}"
+                    )
+                for block_index, block in enumerate(blocks):
+                    block_seen = int(block.sum())
+                    if block_seen or block_index == 0:
+                        # the unlabeled block also carries the residual
+                        # seen counter for empty class-less snapshots
+                        shard0.absorb_counts(
+                            name, block, block_seen, class_block=block_index
+                        )
                 state.theta = theta
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ValidationError):
+                raise  # deliberate errors keep their specific message
             raise ValidationError(
                 f"malformed aggregation_service snapshot: {exc}"
             ) from exc
@@ -384,6 +456,46 @@ class AggregationService:
         )
 
 
+def _snapshot_count_blocks(name: str, y_counts, classes: int, n_bins: int):
+    """Validate one attribute's snapshot counts against the declared classes.
+
+    Class-aware snapshots store ``classes + 1`` blocks (unlabeled plus
+    one per class); class-less snapshots store one flat histogram.  Any
+    disagreement — wrong block count, wrong bin count, ragged rows —
+    raises a :class:`~repro.exceptions.SerializationError` instead of
+    surfacing as a raw numpy shape/ragged-array error.
+    """
+    if classes:
+        if not isinstance(y_counts, list) or len(y_counts) != classes + 1:
+            found = len(y_counts) if isinstance(y_counts, list) else 0
+            raise SerializationError(
+                f"snapshot counts for {name!r} must hold {classes + 1} "
+                f"class blocks (unlabeled + {classes} classes), got "
+                f"{found} — the snapshot's class partitioning disagrees "
+                "with its declared 'classes'"
+            )
+        rows = y_counts
+    else:
+        rows = [y_counts]
+    blocks = []
+    for row in rows:
+        try:
+            block = np.asarray(row, dtype=float)
+        except (ValueError, TypeError) as exc:
+            raise SerializationError(
+                f"snapshot counts for {name!r} are not numeric "
+                f"histogram rows: {exc}"
+            ) from exc
+        if block.shape != (n_bins,):
+            raise SerializationError(
+                f"snapshot counts for {name!r} have shape {block.shape}; "
+                f"the noise-expanded grid has {n_bins} bins"
+                + (" per class block" if classes else "")
+            )
+        blocks.append(block)
+    return blocks
+
+
 def service_from_spec(spec: dict) -> AggregationService:
     """Build a service from a plain-dict deployment spec (``ppdm serve``).
 
@@ -394,6 +506,7 @@ def service_from_spec(spec: dict) -> AggregationService:
 
         {
           "shards": 4,                      # optional, default 1
+          "classes": 2,                     # optional: class-aware shards
           "intervals": 24,                  # optional global default
           "attributes": [
             {"name": "age", "low": 20, "high": 80,
@@ -447,4 +560,8 @@ def service_from_spec(spec: dict) -> AggregationService:
             float(attr.get("confidence", 0.95)),
         )
         specs.append(AttributeSpec(name, partition, randomizer))
-    return AggregationService(specs, n_shards=int(spec.get("shards", 1)))
+    return AggregationService(
+        specs,
+        n_shards=int(spec.get("shards", 1)),
+        classes=int(spec.get("classes", 0)),
+    )

@@ -28,7 +28,12 @@ The hot path is built for memory bandwidth, not Python speed:
 * each shard accumulates into **striped per-thread buffers**: a writer
   thread owns its stripe, so its stripe lock is uncontended on the hot
   path and reads (:meth:`HistogramShard.partial`) merge the stripes —
-  exact, because integer-valued float64 sums are associative.
+  exact, because integer-valued float64 sums are associative,
+* layouts built with ``n_classes >= 1`` replicate the flat buffer into
+  per-class *blocks* (plus one for unlabeled records), and a labeled
+  batch's class column folds into the same fused ``np.bincount``, so
+  class-conditional aggregation — the input the paper's ByClass/Local
+  training needs — costs the ingest path nothing.
 
 :class:`ShardSet` is the fixed-size collection of shards over one
 attribute schema, with round-robin routing and the O(bins) merge.  The
@@ -46,7 +51,7 @@ import numpy as np
 from repro.core.partition import Partition
 from repro.core.randomizers import AdditiveRandomizer
 from repro.exceptions import ValidationError
-from repro.utils.validation import check_1d_array
+from repro.utils.validation import check_1d_array, check_label_column
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,14 @@ class ColumnLayout:
     — and one ``np.bincount`` over those fused indices bins every
     attribute of a batch in a single vectorized pass.
 
+    With ``n_classes >= 1`` the flat vector holds ``n_classes + 1``
+    consecutive *class blocks* of that base layout: block 0 collects
+    unlabeled records (v1 wire clients), block ``c + 1`` collects
+    records disclosed with class label ``c``.  A labeled batch's class
+    column simply adds ``(class + 1) * base_bins`` to each fused index,
+    so the same single ``np.bincount`` bins every attribute of a batch
+    *per class* in one pass.
+
     Shared by every shard of a :class:`ShardSet` (the layout is
     immutable schema geometry, not state).
 
@@ -114,13 +127,25 @@ class ColumnLayout:
     (10, 4)
     >>> layout.prepare({"b": [0.05, 0.95]}).flat.tolist()
     [4, 9]
+    >>> labeled = ColumnLayout({"a": Partition.uniform(0, 1, 4)}, n_classes=2)
+    >>> labeled.total_bins  # 4 bins x (unlabeled + 2 class blocks)
+    12
+    >>> labeled.prepare({"a": [0.1, 0.9]}, classes=[0, 1]).flat.tolist()
+    [4, 11]
     """
 
-    __slots__ = ("_partitions", "_names", "_offsets", "_index", "total_bins")
+    __slots__ = (
+        "_partitions", "_names", "_offsets", "_index",
+        "base_bins", "n_classes", "total_bins",
+    )
 
-    def __init__(self, y_partitions) -> None:
+    def __init__(self, y_partitions, *, n_classes: int = 0) -> None:
         if not y_partitions:
             raise ValidationError("a layout needs at least one attribute")
+        if not isinstance(n_classes, int) or n_classes < 0:
+            raise ValidationError(
+                f"n_classes must be a non-negative integer, got {n_classes!r}"
+            )
         self._partitions = dict(y_partitions)
         self._names = tuple(self._partitions)
         self._index = {name: k for k, name in enumerate(self._names)}
@@ -129,7 +154,9 @@ class ColumnLayout:
         for name, partition in self._partitions.items():
             self._offsets[name] = total
             total += partition.n_intervals
-        self.total_bins = total
+        self.base_bins = total
+        self.n_classes = int(n_classes)
+        self.total_bins = total * (self.n_classes + 1)
 
     @property
     def names(self) -> tuple:
@@ -142,7 +169,7 @@ class ColumnLayout:
         return self._partitions[name]
 
     def offset_of(self, name: str) -> int:
-        """First flat bin of attribute ``name``."""
+        """First flat bin of attribute ``name`` (within class block 0)."""
         self.require(name)
         return self._offsets[name]
 
@@ -151,11 +178,28 @@ class ColumnLayout:
         self.require(name)
         return self._index[name]
 
-    def slice_of(self, name: str) -> slice:
-        """``name``'s bin range within the flat counts vector."""
+    def slice_of(self, name: str, class_block: int = 0) -> slice:
+        """``name``'s bin range within one class block of the flat vector.
+
+        Block 0 is the unlabeled partition; block ``c + 1`` holds class
+        ``c``.  Layouts without classes only have block 0, so existing
+        callers keep their meaning.
+        """
         self.require(name)
-        offset = self._offsets[name]
+        if not 0 <= class_block <= self.n_classes:
+            raise ValidationError(
+                f"class block {class_block} out of range "
+                f"[0, {self.n_classes + 1})"
+            )
+        offset = class_block * self.base_bins + self._offsets[name]
         return slice(offset, offset + self._partitions[name].n_intervals)
+
+    def class_slices(self, name: str) -> tuple:
+        """All of ``name``'s class-block slices: unlabeled, then classes."""
+        self.require(name)
+        return tuple(
+            self.slice_of(name, block) for block in range(self.n_classes + 1)
+        )
 
     def require(self, name: str) -> None:
         """Raise :class:`ValidationError` unless ``name`` is in the schema."""
@@ -165,24 +209,51 @@ class ColumnLayout:
             )
 
     def compatible_with(self, other: "ColumnLayout") -> bool:
-        """Same attributes on the same grids (merge/ingest compatibility)."""
+        """Same attributes, grids, and class count (merge/ingest compatibility)."""
         if self is other:
             return True
-        return self._names == other._names and all(
-            np.array_equal(self._partitions[n].edges, other._partitions[n].edges)
-            for n in self._names
+        return (
+            self._names == other._names
+            and self.n_classes == other.n_classes
+            and all(
+                np.array_equal(
+                    self._partitions[n].edges, other._partitions[n].edges
+                )
+                for n in self._names
+            )
         )
 
-    def prepare(self, batch) -> "PreparedBatch":
+    def check_classes(self, classes) -> np.ndarray:
+        """Validate a class column; return it as flat block offsets per record.
+
+        ``classes`` must be a 1-D column of integer labels in
+        ``[0, n_classes)``; the returned array holds each record's class
+        block offset (``(class + 1) * base_bins``), ready to add to the
+        located attribute indices.
+        """
+        if self.n_classes == 0:
+            raise ValidationError(
+                "this layout has no class partitions; build it with "
+                "n_classes >= 1 to ingest labeled records"
+            )
+        labels = check_label_column(classes, n_classes=self.n_classes)
+        return (labels + 1) * self.base_bins
+
+    def prepare(self, batch, classes=None) -> "PreparedBatch":
         """Locate a ``{attribute: values}`` batch into fused flat indices.
 
         The pure, lock-free half of ingestion: values are validated,
         bucketed on their attribute's grid, and offset into the flat bin
-        space.  The returned :class:`PreparedBatch` can be handed to any
-        shard built on this layout.
+        space.  With ``classes`` (one integer label per record, shared
+        by every column of the batch) each fused index additionally
+        lands in its record's class block, so labeled batches bin
+        per class in the same single pass.  The returned
+        :class:`PreparedBatch` can be handed to any shard built on this
+        layout.
         """
         if not isinstance(batch, dict):
             raise ValidationError("batch must map attribute -> values")
+        blocks = None if classes is None else self.check_classes(classes)
         located = []
         seen = np.zeros(len(self._names), dtype=np.int64)
         total = 0
@@ -194,9 +265,18 @@ class ColumnLayout:
                     f"{list(self._names)}"
                 )
             arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
+            if blocks is not None and arr.size != blocks.size:
+                raise ValidationError(
+                    f"batch[{name!r}] has {arr.size} value(s) but the class "
+                    f"column has {blocks.size}; labeled batches need one "
+                    "class label per record"
+                )
             if arr.size == 0:
                 continue
-            located.append(partition.locate(arr) + self._offsets[name])
+            fused = partition.locate(arr) + self._offsets[name]
+            if blocks is not None:
+                fused = fused + blocks
+            located.append(fused)
             seen[self._index[name]] = arr.size
             total += arr.size
         if not located:
@@ -277,11 +357,13 @@ class HistogramShard:
     3
     """
 
-    def __init__(self, y_partitions, *, layout: ColumnLayout = None) -> None:
+    def __init__(
+        self, y_partitions, *, layout: ColumnLayout = None, n_classes: int = 0
+    ) -> None:
         if layout is None:
             if not y_partitions:
                 raise ValidationError("a shard needs at least one attribute")
-            layout = ColumnLayout(y_partitions)
+            layout = ColumnLayout(y_partitions, n_classes=n_classes)
         self._layout = layout
         self._stripes: dict = {}
         self._stripes_lock = threading.Lock()
@@ -314,13 +396,18 @@ class HistogramShard:
         with self._stripes_lock:
             return tuple(self._stripes.values())
 
-    def prepare(self, batch) -> PreparedBatch:
+    def prepare(self, batch, classes=None) -> PreparedBatch:
         """Locate a batch into fused flat indices (see :class:`ColumnLayout`)."""
-        return self._layout.prepare(batch)
+        return self._layout.prepare(batch, classes)
 
-    def ingest(self, batch) -> int:
-        """Absorb ``{attribute: randomized values}``; return records added."""
-        return self.ingest_prepared(self._layout.prepare(batch))
+    def ingest(self, batch, *, classes=None) -> int:
+        """Absorb ``{attribute: randomized values}``; return records added.
+
+        ``classes`` (one integer label per record) bins the batch into
+        its per-class stripes; without it records land in the unlabeled
+        partition.
+        """
+        return self.ingest_prepared(self._layout.prepare(batch, classes))
 
     def ingest_prepared(self, prepared: PreparedBatch) -> int:
         """Absorb a :class:`PreparedBatch`; return records added.
@@ -358,16 +445,37 @@ class HistogramShard:
         return total
 
     def partial(self, name: str) -> tuple:
-        """Merged ``(counts copy, n_seen)`` over this shard's stripes."""
-        sl = self._layout.slice_of(name)
+        """Merged ``(counts copy, n_seen)`` over this shard's stripes.
+
+        Counts sum the attribute's class blocks (unlabeled plus every
+        class), so class-aware shards serve the same all-records
+        histogram as before — integer counts in float64 sum exactly in
+        any order.
+        """
+        slices = self._layout.class_slices(name)
         k = self._layout.index_of(name)
-        counts = np.zeros(sl.stop - sl.start)
+        counts = np.zeros(slices[0].stop - slices[0].start)
         seen = 0
         for stripe in self._stripes_snapshot():
             with stripe.lock:
-                counts += stripe.counts[sl]
+                for sl in slices:
+                    counts += stripe.counts[sl]
                 seen += int(stripe.seen[k])
         return counts, seen
+
+    def partial_by_class(self, name: str) -> np.ndarray:
+        """Merged per-block counts of ``name``: ``(n_classes + 1, bins)``.
+
+        Row 0 is the unlabeled partition; row ``c + 1`` is class ``c``.
+        A class-less shard returns a single row (the plain histogram).
+        """
+        slices = self._layout.class_slices(name)
+        out = np.zeros((len(slices), slices[0].stop - slices[0].start))
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                for block, sl in enumerate(slices):
+                    out[block] += stripe.counts[sl]
+        return out
 
     def _flat_partial(self) -> tuple:
         """Merged ``(flat counts, seen vector)`` over all stripes."""
@@ -386,9 +494,15 @@ class HistogramShard:
             stripe.counts += counts
             stripe.seen += seen
 
-    def absorb_counts(self, name: str, counts, n_seen: int) -> None:
-        """Add pre-bucketed counts for one attribute (snapshot restore)."""
-        sl = self._layout.slice_of(name)
+    def absorb_counts(
+        self, name: str, counts, n_seen: int, *, class_block: int = 0
+    ) -> None:
+        """Add pre-bucketed counts for one attribute (snapshot restore).
+
+        ``class_block`` selects the partition the counts land in:
+        0 (default) is the unlabeled block, ``c + 1`` is class ``c``.
+        """
+        sl = self._layout.slice_of(name, class_block)
         counts = np.asarray(counts, dtype=float)
         if counts.shape != (sl.stop - sl.start,):
             raise ValidationError(
@@ -459,10 +573,12 @@ class ShardSet:
     (3, 3.0)
     """
 
-    def __init__(self, y_partitions, n_shards: int = 1) -> None:
+    def __init__(
+        self, y_partitions, n_shards: int = 1, *, n_classes: int = 0
+    ) -> None:
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
-        self._layout = ColumnLayout(y_partitions)
+        self._layout = ColumnLayout(y_partitions, n_classes=n_classes)
         self._shards = tuple(
             HistogramShard(None, layout=self._layout)
             for _ in range(int(n_shards))
@@ -478,6 +594,11 @@ class ShardSet:
     @property
     def n_shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def n_classes(self) -> int:
+        """Class labels the layout partitions by (0 = class-unaware)."""
+        return self._layout.n_classes
 
     @property
     def attributes(self) -> tuple:
@@ -498,13 +619,15 @@ class ShardSet:
     def __len__(self) -> int:
         return len(self._shards)
 
-    def prepare(self, batch) -> PreparedBatch:
+    def prepare(self, batch, classes=None) -> PreparedBatch:
         """Locate a batch into fused flat indices, outside any lock."""
-        return self._layout.prepare(batch)
+        return self._layout.prepare(batch, classes)
 
-    def ingest(self, batch, *, shard: int = None) -> int:
+    def ingest(self, batch, *, shard: int = None, classes=None) -> int:
         """Route a batch to a shard (round-robin unless ``shard`` given)."""
-        return self.ingest_prepared(self._layout.prepare(batch), shard=shard)
+        return self.ingest_prepared(
+            self._layout.prepare(batch, classes), shard=shard
+        )
 
     def ingest_prepared(self, prepared: PreparedBatch, *, shard: int = None) -> int:
         """Route a :class:`PreparedBatch` to a shard and accumulate it."""
@@ -524,6 +647,23 @@ class ShardSet:
             counts += partial
             seen += partial_seen
         return counts, seen
+
+    def merged_by_class(self, name: str) -> np.ndarray:
+        """Merged per-class counts of ``name``: ``(n_classes + 1, bins)``.
+
+        Row 0 is the unlabeled partition, row ``c + 1`` class ``c``;
+        rows sum (exactly) to :meth:`merged`'s all-records histogram.
+        """
+        self._layout.require(name)
+        out = np.zeros(
+            (
+                self._layout.n_classes + 1,
+                self._layout.partition(name).n_intervals,
+            )
+        )
+        for shard in self._shards:
+            out += shard.partial_by_class(name)
+        return out
 
     def merge(self) -> dict:
         """Merged partials for every attribute: ``{name: (counts, n_seen)}``."""

@@ -12,21 +12,32 @@ Frame layout (all integers little-endian)::
 
     offset  size  field
     0       4     magic  b"PPDM"
-    4       2     u16    wire version (currently 1)
+    4       2     u16    wire version (1 = unlabeled, 2 = class-aware)
     6       2     u16    n_attributes
     8       4     i32    shard pin (-1 = unpinned, round-robin)
-    12      ...   attribute table, n_attributes entries:
+    [v2]    8     u64    class row count (0 = no class column)
+    ...     ...   attribute table, n_attributes entries:
                     u16    name length L (UTF-8 bytes)
                     L      attribute name
                     u64    row count
+    [v2]    ...   class column: class_row_count x 4 bytes of raw
+                  little-endian int32 class labels
     ...     ...   columns: row_count x 8 bytes of raw little-endian
                   float64 per attribute, in table order
 
+Version 2 frames carry an optional *class column* — one int32 label per
+record, shared by every attribute column (whose row counts must then
+all equal the class row count) — so classification training data
+(class, attribute values) streams over the same zero-copy path.
+Version 1 frames remain fully supported; their records land in the
+server's unlabeled partition.
+
 Frames are self-delimiting, so a request body may concatenate any
-number of them (:func:`iter_frames`) and a persistent connection can
-stream batch after batch.  The NDJSON fallback
-(``application/x-ndjson``) keeps the same many-batches-per-body shape
-curl-able: one ``{"batch": ..., "shard": ...}`` JSON object per line.
+number of them (:func:`iter_frames` / :func:`iter_labeled_frames`) and
+a persistent connection can stream batch after batch.  The NDJSON
+fallback (``application/x-ndjson``) keeps the same many-batches-per-body
+shape curl-able: one ``{"batch": ..., "shard": ..., "classes": ...}``
+JSON object per line (``classes`` optional).
 
 Malformed frames raise :class:`~repro.exceptions.ValidationError`,
 which the HTTP front end maps to status 400.
@@ -40,16 +51,21 @@ import struct
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.utils.validation import check_label_column
 
 __all__ = [
     "CONTENT_TYPE_COLUMNS",
     "CONTENT_TYPE_NDJSON",
     "MAGIC",
     "WIRE_VERSION",
+    "WIRE_VERSION_CLASSES",
     "decode_columns",
+    "decode_labeled",
     "encode_columns",
     "encode_ndjson",
     "iter_frames",
+    "iter_labeled_frames",
+    "iter_labeled_ndjson",
     "iter_ndjson",
 ]
 
@@ -59,16 +75,28 @@ CONTENT_TYPE_COLUMNS = "application/x-ppdm-columns"
 CONTENT_TYPE_NDJSON = "application/x-ndjson"
 #: the four magic bytes every columnar frame starts with
 MAGIC = b"PPDM"
-#: current frame version; bumped on any layout change
+#: unlabeled frame version (the PR 4 layout, still fully supported)
 WIRE_VERSION = 1
+#: class-aware frame version: adds an optional int32 class column
+WIRE_VERSION_CLASSES = 2
 
 _HEADER = struct.Struct("<4sHHi")
 _NAME_LEN = struct.Struct("<H")
 _ROW_COUNT = struct.Struct("<Q")
+_CLASS_COUNT = struct.Struct("<Q")
 _F8 = np.dtype("<f8")
+_I4 = np.dtype("<i4")
 
 
-def encode_columns(batch, *, shard: int = None) -> bytes:
+def _encode_class_column(classes) -> np.ndarray:
+    """Validate and convert a class column to little-endian int32."""
+    arr = check_label_column(classes)
+    if arr.size and (arr.min() < -(2**31) or arr.max() >= 2**31):
+        raise ValidationError("class labels must fit in a signed 32-bit int")
+    return np.ascontiguousarray(arr, dtype=_I4)
+
+
+def encode_columns(batch, *, shard: int = None, classes=None) -> bytes:
     """Encode one ``{attribute: values}`` batch as a columnar frame.
 
     Parameters
@@ -78,20 +106,38 @@ def encode_columns(batch, *, shard: int = None) -> bytes:
     shard:
         Optional shard pin carried in the frame header (``None`` routes
         round-robin on the server).
+    classes:
+        Optional class column: one integer label per record.  Every
+        attribute column must then have exactly that many rows, and the
+        frame is emitted as wire version 2 (without ``classes`` — or
+        with an empty column, which carries no labels — the
+        byte-for-byte version 1 layout is produced, so old servers keep
+        decoding unlabeled frames).
 
     Examples
     --------
     >>> import numpy as np
-    >>> from repro.service.wire import decode_columns, encode_columns
+    >>> from repro.service.wire import decode_columns, decode_labeled, encode_columns
     >>> frame = encode_columns({"age": [31.5, 47.0]}, shard=2)
     >>> frame[:4]
     b'PPDM'
     >>> batch, shard = decode_columns(frame)
     >>> batch["age"].tolist(), shard
     ([31.5, 47.0], 2)
+    >>> labeled = encode_columns({"age": [31.5, 47.0]}, classes=[0, 1])
+    >>> batch, classes, shard = decode_labeled(labeled)
+    >>> classes.tolist(), shard
+    ([0, 1], None)
     """
     if not isinstance(batch, dict):
         raise ValidationError("batch must map attribute -> values")
+    class_column = None
+    if classes is not None:
+        class_column = _encode_class_column(classes)
+        if class_column.size == 0:
+            # an empty class column carries no labels: emit the plain
+            # unlabeled v1 frame (empty != mismatched)
+            class_column = None
     columns = []
     table = []
     for name, values in batch.items():
@@ -105,6 +151,12 @@ def encode_columns(batch, *, shard: int = None) -> bytes:
             raise ValidationError(
                 f"batch[{name!r}] must be 1-dimensional, got shape {arr.shape}"
             )
+        if class_column is not None and arr.size != class_column.size:
+            raise ValidationError(
+                f"batch[{name!r}] has {arr.size} row(s) but the class "
+                f"column has {class_column.size}; labeled frames need one "
+                "class label per record"
+            )
         table.append(
             _NAME_LEN.pack(len(encoded_name))
             + encoded_name
@@ -113,14 +165,33 @@ def encode_columns(batch, *, shard: int = None) -> bytes:
         columns.append(arr.tobytes())
     if len(batch) > 0xFFFF:
         raise ValidationError("a frame holds at most 65535 attributes")
+    if class_column is None:
+        header = _HEADER.pack(
+            MAGIC, WIRE_VERSION, len(batch), -1 if shard is None else int(shard)
+        )
+        return header + b"".join(table) + b"".join(columns)
     header = _HEADER.pack(
-        MAGIC, WIRE_VERSION, len(batch), -1 if shard is None else int(shard)
+        MAGIC,
+        WIRE_VERSION_CLASSES,
+        len(batch),
+        -1 if shard is None else int(shard),
     )
-    return header + b"".join(table) + b"".join(columns)
+    return (
+        header
+        + _CLASS_COUNT.pack(class_column.size)
+        + b"".join(table)
+        + class_column.tobytes()
+        + b"".join(columns)
+    )
 
 
 def _decode_frame(view: memoryview, offset: int) -> tuple:
-    """Decode one frame at ``offset``; return ``(batch, shard, next_offset)``."""
+    """Decode one frame at ``offset``.
+
+    Returns ``(batch, shard, classes, next_offset)`` — ``classes`` is
+    ``None`` for version 1 frames and version 2 frames without a class
+    column.
+    """
     end = len(view)
     if end - offset < _HEADER.size:
         raise ValidationError(
@@ -133,12 +204,21 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
             f"bad frame magic {bytes(magic)!r}; expected {MAGIC!r} "
             f"(is the body really {CONTENT_TYPE_COLUMNS}?)"
         )
-    if version != WIRE_VERSION:
+    if version not in (WIRE_VERSION, WIRE_VERSION_CLASSES):
         raise ValidationError(
             f"unsupported wire version {version}; this server speaks "
-            f"version {WIRE_VERSION}"
+            f"versions {WIRE_VERSION} and {WIRE_VERSION_CLASSES}"
         )
     offset += _HEADER.size
+    class_rows = 0
+    if version == WIRE_VERSION_CLASSES:
+        if end - offset < _CLASS_COUNT.size:
+            raise ValidationError(
+                "truncated columnar frame: version 2 header needs a class "
+                "row count"
+            )
+        (class_rows,) = _CLASS_COUNT.unpack_from(view, offset)
+        offset += _CLASS_COUNT.size
     names = []
     rows = []
     for _ in range(n_attributes):
@@ -157,8 +237,23 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
         offset += _ROW_COUNT.size
         if name in names:
             raise ValidationError(f"duplicate attribute {name!r} in frame")
+        if class_rows and row_count != class_rows:
+            raise ValidationError(
+                f"labeled frame: column {name!r} declares {row_count} "
+                f"row(s) but the class column has {class_rows}"
+            )
         names.append(name)
         rows.append(row_count)
+    classes = None
+    if class_rows:
+        nbytes = class_rows * _I4.itemsize
+        if end - offset < nbytes:
+            raise ValidationError(
+                f"truncated columnar frame: the class column declares "
+                f"{class_rows} rows but only {end - offset} byte(s) remain"
+            )
+        classes = np.frombuffer(view, dtype=_I4, count=class_rows, offset=offset)
+        offset += nbytes
     batch = {}
     for name, row_count in zip(names, rows):
         nbytes = row_count * _F8.itemsize
@@ -169,16 +264,18 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
             )
         batch[name] = np.frombuffer(view, dtype=_F8, count=row_count, offset=offset)
         offset += nbytes
-    return batch, (None if shard < 0 else shard), offset
+    return batch, (None if shard < 0 else shard), classes, offset
 
 
 def decode_columns(payload) -> tuple:
-    """Decode a single columnar frame; return ``(batch, shard)``.
+    """Decode a single unlabeled columnar frame; return ``(batch, shard)``.
 
     The inverse of :func:`encode_columns`.  Columns come back as
     read-only ``float64`` views into ``payload`` — no bytes are copied.
     Trailing bytes after the frame are an error; bodies carrying several
-    concatenated frames go through :func:`iter_frames`.
+    concatenated frames go through :func:`iter_frames`.  Frames carrying
+    a class column are rejected (decode those with
+    :func:`decode_labeled`, which returns the classes too).
 
     Examples
     --------
@@ -187,23 +284,45 @@ def decode_columns(payload) -> tuple:
     >>> batch["x"].tolist(), shard
     ([0.5], None)
     """
+    batch, classes, shard = decode_labeled(payload)
+    if classes is not None:
+        raise ValidationError(
+            "frame carries a class column; decode it with decode_labeled()"
+        )
+    return batch, shard
+
+
+def decode_labeled(payload) -> tuple:
+    """Decode a single columnar frame; return ``(batch, classes, shard)``.
+
+    Accepts both wire versions: ``classes`` is a read-only int32 view
+    for labeled version 2 frames and ``None`` otherwise.
+
+    Examples
+    --------
+    >>> from repro.service.wire import decode_labeled, encode_columns
+    >>> frame = encode_columns({"x": [0.5, 0.9]}, classes=[1, 0], shard=2)
+    >>> batch, classes, shard = decode_labeled(frame)
+    >>> batch["x"].tolist(), classes.tolist(), shard
+    ([0.5, 0.9], [1, 0], 2)
+    """
     view = memoryview(payload)
-    batch, shard, offset = _decode_frame(view, 0)
+    batch, shard, classes, offset = _decode_frame(view, 0)
     if offset != len(view):
         raise ValidationError(
             f"{len(view) - offset} trailing byte(s) after the frame; "
             "multi-frame bodies decode with iter_frames()"
         )
-    return batch, shard
+    return batch, classes, shard
 
 
 def iter_frames(payload):
     """Yield ``(batch, shard)`` for every concatenated frame in ``payload``.
 
-    The decoder behind ``POST /ingest`` with
-    ``Content-Type: application/x-ppdm-columns``: a client holding a
-    persistent connection can pack many batches into one body, and each
-    column is decoded as a zero-copy ``np.frombuffer`` view.
+    The unlabeled decode loop: each column is a zero-copy
+    ``np.frombuffer`` view.  Labeled frames (version 2 with a class
+    column) are rejected so their classes can never be silently dropped
+    — iterate those with :func:`iter_labeled_frames`.
 
     Examples
     --------
@@ -212,11 +331,39 @@ def iter_frames(payload):
     >>> [(b["x"].tolist(), s) for b, s in iter_frames(body)]
     [([0.1], None), ([0.9], 1)]
     """
+    for batch, classes, shard in iter_labeled_frames(payload):
+        if classes is not None:
+            raise ValidationError(
+                "frame carries a class column; iterate with "
+                "iter_labeled_frames()"
+            )
+        yield batch, shard
+
+
+def iter_labeled_frames(payload):
+    """Yield ``(batch, classes, shard)`` for every frame in ``payload``.
+
+    The decoder behind ``POST /ingest`` with
+    ``Content-Type: application/x-ppdm-columns``: version 1 and
+    version 2 frames may be freely mixed in one body, and each column —
+    including the class column — is decoded as a zero-copy
+    ``np.frombuffer`` view.
+
+    Examples
+    --------
+    >>> from repro.service.wire import encode_columns, iter_labeled_frames
+    >>> body = encode_columns({"x": [0.1]}) + encode_columns(
+    ...     {"x": [0.9]}, classes=[1]
+    ... )
+    >>> [(b["x"].tolist(), None if c is None else c.tolist(), s)
+    ...  for b, c, s in iter_labeled_frames(body)]
+    [([0.1], None, None), ([0.9], [1], None)]
+    """
     view = memoryview(payload)
     offset = 0
     while offset < len(view):
-        batch, shard, offset = _decode_frame(view, offset)
-        yield batch, shard
+        batch, shard, classes, offset = _decode_frame(view, offset)
+        yield batch, classes, shard
 
 
 def encode_ndjson(frames) -> bytes:
@@ -254,13 +401,38 @@ def iter_ndjson(payload):
 
     Blank lines are skipped, so trailing newlines and curl-assembled
     bodies are fine.  Each line must carry a ``"batch"`` object; an
-    optional integer ``"shard"`` pins the batch.
+    optional integer ``"shard"`` pins the batch.  Lines carrying a
+    ``"classes"`` column are rejected so labels can never be silently
+    dropped — iterate those with :func:`iter_labeled_ndjson`.
 
     Examples
     --------
     >>> from repro.service.wire import iter_ndjson
     >>> list(iter_ndjson(b'{"batch": {"x": [0.5]}, "shard": 0}\\n'))
     [({'x': [0.5]}, 0)]
+    """
+    for batch, classes, shard in iter_labeled_ndjson(payload):
+        if classes is not None:
+            raise ValidationError(
+                "NDJSON line carries a 'classes' column; iterate with "
+                "iter_labeled_ndjson()"
+            )
+        yield batch, shard
+
+
+def iter_labeled_ndjson(payload):
+    """Yield ``(batch, classes, shard)`` for every line of an NDJSON body.
+
+    Like :func:`iter_ndjson`, plus an optional ``"classes"`` key per
+    line: a JSON list with one integer class label per record
+    (``None`` when absent — the unlabeled partition).
+
+    Examples
+    --------
+    >>> from repro.service.wire import iter_labeled_ndjson
+    >>> body = b'{"batch": {"x": [0.5]}, "classes": [1], "shard": 0}\\n'
+    >>> list(iter_labeled_ndjson(body))
+    [({'x': [0.5]}, [1], 0)]
     """
     for lineno, line in enumerate(bytes(payload).splitlines(), start=1):
         if not line.strip():
@@ -282,4 +454,10 @@ def iter_ndjson(payload):
                 f"NDJSON line {lineno}: 'shard' must be an integer, "
                 f"got {type(shard).__name__}"
             )
-        yield batch, shard
+        classes = record.get("classes")
+        if classes is not None and not isinstance(classes, list):
+            raise ValidationError(
+                f"NDJSON line {lineno}: 'classes' must be a list of "
+                f"integer labels, got {type(classes).__name__}"
+            )
+        yield batch, classes, shard

@@ -382,6 +382,58 @@ class DecisionTreeClassifier:
                 stack.extend(((node.left, d + 1), (node.right, d + 1)))
         return best
 
+    def identical_to(self, other: "DecisionTreeClassifier") -> bool:
+        """Structural bit-identity with another fitted tree.
+
+        True only when the two trees share the same attribute grids and
+        every node matches exactly: same split attribute, bitwise-equal
+        threshold, and identical class counts (hence identical leaf
+        predictions).  The equality the service-vs-offline training
+        parity tests and ``bench_e22`` assert.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.core import Partition
+        >>> x = np.array([[0.1], [0.9]])
+        >>> y = np.array([0, 1])
+        >>> a = DecisionTreeClassifier([Partition.uniform(0, 1, 4)]).fit(x, y)
+        >>> b = DecisionTreeClassifier([Partition.uniform(0, 1, 4)]).fit(x, y)
+        >>> a.identical_to(b)
+        True
+        """
+        root_a = self._check_fitted()
+        if not isinstance(other, DecisionTreeClassifier):
+            return False
+        root_b = other.root_
+        if root_b is None:  # an unfitted tree is identical to nothing
+            return False
+        if len(self.partitions) != len(other.partitions):
+            return False
+        if any(
+            not np.array_equal(pa.edges, pb.edges)
+            for pa, pb in zip(self.partitions, other.partitions)
+        ):
+            return False
+        if self.n_classes_ != other.n_classes_:
+            return False
+        stack = [(root_a, root_b)]
+        while stack:
+            node_a, node_b = stack.pop()
+            if node_a.is_leaf != node_b.is_leaf:
+                return False
+            if not np.array_equal(node_a.class_counts, node_b.class_counts):
+                return False
+            if node_a.is_leaf:
+                continue
+            if node_a.attribute_index != node_b.attribute_index:
+                return False
+            if node_a.threshold != node_b.threshold:
+                return False
+            stack.append((node_a.left, node_b.left))
+            stack.append((node_a.right, node_b.right))
+        return True
+
     def export_text(self, *, max_depth: int = 6) -> str:
         """Human-readable rendering of the tree (truncated at ``max_depth``)."""
         root = self._check_fitted()

@@ -24,6 +24,40 @@ def check_1d_array(values, name: str = "values", *, allow_empty: bool = False) -
     return arr
 
 
+def check_label_column(labels, name: str = "classes", *, n_classes: int = None) -> np.ndarray:
+    """Coerce a class-label column to a 1-D ``intp`` array of integers.
+
+    The single validator behind every class-column surface (wire
+    encoder, shard layout, training rows): 1-D, numeric, finite,
+    integer-valued, and — when ``n_classes`` is given — within
+    ``[0, n_classes)``.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"{name} must be a 1-D column of labels, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        return np.empty(0, dtype=np.intp)
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ValidationError(f"{name} must hold integer class labels")
+    if not np.issubdtype(arr.dtype, np.integer):
+        as_float = arr.astype(float)
+        if not np.all(np.isfinite(as_float)) or np.any(
+            as_float != np.floor(as_float)
+        ):
+            raise ValidationError(f"{name} must hold integer class labels")
+    out = arr.astype(np.intp)
+    if n_classes is not None:
+        low, high = int(out.min()), int(out.max())
+        if low < 0 or high >= n_classes:
+            raise ValidationError(
+                f"{name} must lie in [0, {n_classes}), got values spanning "
+                f"[{low}, {high}]"
+            )
+    return out
+
+
 def check_fraction(value, name: str = "value", *, inclusive_low: bool = False) -> float:
     """Validate a fraction in ``(0, 1]`` (or ``[0, 1]`` with ``inclusive_low``)."""
     value = float(value)

@@ -117,9 +117,11 @@ class TestServeIngestParser:
         assert args.spec is None and args.snapshot is None
         assert args.max_requests is None
 
-    def test_ingest_requires_attribute(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["ingest", "values.txt"])
+    def test_ingest_attribute_optional_at_parse_time(self):
+        # full-row JSON column dicts name their own attributes; the
+        # single-column requirement is enforced at command time
+        args = build_parser().parse_args(["ingest", "values.txt"])
+        assert args.attribute is None
 
     def test_ingest_args(self):
         args = build_parser().parse_args(
@@ -433,6 +435,280 @@ class TestServeIngestCommands:
         finally:
             server.shutdown()
             thread.join(timeout=5)
+
+
+class TestTrainCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "plain_spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "shards": 2,
+                    "attributes": [
+                        {
+                            "name": "age",
+                            "low": 20,
+                            "high": 80,
+                            "noise": "uniform",
+                            "privacy": 1.0,
+                            "intervals": 8,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    @pytest.fixture
+    def class_spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "shards": 2,
+                    "classes": 2,
+                    "attributes": [
+                        {
+                            "name": "age",
+                            "low": 20,
+                            "high": 80,
+                            "noise": "uniform",
+                            "privacy": 1.0,
+                            "intervals": 8,
+                        }
+                    ],
+                }
+            )
+        )
+        return path
+
+    @pytest.fixture
+    def train_server(self, class_spec_file):
+        import json
+        import threading
+
+        from repro.service import (
+            ServiceHTTPServer,
+            TrainingService,
+            service_from_spec,
+        )
+
+        service = service_from_spec(json.loads(class_spec_file.read_text()))
+        training = TrainingService(service)
+        server = ServiceHTTPServer(service, port=0, training=training)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server, service, training
+        server.shutdown()
+        thread.join(timeout=5)
+
+    def _feed(self, training):
+        import numpy as np
+
+        rng = np.random.default_rng(12)
+        young = rng.uniform(22, 45, 300)
+        old = rng.uniform(55, 78, 300)
+        noise = training.service.spec("age").randomizer
+        training.ingest({"age": noise.randomize(young, seed=1)}, [0] * 300)
+        training.ingest({"age": noise.randomize(old, seed=2)}, [1] * 300)
+
+    def test_train_parser_defaults(self):
+        args = build_parser().parse_args(["train", "--url", "http://x"])
+        assert args.strategy == "byclass"
+        assert args.save is None
+        assert not args.show_tree
+
+    def test_train_against_live_server(self, capsys, tmp_path, train_server):
+        from repro import serialize
+        from repro.service import TrainedModel
+
+        server, _, training = train_server
+        self._feed(training)
+        saved = tmp_path / "model.json"
+        code = main(
+            [
+                "train", "--url", server.url,
+                "--strategy", "byclass",
+                "--save", str(saved),
+                "--show-tree",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trained byclass tree on 600 labeled record(s)" in out
+        assert "age <" in out  # the printed split structure
+        model = serialize.load(saved)
+        assert isinstance(model, TrainedModel)
+        assert model.tree.identical_to(training.model("byclass").tree)
+
+    def test_train_bad_strategy_exits_2(self, capsys):
+        code = main(["train", "--url", "http://127.0.0.1:1",
+                     "--strategy", "nope"])
+        assert code == 2
+        assert "--strategy" in capsys.readouterr().err
+
+    def test_train_without_training_server_exits_2(self, capsys, spec_file):
+        import json
+        import threading
+
+        from repro.service import ServiceHTTPServer, service_from_spec
+
+        service = service_from_spec(json.loads(spec_file.read_text()))
+        server = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            code = main(["train", "--url", server.url])
+            assert code == 2
+            assert "training" in capsys.readouterr().err
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_serve_train_needs_class_aware_spec(self, capsys, spec_file):
+        code = main(
+            ["serve", "--spec", str(spec_file), "--port", "0",
+             "--max-requests", "0", "--train"]
+        )
+        assert code == 2
+        assert "class-aware" in capsys.readouterr().err
+
+    def test_ingest_class_label_reports_per_class(
+        self, capsys, tmp_path, train_server
+    ):
+        import json
+
+        server, service, _ = train_server
+        values = tmp_path / "ages.json"
+        values.write_text(json.dumps([30.0, 35.0, 40.0] * 10))
+        code = main(
+            [
+                "ingest", str(values),
+                "--attribute", "age",
+                "--url", server.url,
+                "--class-label", "1",
+                "--wire", "columns",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ingested 30 record(s)" in out
+        assert "per-class records for 'age'" in out
+        assert "class 1=30" in out
+        assert service.n_seen_by_class("age")["1"] == 30
+
+    def test_ingest_class_label_into_snapshot(
+        self, capsys, tmp_path, class_spec_file
+    ):
+        snapshot = tmp_path / "snap.json"
+        assert main(
+            ["serve", "--spec", str(class_spec_file),
+             "--snapshot", str(snapshot), "--port", "0",
+             "--max-requests", "0"]
+        ) == 0
+        values = tmp_path / "v.txt"
+        values.write_text("30.0\n40.0\n")
+        capsys.readouterr()
+        code = main(
+            ["ingest", str(values), "--attribute", "age",
+             "--snapshot", str(snapshot), "--class-label", "0",
+             "--seed", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "class 0=2" in out
+
+    def test_full_row_dict_file_feeds_multi_attribute_training(
+        self, capsys, tmp_path
+    ):
+        """A JSON column dict ingests full labeled rows, so --class-label
+        works against a multi-attribute --train server."""
+        import json
+        import threading
+
+        import numpy as np
+
+        from repro.service import (
+            ServiceHTTPServer,
+            TrainingService,
+            service_from_spec,
+        )
+
+        service = service_from_spec(
+            {
+                "classes": 2,
+                "attributes": [
+                    {"name": "age", "low": 20, "high": 80, "privacy": 1.0,
+                     "intervals": 8},
+                    {"name": "salary", "low": 0, "high": 100_000,
+                     "privacy": 1.0, "intervals": 8},
+                ],
+            }
+        )
+        training = TrainingService(service)
+        server = ServiceHTTPServer(service, port=0, training=training)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            rng = np.random.default_rng(5)
+            rows = tmp_path / "rows.json"
+            rows.write_text(
+                json.dumps(
+                    {
+                        "age": rng.uniform(22, 44, 200).tolist(),
+                        "salary": rng.uniform(10_000, 90_000, 200).tolist(),
+                    }
+                )
+            )
+            code = main(
+                ["ingest", str(rows), "--url", server.url,
+                 "--class-label", "0", "--wire", "columns", "--seed", "6"]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "ingested 400 record(s)" in out
+            assert "per-class records for 'age'" in out
+            assert "per-class records for 'salary'" in out
+            assert training.n_buffered == 200
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_single_column_file_still_needs_attribute(self, capsys, tmp_path):
+        values = tmp_path / "v.txt"
+        values.write_text("1.0\n")
+        code = main(["ingest", str(values), "--snapshot",
+                     str(tmp_path / "s.json")])
+        assert code == 2
+        assert "--attribute is required" in capsys.readouterr().err
+
+    def test_ragged_dict_file_rejected(self, capsys, tmp_path):
+        import json
+
+        rows = tmp_path / "rows.json"
+        rows.write_text(json.dumps({"a": [1.0, 2.0], "b": [3.0]}))
+        code = main(["ingest", str(rows), "--snapshot",
+                     str(tmp_path / "s.json")])
+        assert code == 2
+        assert "share one length" in capsys.readouterr().err
+
+    def test_serve_with_train_announces_endpoints(
+        self, capsys, tmp_path, class_spec_file
+    ):
+        code = main(
+            ["serve", "--spec", str(class_spec_file), "--port", "0",
+             "--max-requests", "0", "--train"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "/train /model" in out
+        assert "2 class(es)" in out
 
 
 class TestBenchParser:

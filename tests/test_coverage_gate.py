@@ -1,0 +1,84 @@
+"""Tests for the CI coverage-floor gate (tools/check_coverage.py).
+
+The gate itself runs in CI (the ``coverage`` job installs pytest-cov,
+which the local toolchain may not have); these tests pin the tool's
+parsing and pass/fail behaviour with synthetic reports so a refactor
+cannot silently neuter the gate.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+REPORT = """<?xml version="1.0" ?>
+<coverage line-rate="{rate}" branch-rate="0" version="7.0" timestamp="0">
+  <packages/>
+</coverage>
+"""
+
+
+def _run_gate(tmp_path, line_rate, floor):
+    report = tmp_path / "coverage.xml"
+    report.write_text(REPORT.format(rate=line_rate))
+    floor_file = tmp_path / "floor.txt"
+    floor_file.write_text(str(floor))
+    return subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "check_coverage.py"),
+            str(report),
+            "--floor-file",
+            str(floor_file),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def test_passes_at_or_above_floor(tmp_path):
+    result = _run_gate(tmp_path, 0.913, 85.0)
+    assert result.returncode == 0, result.stderr
+    assert "91.30%" in result.stdout
+
+
+def test_fails_below_floor(tmp_path):
+    result = _run_gate(tmp_path, 0.70, 85.0)
+    assert result.returncode == 1
+    assert "fell below" in result.stderr
+
+
+def test_headroom_nudges_ratchet(tmp_path):
+    result = _run_gate(tmp_path, 0.99, 80.0)
+    assert result.returncode == 0
+    assert "ratchet" in result.stdout
+
+
+def test_malformed_report_is_clean_error(tmp_path):
+    report = tmp_path / "coverage.xml"
+    report.write_text("<not xml")
+    floor_file = tmp_path / "floor.txt"
+    floor_file.write_text("80")
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "check_coverage.py"),
+            str(report),
+            "--floor-file",
+            str(floor_file),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0
+    assert "error:" in result.stderr
+
+
+def test_committed_floor_is_sane():
+    floor = float((REPO_ROOT / "tools" / "coverage_floor.txt").read_text())
+    assert 50.0 <= floor <= 100.0

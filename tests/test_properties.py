@@ -1,0 +1,466 @@
+"""Property-based invariants driven by a stdlib-``random`` mini-harness.
+
+No new dependencies: each property runs >= 200 generated cases per base
+seed through a seeded generator with a greedy shrinking loop.  On
+failure the harness prints the base seed, the failing case index, and a
+shrunk copy of the case — rerun any failure exactly with::
+
+    PPDM_PROPERTY_SEED=<seed> python -m pytest tests/test_properties.py
+
+``PPDM_PROPERTY_CASES`` overrides the per-property case count (the
+default keeps the whole file inside a few seconds of tier-1 wall time;
+CI's coverage job runs the same default).
+
+Properties pinned here:
+
+* randomizer round trips — shape/count preservation, hard support
+  bounds, and mass conservation on the noise-expanded grid,
+* reconstruction outputs — always nonnegative and normalized, whatever
+  the (shape, noise, grid) draw,
+* ``ShardSet`` merges — associative and commutative across random shard
+  counts, ingestion orders, thread interleavings, and class columns.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GaussianRandomizer,
+    Partition,
+    StreamingReconstructor,
+    UniformRandomizer,
+)
+from repro.core.engine import ReconstructionEngine
+from repro.service import (
+    AggregationService,
+    AttributeSpec,
+    ShardSet,
+    decode_labeled,
+    encode_columns,
+)
+
+SEED_ENV = "PPDM_PROPERTY_SEED"
+CASES_ENV = "PPDM_PROPERTY_CASES"
+DEFAULT_SEED = 20260728
+#: >= 200 generated cases per property per seed (the issue's floor)
+DEFAULT_CASES = 200
+
+
+def base_seed() -> int:
+    return int(os.environ.get(SEED_ENV, DEFAULT_SEED))
+
+
+def n_cases() -> int:
+    return int(os.environ.get(CASES_ENV, DEFAULT_CASES))
+
+
+def _shrink_case(case, check, shrinkers, budget: int = 200):
+    """Greedy shrink: keep taking the first smaller case that still fails."""
+    if not shrinkers:
+        return case
+    for _ in range(budget):
+        for candidate in shrinkers(case):
+            try:
+                check(candidate)
+            except AssertionError:
+                case = candidate
+                break
+            except Exception:  # noqa: BLE001 - shrunk into invalid input
+                continue
+        else:
+            return case
+    return case
+
+
+def run_property(name, generate, check, *, shrinkers=None):
+    """Run ``check(generate(rng))`` across seeded cases; shrink failures.
+
+    The reproduction contract: every case derives deterministically from
+    (base seed, case index), and a failure names both plus a shrunk
+    failing case.
+    """
+    seed = base_seed()
+    total = n_cases()
+    for index in range(total):
+        rng = random.Random((seed << 20) + index)
+        case = generate(rng)
+        try:
+            check(case)
+        except AssertionError as exc:
+            shrunk = _shrink_case(case, check, shrinkers)
+            raise AssertionError(
+                f"property {name!r} failed at case {index}/{total} for base "
+                f"seed {seed}.\nReproduce with: {SEED_ENV}={seed} python -m "
+                f"pytest tests/test_properties.py\nShrunk failing case: "
+                f"{shrunk!r}\nOriginal failure: {exc}"
+            ) from exc
+
+
+def _shrink_values(case):
+    """Generic shrinker: halve every list-valued field, one at a time."""
+    for key, value in case.items():
+        if isinstance(value, list) and len(value) > 1:
+            half = len(value) // 2
+            for kept in (value[:half], value[half:]):
+                smaller = dict(case)
+                smaller[key] = kept
+                yield smaller
+
+
+# ----------------------------------------------------------------------
+# Randomizer round trips
+# ----------------------------------------------------------------------
+def _gen_randomizer_case(rng: random.Random) -> dict:
+    kind = rng.choice(("uniform", "gaussian"))
+    low = rng.uniform(-50.0, 40.0)
+    span = rng.uniform(0.5, 90.0)
+    return {
+        "kind": kind,
+        "parameter": rng.uniform(0.05, 2.0) * span,
+        "low": low,
+        "high": low + span,
+        "n_intervals": rng.randint(2, 16),
+        "values": [rng.uniform(low, low + span) for _ in range(rng.randint(1, 40))],
+        "seed": rng.randint(0, 2**31),
+    }
+
+
+def _check_randomizer_roundtrip(case) -> None:
+    if case["kind"] == "uniform":
+        noise = UniformRandomizer(half_width=case["parameter"])
+    else:
+        noise = GaussianRandomizer(sigma=case["parameter"])
+    x = np.asarray(case["values"], dtype=float)
+    w = noise.randomize(x, seed=case["seed"])
+    # shape and count preservation, and determinism at a fixed seed
+    assert w.shape == x.shape
+    assert np.all(np.isfinite(w))
+    assert np.array_equal(w, noise.randomize(x, seed=case["seed"]))
+    if case["kind"] == "uniform":
+        # hard support: |w - x| can never exceed the half width
+        assert np.all(np.abs(w - x) <= case["parameter"] * (1 + 1e-12))
+        # mass conservation: the noise-expanded grid captures every
+        # disclosure, so the randomized histogram holds exactly n records
+        part = Partition.uniform(case["low"], case["high"], case["n_intervals"])
+        y_part = part.expanded(noise.support_half_width())
+        assert y_part.histogram(w).sum() == x.size
+
+
+def test_property_randomizer_roundtrip():
+    run_property(
+        "randomizer-roundtrip",
+        _gen_randomizer_case,
+        _check_randomizer_roundtrip,
+        shrinkers=_shrink_values,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reconstruction outputs
+# ----------------------------------------------------------------------
+def _gen_reconstruction_case(rng: random.Random) -> dict:
+    low = rng.uniform(-5.0, 5.0)
+    span = rng.uniform(0.5, 10.0)
+    centers = [rng.uniform(0.1, 0.9) for _ in range(rng.randint(1, 3))]
+    values = []
+    for _ in range(rng.randint(20, 150)):
+        c = rng.choice(centers)
+        values.append(low + span * min(max(rng.gauss(c, 0.1), 0.0), 1.0))
+    return {
+        "kind": rng.choice(("uniform", "gaussian")),
+        "noise_scale": rng.uniform(0.05, 1.0) * span,
+        "low": low,
+        "high": low + span,
+        "n_intervals": rng.randint(2, 12),
+        "values": values,
+        "seed": rng.randint(0, 2**31),
+        "stopping": rng.choice(("chi2", "delta")),
+    }
+
+
+def _check_reconstruction(case) -> None:
+    if case["kind"] == "uniform":
+        noise = UniformRandomizer(half_width=case["noise_scale"])
+    else:
+        noise = GaussianRandomizer(sigma=case["noise_scale"])
+    part = Partition.uniform(case["low"], case["high"], case["n_intervals"])
+    w = noise.randomize(np.asarray(case["values"]), seed=case["seed"])
+    from repro.core import EngineConfig
+
+    engine = ReconstructionEngine(
+        EngineConfig(max_iterations=40, stopping=case["stopping"])
+    )
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        result = engine.reconstruct(w, part, noise)
+    probs = result.distribution.probs
+    assert probs.shape == (case["n_intervals"],)
+    assert np.all(probs >= 0.0), f"negative probability: {probs.min()}"
+    assert np.all(np.isfinite(probs))
+    assert abs(probs.sum() - 1.0) < 1e-9, f"mass {probs.sum()} != 1"
+    assert 1 <= result.n_iterations <= 40
+
+
+def test_property_reconstruction_nonnegative_normalized():
+    run_property(
+        "reconstruction-nonnegative-normalized",
+        _gen_reconstruction_case,
+        _check_reconstruction,
+        shrinkers=_shrink_values,
+    )
+
+
+# ----------------------------------------------------------------------
+# ShardSet merge algebra
+# ----------------------------------------------------------------------
+def _gen_shard_case(rng: random.Random) -> dict:
+    n_attributes = rng.randint(1, 3)
+    attributes = []
+    for j in range(n_attributes):
+        low = rng.uniform(-10.0, 10.0)
+        span = rng.uniform(0.5, 20.0)
+        attributes.append(
+            {
+                "name": f"a{j}",
+                "low": low,
+                "high": low + span,
+                "n_intervals": rng.randint(2, 10),
+            }
+        )
+    n_classes = rng.randint(0, 3)
+    batches = []
+    for _ in range(rng.randint(1, 6)):
+        size = rng.randint(0, 25)
+        batch = {
+            "values": {
+                a["name"]: [
+                    rng.uniform(a["low"], a["high"]) for _ in range(size)
+                ]
+                for a in attributes
+                if rng.random() < 0.8 or n_classes
+            },
+            "classes": (
+                [rng.randrange(n_classes) for _ in range(size)]
+                if n_classes and rng.random() < 0.7
+                else None
+            ),
+        }
+        if not batch["values"]:
+            batch["values"] = {attributes[0]["name"]: [
+                rng.uniform(attributes[0]["low"], attributes[0]["high"])
+                for _ in range(size)
+            ]}
+        batches.append(batch)
+    return {
+        "attributes": attributes,
+        "n_classes": n_classes,
+        "batches": batches,
+        "shard_counts": sorted({rng.randint(1, 7) for _ in range(3)}),
+    }
+
+
+def _shard_partitions(case) -> dict:
+    return {
+        a["name"]: Partition.uniform(a["low"], a["high"], a["n_intervals"])
+        for a in case["attributes"]
+    }
+
+
+def _fill(case, shard_counts_order, batch_order):
+    """Ingest the case's batches into a fresh ShardSet; return merged state."""
+    parts = _shard_partitions(case)
+    shards = ShardSet(parts, shard_counts_order, n_classes=case["n_classes"])
+    for index in batch_order:
+        batch = case["batches"][index]
+        shards.ingest(batch["values"], classes=batch["classes"])
+    merged = {name: shards.merged(name) for name in parts}
+    by_class = {name: shards.merged_by_class(name) for name in parts}
+    return merged, by_class
+
+
+def _check_shard_merge(case) -> None:
+    orders = [
+        list(range(len(case["batches"]))),
+        list(reversed(range(len(case["batches"])))),
+    ]
+    reference = None
+    for shard_count in case["shard_counts"]:
+        for order in orders:
+            merged, by_class = _fill(case, shard_count, order)
+            if reference is None:
+                reference = (merged, by_class)
+                continue
+            for name in merged:
+                # commutative + shard-count independent, bitwise
+                assert np.array_equal(merged[name][0], reference[0][name][0])
+                assert merged[name][1] == reference[0][name][1]
+                assert np.array_equal(by_class[name], reference[1][name])
+                # class blocks partition the all-records histogram exactly
+                assert np.array_equal(
+                    by_class[name].sum(axis=0), merged[name][0]
+                )
+
+    # merge_from is associative: ((a + b) + c) == (a + (b + c)) bitwise
+    parts = _shard_partitions(case)
+
+    def shard_with(batch_indices):
+        from repro.service import HistogramShard
+
+        shard = HistogramShard(parts, n_classes=case["n_classes"])
+        for index in batch_indices:
+            batch = case["batches"][index]
+            shard.ingest(batch["values"], classes=batch["classes"])
+        return shard
+
+    n = len(case["batches"])
+    thirds = [list(range(0, n, 3)), list(range(1, n, 3)), list(range(2, n, 3))]
+    left = shard_with(thirds[0]).merge_from(shard_with(thirds[1]))
+    left.merge_from(shard_with(thirds[2]))
+    right_tail = shard_with(thirds[1]).merge_from(shard_with(thirds[2]))
+    right = shard_with(thirds[0]).merge_from(right_tail)
+    for name in parts:
+        a_counts, a_seen = left.partial(name)
+        b_counts, b_seen = right.partial(name)
+        assert np.array_equal(a_counts, b_counts)
+        assert a_seen == b_seen
+
+
+def test_property_shardset_merge_algebra():
+    run_property(
+        "shardset-merge-algebra",
+        _gen_shard_case,
+        _check_shard_merge,
+        shrinkers=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential parity fuzz: random service configurations vs the
+# single-stream StreamingReconstructor
+# ----------------------------------------------------------------------
+def _gen_parity_case(rng: random.Random) -> dict:
+    return {
+        "n_shards": rng.randint(1, 6),
+        "n_threads": rng.randint(1, 4),
+        "wire": rng.choice(("python", "columns", "ndjson")),
+        "n_records": rng.randint(200, 1200),
+        "n_batches": rng.randint(1, 12),
+        "labeled_fraction": rng.choice((0.0, 0.3, 1.0)),
+        "class_skew": rng.uniform(0.05, 0.95),
+        "pin_shards": rng.random() < 0.5,
+        "seed": rng.randint(0, 2**31),
+    }
+
+
+def _check_service_parity(case) -> None:
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    part = Partition.uniform(0.0, 1.0, 10)
+    noise = UniformRandomizer(half_width=0.25)
+    rng = np.random.default_rng(case["seed"])
+    x = rng.uniform(0.1, 0.9, case["n_records"])
+    w = noise.randomize(x, seed=rng)
+    labels = (rng.random(case["n_records"]) < case["class_skew"]).astype(int)
+    labeled = rng.random(case["n_records"]) < case["labeled_fraction"]
+
+    service = AggregationService(
+        [AttributeSpec("x", part, noise)],
+        n_shards=case["n_shards"],
+        classes=2,
+    )
+    chunks = np.array_split(np.arange(case["n_records"]), case["n_batches"])
+
+    def ingest_chunk(args):
+        thread_index, chunk_list = args
+        for chunk in chunk_list:
+            for subset in (chunk[labeled[chunk]], chunk[~labeled[chunk]]):
+                if subset.size == 0 and case["wire"] == "python":
+                    continue
+                classes = labels[subset] if labeled[subset].all() and subset.size else None
+                shard = (
+                    thread_index % case["n_shards"] if case["pin_shards"] else None
+                )
+                batch = {"x": w[subset]}
+                if case["wire"] == "columns":
+                    frame = encode_columns(batch, shard=shard, classes=classes)
+                    dec_batch, dec_classes, dec_shard = decode_labeled(frame)
+                    service.ingest_prepared(
+                        service.prepare(dec_batch, dec_classes), shard=dec_shard
+                    )
+                elif case["wire"] == "ndjson":
+                    line = {"batch": {"x": w[subset].tolist()}}
+                    if classes is not None:
+                        line["classes"] = classes.tolist()
+                    record = json.loads(json.dumps(line))
+                    service.ingest(
+                        record["batch"],
+                        shard=shard,
+                        classes=record.get("classes"),
+                    )
+                else:
+                    service.ingest(batch, shard=shard, classes=classes)
+
+    assignments = [
+        (t, chunks[t :: case["n_threads"]]) for t in range(case["n_threads"])
+    ]
+    if case["n_threads"] == 1:
+        ingest_chunk(assignments[0])
+    else:
+        with ThreadPoolExecutor(max_workers=case["n_threads"]) as pool:
+            list(pool.map(ingest_chunk, assignments))
+
+    stream = StreamingReconstructor(part, noise).update(w)
+    expected = stream.estimate()
+    got = service.estimate("x")
+    assert service.n_seen("x") == case["n_records"]
+    assert np.array_equal(expected.distribution.probs, got.distribution.probs)
+    assert expected.n_iterations == got.n_iterations
+    assert expected.chi2_statistic == got.chi2_statistic
+
+
+def test_differential_parity_fuzz():
+    """Random (shards, threads, wire, split, class skew) configurations
+    keep service estimates bit-identical to the single stream —
+    generalizing the hand-picked cases in tests/test_service.py."""
+    run_property(
+        "service-differential-parity",
+        _gen_parity_case,
+        _check_service_parity,
+    )
+
+
+def test_properties_print_reproduction_seed():
+    """A failing property names the seed + env var to rerun it."""
+    def generate(rng):
+        return {"value": rng.randint(0, 100)}
+
+    def check(case):
+        assert case["value"] < 0, "always fails"
+
+    with pytest.raises(AssertionError) as excinfo:
+        run_property("always-fails", generate, check)
+    message = str(excinfo.value)
+    assert SEED_ENV in message
+    assert str(base_seed()) in message
+    assert "Shrunk failing case" in message
+
+
+def test_shrinker_reduces_failing_case():
+    def generate(rng):
+        return {"values": list(range(10))}
+
+    def check(case):
+        assert 7 not in case["values"]
+
+    with pytest.raises(AssertionError) as excinfo:
+        run_property("shrinks", generate, check, shrinkers=_shrink_values)
+    # the shrunk case kept 7 but dropped (at least) half the rest
+    assert "7" in str(excinfo.value)

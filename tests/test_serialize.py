@@ -151,6 +151,73 @@ class TestAggregationServiceRoundtrip:
         assert np.array_equal(a.distribution.probs, b.distribution.probs)
 
 
+class TestTrainedTreeRoundtrip:
+    @pytest.fixture
+    def trained_model(self, fitted_tree):
+        from repro.service import TrainedModel
+
+        tree, _, _ = fitted_tree
+        return TrainedModel(
+            strategy="byclass",
+            tree=tree,
+            n_train=500,
+            attributes=("a", "b"),
+            classes=2,
+            fit_seconds=0.25,
+        )
+
+    def test_roundtrip_preserves_tree_and_provenance(self, trained_model):
+        from repro.service import TrainedModel
+
+        payload = to_jsonable(trained_model)
+        assert payload["kind"] == "trained_tree"
+        restored = from_jsonable(payload)
+        assert isinstance(restored, TrainedModel)
+        assert restored.strategy == "byclass"
+        assert restored.n_train == 500
+        assert restored.attributes == ("a", "b")
+        assert restored.classes == 2
+        assert restored.tree.identical_to(trained_model.tree)
+
+    def test_file_roundtrip(self, trained_model, tmp_path):
+        path = tmp_path / "model.json"
+        trained_model.save(path)
+        restored = load(path)
+        assert restored.tree.identical_to(trained_model.tree)
+
+    def test_missing_fields_are_serialization_error(self, trained_model):
+        from repro.exceptions import SerializationError
+
+        payload = to_jsonable(trained_model)
+        del payload["strategy"]
+        with pytest.raises(SerializationError):
+            from_jsonable(payload)
+
+    def test_non_numeric_fields_are_serialization_error(self, trained_model):
+        from repro.exceptions import SerializationError
+
+        payload = to_jsonable(trained_model)
+        payload["n_train"] = "lots"
+        with pytest.raises(SerializationError, match="trained_tree"):
+            from_jsonable(payload)
+
+    def test_non_tree_embed_rejected(self, trained_model):
+        from repro.exceptions import SerializationError
+
+        payload = to_jsonable(trained_model)
+        payload["tree"] = to_jsonable(Partition.uniform(0, 1, 4))
+        with pytest.raises(SerializationError, match="decision_tree"):
+            from_jsonable(payload)
+
+    def test_attribute_count_mismatch_rejected(self, trained_model):
+        from repro.exceptions import SerializationError
+
+        payload = to_jsonable(trained_model)
+        payload["attributes"] = ["a"]
+        with pytest.raises(SerializationError, match="disagrees"):
+            from_jsonable(payload)
+
+
 class TestErrors:
     def test_unknown_type_rejected(self):
         with pytest.raises(ValidationError):

@@ -659,11 +659,182 @@ class TestSnapshotRestore:
             AggregationService.restore(payload)
 
 
+class TestClassConditionalShards:
+    """The tentpole: per-class stripes in the same fused bincount pass."""
+
+    def test_labeled_ingest_partitions_by_class(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_shards=2, n_classes=3)
+        shards.ingest({"x": [0.1, 0.5, 0.9]}, classes=[0, 2, 2])
+        shards.ingest({"x": [0.3]})  # unlabeled traffic still lands
+        matrix = shards.merged_by_class("x")
+        assert matrix.shape == (4, y_part.n_intervals)
+        assert matrix[0].sum() == 1  # unlabeled
+        assert matrix[1].sum() == 1  # class 0
+        assert matrix[2].sum() == 0  # class 1
+        assert matrix[3].sum() == 2  # class 2
+        counts, seen = shards.merged("x")
+        assert seen == 4
+        assert np.array_equal(matrix.sum(axis=0), counts)
+
+    def test_class_blocks_equal_per_class_histograms(self, part, noise):
+        """Each class block is bitwise the histogram of that class's
+        values — the aggregate the training tier reconstructs from."""
+        y_part = part.expanded(noise.support_half_width())
+        w = _disclose(noise, 4_000, seed=60)
+        rng = np.random.default_rng(61)
+        labels = rng.integers(0, 2, w.size)
+        shards = ShardSet({"x": y_part}, n_shards=4, n_classes=2)
+        for chunk in np.array_split(np.arange(w.size), 13):
+            shards.ingest({"x": w[chunk]}, classes=labels[chunk])
+        matrix = shards.merged_by_class("x")
+        for c in (0, 1):
+            assert np.array_equal(
+                matrix[c + 1], y_part.histogram(w[labels == c])
+            )
+
+    def test_class_labels_validated(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part}, n_classes=2)
+        with pytest.raises(ValidationError):
+            shards.ingest({"x": [0.5]}, classes=[2])
+        with pytest.raises(ValidationError):
+            shards.ingest({"x": [0.5]}, classes=[-1])
+        with pytest.raises(ValidationError):
+            shards.ingest({"x": [0.5]}, classes=[0.5])
+        with pytest.raises(ValidationError):
+            shards.ingest({"x": [0.5]}, classes=[0, 1])
+        with pytest.raises(ValidationError):
+            ShardSet({"x": y_part}, n_classes=-1)
+
+    def test_classes_need_class_aware_layout(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        shards = ShardSet({"x": y_part})
+        with pytest.raises(ValidationError, match="class"):
+            shards.ingest({"x": [0.5]}, classes=[0])
+
+    def test_layout_compatibility_includes_classes(self, part, noise):
+        y_part = part.expanded(noise.support_half_width())
+        plain = HistogramShard({"x": y_part})
+        labeled = HistogramShard({"x": y_part}, n_classes=2)
+        with pytest.raises(ValidationError):
+            labeled.ingest_prepared(plain.prepare({"x": [0.5]}))
+
+    def test_estimates_unchanged_by_class_partitioning(self, part, noise):
+        """Class-aware and class-unaware services serve bit-identical
+        estimates for the same stream."""
+        w = _disclose(noise, 3_000, seed=62)
+        labels = (np.arange(w.size) % 2).astype(int)
+        plain = AggregationService([AttributeSpec("x", part, noise)])
+        labeled = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=3, classes=2
+        )
+        plain.ingest({"x": w})
+        for chunk in np.array_split(np.arange(w.size), 7):
+            labeled.ingest({"x": w[chunk]}, classes=labels[chunk])
+        a = plain.estimate("x")
+        b = labeled.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+        assert a.n_iterations == b.n_iterations
+
+    def test_n_seen_by_class(self, part, noise):
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], classes=2
+        )
+        service.ingest({"x": [0.1, 0.2]}, classes=[0, 1])
+        service.ingest({"x": [0.3]})
+        assert service.n_seen_by_class("x") == {
+            "unlabeled": 1, "0": 1, "1": 1,
+        }
+        with pytest.raises(ValidationError):
+            service.n_seen_by_class("nope")
+
+
+class TestClassAwareSnapshots:
+    def test_roundtrip_preserves_class_partials(self, part, noise):
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=3, classes=2
+        )
+        w = _disclose(noise, 2_000, seed=63)
+        labels = (np.arange(w.size) % 2).astype(int)
+        service.ingest({"x": w}, classes=labels)
+        service.ingest({"x": [0.5, 0.6]})  # plus unlabeled traffic
+        restored = AggregationService.restore(service.snapshot())
+        assert restored.classes == 2
+        assert np.array_equal(
+            restored.merged_by_class("x"), service.merged_by_class("x")
+        )
+        assert restored.n_seen("x") == service.n_seen("x")
+        a = service.estimate("x")
+        b = restored.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+
+    def test_classless_snapshot_format_unchanged(self, part, noise):
+        """PR 3/4 snapshots (no 'classes' key, flat y_counts) restore."""
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        service.ingest({"x": _disclose(noise, 500, seed=64)})
+        payload = service.snapshot()
+        assert payload["classes"] == 0
+        assert isinstance(payload["state"]["x"]["y_counts"][0], float)
+        del payload["classes"]  # an old snapshot predates the key
+        restored = AggregationService.restore(payload)
+        assert restored.n_seen("x") == 500
+
+    def test_block_count_mismatch_is_serialization_error(self, part, noise):
+        from repro.exceptions import SerializationError
+
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], classes=2
+        )
+        service.ingest({"x": [0.5]}, classes=[0])
+        payload = service.snapshot()
+        payload["state"]["x"]["y_counts"] = payload["state"]["x"]["y_counts"][:2]
+        with pytest.raises(SerializationError, match="class"):
+            AggregationService.restore(payload)
+
+    def test_ragged_counts_are_serialization_error_not_numpy(self, part, noise):
+        """The bugfix: a ragged y_counts row used to surface as a raw
+        numpy error."""
+        from repro.exceptions import SerializationError
+
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], classes=2
+        )
+        service.ingest({"x": [0.5]}, classes=[0])
+        payload = service.snapshot()
+        payload["state"]["x"]["y_counts"][1] = [1.0, 2.0]  # wrong bin count
+        with pytest.raises(SerializationError):
+            AggregationService.restore(payload)
+        payload = service.snapshot()
+        payload["state"]["x"]["y_counts"] = [[1.0], [2.0, 3.0], 4.0]
+        with pytest.raises(SerializationError):
+            AggregationService.restore(payload)
+
+    def test_non_numeric_classes_field_is_clean_error(self, part, noise):
+        """A hand-edited snapshot with classes='two' must not traceback."""
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        payload = service.snapshot()
+        payload["classes"] = "two"
+        with pytest.raises(ValidationError, match="malformed"):
+            AggregationService.restore(payload)
+
+    def test_n_seen_disagreement_is_serialization_error(self, part, noise):
+        from repro.exceptions import SerializationError
+
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        service.ingest({"x": [0.5]})
+        payload = service.snapshot()
+        payload["state"]["x"]["n_seen"] = 99
+        with pytest.raises(SerializationError, match="n_seen"):
+            AggregationService.restore(payload)
+
+
 class TestServiceFromSpec:
     def test_builds_attributes(self):
         service = service_from_spec(
             {
                 "shards": 3,
+                "classes": 2,
                 "intervals": 10,
                 "attributes": [
                     {"name": "age", "low": 20, "high": 80, "privacy": 1.0},
@@ -680,6 +851,7 @@ class TestServiceFromSpec:
         )
         assert service.attributes == ("age", "salary")
         assert service.n_shards == 3
+        assert service.classes == 2
         assert service.spec("age").x_partition.n_intervals == 10
         assert service.spec("salary").x_partition.n_intervals == 16
         assert isinstance(service.spec("salary").randomizer, GaussianRandomizer)

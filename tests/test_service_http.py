@@ -306,6 +306,343 @@ class TestKeepAlive:
             conn.close()
 
 
+class TestLabeledIngest:
+    """Class columns across every wire format feed the per-class stripes."""
+
+    @pytest.fixture
+    def class_server(self, noise, tmp_path):
+        service = AggregationService(
+            [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+            n_shards=2,
+            classes=2,
+        )
+        srv = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv, service
+        srv.shutdown()
+        thread.join(timeout=5)
+
+    def test_json_classes(self, class_server):
+        server, service = class_server
+        status, payload = _post(
+            server, "/ingest",
+            {"batch": {"opinion": [0.4, 0.6]}, "classes": [0, 1]},
+        )
+        assert status == 200
+        assert payload["ingested"] == 2
+        assert service.n_seen_by_class("opinion") == {
+            "unlabeled": 0, "0": 1, "1": 1,
+        }
+
+    def test_columnar_v2_classes(self, class_server):
+        server, service = class_server
+        body = encode_columns({"opinion": [0.4, 0.5, 0.6]}, classes=[0, 0, 1])
+        status, payload = _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        assert status == 200
+        assert payload["ingested"] == 3
+        assert service.n_seen_by_class("opinion")["0"] == 2
+
+    def test_mixed_v1_v2_body(self, class_server):
+        server, service = class_server
+        body = encode_columns({"opinion": [0.4]}) + encode_columns(
+            {"opinion": [0.5, 0.6]}, classes=[1, 1]
+        )
+        status, payload = _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        assert status == 200
+        assert payload["frames"] == 2
+        assert service.n_seen_by_class("opinion") == {
+            "unlabeled": 1, "0": 0, "1": 2,
+        }
+
+    def test_ndjson_classes(self, class_server):
+        server, service = class_server
+        body = b'{"batch": {"opinion": [0.4]}, "classes": [1]}\n'
+        status, _ = _post_raw(server, "/ingest", body, CONTENT_TYPE_NDJSON)
+        assert status == 200
+        assert service.n_seen_by_class("opinion")["1"] == 1
+
+    def test_stats_reports_by_class(self, class_server):
+        server, service = class_server
+        _post(server, "/ingest",
+              {"batch": {"opinion": [0.4, 0.6]}, "classes": [0, 1]})
+        _post(server, "/ingest", {"batch": {"opinion": [0.5]}})
+        _, stats = _get(server, "/stats")
+        assert stats["classes"] == 2
+        assert stats["records_by_class"]["opinion"] == {
+            "unlabeled": 1, "0": 1, "1": 1,
+        }
+
+    def test_out_of_range_class_is_400_nothing_absorbed(self, class_server):
+        server, service = class_server
+        body = encode_columns({"opinion": [0.4]}, classes=[0]) + encode_columns(
+            {"opinion": [0.5]}, classes=[9]
+        )
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert "class" in payload["error"]
+        assert service.n_seen("opinion") == 0
+
+    def test_class_column_on_class_unaware_service_is_400(self, server, service):
+        body = encode_columns({"opinion": [0.4]}, classes=[0])
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert "class" in payload["error"]
+        assert service.n_seen("opinion") == 0
+
+    def test_labeled_estimate_still_single_stream(self, class_server, noise):
+        """Class partitioning never changes the all-records estimate."""
+        server, service = class_server
+        rng = np.random.default_rng(5)
+        w = noise.randomize(rng.uniform(0.3, 0.7, 1_500), seed=6)
+        labels = (rng.random(1_500) < 0.4).astype(int)
+        half = w.size // 2
+        _post(server, "/ingest",
+              {"batch": {"opinion": w[:half].tolist()},
+               "classes": labels[:half].tolist()})
+        _post_raw(
+            server, "/ingest",
+            encode_columns({"opinion": w[half:]}, classes=labels[half:]),
+            CONTENT_TYPE_COLUMNS,
+        )
+        _, estimate = _get(server, "/estimate?attribute=opinion")
+        stream = StreamingReconstructor(Partition.uniform(0, 1, 10), noise)
+        stream.update(np.asarray(w[:half].tolist()))
+        stream.update(w[half:])
+        expected = stream.estimate()
+        assert np.array_equal(
+            np.asarray(estimate["probs"]), expected.distribution.probs
+        )
+
+
+class TestTrainEndpoints:
+    @pytest.fixture
+    def train_server(self, noise):
+        from repro.service import TrainingService
+
+        service = AggregationService(
+            [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+            classes=2,
+        )
+        training = TrainingService(service)
+        srv = ServiceHTTPServer(service, port=0, training=training)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv, service, training
+        srv.shutdown()
+        thread.join(timeout=5)
+
+    def _feed(self, server, noise, n=600):
+        rng = np.random.default_rng(7)
+        x = np.concatenate(
+            [rng.uniform(0, 0.45, n // 2), rng.uniform(0.55, 1, n // 2)]
+        )
+        labels = np.repeat([0, 1], n // 2)
+        body = encode_columns(
+            {"opinion": noise.randomize(x, seed=8)}, classes=labels
+        )
+        _post_raw(server, "/ingest", body, CONTENT_TYPE_COLUMNS)
+
+    def test_train_then_model_roundtrip(self, train_server, noise):
+        from repro import serialize
+        from repro.service import TrainedModel
+
+        server, service, training = train_server
+        self._feed(server, noise)
+        status, summary = _post(server, "/train", {"strategy": "byclass"})
+        assert status == 200
+        assert summary["strategy"] == "byclass"
+        assert summary["n_train"] == 600
+        assert summary["n_nodes"] >= 1
+        _, payload = _get(server, "/model?strategy=byclass")
+        model = serialize.from_jsonable(payload)
+        assert isinstance(model, TrainedModel)
+        assert model.tree.identical_to(training.model("byclass").tree)
+
+    def test_train_default_strategy(self, train_server, noise):
+        server, _, _ = train_server
+        self._feed(server, noise)
+        status, summary = _post(server, "/train", None)
+        assert status == 200
+        assert summary["strategy"] == "byclass"
+
+    def test_model_before_training_is_404(self, train_server):
+        server, _, _ = train_server
+        code, payload = _error_of(lambda: _get(server, "/model"))
+        assert code == 404
+        assert "train" in payload["error"]
+
+    def test_model_unknown_strategy_is_400(self, train_server):
+        server, _, _ = train_server
+        code, payload = _error_of(
+            lambda: _get(server, "/model?strategy=byclas")
+        )
+        assert code == 400
+        assert "byclas" in payload["error"]
+        assert "byclass" in payload["error"]
+
+    def test_train_without_data_is_400(self, train_server):
+        server, _, _ = train_server
+        code, payload = _error_of(
+            lambda: _post(server, "/train", {"strategy": "byclass"})
+        )
+        assert code == 400
+        assert "labeled" in payload["error"]
+
+    def test_bad_strategy_is_400(self, train_server, noise):
+        server, _, _ = train_server
+        self._feed(server, noise)
+        code, payload = _error_of(
+            lambda: _post(server, "/train", {"strategy": "original"})
+        )
+        assert code == 400
+
+    def test_training_ingest_is_all_or_nothing(self, train_server, noise):
+        """A labeled body whose last frame is invalid absorbs nothing —
+        neither shards nor the training buffer."""
+        server, service, training = train_server
+        good = encode_columns({"opinion": [0.4]}, classes=[0])
+        bad = encode_columns({"opinion": [0.5]}, classes=[5])
+        code, _ = _error_of(
+            lambda: _post_raw(server, "/ingest", good + bad, CONTENT_TYPE_COLUMNS)
+        )
+        assert code == 400
+        assert service.n_seen("opinion") == 0
+        assert training.n_buffered == 0
+
+    def test_train_endpoints_disabled_without_training(self, server):
+        code, payload = _error_of(
+            lambda: _post(server, "/train", {"strategy": "byclass"})
+        )
+        assert code == 400
+        assert "training" in payload["error"]
+        code, payload = _error_of(lambda: _get(server, "/model"))
+        assert code == 400
+
+
+class TestHTTPRobustnessFuzz:
+    """Malformed/truncated/corrupted bodies: always a clean 4xx, the
+    connection stays usable, and nothing is partially absorbed."""
+
+    BASE_SEED = 424_242
+
+    def _bodies(self, rng):
+        valid = encode_columns({"opinion": [0.4, 0.5]}) + encode_columns(
+            {"opinion": [0.6]}, shard=1
+        )
+        labeled = encode_columns({"opinion": [0.4, 0.5]}, classes=[0, 1])
+        bodies = []
+        for _ in range(12):
+            base = bytearray(rng.choice((valid, labeled)))
+            action = rng.random()
+            if action < 0.45:
+                base = base[: rng.randrange(1, len(base))]
+            elif action < 0.9:
+                for _ in range(rng.randint(1, 3)):
+                    base[rng.randrange(len(base))] = rng.randrange(256)
+            else:
+                base = base + bytes(rng.randrange(1, 9))
+            bodies.append(bytes(base))
+        return bodies
+
+    def test_fuzzed_columnar_bodies_leave_connection_usable(self, noise):
+        import random
+
+        service = AggregationService(
+            [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+            n_shards=2,
+            classes=2,
+        )
+        srv = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        rng = random.Random(self.BASE_SEED)
+        host, port = srv.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for index, body in enumerate(self._bodies(rng)):
+                before = service.n_seen("opinion")
+                conn.request(
+                    "POST", "/ingest", body=body,
+                    headers={"Content-Type": CONTENT_TYPE_COLUMNS},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                assert response.status in (200, 400), (
+                    f"body {index} (seed {self.BASE_SEED}) gave "
+                    f"{response.status}"
+                )
+                if response.status != 200:
+                    assert "error" in payload
+                    # a rejected body absorbs nothing (all-or-nothing)
+                    assert service.n_seen("opinion") == before
+                # same connection still serves the next request
+                conn.request("GET", "/healthz")
+                health = conn.getresponse()
+                assert health.status == 200
+                json.loads(health.read())
+        finally:
+            conn.close()
+            srv.shutdown()
+            thread.join(timeout=5)
+
+    def test_oversized_body_is_413_before_reading(self, service):
+        srv = ServiceHTTPServer(service, port=0, max_body_bytes=1_000)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        host, port = srv.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            body = encode_columns({"opinion": np.zeros(10_000)})
+            conn.request(
+                "POST", "/ingest", body=body,
+                headers={"Content-Type": CONTENT_TYPE_COLUMNS},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 413
+            assert "cap" in payload["error"]
+            assert response.getheader("Connection") == "close"
+            assert service.n_seen("opinion") == 0
+        finally:
+            conn.close()
+            srv.shutdown()
+            thread.join(timeout=5)
+
+    def test_malformed_content_length_is_400_not_crash(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/ingest")
+            conn.putheader("Content-Length", "banana")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "Content-Length" in payload["error"]
+            assert response.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_negative_content_length_is_400(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/ingest")
+            conn.putheader("Content-Length", "-5")
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+
 class TestTransferEncoding:
     def test_chunked_request_rejected_and_connection_closed(self, server):
         """Only Content-Length bodies are read; chunked bytes left on a

@@ -1,0 +1,307 @@
+"""Tests for decision-tree training over the service (repro.service.training).
+
+The load-bearing assertions are the parity tests: a tree grown from the
+service's class-conditional aggregates must be **bit-identical** — same
+splits, same thresholds, same leaf counts — to the offline
+``PrivacyPreservingClassifier`` pipeline fed the same randomized rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Partition, UniformRandomizer
+from repro.datasets import quest
+from repro.exceptions import ValidationError
+from repro.service import (
+    AggregationService,
+    AttributeSpec,
+    TrainedModel,
+    TrainingService,
+)
+from repro.tree.pipeline import PrivacyPreservingClassifier
+
+N_INTERVALS = 25
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A Quest training table, its randomization, and matching specs."""
+    train = quest.generate(2_500, function=2, seed=17)
+    randomized, randomizers = quest.randomize(
+        train, kind="uniform", privacy=1.0, seed=18
+    )
+    specs = [
+        AttributeSpec(
+            name,
+            train.attribute(name).partition(N_INTERVALS),
+            randomizers[name],
+        )
+        for name in train.attribute_names
+    ]
+    return train, randomized, randomizers, specs
+
+
+def _stream_in(training, train, randomized, *, batch_size=301, shards=False):
+    """Ingest the randomized rows in table order (split into batches)."""
+    names = train.attribute_names
+    w = randomized.matrix()
+    labels = train.labels
+    for index, lo in enumerate(range(0, labels.size, batch_size)):
+        sl = slice(lo, lo + batch_size)
+        batch = {name: w[sl, j] for j, name in enumerate(names)}
+        shard = index % training.service.n_shards if shards else None
+        training.ingest(batch, labels[sl], shard=shard)
+
+
+def _offline(strategy, train, randomized, randomizers):
+    classifier = PrivacyPreservingClassifier(
+        strategy, noise="uniform", privacy=1.0, n_intervals=N_INTERVALS, seed=3
+    )
+    classifier.fit(train, randomized_table=randomized, randomizers=randomizers)
+    return classifier
+
+
+class TestOfflinePipelineParity:
+    """The tentpole acceptance criterion."""
+
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_byclass_bit_identical(self, workload, n_shards):
+        train, randomized, randomizers, specs = workload
+        service = AggregationService(specs, n_shards=n_shards, classes=2)
+        training = TrainingService(service)
+        _stream_in(training, train, randomized, shards=n_shards > 1)
+        model = training.train("byclass")
+        offline = _offline("byclass", train, randomized, randomizers)
+        assert model.tree.identical_to(offline.tree_)
+        assert model.n_train == train.n_records
+        # identical trees classify identically
+        test = quest.generate(800, function=2, seed=19)
+        assert model.tree.score(test.matrix(), test.labels) == offline.score(test)
+
+    @pytest.mark.parametrize("strategy", ["global", "local"])
+    def test_other_strategies_bit_identical(self, workload, strategy):
+        train, randomized, randomizers, specs = workload
+        service = AggregationService(specs, n_shards=2, classes=2)
+        training = TrainingService(service)
+        _stream_in(training, train, randomized, shards=True)
+        model = training.train(strategy)
+        offline = _offline(strategy, train, randomized, randomizers)
+        assert model.tree.identical_to(offline.tree_)
+
+    def test_reconstructions_use_aggregates_not_rows(self, workload):
+        """The per-class shard aggregates are exactly the per-class
+        noise-grid histograms the offline pipeline buckets itself."""
+        train, randomized, randomizers, specs = workload
+        service = AggregationService(specs, classes=2)
+        training = TrainingService(service)
+        _stream_in(training, train, randomized)
+        w = randomized.matrix()
+        labels = train.labels
+        for j, name in enumerate(train.attribute_names[:3]):
+            spec = service.spec(name)
+            y_partition, _ = service.engine.kernel_for(
+                spec.x_partition, spec.randomizer
+            )
+            matrix = service.merged_by_class(name)
+            for c in (0, 1):
+                expected = y_partition.histogram(w[labels == c, j])
+                assert np.array_equal(matrix[c + 1], expected)
+
+    def test_unlabeled_records_do_not_skew_training(self, workload):
+        """v1 (unlabeled) traffic lands in its own partition; the trained
+        tree only sees the labeled stream."""
+        train, randomized, randomizers, specs = workload
+        service = AggregationService(specs, classes=2)
+        training = TrainingService(service)
+        _stream_in(training, train, randomized)
+        # plain unlabeled ingest around the training service is fine
+        service.ingest({"age": [30.0, 40.0, 50.0]})
+        model = training.train("byclass")
+        offline = _offline("byclass", train, randomized, randomizers)
+        assert model.tree.identical_to(offline.tree_)
+
+
+class TestTrainingServiceBasics:
+    @pytest.fixture
+    def small(self):
+        noise = UniformRandomizer(half_width=0.25)
+        service = AggregationService(
+            [AttributeSpec("x", Partition.uniform(0, 1, 8), noise)],
+            classes=2,
+        )
+        return service, TrainingService(service), noise
+
+    def test_requires_class_aware_service(self):
+        noise = UniformRandomizer(half_width=0.25)
+        service = AggregationService(
+            [AttributeSpec("x", Partition.uniform(0, 1, 8), noise)]
+        )
+        with pytest.raises(ValidationError, match="class-aware"):
+            TrainingService(service)
+
+    def test_train_requires_labeled_rows(self, small):
+        _, training, _ = small
+        with pytest.raises(ValidationError, match="no labeled records"):
+            training.train("byclass")
+
+    def test_rejects_unknown_strategy(self, small):
+        _, training, _ = small
+        with pytest.raises(ValidationError, match="strategy"):
+            training.train("original")
+
+    def test_rows_need_every_attribute(self):
+        noise = UniformRandomizer(half_width=0.25)
+        service = AggregationService(
+            [
+                AttributeSpec("a", Partition.uniform(0, 1, 8), noise),
+                AttributeSpec("b", Partition.uniform(0, 1, 8), noise),
+            ],
+            classes=2,
+        )
+        training = TrainingService(service)
+        with pytest.raises(ValidationError, match="missing"):
+            training.ingest({"a": [0.5]}, [0])
+
+    def test_rows_need_one_class_per_record(self, small):
+        _, training, _ = small
+        with pytest.raises(ValidationError, match="class"):
+            training.ingest({"x": [0.5, 0.6]}, [0])
+
+    def test_class_labels_validated(self, small):
+        _, training, _ = small
+        with pytest.raises(ValidationError):
+            training.ingest({"x": [0.5]}, [7])
+        with pytest.raises(ValidationError):
+            training.ingest({"x": [0.5]}, [-1])
+        with pytest.raises(ValidationError):
+            training.ingest({"x": [0.5]}, [[0]])
+
+    def test_n_buffered_counts_rows(self, small):
+        _, training, noise = small
+        assert training.n_buffered == 0
+        training.ingest({"x": noise.randomize([0.5, 0.6], seed=0)}, [0, 1])
+        assert training.n_buffered == 2
+
+    def test_model_lookup(self, small):
+        _, training, noise = small
+        rng = np.random.default_rng(0)
+        x = np.concatenate(
+            [rng.uniform(0, 0.4, 200), rng.uniform(0.6, 1.0, 200)]
+        )
+        training.ingest(
+            {"x": noise.randomize(x, seed=1)}, np.repeat([0, 1], 200)
+        )
+        assert training.model() is None
+        model = training.train("byclass")
+        assert training.model() is model
+        assert training.model("byclass") is model
+        assert training.model("global") is None
+        assert isinstance(model, TrainedModel)
+        assert model.classes == 2
+
+    def test_aggregate_buffer_disagreement_is_loud(self, small):
+        """Labeled records that bypass the training buffer (e.g. via
+        service.ingest) fail train() with a clear error instead of
+        silently skewing the reconstructions."""
+        service, training, noise = small
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, 300)
+        training.ingest(
+            {"x": noise.randomize(x, seed=2)},
+            (x > 0.5).astype(int),
+        )
+        service.ingest({"x": [0.5]}, classes=[0])  # around the buffer
+        with pytest.raises(ValidationError, match="disagree"):
+            training.train("byclass")
+
+    def test_train_racing_labeled_ingest_is_consistent(self, small):
+        """A /train concurrent with labeled ingest must never observe
+        the shards and the buffer mid-update (spurious consistency
+        error) — the sync lock holds the two halves together."""
+        import threading
+
+        _, training, noise = small
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0, 1, 2_000)
+        w = noise.randomize(x, seed=10)
+        labels = (x > 0.5).astype(int)
+        stop = threading.Event()
+        errors = []
+
+        def ingester():
+            i = 0
+            while not stop.is_set():
+                sl = slice((i * 20) % 1_900, (i * 20) % 1_900 + 20)
+                try:
+                    training.ingest({"x": w[sl]}, labels[sl])
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+                i += 1
+
+        training.ingest({"x": w[:100]}, labels[:100])  # seed the buffer
+        thread = threading.Thread(target=ingester)
+        thread.start()
+        try:
+            for _ in range(10):
+                model = training.train("byclass")
+                assert model.n_train >= 100
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not errors
+
+    def test_restored_snapshot_history_becomes_baseline(self, small):
+        """A --train server restarted from a snapshot keeps training:
+        the pre-restore labeled history is excluded as baseline and
+        train() runs on the rows ingested since."""
+        service, training, noise = small
+        rng = np.random.default_rng(11)
+        x1 = rng.uniform(0, 1, 400)
+        training.ingest(
+            {"x": noise.randomize(x1, seed=12)}, (x1 > 0.5).astype(int)
+        )
+        restored = AggregationService.restore(service.snapshot())
+        fresh = TrainingService(restored)  # buffer empty, aggregates full
+        x2 = np.concatenate(
+            [rng.uniform(0, 0.4, 300), rng.uniform(0.6, 1.0, 300)]
+        )
+        labels2 = np.repeat([0, 1], 300)
+        fresh.ingest({"x": noise.randomize(x2, seed=13)}, labels2)
+        model = fresh.train("byclass")
+        assert model.n_train == 600  # only the post-restore rows
+        # and it matches a service that never saw the old history
+        clean_service = AggregationService(
+            [AttributeSpec("x", Partition.uniform(0, 1, 8), noise)],
+            classes=2,
+        )
+        clean = TrainingService(clean_service)
+        clean.ingest({"x": noise.randomize(x2, seed=13)}, labels2)
+        assert model.tree.identical_to(clean.train("byclass").tree)
+
+    def test_class_aware_snapshot_internally_consistent(self, small):
+        """Snapshot n_seen always equals the summed class blocks, so a
+        restore can never reject a snapshot the server itself wrote."""
+        service, training, noise = small
+        training.ingest({"x": noise.randomize([0.2, 0.8], seed=4)}, [0, 1])
+        payload = service.snapshot()
+        state = payload["state"]["x"]
+        assert state["n_seen"] == sum(sum(b) for b in state["y_counts"])
+        AggregationService.restore(payload)  # must not raise
+
+    def test_ingested_wire_views_are_materialized(self, small):
+        """Zero-copy frombuffer views must not keep the request body
+        alive (or mutate under the buffer) — prepare_rows copies."""
+        from repro.service import decode_labeled, encode_columns
+
+        _, training, noise = small
+        w = noise.randomize(np.linspace(0.1, 0.9, 50), seed=3)
+        frame = encode_columns({"x": w}, classes=[0, 1] * 25)
+        batch, classes, _ = decode_labeled(frame)
+        rows = training.prepare_rows(batch, classes)
+        assert rows[0].flags.owndata or rows[0].base is None
+        assert rows[0].flags.writeable
+        training.absorb_rows(rows)
+        assert training.n_buffered == 50

@@ -285,3 +285,13 @@ def test_property_single_split_recovery(seed, threshold, n):
     tree.fit(x, y)
     # training accuracy only limited by the 1/40 grid
     assert tree.score(x, y) >= 0.9
+
+
+def test_identical_to_unfitted_comparand_is_false():
+    fitted = DecisionTreeClassifier([Partition.uniform(0, 1, 4)]).fit(
+        np.array([[0.1], [0.9]]), np.array([0, 1])
+    )
+    unfitted = DecisionTreeClassifier([Partition.uniform(0, 1, 4)])
+    assert not fitted.identical_to(unfitted)
+    assert not fitted.identical_to("not a tree")
+    assert fitted.identical_to(fitted)

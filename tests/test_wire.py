@@ -11,10 +11,14 @@ from repro.exceptions import ValidationError
 from repro.service.wire import (
     MAGIC,
     WIRE_VERSION,
+    WIRE_VERSION_CLASSES,
     decode_columns,
+    decode_labeled,
     encode_columns,
     encode_ndjson,
     iter_frames,
+    iter_labeled_frames,
+    iter_labeled_ndjson,
     iter_ndjson,
 )
 
@@ -94,7 +98,7 @@ class TestColumnarErrors:
 
     def test_unsupported_version(self):
         frame = bytearray(encode_columns({"x": [0.5]}))
-        struct.pack_into("<H", frame, 4, WIRE_VERSION + 1)
+        struct.pack_into("<H", frame, 4, WIRE_VERSION_CLASSES + 1)
         with pytest.raises(ValidationError, match="version"):
             decode_columns(bytes(frame))
 
@@ -145,6 +149,170 @@ class TestColumnarErrors:
             encode_columns({"": [0.5]})
 
 
+class TestClassColumn:
+    """Wire version 2: the optional class column."""
+
+    def test_labeled_roundtrip(self):
+        values = np.linspace(0.0, 1.0, 10)
+        classes = np.arange(10) % 3
+        frame = encode_columns({"x": values}, classes=classes, shard=1)
+        batch, decoded, shard = decode_labeled(frame)
+        assert np.array_equal(batch["x"], values)
+        assert decoded.dtype == np.dtype("<i4")
+        assert np.array_equal(decoded, classes)
+        assert shard == 1
+
+    def test_unlabeled_encode_is_byte_identical_v1(self):
+        """No classes -> the exact PR 4 byte layout (old servers decode it)."""
+        frame = encode_columns({"x": [0.5, 0.6]}, shard=2)
+        assert struct.unpack_from("<H", frame, 4)[0] == WIRE_VERSION
+
+    def test_labeled_encode_is_v2(self):
+        frame = encode_columns({"x": [0.5]}, classes=[1])
+        assert struct.unpack_from("<H", frame, 4)[0] == WIRE_VERSION_CLASSES
+
+    def test_decode_labeled_accepts_v1(self):
+        batch, classes, shard = decode_labeled(encode_columns({"x": [0.5]}))
+        assert classes is None
+        assert shard is None
+        assert batch["x"].tolist() == [0.5]
+
+    def test_class_column_is_zero_copy_view(self):
+        frame = encode_columns({"x": [0.5]}, classes=[1])
+        _, classes, _ = decode_labeled(frame)
+        assert not classes.flags.owndata
+        assert not classes.flags.writeable
+
+    def test_v1_and_v2_frames_mix_in_one_body(self):
+        body = encode_columns({"x": [0.1]}) + encode_columns(
+            {"x": [0.9]}, classes=[1]
+        )
+        frames = list(iter_labeled_frames(body))
+        assert frames[0][1] is None
+        assert frames[1][1].tolist() == [1]
+
+    def test_unlabeled_decoders_reject_labeled_frames(self):
+        frame = encode_columns({"x": [0.5]}, classes=[0])
+        with pytest.raises(ValidationError, match="class column"):
+            decode_columns(frame)
+        with pytest.raises(ValidationError, match="class column"):
+            list(iter_frames(frame))
+
+    def test_encode_rejects_row_count_mismatch(self):
+        with pytest.raises(ValidationError, match="class"):
+            encode_columns({"x": [0.5, 0.6]}, classes=[0])
+
+    def test_empty_class_column_encodes_unlabeled_v1(self):
+        """classes=[] carries no labels: the plain v1 frame, not an error."""
+        frame = encode_columns({"x": [0.5, 0.6]}, classes=[])
+        assert struct.unpack_from("<H", frame, 4)[0] == WIRE_VERSION
+        batch, classes, _ = decode_labeled(frame)
+        assert classes is None
+        assert batch["x"].tolist() == [0.5, 0.6]
+
+    def test_encode_rejects_non_integer_classes(self):
+        with pytest.raises(ValidationError, match="integer"):
+            encode_columns({"x": [0.5]}, classes=[0.5])
+        with pytest.raises(ValidationError):
+            encode_columns({"x": [0.5]}, classes=[[0]])
+
+    def test_decode_rejects_column_class_count_mismatch(self):
+        """A crafted v2 frame whose column row count disagrees with the
+        class column is rejected at the table, before any allocation."""
+        frame = bytearray(encode_columns({"x": [0.5, 0.6]}, classes=[0, 1]))
+        # attribute table starts after the 12-byte header + 8-byte class
+        # count; bump the row count of "x" (u16 len + 1 name byte in)
+        struct.pack_into("<Q", frame, 12 + 8 + 2 + 1, 3)
+        with pytest.raises(ValidationError, match="class column"):
+            decode_labeled(bytes(frame))
+
+    def test_truncated_class_column(self):
+        frame = encode_columns({"x": [0.5]}, classes=[0])
+        # drop the final float column AND the tail of the class column
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_labeled(frame[: len(frame) - 8 - 2])
+
+    def test_truncated_v2_header(self):
+        frame = encode_columns({"x": [0.5]}, classes=[0])
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_labeled(frame[:14])
+
+    def test_oversized_class_count_rejected_without_allocation(self):
+        frame = bytearray(encode_columns({"x": [0.5]}, classes=[0]))
+        struct.pack_into("<Q", frame, 12, 2**60)  # absurd class row count
+        with pytest.raises(ValidationError):
+            decode_labeled(bytes(frame))
+
+    def test_oversized_row_count_rejected_without_allocation(self):
+        frame = bytearray(encode_columns({"abc": [0.5]}))
+        # row count sits after header + u16 name length + 3 name bytes
+        struct.pack_into("<Q", frame, 12 + 2 + 3, 2**60)
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_columns(bytes(frame))
+
+
+class TestDecodeFuzz:
+    """Randomized malformed inputs: the decoder must always answer with a
+    ValidationError (or a successful decode) — never another exception
+    type, a hang, or unbounded allocation.  Failing seeds print via the
+    deterministic loop below (fixed base seed, indexed cases)."""
+
+    BASE_SEED = 987_654
+
+    def _frames(self):
+        return [
+            encode_columns({"x": [0.5, 0.6], "y": [1.0, 2.0]}, shard=1),
+            encode_columns({"x": [0.5, 0.6]}, classes=[0, 1]),
+            encode_columns({"x": []}, classes=[]),
+            encode_columns({"âge": np.linspace(0, 1, 31).tolist()}, classes=[1] * 31),
+        ]
+
+    def test_truncation_fuzz(self):
+        import random
+
+        rng = random.Random(self.BASE_SEED)
+        for index, frame in enumerate(self._frames()):
+            cuts = {rng.randrange(len(frame)) for _ in range(40)}
+            for cut in sorted(cuts):
+                try:
+                    decode_labeled(frame[:cut])
+                except ValidationError:
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    raise AssertionError(
+                        f"frame {index} truncated at {cut} raised "
+                        f"{type(exc).__name__}: {exc} (seed {self.BASE_SEED})"
+                    ) from exc
+                assert cut == len(frame), (
+                    f"frame {index}: truncation at {cut} decoded cleanly "
+                    f"(seed {self.BASE_SEED})"
+                )
+
+    def test_corruption_fuzz(self):
+        import random
+
+        rng = random.Random(self.BASE_SEED + 1)
+        frames = self._frames()
+        for case in range(150):
+            frame = bytearray(rng.choice(frames))
+            for _ in range(rng.randint(1, 4)):
+                frame[rng.randrange(len(frame))] = rng.randrange(256)
+            try:
+                batch, classes, shard = decode_labeled(bytes(frame))
+            except ValidationError:
+                continue
+            except Exception as exc:  # noqa: BLE001
+                raise AssertionError(
+                    f"corruption case {case} raised {type(exc).__name__}: "
+                    f"{exc} (seed {self.BASE_SEED + 1})"
+                ) from exc
+            # a surviving decode must still be structurally sound
+            for values in batch.values():
+                assert values.ndim == 1
+            if classes is not None:
+                assert classes.ndim == 1
+
+
 class TestNDJSON:
     def test_roundtrip(self):
         body = encode_ndjson([({"x": [0.5, 0.6]}, None), ({"y": [1.0]}, 2)])
@@ -171,3 +339,19 @@ class TestNDJSON:
     def test_batch_must_be_dict(self):
         with pytest.raises(ValidationError):
             list(iter_ndjson(b'{"batch": [1.0]}\n'))
+
+    def test_labeled_lines_roundtrip(self):
+        body = (
+            b'{"batch": {"x": [0.5]}, "classes": [1]}\n'
+            b'{"batch": {"x": [0.9]}}\n'
+        )
+        frames = list(iter_labeled_ndjson(body))
+        assert frames == [({"x": [0.5]}, [1], None), ({"x": [0.9]}, None, None)]
+
+    def test_unlabeled_iterator_rejects_classes(self):
+        with pytest.raises(ValidationError, match="classes"):
+            list(iter_ndjson(b'{"batch": {"x": [0.5]}, "classes": [1]}\n'))
+
+    def test_classes_must_be_list(self):
+        with pytest.raises(ValidationError, match="classes"):
+            list(iter_labeled_ndjson(b'{"batch": {"x": [0.5]}, "classes": 1}\n'))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Gate CI on a checked-in line-coverage floor (stdlib only).
+
+Reads the Cobertura-style ``coverage.xml`` emitted by ``pytest --cov``
+and fails when the overall line rate drops below the committed floor::
+
+    python tools/check_coverage.py coverage.xml --floor-file tools/coverage_floor.txt
+
+The floor file holds one number (percent).  It is a *ratchet*: when real
+coverage rises, bump the floor in the same PR — CI only defends against
+regressions, it never celebrates improvements on its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+
+def read_line_rate(report_path) -> float:
+    """Overall line coverage (percent) from a coverage XML report."""
+    try:
+        root = ET.parse(report_path).getroot()
+    except (OSError, ET.ParseError) as exc:
+        raise SystemExit(f"error: cannot read {report_path}: {exc}") from exc
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(
+            f"error: {report_path} has no line-rate attribute; is it a "
+            "coverage XML report?"
+        )
+    return float(rate) * 100.0
+
+
+def read_floor(floor_path) -> float:
+    """The committed coverage floor (percent)."""
+    try:
+        text = Path(floor_path).read_text().strip()
+        return float(text)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read floor {floor_path}: {exc}") from exc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="coverage XML report (pytest --cov-report=xml)")
+    parser.add_argument(
+        "--floor-file",
+        default="tools/coverage_floor.txt",
+        help="file holding the committed floor percentage",
+    )
+    args = parser.parse_args(argv)
+
+    actual = read_line_rate(args.report)
+    floor = read_floor(args.floor_file)
+    print(f"line coverage: {actual:.2f}% (floor {floor:.2f}%)")
+    if actual < floor:
+        print(
+            f"FAIL: coverage {actual:.2f}% fell below the committed floor "
+            f"{floor:.2f}% ({args.floor_file})",
+            file=sys.stderr,
+        )
+        return 1
+    headroom = actual - floor
+    if headroom > 5.0:
+        print(
+            f"note: {headroom:.1f} points of headroom — consider ratcheting "
+            f"the floor up in {args.floor_file}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
