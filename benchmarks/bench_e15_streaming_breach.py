@@ -25,6 +25,7 @@ from repro.core import (
 )
 from repro.datasets import shapes
 from repro.experiments import format_table
+from repro.utils.rng import ensure_rng
 
 
 @experiment(
@@ -40,7 +41,7 @@ def run_e15(ctx):
     true = density.true_distribution(part)
 
     stream = StreamingReconstructor(part, noise)
-    rng = np.random.default_rng(ctx.seed)
+    rng = ensure_rng(ctx.seed)
     batch = ctx.scaled(2_000)
     ctx.record(batch_size=batch, n_batches=5, privacy=0.5, n_intervals=20)
     streaming_rows = []

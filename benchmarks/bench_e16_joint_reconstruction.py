@@ -17,6 +17,7 @@ from repro.core import UniformRandomizer
 from repro.core.joint import JointBayesReconstructor
 from repro.core.partition import Partition
 from repro.experiments import format_table
+from repro.utils.rng import ensure_rng
 
 RHOS = (0.0, 0.4, 0.8)
 
@@ -42,7 +43,7 @@ def run_e16(ctx):
     ctx.record(n=n, privacy=0.5, n_intervals=15)
     part = Partition.uniform(0, 1, 15)
     noise = UniformRandomizer.from_privacy(0.5, 1.0)
-    rng = np.random.default_rng(ctx.seed)
+    rng = ensure_rng(ctx.seed)
     rows = []
     for rho in RHOS:
         x1, x2 = _sample(n, rho, rng)

@@ -15,6 +15,7 @@ from _common import experiment, run_experiment
 
 from repro.core import CategoricalRandomizer, CategoricalReconstructor
 from repro.experiments import format_table
+from repro.utils.rng import ensure_rng
 
 KEEP_PROBS = (0.9, 0.7, 0.5, 0.3)
 TRUE_PROBS = np.array([0.45, 0.25, 0.15, 0.10, 0.05])
@@ -27,7 +28,7 @@ TRUE_PROBS = np.array([0.45, 0.25, 0.15, 0.10, 0.05])
     seed=1700,
 )
 def run_e17(ctx):
-    rng = np.random.default_rng(ctx.seed)
+    rng = ensure_rng(ctx.seed)
     n = ctx.scaled(20_000)
     ctx.record(
         n=n,

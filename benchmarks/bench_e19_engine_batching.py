@@ -23,6 +23,7 @@ from repro.core.engine import run_bayes_reference
 from repro.datasets.schema import Attribute, Table
 from repro.experiments.reporting import format_table
 from repro.tree.pipeline import PrivacyPreservingClassifier
+from repro.utils.rng import ensure_rng
 
 N_CLASSES = 4
 N_ATTRIBUTES = 8
@@ -52,7 +53,7 @@ def _workload(n: int, seed: int):
     """A 4-class table whose 8 attributes have distinct domains and
     class-dependent distributions (so every reconstruction has work to do
     and every attribute needs its own kernel)."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     labels = rng.integers(0, N_CLASSES, n)
     schema, columns = [], {}
     for j in range(N_ATTRIBUTES):

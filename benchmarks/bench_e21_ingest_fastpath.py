@@ -38,6 +38,7 @@ from repro.core import KernelCache, Partition, StreamingReconstructor, UniformRa
 from repro.experiments.reporting import format_table
 from repro.service import AggregationService, AttributeSpec
 from repro.service.wire import WIRE_VERSION, encode_columns, iter_frames
+from repro.utils.rng import ensure_rng
 
 N_ATTRIBUTES = 4
 N_BATCHES = 64
@@ -66,7 +67,7 @@ def _specs():
 
 def _disclosures(specs, n_per_attribute: int, seed: int):
     """Pre-generated randomized batches: ``batches[b][name] -> values``."""
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     per_batch = n_per_attribute // N_BATCHES
     batches = []
     for _ in range(N_BATCHES):

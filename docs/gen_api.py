@@ -33,6 +33,7 @@ PAGES = (
     ("repro-bench.md", "repro.bench", "`repro.bench` — benchmark orchestration"),
     ("repro-service.md", "repro.service", "`repro.service` — aggregation service"),
     ("repro-serialize.md", "repro.serialize", "`repro.serialize` — snapshots"),
+    ("repro-analysis.md", "repro.analysis", "`repro.analysis` — static analyzer"),
 )
 
 HEADER = (

@@ -12,12 +12,13 @@ a 2-D product grid and recovers the joint.  Run:
 import numpy as np
 
 from repro.core import JointBayesReconstructor, Partition, UniformRandomizer
+from repro.utils.rng import ensure_rng
 
 RHO = 0.8
 N = 15_000
 
 # A correlated pair on [0,1]^2 (think: age and salary within one class).
-rng = np.random.default_rng(4)
+rng = ensure_rng(4)
 z1 = rng.normal(size=N)
 z2 = RHO * z1 + np.sqrt(1 - RHO**2) * rng.normal(size=N)
 x1 = np.clip((z1 + 3) / 6, 0, 1)
@@ -31,7 +32,9 @@ part = Partition.uniform(0, 1, 15)
 joint = JointBayesReconstructor().reconstruct(w1, w2, (part, part), (noise, noise))
 
 print(f"true correlation:                 {np.corrcoef(x1, x2)[0, 1]:.3f}")
-print(f"correlation of randomized values: {np.corrcoef(w1, w2)[0, 1]:.3f}  (attenuated)")
+print(
+    f"correlation of randomized values: {np.corrcoef(w1, w2)[0, 1]:.3f}  (attenuated)"
+)
 print(f"per-attribute reconstruction:      0.000  (independent by construction)")
 print(f"joint reconstruction:             {joint.correlation():.3f}  "
       f"({joint.n_iterations} sweeps)")

@@ -23,6 +23,7 @@ import numpy as np
 from repro import AggregationService, AttributeSpec
 from repro.core.privacy import noise_for_privacy
 from repro.datasets import shapes
+from repro.utils.rng import ensure_rng
 
 # Two survey questions, each its own (unknown to the analyst) truth.
 QUESTIONS = {
@@ -39,7 +40,7 @@ for name, density in QUESTIONS.items():
     truths[name] = density.true_distribution(partition)
 
 service = AggregationService(specs, n_shards=N_SHARDS)
-rng = np.random.default_rng(11)
+rng = ensure_rng(11)
 
 print(f"collecting on {N_SHARDS} shards; estimates refreshed daily\n")
 print("day  question       records   L1-to-truth  sweeps")

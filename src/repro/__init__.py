@@ -82,7 +82,10 @@ __all__ = [
 #: lazily-imported attributes: keeps `import repro` light and avoids
 #: circular imports while subpackages re-export through the package root
 _LAZY = {
-    "PrivacyPreservingClassifier": ("repro.tree.pipeline", "PrivacyPreservingClassifier"),
+    "PrivacyPreservingClassifier": (
+        "repro.tree.pipeline",
+        "PrivacyPreservingClassifier",
+    ),
     "DecisionTreeClassifier": ("repro.tree", "DecisionTreeClassifier"),
     "PrivacyPreservingNaiveBayes": ("repro.bayes", "PrivacyPreservingNaiveBayes"),
     "NaiveBayesClassifier": ("repro.bayes", "NaiveBayesClassifier"),

@@ -1,0 +1,88 @@
+"""Project-invariant static analyzer behind ``ppdm lint``.
+
+This package enforces, at the AST level, the invariants the rest of the
+repository only states in prose: lock discipline in the serving tier
+(:mod:`~repro.analysis.locks`), seeded-randomness discipline
+(:mod:`~repro.analysis.determinism`), a single source of truth for the
+binary wire format (:mod:`~repro.analysis.wire_lint`), and the
+``ReproError`` exception contract (:mod:`~repro.analysis.raising`).
+
+Checkers register themselves on import via the
+:func:`~repro.analysis.registry.checker` decorator — the same
+declarative shape as ``@experiment`` in :mod:`repro.bench.registry` —
+and the :mod:`~repro.analysis.runner` walks the tree, applies inline
+``# ppdm: ignore[RULE]`` suppressions, and ratchets findings against
+the committed ``tools/lint_baseline.txt`` (new findings fail; so do
+stale baseline entries, so the baseline only shrinks).
+
+Run it as ``ppdm lint`` (or ``python -m repro.cli lint``); see
+``docs/static-analysis.md`` for the rule catalog.
+
+Examples
+--------
+>>> from repro.analysis import REGISTRY
+>>> REGISTRY.ids()
+('determinism', 'locks', 'raising', 'wire')
+>>> REGISTRY.rule("L001").severity
+'error'
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    Finding,
+    baseline_key,
+    diff_baseline,
+    fingerprint,
+    format_baseline,
+    load_baseline,
+)
+from repro.analysis.registry import (
+    REGISTRY,
+    Checker,
+    CheckerRegistry,
+    RuleSpec,
+    checker,
+)
+from repro.analysis.runner import (
+    DEFAULT_BASELINE,
+    LintResult,
+    lint_project,
+    render_json,
+    render_text,
+    run_checkers,
+    write_baseline,
+)
+from repro.analysis.walker import (
+    ParsedModule,
+    Project,
+    default_project_root,
+    parse_source,
+    walk_project,
+)
+
+__all__ = [
+    "Finding",
+    "fingerprint",
+    "baseline_key",
+    "load_baseline",
+    "format_baseline",
+    "diff_baseline",
+    "RuleSpec",
+    "Checker",
+    "CheckerRegistry",
+    "REGISTRY",
+    "checker",
+    "ParsedModule",
+    "Project",
+    "parse_source",
+    "walk_project",
+    "default_project_root",
+    "LintResult",
+    "run_checkers",
+    "lint_project",
+    "render_text",
+    "render_json",
+    "write_baseline",
+    "DEFAULT_BASELINE",
+]

@@ -1,0 +1,288 @@
+"""Determinism lints (rules D001, D002, D003).
+
+Every experiment, benchmark, and service snapshot in this repository
+promises bit-identical replay.  That promise dies quietly the moment a
+code path consumes entropy that is not threaded through
+:mod:`repro.utils.rng`:
+
+* **D001 — hidden global RNG state.**  ``np.random.<fn>()`` and
+  ``random.<fn>()`` module-level calls draw from process-global
+  generators whose state depends on import order and on every other
+  caller in the process.  Results become unreproducible *and*
+  order-dependent.
+* **D002 — direct RNG construction.**  ``np.random.default_rng(...)``,
+  ``RandomState``, ``random.Random`` built outside
+  ``src/repro/utils/rng.py`` bypass :func:`repro.utils.rng.ensure_rng`
+  — the one place seed handling (``None``/int/``Generator``) is
+  normalized — so seed plumbing silently forks.
+* **D003 — time-derived seed.**  ``time.time()``, ``datetime.now()``,
+  ``os.urandom()``, ``uuid.uuid4()`` feeding an RNG constructor, a
+  ``seed=`` keyword, or a ``*seed*`` variable makes every run unique by
+  construction.  ``time.perf_counter()`` used for *timing* is fine and
+  does not trip this rule.
+
+All three rules apply to every category — a benchmark with hidden
+global RNG state is exactly as unreproducible as a library module.
+
+Examples
+--------
+>>> from repro.analysis.determinism import check_determinism
+>>> from repro.analysis.walker import parse_source, Project
+>>> bad = parse_source(
+...     "import numpy as np\\n"
+...     "rng = np.random.default_rng(7)\\n",
+...     "examples/demo.py", "examples")
+>>> [f.rule for f in check_determinism(Project([bad]))]
+['D002']
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import CATEGORIES, RuleSpec, checker
+from repro.analysis.walker import Project, iter_scoped
+
+__all__ = ["check_determinism"]
+
+#: the one module allowed to construct numpy generators directly
+_RNG_HOME = "src/repro/utils/rng.py"
+
+#: dotted prefixes naming numpy's global-state random module
+_NUMPY_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+#: RNG constructor attribute/function names (rule D002)
+_CONSTRUCTORS = {"default_rng", "Generator", "RandomState", "Random"}
+
+#: stdlib ``random`` module-level functions drawing from the hidden
+#: global generator (rule D001)
+_RANDOM_MODULE_FNS = {
+    "random",
+    "seed",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "randbytes",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "uniform",
+    "triangular",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "gammavariate",
+    "paretovariate",
+    "weibullvariate",
+    "vonmisesvariate",
+}
+
+#: calls whose result varies run to run (rule D003 when seeding)
+_TIME_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "os.urandom",
+    "os.getpid",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string for a pure Name/Attribute chain, else None."""
+    parts: list = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _time_source_in(node: ast.AST) -> ast.Call | None:
+    """The first time-derived call anywhere inside ``node``, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            dotted = _dotted(sub.func)
+            if dotted in _TIME_SOURCES:
+                return sub
+    return None
+
+
+def _is_constructor_call(node: ast.Call) -> bool:
+    dotted = _dotted(node.func)
+    if dotted is not None and "." in dotted:
+        prefix, _, last = dotted.rpartition(".")
+        if last in _CONSTRUCTORS and prefix in (
+            "np.random",
+            "numpy.random",
+            "random",
+        ):
+            return True
+    if isinstance(node.func, ast.Name) and node.func.id in (
+        "default_rng",
+        "RandomState",
+    ):
+        return True
+    return False
+
+
+@checker(
+    "determinism",
+    title="Seeded-randomness discipline (RNG flows through repro.utils.rng)",
+    rules=(
+        RuleSpec(
+            "D001",
+            "hidden global RNG state (np.random.* / random.* module calls)",
+            categories=CATEGORIES,
+            rationale=(
+                "Module-level RNG calls draw from process-global "
+                "generators; results then depend on import order and on "
+                "every other caller, so no run is reproducible."
+            ),
+        ),
+        RuleSpec(
+            "D002",
+            "RNG constructed outside repro.utils.rng",
+            categories=CATEGORIES,
+            rationale=(
+                "ensure_rng()/spawn_rngs() are the single place seed "
+                "handling is normalized; ad-hoc default_rng() calls fork "
+                "the seed-plumbing convention and drift from it."
+            ),
+        ),
+        RuleSpec(
+            "D003",
+            "time-derived seed (time/datetime/urandom/uuid feeding an RNG)",
+            categories=CATEGORIES,
+            rationale=(
+                "A clock-seeded generator makes every run unique by "
+                "construction — the exact opposite of the bit-identical "
+                "replay the reproduction promises."
+            ),
+        ),
+    ),
+)
+def check_determinism(project: Project) -> Iterator[Finding]:
+    """Run the three determinism rules over every walked category."""
+    for module in project.iter_modules():
+        if module.tree is None or module.relpath == _RNG_HOME:
+            continue
+        for node, scope in iter_scoped(module.tree):
+            if isinstance(node, ast.Assign):
+                names = [
+                    t.id if isinstance(t, ast.Name) else t.attr
+                    for t in node.targets
+                    if isinstance(t, (ast.Name, ast.Attribute))
+                ]
+                if any("seed" in n.lower() for n in names):
+                    source = _time_source_in(node.value)
+                    if source is not None:
+                        yield Finding(
+                            rule="D003",
+                            path=module.relpath,
+                            line=node.lineno,
+                            scope=scope,
+                            message=(
+                                f"seed variable derived from "
+                                f"'{_dotted(source.func)}()'"
+                            ),
+                            hint=(
+                                "take the seed as a parameter (or a "
+                                "fixed constant) and thread it through "
+                                "repro.utils.rng.ensure_rng"
+                            ),
+                        )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if _is_constructor_call(node):
+                yield Finding(
+                    rule="D002",
+                    path=module.relpath,
+                    line=node.lineno,
+                    scope=scope,
+                    message=(
+                        f"direct RNG construction "
+                        f"'{dotted or 'default_rng'}(...)' outside "
+                        "repro.utils.rng"
+                    ),
+                    hint=(
+                        "use repro.utils.rng.ensure_rng(seed) (or "
+                        "spawn_rngs) so seed handling stays in one place"
+                    ),
+                )
+            elif dotted is not None:
+                prefix, _, last = dotted.rpartition(".")
+                if prefix in ("np.random", "numpy.random"):
+                    yield Finding(
+                        rule="D001",
+                        path=module.relpath,
+                        line=node.lineno,
+                        scope=scope,
+                        message=(
+                            f"call to global-state '{dotted}()' — results "
+                            "depend on process-wide RNG state"
+                        ),
+                        hint=(
+                            "construct a Generator via "
+                            "repro.utils.rng.ensure_rng(seed) and call the "
+                            "method on it"
+                        ),
+                    )
+                elif prefix == "random" and last in _RANDOM_MODULE_FNS:
+                    yield Finding(
+                        rule="D001",
+                        path=module.relpath,
+                        line=node.lineno,
+                        scope=scope,
+                        message=(
+                            f"call to global-state '{dotted}()' — results "
+                            "depend on process-wide RNG state"
+                        ),
+                        hint=(
+                            "use a seeded random.Random instance — or "
+                            "better, a numpy Generator from "
+                            "repro.utils.rng.ensure_rng"
+                        ),
+                    )
+            # D003 inside RNG constructors and seed= keywords
+            seed_exprs: list = []
+            if _is_constructor_call(node):
+                seed_exprs.extend(node.args)
+            seed_exprs.extend(
+                kw.value for kw in node.keywords if kw.arg == "seed"
+            )
+            for expr in seed_exprs:
+                source = _time_source_in(expr)
+                if source is not None:
+                    yield Finding(
+                        rule="D003",
+                        path=module.relpath,
+                        line=node.lineno,
+                        scope=scope,
+                        message=(
+                            f"RNG seeded from '{_dotted(source.func)}()' — "
+                            "every run draws a different stream"
+                        ),
+                        hint=(
+                            "pass an explicit integer seed (or None for "
+                            "documented non-determinism via ensure_rng)"
+                        ),
+                    )

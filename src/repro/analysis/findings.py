@@ -1,0 +1,170 @@
+"""Structured findings and the committed-baseline ratchet.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:func:`fingerprint` hashes the rule, file, enclosing scope, and the
+*text* of the offending line — not the line number — so unrelated edits
+above a baselined finding do not churn the baseline file.
+
+The baseline file (``tools/lint_baseline.txt``) is a ratchet in the
+spirit of ``tools/check_coverage.py``: every line is one accepted
+pre-existing finding, new findings fail the run, and *stale* entries
+(baselined findings that no longer occur) fail too, so the file can
+only shrink.  One line per finding::
+
+    RULE  path  scope  fingerprint
+
+Examples
+--------
+>>> from repro.analysis.findings import Finding, fingerprint
+>>> f = Finding(rule="D002", path="examples/demo.py", line=3,
+...             scope="main", message="direct RNG construction")
+>>> f.location
+'examples/demo.py:3'
+>>> len(fingerprint(f, "rng = np.random.default_rng(7)"))
+12
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "Finding",
+    "fingerprint",
+    "baseline_key",
+    "load_baseline",
+    "format_baseline",
+    "diff_baseline",
+]
+
+#: severities a rule may carry (render-time metadata; both gate CI)
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``"L001"``, ``"D002"``, ...).
+    path:
+        Repository-relative POSIX path of the offending file.
+    line:
+        1-based line number of the violation.
+    scope:
+        Dotted name of the enclosing function/class (``"<module>"`` at
+        top level) — part of the baseline identity so findings survive
+        line-number drift.
+    message:
+        What is wrong, in one sentence.
+    hint:
+        How to fix it (shown under the finding in text output).
+    severity:
+        ``"error"`` or ``"warning"`` (display metadata; both gate).
+    digest:
+        Content fingerprint, attached by the runner (empty until then).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    scope: str = "<module>"
+    hint: str = ""
+    severity: str = "error"
+    digest: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        """``path:line`` — the clickable anchor for terminals/editors."""
+        return f"{self.path}:{self.line}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Content hash identifying ``finding`` independent of line numbers.
+
+    Hashes rule, path, scope, and the stripped source line, so inserting
+    code above a baselined finding does not invalidate the baseline but
+    editing the offending line itself does.
+    """
+    material = "|".join(
+        (finding.rule, finding.path, finding.scope, line_text.strip())
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+
+def baseline_key(finding: Finding) -> tuple:
+    """The identity a baseline entry records for ``finding``."""
+    return (finding.rule, finding.path, finding.scope, finding.digest)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Parse a baseline file into a multiset of accepted finding keys.
+
+    A missing file is an empty baseline (the post-cleanup steady state).
+    Blank lines and ``#`` comments are ignored; anything else must be
+    the four whitespace-separated fields :func:`format_baseline` writes.
+    """
+    accepted: Counter = Counter()
+    if not Path(path).is_file():
+        return accepted
+    for lineno, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise AnalysisError(
+                f"{path}:{lineno}: baseline lines are "
+                f"'RULE path scope fingerprint', got {line!r}"
+            )
+        accepted[tuple(fields)] += 1
+    return accepted
+
+
+def format_baseline(findings: Iterable[Finding]) -> str:
+    """Render findings as baseline file content (sorted, commented)."""
+    lines = [
+        "# ppdm lint baseline — accepted pre-existing findings.",
+        "# One line per finding: RULE path scope fingerprint.",
+        "# This file is a ratchet: it may only shrink.  Regenerate with",
+        "#   ppdm lint --write-baseline",
+        "# after *removing* findings; never hand-add new entries.",
+    ]
+    entries = sorted(baseline_key(f) for f in findings)
+    lines.extend(" ".join(entry) for entry in entries)
+    return "\n".join(lines) + "\n"
+
+
+def diff_baseline(findings: Iterable[Finding], accepted: Counter) -> tuple:
+    """Split findings against the baseline multiset.
+
+    Returns ``(new, baselined, stale)``: findings the baseline does not
+    cover, findings it does, and accepted entries that no longer occur
+    (the ratchet: stale entries must be deleted in the same change).
+    """
+    remaining = Counter(accepted)
+    new = []
+    baselined = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(remaining.elements())
+    return new, baselined, stale

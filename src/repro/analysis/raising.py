@@ -1,0 +1,265 @@
+"""Exception-discipline lint (rules E001, E002).
+
+The library's contract is that every deliberate failure derives from
+:class:`repro.exceptions.ReproError`, so callers catch library failures
+with one ``except`` clause while genuine bugs still propagate:
+
+* **E001 — builtin exception raised in library code.**  ``raise
+  ValueError(...)`` from a public ``repro`` API is invisible to
+  ``except ReproError`` and indistinguishable from an internal bug.
+  Raise :class:`~repro.exceptions.ValidationError` and friends instead.
+  ``NotImplementedError`` (abstract methods), ``AssertionError``, and
+  ``SystemExit`` (CLI control flow) are allowed; ``exceptions.py``
+  itself is exempt.
+* **E002 — unguarded decode subscript.**  Decode-shaped functions
+  (``from_*``, ``load*``, ``restore*``, ``decode*``) index straight
+  into their payload argument.  On malformed input the caller gets a
+  bare ``KeyError('kind')`` instead of a
+  :class:`~repro.exceptions.SerializationError` naming the problem.
+  Subscripts of a parameter must sit inside a ``try`` that catches
+  ``KeyError``/``LookupError``/``TypeError``/``ValueError`` (or
+  broader) and re-raises a library error.  Slicing and subscript
+  *stores* are exempt — neither raises ``KeyError``.
+
+Examples
+--------
+>>> from repro.analysis.raising import check_raising
+>>> from repro.analysis.walker import parse_source, Project
+>>> bad = parse_source(
+...     "def from_payload(payload):\\n"
+...     "    return payload['kind']\\n",
+...     "src/repro/demo.py", "library")
+>>> [f.rule for f in check_raising(Project([bad]))]
+['E002']
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleSpec, checker
+from repro.analysis.walker import ParsedModule, Project, iter_scoped
+
+__all__ = ["check_raising"]
+
+#: where the sanctioned hierarchy lives — exempt from E001 by definition
+_EXCEPTIONS_HOME = "src/repro/exceptions.py"
+
+#: builtin exceptions library code must not raise directly
+_FORBIDDEN_RAISES = {
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "RuntimeError",
+    "OSError",
+    "IOError",
+    "Exception",
+    "BaseException",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "AttributeError",
+    "StopIteration",
+    "BufferError",
+    "EOFError",
+    "OverflowError",
+    "UnicodeDecodeError",
+    "UnicodeEncodeError",
+}
+
+#: handler types that count as guarding a decode subscript
+_GUARDING_CATCHES = {
+    "KeyError",
+    "LookupError",
+    "IndexError",
+    "TypeError",
+    "ValueError",
+    "Exception",
+    "BaseException",
+}
+
+#: function-name prefixes marking a decode-shaped API (after
+#: stripping leading underscores)
+_DECODE_PREFIXES = ("from_", "load", "restore", "decode")
+
+#: scopes where raising AttributeError is the attribute protocol
+#: itself, not a failure-contract violation
+_ATTRIBUTE_PROTOCOL = {
+    "__getattr__",
+    "__getattribute__",
+    "__setattr__",
+    "__delattr__",
+}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The bare name being raised (``X`` or ``X(...)``), if resolvable."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _handler_catches(handler: ast.ExceptHandler) -> set:
+    """Exception names a single ``except`` clause catches."""
+    node = handler.type
+    if node is None:
+        return {"BaseException"}
+    names = []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return set(names)
+
+
+def _is_decode_function(name: str) -> bool:
+    stripped = name.lstrip("_")
+    return any(stripped.startswith(prefix) for prefix in _DECODE_PREFIXES)
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set:
+    args = node.args
+    names = [
+        a.arg
+        for group in (args.posonlyargs, args.args, args.kwonlyargs)
+        for a in group
+    ]
+    for star in (args.vararg, args.kwarg):
+        if star is not None:
+            names.append(star.arg)
+    return {n for n in names if n not in ("self", "cls")}
+
+
+def _unguarded_subscripts(
+    node: ast.AST, params: set, guarded: bool
+) -> Iterator[ast.Subscript]:
+    """Yield non-slice subscripts of a parameter outside a guarding try."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue  # nested scopes judged on their own names
+        if isinstance(child, ast.Try):
+            catches: set = set()
+            for handler in child.handlers:
+                catches |= _handler_catches(handler)
+            body_guarded = guarded or bool(catches & _GUARDING_CATCHES)
+            for stmt in child.body:
+                yield from _unguarded_subscripts(stmt, params, body_guarded)
+            for handler in child.handlers:
+                yield from _unguarded_subscripts(handler, params, guarded)
+            for stmt in child.orelse + child.finalbody:
+                yield from _unguarded_subscripts(stmt, params, guarded)
+            continue
+        if (
+            isinstance(child, ast.Subscript)
+            and not guarded
+            and isinstance(child.ctx, ast.Load)
+            and not isinstance(child.slice, ast.Slice)
+            and isinstance(child.value, ast.Name)
+            and child.value.id in params
+        ):
+            yield child
+        yield from _unguarded_subscripts(child, params, guarded)
+
+
+def _check_module_raises(module: ParsedModule) -> Iterator[Finding]:
+    assert module.tree is not None
+    for node, scope in iter_scoped(module.tree):
+        if not isinstance(node, ast.Raise):
+            continue
+        name = _raised_name(node)
+        if name == "AttributeError" and (
+            scope.rpartition(".")[2] in _ATTRIBUTE_PROTOCOL
+        ):
+            continue  # __getattr__ must raise AttributeError
+        if name in _FORBIDDEN_RAISES:
+            yield Finding(
+                rule="E001",
+                path=module.relpath,
+                line=node.lineno,
+                scope=scope,
+                message=(
+                    f"library code raises builtin '{name}' — invisible to "
+                    "'except ReproError' callers"
+                ),
+                hint=(
+                    "raise the matching repro.exceptions type "
+                    "(ValidationError, SchemaError, SerializationError, ...)"
+                ),
+            )
+
+
+def _check_module_decodes(module: ParsedModule) -> Iterator[Finding]:
+    assert module.tree is not None
+    for node, scope in iter_scoped(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_decode_function(node.name):
+            continue
+        params = _param_names(node)
+        if not params:
+            continue
+        fn_scope = (
+            node.name if scope == "<module>" else f"{scope}.{node.name}"
+        )
+        for subscript in _unguarded_subscripts(node, params, False):
+            target = subscript.value
+            assert isinstance(target, ast.Name)
+            yield Finding(
+                rule="E002",
+                path=module.relpath,
+                line=subscript.lineno,
+                scope=fn_scope,
+                message=(
+                    f"decode function indexes parameter "
+                    f"'{target.id}' outside a guarding try — malformed "
+                    "input escapes as bare KeyError/TypeError"
+                ),
+                hint=(
+                    "wrap the decode in try/except (KeyError, TypeError, "
+                    "ValueError) and re-raise SerializationError"
+                ),
+            )
+
+
+@checker(
+    "raising",
+    title="Exception discipline: failures derive from ReproError",
+    rules=(
+        RuleSpec(
+            "E001",
+            "builtin exception raised in library code",
+            rationale=(
+                "Callers catch library failures via 'except ReproError'; "
+                "a raised builtin bypasses that contract and masquerades "
+                "as an internal bug."
+            ),
+        ),
+        RuleSpec(
+            "E002",
+            "decode-shaped function indexes its payload unguarded",
+            rationale=(
+                "Malformed snapshots/frames must surface as "
+                "SerializationError naming the defect, not a bare "
+                "KeyError('kind') from three stack frames down."
+            ),
+        ),
+    ),
+)
+def check_raising(project: Project) -> Iterator[Finding]:
+    """Run both exception-discipline rules over the library modules."""
+    for module in project.iter_modules(("library",)):
+        if module.tree is None:
+            continue
+        if module.relpath != _EXCEPTIONS_HOME:
+            yield from _check_module_raises(module)
+        yield from _check_module_decodes(module)

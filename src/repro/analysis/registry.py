@@ -1,0 +1,265 @@
+"""Declarative checker registry for the static analyzer.
+
+Every checker lives in a module under :mod:`repro.analysis` as a plain
+function decorated with :func:`checker` — the same registration shape as
+:func:`repro.bench.registry.experiment`:
+
+.. code-block:: python
+
+    @checker(
+        "determinism",
+        title="Seeded-randomness discipline",
+        rules=(
+            RuleSpec("D001", "hidden global RNG state", ...),
+        ),
+    )
+    def check_determinism(project):
+        yield Finding(...)
+
+Importing the module registers the checker; iteration is naturally
+sorted by checker id so runs — and therefore finding order, baselines,
+and CI output — never depend on import order.  A checker receives the
+parsed :class:`~repro.analysis.walker.Project` and yields
+:class:`~repro.analysis.findings.Finding` objects whose ``rule`` must be
+one of its declared :class:`RuleSpec` ids.
+
+Examples
+--------
+>>> from repro.analysis.registry import CheckerRegistry, RuleSpec, checker
+>>> registry = CheckerRegistry()
+>>> @checker("demo", title="Demo", rules=(RuleSpec("X001", "demo rule"),),
+...          registry=registry)
+... def check_demo(project):
+...     return []
+>>> registry.ids()
+('demo',)
+>>> registry.rule("X001").summary
+'demo rule'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "RuleSpec",
+    "Checker",
+    "CheckerRegistry",
+    "REGISTRY",
+    "checker",
+]
+
+#: file categories the walker assigns (see repro.analysis.walker); a
+#: rule applies only to the categories it names
+CATEGORIES = ("library", "tools", "bench", "examples")
+
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+_RULE_ID_PATTERN = re.compile(r"^[A-Z]\d{3}$")
+
+
+def _natural_key(text: str) -> tuple:
+    """Sort key ordering embedded integers numerically (e2 < e10)."""
+    return tuple(
+        int(part) if part.isdigit() else part
+        for part in re.split(r"(\d+)", text)
+    )
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One rule a checker may emit findings for.
+
+    Attributes
+    ----------
+    id:
+        Short stable identifier: one letter (the rule family) plus
+        three digits, e.g. ``"L001"``.
+    summary:
+        One-line description shown by ``ppdm lint --list-rules``.
+    severity:
+        ``"error"`` or ``"warning"`` — attached to every finding of
+        this rule (display metadata; both gate CI).
+    categories:
+        File categories the rule applies to (default: library only).
+    rationale:
+        Why the invariant matters (rendered in the docs rule catalog).
+    """
+
+    id: str
+    summary: str
+    severity: str = "error"
+    categories: tuple = ("library",)
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if not _RULE_ID_PATTERN.match(self.id):
+            raise AnalysisError(
+                f"invalid rule id {self.id!r}: rule ids are one capital "
+                "letter plus three digits (e.g. 'L001')"
+            )
+        if self.severity not in ("error", "warning"):
+            raise AnalysisError(
+                f"rule {self.id}: severity must be 'error' or 'warning', "
+                f"got {self.severity!r}"
+            )
+        unknown = set(self.categories) - set(CATEGORIES)
+        if unknown:
+            raise AnalysisError(
+                f"rule {self.id}: unknown categories {sorted(unknown)}; "
+                f"known: {CATEGORIES}"
+            )
+
+
+@dataclass(frozen=True)
+class Checker:
+    """One registered checker: a function plus the rules it enforces.
+
+    Attributes
+    ----------
+    id:
+        Unique short identifier (``"locks"``, ``"determinism"``, ...).
+    fn:
+        The checker body: ``fn(project)`` yielding ``Finding`` objects.
+    title:
+        One-line human description (``ppdm lint --list-rules``).
+    rules:
+        The :class:`RuleSpec` tuple this checker may emit.
+    module:
+        Name of the module that registered the checker.
+    """
+
+    id: str
+    fn: Callable
+    title: str = ""
+    rules: tuple = field(default=())
+    module: str = ""
+
+
+class CheckerRegistry:
+    """Id-keyed collection of :class:`Checker` specs.
+
+    Registration rejects duplicate checker ids and duplicate rule ids
+    across checkers — two checkers fighting over ``"L001"`` would make
+    every baseline entry ambiguous — and iteration is always naturally
+    sorted by checker id, independent of import order.
+    """
+
+    def __init__(self) -> None:
+        self._checkers: dict = {}
+        self._rules: dict = {}
+
+    def register(self, spec: Checker) -> None:
+        if not _ID_PATTERN.match(spec.id):
+            raise AnalysisError(
+                f"invalid checker id {spec.id!r}: ids are alphanumeric "
+                "plus '_', '.', '-'"
+            )
+        if spec.id in self._checkers:
+            raise AnalysisError(
+                f"duplicate checker id {spec.id!r}: already registered by "
+                f"module {self._checkers[spec.id].module!r}"
+            )
+        if not spec.rules:
+            raise AnalysisError(f"checker {spec.id!r} declares no rules")
+        for rule in spec.rules:
+            owner = self._rules.get(rule.id)
+            if owner is not None:
+                raise AnalysisError(
+                    f"duplicate rule id {rule.id!r}: already declared by "
+                    f"checker {owner[0]!r}"
+                )
+        self._checkers[spec.id] = spec
+        for rule in spec.rules:
+            self._rules[rule.id] = (spec.id, rule)
+
+    def __contains__(self, checker_id: str) -> bool:
+        return checker_id in self._checkers
+
+    def __len__(self) -> int:
+        return len(self._checkers)
+
+    def ids(self) -> tuple:
+        """All registered checker ids, naturally sorted."""
+        return tuple(sorted(self._checkers, key=_natural_key))
+
+    def get(self, checker_id: str) -> Checker:
+        try:
+            return self._checkers[checker_id]
+        except KeyError:
+            known = ", ".join(self.ids()) or "<none>"
+            raise AnalysisError(
+                f"unknown checker id {checker_id!r}; registered: {known}"
+            ) from None
+
+    def checkers(self) -> Iterator[Checker]:
+        """Registered checkers in natural id order."""
+        for checker_id in self.ids():
+            yield self._checkers[checker_id]
+
+    def rule_ids(self) -> tuple:
+        """All rule ids across every checker, naturally sorted."""
+        return tuple(sorted(self._rules, key=_natural_key))
+
+    def rule(self, rule_id: str) -> RuleSpec:
+        """The :class:`RuleSpec` registered under ``rule_id``."""
+        try:
+            return self._rules[rule_id][1]
+        except KeyError:
+            known = ", ".join(self.rule_ids()) or "<none>"
+            raise AnalysisError(
+                f"unknown rule id {rule_id!r}; registered: {known}"
+            ) from None
+
+    def select_rules(self, rule_ids: Iterable[str] | None = None) -> tuple:
+        """Validate a ``--rule`` selection; ``None`` selects every rule."""
+        if rule_ids is None:
+            return self.rule_ids()
+        selected = []
+        for rule_id in rule_ids:
+            self.rule(rule_id)  # raises on unknown ids
+            if rule_id not in selected:
+                selected.append(rule_id)
+        return tuple(sorted(selected, key=_natural_key))
+
+    def clear(self) -> None:
+        """Forget every registration (test isolation helper)."""
+        self._checkers.clear()
+        self._rules.clear()
+
+
+#: process-global registry the :func:`checker` decorator writes to
+REGISTRY = CheckerRegistry()
+
+
+def checker(
+    checker_id: str,
+    *,
+    title: str = "",
+    rules: tuple = (),
+    registry: CheckerRegistry | None = None,
+) -> Callable:
+    """Register the decorated function as a static-analysis checker.
+
+    The function keeps working as a plain callable (tests call checkers
+    directly on fixture projects); registration only adds it to
+    ``registry`` (default: the process-global :data:`REGISTRY`).
+    """
+    target = REGISTRY if registry is None else registry
+
+    def decorate(fn: Callable) -> Callable:
+        spec = Checker(
+            id=checker_id,
+            fn=fn,
+            title=title,
+            rules=tuple(rules),
+            module=getattr(fn, "__module__", ""),
+        )
+        target.register(spec)
+        fn.checker = spec
+        return fn
+
+    return decorate

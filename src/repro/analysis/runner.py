@@ -1,0 +1,239 @@
+"""Checker orchestration: run, suppress, fingerprint, ratchet, render.
+
+:func:`lint_project` is the one entry point the CLI and tests share:
+walk (or accept) a :class:`~repro.analysis.walker.Project`, run every
+registered checker whose rules are selected, drop findings carrying an
+inline ``# ppdm: ignore[RULE]``, attach content fingerprints, and split
+the remainder against the committed baseline.  The result gates like
+``tools/check_coverage.py``: *new* findings fail, and *stale* baseline
+entries fail too, so ``tools/lint_baseline.txt`` can only shrink.
+
+Examples
+--------
+>>> from repro.analysis.runner import lint_project
+>>> from repro.analysis.walker import parse_source, Project
+>>> bad = parse_source("import numpy as np\\n"
+...                    "rng = np.random.default_rng(3)\\n",
+...                    "examples/demo.py", "examples")
+>>> result = lint_project(project=Project([bad]))
+>>> result.ok, [f.rule for f in result.new]
+(False, ['D002'])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+# importing the checker modules is what registers them
+from repro.analysis import determinism, locks, raising, wire_lint  # noqa: F401
+from repro.analysis.findings import (
+    Finding,
+    diff_baseline,
+    fingerprint,
+    format_baseline,
+    load_baseline,
+)
+from repro.analysis.registry import REGISTRY, CheckerRegistry
+from repro.analysis.walker import Project, walk_project
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "LintResult",
+    "run_checkers",
+    "lint_project",
+    "render_text",
+    "render_json",
+    "write_baseline",
+    "DEFAULT_BASELINE",
+]
+
+#: baseline location relative to the project root
+DEFAULT_BASELINE = Path("tools") / "lint_baseline.txt"
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    Attributes
+    ----------
+    findings:
+        Every post-suppression finding, digests attached, sorted.
+    new:
+        Findings the baseline does not cover — these fail the run.
+    baselined:
+        Findings accepted by the baseline (reported, not failing).
+    stale:
+        Baseline entries that no longer occur — these fail too (the
+        ratchet: remove them from the baseline in the same change).
+    suppressed:
+        Count of findings dropped by inline ``ppdm: ignore`` comments.
+    """
+
+    findings: list
+    new: list
+    baselined: list
+    stale: list
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Does this run gate green (nothing new, nothing stale)?"""
+        return not self.new and not self.stale
+
+
+def run_checkers(
+    project: Project,
+    registry: CheckerRegistry | None = None,
+    rules: Iterable[str] | None = None,
+) -> tuple:
+    """Run every selected checker; returns ``(findings, suppressed)``.
+
+    Findings are validated against the emitting checker's declared
+    rules and the rule's declared categories, filtered by inline
+    suppressions, given content fingerprints, and sorted.  ``P000``
+    parse errors are always included: an unparseable file cannot be
+    vouched for by any rule.
+    """
+    reg = REGISTRY if registry is None else registry
+    selected = set(reg.select_rules(rules))
+    collected: list = []
+    for module in project.modules:
+        if module.parse_error is not None:
+            collected.append(module.parse_error)
+    for spec in reg.checkers():
+        if not any(rule.id in selected for rule in spec.rules):
+            continue
+        declared = {rule.id: rule for rule in spec.rules}
+        for finding in spec.fn(project):
+            rule = declared.get(finding.rule)
+            if rule is None:
+                raise AnalysisError(
+                    f"checker {spec.id!r} emitted undeclared rule "
+                    f"{finding.rule!r}"
+                )
+            if finding.rule not in selected:
+                continue
+            module = project.module(finding.path)
+            if module is not None and module.category not in rule.categories:
+                continue
+            collected.append(
+                dataclasses.replace(finding, severity=rule.severity)
+            )
+    suppressed = 0
+    final: list = []
+    for finding in collected:
+        module = project.module(finding.path)
+        line_text = (
+            module.line_text(finding.line) if module is not None else ""
+        )
+        if module is not None:
+            marks = module.suppressed(finding.line)
+            if "*" in marks or finding.rule in marks:
+                suppressed += 1
+                continue
+        final.append(
+            dataclasses.replace(
+                finding, digest=fingerprint(finding, line_text)
+            )
+        )
+    final.sort(key=Finding.sort_key)
+    return final, suppressed
+
+
+def lint_project(
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+    baseline: Path | None = None,
+    project: Project | None = None,
+    registry: CheckerRegistry | None = None,
+) -> LintResult:
+    """Walk, check, and ratchet one project; the CLI/test entry point.
+
+    ``project`` short-circuits the filesystem walk (tests pass
+    synthetic projects).  ``baseline=None`` resolves to
+    ``<root>/tools/lint_baseline.txt`` when the project has a root, and
+    to an empty baseline otherwise.
+    """
+    if project is None:
+        project = walk_project(root)
+    findings, suppressed = run_checkers(project, registry, rules)
+    if baseline is None and project.root is not None:
+        baseline = project.root / DEFAULT_BASELINE
+    accepted = load_baseline(baseline) if baseline is not None else None
+    if accepted is None:
+        new, baselined, stale = list(findings), [], []
+    else:
+        new, baselined, stale = diff_baseline(findings, accepted)
+    return LintResult(
+        findings=findings,
+        new=new,
+        baselined=baselined,
+        stale=stale,
+        suppressed=suppressed,
+    )
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one block per new finding, then a summary."""
+    lines: list = []
+    for finding in result.new:
+        lines.append(
+            f"{finding.location}: {finding.severity} {finding.rule} "
+            f"[{finding.scope}] {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    if result.stale:
+        lines.append("")
+        lines.append(
+            "stale baseline entries (fixed findings still listed — the "
+            "baseline only shrinks; remove these lines):"
+        )
+        for entry in result.stale:
+            lines.append("    " + " ".join(entry))
+    lines.append("")
+    lines.append(
+        f"{len(result.new)} new, {len(result.baselined)} baselined, "
+        f"{len(result.stale)} stale, {result.suppressed} suppressed"
+    )
+    lines.append("lint: " + ("OK" if result.ok else "FAIL"))
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, one JSON document)."""
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule,
+            "severity": finding.severity,
+            "path": finding.path,
+            "line": finding.line,
+            "scope": finding.scope,
+            "message": finding.message,
+            "hint": finding.hint,
+            "fingerprint": finding.digest,
+        }
+
+    payload = {
+        "ok": result.ok,
+        "counts": {
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "stale": len(result.stale),
+            "suppressed": result.suppressed,
+        },
+        "new": [encode(f) for f in result.new],
+        "baselined": [encode(f) for f in result.baselined],
+        "stale": [" ".join(entry) for entry in result.stale],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(result: LintResult, path: Path) -> None:
+    """Regenerate the baseline file to accept the current findings."""
+    Path(path).write_text(format_baseline(result.findings), encoding="utf-8")

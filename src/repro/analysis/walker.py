@@ -1,0 +1,270 @@
+"""Project file-walker: parse the tree once, analyze it many times.
+
+The analyzer's unit of work is a :class:`Project`: every ``*.py`` file
+under ``src/``, ``tools/``, ``benchmarks/``, and ``examples/`` parsed
+into a :class:`ParsedModule` (source, AST, inline suppressions) and
+tagged with a *category* so rules can scope themselves (the
+lock-discipline rules only make sense for library code; the determinism
+rules also cover examples and benchmarks).  ``tests/`` is deliberately
+not walked — tests exercise forbidden patterns on purpose.
+
+A file that does not parse still joins the project, carrying a ``P000``
+parse-error finding instead of an AST, so a syntax error surfaces as a
+lint finding rather than a crashed run.
+
+Inline suppressions use ``# ppdm: ignore[RULE]`` (comma-separated rule
+ids, or ``*``) on the offending line; the runner drops matching
+findings.  Suppressions are for *deliberate* violations — e.g. a lock
+intentionally held across a snapshot write — and each should carry a
+justifying comment.
+
+Examples
+--------
+>>> from repro.analysis.walker import parse_source
+>>> module = parse_source("x = 1  # ppdm: ignore[D001]\\n", "demo/x.py",
+...                       "examples")
+>>> module.category, module.suppressed(1)
+('examples', {'D001'})
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "ParsedModule",
+    "Project",
+    "parse_source",
+    "walk_project",
+    "default_project_root",
+    "iter_scoped",
+]
+
+#: top-level directories walked, with the category each maps to
+WALKED_DIRS = (
+    ("src", "library"),
+    ("tools", "tools"),
+    ("benchmarks", "bench"),
+    ("examples", "examples"),
+)
+
+#: directory names never descended into
+_SKIPPED_DIRS = {"__pycache__", ".git", ".ruff_cache", "artifacts", "results"}
+
+_SUPPRESSION = re.compile(r"#\s*ppdm:\s*ignore\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass
+class ParsedModule:
+    """One source file of the project, parsed and ready to check.
+
+    Attributes
+    ----------
+    relpath:
+        Repository-relative POSIX path (the identity findings carry).
+    category:
+        ``"library"``, ``"tools"``, ``"bench"``, or ``"examples"``.
+    source:
+        Full source text.
+    tree:
+        The parsed AST, or ``None`` when the file has a syntax error
+        (then :attr:`parse_error` holds the ``P000`` finding).
+    """
+
+    relpath: str
+    category: str
+    source: str
+    tree: ast.Module | None = None
+    parse_error: Finding | None = None
+    _lines: list = field(default_factory=list, repr=False)
+    _suppressions: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def lines(self) -> list:
+        """Source lines (1-based access via ``lines[lineno - 1]``)."""
+        return self._lines
+
+    def line_text(self, lineno: int) -> str:
+        """The text of 1-based line ``lineno`` (empty when out of range)."""
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1]
+        return ""
+
+    def suppressed(self, lineno: int) -> set:
+        """Rule ids suppressed on ``lineno`` (may contain ``"*"``)."""
+        return self._suppressions.get(lineno, set())
+
+
+def _scan_suppressions(source: str) -> dict:
+    """Map 1-based line number -> rule ids named in ``ppdm: ignore[...]``.
+
+    Comments are located with :mod:`tokenize` so the marker inside a
+    string literal is not a suppression; an untokenizable file (which a
+    parsed file never is) falls back to a plain per-line scan.
+    """
+    suppressions: dict = {}
+
+    def record(lineno: int, spec: str) -> None:
+        rules = {part.strip() for part in spec.split(",") if part.strip()}
+        if rules:
+            suppressions.setdefault(lineno, set()).update(rules)
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESSION.search(line)
+            if match:
+                record(lineno, match.group(1))
+        return suppressions
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            match = _SUPPRESSION.search(token.string)
+            if match:
+                record(token.start[0], match.group(1))
+    return suppressions
+
+
+def parse_source(source: str, relpath: str, category: str) -> ParsedModule:
+    """Parse one file's source into a :class:`ParsedModule`.
+
+    Exposed (and used by the test fixtures) so checkers can be exercised
+    on in-memory snippets without touching the filesystem.
+    """
+    module = ParsedModule(
+        relpath=relpath,
+        category=category,
+        source=source,
+        _lines=source.splitlines(),
+        _suppressions=_scan_suppressions(source),
+    )
+    try:
+        module.tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        lineno = exc.lineno or 1
+        module.parse_error = Finding(
+            rule="P000",
+            path=relpath,
+            line=lineno,
+            scope="<module>",
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; nothing else in this file was "
+            "checked",
+        )
+    return module
+
+
+@dataclass
+class Project:
+    """Every parsed module of one repository checkout.
+
+    Attributes
+    ----------
+    root:
+        Absolute repository root the modules were read from (``None``
+        for synthetic in-memory projects built by tests).
+    modules:
+        :class:`ParsedModule` list, sorted by ``relpath``.
+    """
+
+    modules: list
+    root: Path | None = None
+
+    def iter_modules(self, categories: tuple | None = None) -> Iterator[ParsedModule]:
+        """Parsed modules, optionally restricted to ``categories``."""
+        for module in self.modules:
+            if categories is None or module.category in categories:
+                yield module
+
+    def module(self, relpath: str) -> ParsedModule | None:
+        """The module at ``relpath``, or ``None`` when absent."""
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+    def line_text(self, path: str, lineno: int) -> str:
+        """Source text of ``path:lineno`` (empty for unknown paths)."""
+        module = self.module(path)
+        return module.line_text(lineno) if module is not None else ""
+
+
+def iter_scoped(tree: ast.Module) -> Iterator[tuple]:
+    """Yield ``(node, scope)`` pairs for every node under ``tree``.
+
+    ``scope`` is the dotted name of the enclosing class/function chain
+    (``"<module>"`` at top level) — the scope findings record.  A
+    ``def``/``class`` statement itself belongs to its *enclosing* scope;
+    its body belongs to the new one.
+    """
+
+    def visit(node: ast.AST, scope: str) -> Iterator[tuple]:
+        for child in ast.iter_child_nodes(node):
+            yield (child, scope)
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                inner = (
+                    child.name
+                    if scope == "<module>"
+                    else f"{scope}.{child.name}"
+                )
+                yield from visit(child, inner)
+            else:
+                yield from visit(child, scope)
+
+    yield from visit(tree, "<module>")
+
+
+def default_project_root() -> Path:
+    """Locate the repository root to analyze.
+
+    Prefers the working directory when it looks like the repo (the
+    normal CLI invocation), falling back to the checkout the package
+    itself lives in — the same resolution
+    :func:`repro.bench.registry.default_benchmarks_dir` uses.
+    """
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    checkout = Path(__file__).resolve().parents[3]
+    if (checkout / "src" / "repro").is_dir():
+        return checkout
+    raise AnalysisError(
+        "cannot locate the repository root (a directory containing "
+        "src/repro); run from the repo root or pass --root"
+    )
+
+
+def walk_project(root: Path | None = None) -> Project:
+    """Parse every walked source file under ``root`` into a project.
+
+    Files are gathered in sorted order so module iteration — and
+    therefore finding order and baseline content — never depends on
+    filesystem order.
+    """
+    base = Path(root) if root is not None else default_project_root()
+    if not base.is_dir():
+        raise AnalysisError(f"project root {str(base)!r} does not exist")
+    modules = []
+    for top, category in WALKED_DIRS:
+        top_dir = base / top
+        if not top_dir.is_dir():
+            continue
+        for path in sorted(top_dir.rglob("*.py")):
+            if _SKIPPED_DIRS & set(path.relative_to(base).parts):
+                continue
+            relpath = path.relative_to(base).as_posix()
+            source = path.read_text(encoding="utf-8")
+            modules.append(parse_source(source, relpath, category))
+    modules.sort(key=lambda m: m.relpath)
+    return Project(modules=modules, root=base)

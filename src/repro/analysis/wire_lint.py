@@ -1,0 +1,245 @@
+"""Wire-format single-source-of-truth lint (rules W001, W002).
+
+The binary ingest protocol — magic bytes, version numbers, header
+layout — is defined exactly once, in :mod:`repro.service.wire`.  A
+second copy of ``"<4sHHi"`` or ``b"PPDM"`` elsewhere starts life equal
+and then silently diverges the first time the frame layout evolves;
+clients keep "working" while decoding garbage.
+
+* **W001 — struct usage outside the wire module.**  ``import struct``
+  or ``struct.pack``/``unpack`` in any other library module means a
+  second binary layout is being defined by hand.
+* **W002 — duplicated wire constant.**  A literal equal to one of the
+  wire module's canonical struct format strings or its magic bytes, or
+  a module-level (re)definition of ``MAGIC``/``WIRE_VERSION*``, outside
+  the wire module.  Importing the names from
+  :mod:`repro.service.wire` is the approved pattern and does not fire.
+
+Canonical constants are harvested from the *analyzed project's* wire
+module AST (so the lint tracks the checkout being linted, not the
+installed package); for synthetic in-memory projects without a wire
+module, the installed module's source is located via
+:func:`importlib.util.find_spec` — parsed, never imported.  Only string
+and bytes literals are matched: bare integers like ``1`` are far too
+common to police.
+
+Examples
+--------
+>>> from repro.analysis.wire_lint import check_wire
+>>> from repro.analysis.walker import parse_source, Project
+>>> bad = parse_source(
+...     "import struct\\n"
+...     "HEADER = struct.Struct('<4sHHi')\\n",
+...     "src/repro/service/other.py", "library")
+>>> sorted({f.rule for f in check_wire(Project([bad]))})
+['W001', 'W002']
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import re
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import RuleSpec, checker
+from repro.analysis.walker import ParsedModule, Project, iter_scoped, parse_source
+
+__all__ = ["check_wire"]
+
+#: the single module allowed to define the binary layout
+_WIRE_HOME = "src/repro/service/wire.py"
+
+#: module-level names reserved for the wire module
+_RESERVED_NAME = re.compile(r"^(MAGIC|WIRE_VERSION\w*)$")
+
+#: struct functions taking a format string as first argument
+_STRUCT_FORMAT_FNS = {
+    "Struct",
+    "pack",
+    "unpack",
+    "pack_into",
+    "unpack_from",
+    "calcsize",
+    "iter_unpack",
+}
+
+
+def _wire_module(project: Project) -> ParsedModule | None:
+    """The wire module to harvest canonical constants from.
+
+    Prefer the analyzed checkout's copy; fall back to the installed
+    package source (parsed without importing) for synthetic projects.
+    """
+    module = project.module(_WIRE_HOME)
+    if module is not None:
+        return module
+    try:
+        spec = importlib.util.find_spec("repro.service.wire")
+    except (ImportError, ValueError):
+        return None
+    if spec is None or spec.origin is None:
+        return None
+    try:
+        with open(spec.origin, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError:
+        return None
+    return parse_source(source, _WIRE_HOME, "library")
+
+
+def _harvest_constants(wire: ParsedModule | None) -> tuple:
+    """Canonical ``(format_strings, magic_values)`` from the wire AST."""
+    formats: set = set()
+    magics: set = set()
+    if wire is None or wire.tree is None:
+        return frozenset(), frozenset()
+    for node in ast.walk(wire.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name in _STRUCT_FORMAT_FNS and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    formats.add(first.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and _RESERVED_NAME.match(target.id)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, bytes)
+                ):
+                    magics.add(node.value.value)
+    return frozenset(formats), frozenset(magics)
+
+
+@checker(
+    "wire",
+    title="Wire-format constants live only in repro.service.wire",
+    rules=(
+        RuleSpec(
+            "W001",
+            "struct import/use outside repro.service.wire",
+            rationale=(
+                "A second hand-written binary layout diverges from the "
+                "canonical one the first time the frame format evolves; "
+                "all packing goes through the wire module."
+            ),
+        ),
+        RuleSpec(
+            "W002",
+            "duplicated wire constant (format string, magic, WIRE_VERSION*)",
+            rationale=(
+                "A copied layout literal starts equal and rots silently; "
+                "import MAGIC/WIRE_VERSION/encode_columns from "
+                "repro.service.wire instead."
+            ),
+        ),
+    ),
+)
+def check_wire(project: Project) -> Iterator[Finding]:
+    """Run both wire-format rules over the library modules."""
+    formats, magics = _harvest_constants(_wire_module(project))
+    for module in project.iter_modules(("library",)):
+        if module.tree is None or module.relpath == _WIRE_HOME:
+            continue
+        for node, scope in iter_scoped(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "struct":
+                        yield Finding(
+                            rule="W001",
+                            path=module.relpath,
+                            line=node.lineno,
+                            scope=scope,
+                            message="'import struct' outside the wire module",
+                            hint=(
+                                "encode/decode through repro.service.wire "
+                                "instead of packing bytes by hand"
+                            ),
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and (
+                    node.module.split(".")[0] == "struct"
+                ):
+                    yield Finding(
+                        rule="W001",
+                        path=module.relpath,
+                        line=node.lineno,
+                        scope=scope,
+                        message=(
+                            "'from struct import ...' outside the wire "
+                            "module"
+                        ),
+                        hint=(
+                            "encode/decode through repro.service.wire "
+                            "instead of packing bytes by hand"
+                        ),
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "struct"
+                ):
+                    yield Finding(
+                        rule="W001",
+                        path=module.relpath,
+                        line=node.lineno,
+                        scope=scope,
+                        message=(
+                            f"'struct.{node.attr}' used outside the wire "
+                            "module"
+                        ),
+                        hint=(
+                            "encode/decode through repro.service.wire "
+                            "instead of packing bytes by hand"
+                        ),
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and _RESERVED_NAME.match(target.id)
+                        and scope == "<module>"
+                    ):
+                        yield Finding(
+                            rule="W002",
+                            path=module.relpath,
+                            line=node.lineno,
+                            scope=scope,
+                            message=(
+                                f"module-level '{target.id}' defined "
+                                "outside the wire module"
+                            ),
+                            hint=(
+                                "import the constant from "
+                                "repro.service.wire; one definition only"
+                            ),
+                        )
+            elif isinstance(node, ast.Constant):
+                duplicated = (
+                    isinstance(node.value, str) and node.value in formats
+                ) or (isinstance(node.value, bytes) and node.value in magics)
+                if duplicated:
+                    yield Finding(
+                        rule="W002",
+                        path=module.relpath,
+                        line=node.lineno,
+                        scope=scope,
+                        message=(
+                            f"wire-format literal {node.value!r} duplicated "
+                            "outside the wire module"
+                        ),
+                        hint=(
+                            "reference the canonical constant in "
+                            "repro.service.wire instead of copying it"
+                        ),
+                    )

@@ -118,7 +118,11 @@ class NaiveBayesClassifier:
                 )
             rows = []
             for dist in per_class:
-                probs = dist.probs if isinstance(dist, HistogramDistribution) else np.asarray(dist, dtype=float)
+                probs = (
+                    dist.probs
+                    if isinstance(dist, HistogramDistribution)
+                    else np.asarray(dist, dtype=float)
+                )
                 if probs.size != partition.n_intervals:
                     raise ValidationError(
                         f"attribute {j}: distribution has {probs.size} intervals, "
@@ -284,7 +288,10 @@ class PrivacyPreservingNaiveBayes:
             # per attribute when the reconstructor supports it.
             results = reconstruct_problems(
                 self.reconstructor,
-                [(w_matrix[labels == c, j], partitions[j], randomizer) for c in classes],
+                [
+                    (w_matrix[labels == c, j], partitions[j], randomizer)
+                    for c in classes
+                ],
             )
             self.reconstructions_[name] = {
                 int(c): result for c, result in zip(classes, results)

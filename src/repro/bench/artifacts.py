@@ -235,7 +235,9 @@ def load_artifact(path) -> BenchArtifact:
     except FileNotFoundError:
         raise BenchmarkError(f"artifact {str(path)!r} does not exist") from None
     except json.JSONDecodeError as exc:
-        raise BenchmarkError(f"artifact {str(path)!r} is not valid JSON: {exc}") from None
+        raise BenchmarkError(
+            f"artifact {str(path)!r} is not valid JSON: {exc}"
+        ) from None
     return BenchArtifact.from_dict(doc, source=str(path))
 
 

@@ -201,7 +201,9 @@ def _cmd_bench_run(args) -> int:
     # canonical seeds and scale 1; an off-seed or off-scale run must not
     # silently overwrite them.
     canonical = args.seed is None and args.scale is None and bench_scale() == 1.0
-    results_dir = None if args.no_tables or not canonical else benchmarks_dir / "results"
+    results_dir = (
+        None if args.no_tables or not canonical else benchmarks_dir / "results"
+    )
     if not args.no_tables and not canonical:
         print(
             "note: non-canonical seed/scale — skipping benchmarks/results/ "
@@ -774,6 +776,47 @@ def _cmd_quest_info(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        REGISTRY,
+        lint_project,
+        render_json,
+        render_text,
+        walk_project,
+        write_baseline,
+    )
+    from repro.analysis.walker import default_project_root
+
+    if args.list_rules:
+        for spec in REGISTRY.checkers():
+            print(f"{spec.id}: {spec.title}")
+            for rule in spec.rules:
+                print(f"  {rule.id} [{rule.severity}] {rule.summary}")
+        return 0
+    root = Path(args.root) if args.root is not None else default_project_root()
+    baseline = (
+        Path(args.baseline) if args.baseline is not None
+        else root / DEFAULT_BASELINE
+    )
+    project = walk_project(root)
+    result = lint_project(
+        project=project, rules=args.rule or None, baseline=baseline
+    )
+    if args.write_baseline:
+        write_baseline(result, baseline)
+        print(
+            f"baseline written to {baseline} "
+            f"({len(result.findings)} finding(s) accepted)"
+        )
+        return 0
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        sys.stdout.write(render_text(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -871,7 +914,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute to ingest into (required for single-column files; "
         "full-row JSON dicts name their own attributes)",
     )
-    p.add_argument("--url", default=None, help="running server, e.g. http://127.0.0.1:8000")
+    p.add_argument(
+        "--url", default=None, help="running server, e.g. http://127.0.0.1:8000"
+    )
     p.add_argument(
         "--snapshot", type=Path, default=None,
         help="offline mode: ingest into (and persist) a snapshot file",
@@ -990,6 +1035,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="report wall-clock regressions as warnings (shared CI runners)",
     )
     b.set_defaults(func=_cmd_bench_compare)
+
+    p = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (locks, determinism, "
+        "wire format, exceptions)",
+    )
+    p.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="check only this rule id (repeatable, e.g. --rule L001)",
+    )
+    p.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: <root>/tools/lint_baseline.txt)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root to analyze (default: auto-detected)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered checkers and rules, then exit",
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

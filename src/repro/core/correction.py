@@ -92,4 +92,6 @@ def correct_records(
     interval_indices[order] = assignment_sorted
 
     values = distribution.partition.midpoints[interval_indices]
-    return CorrectedRecords(values=values, interval_indices=interval_indices, counts=counts)
+    return CorrectedRecords(
+        values=values, interval_indices=interval_indices, counts=counts
+    )

@@ -143,7 +143,9 @@ class JointBayesReconstructor:
             raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
         check_positive(tol, "tol")
         if stopping not in ("delta", "chi2"):
-            raise ValidationError(f"stopping must be 'delta' or 'chi2', got {stopping!r}")
+            raise ValidationError(
+                f"stopping must be 'delta' or 'chi2', got {stopping!r}"
+            )
         self.max_iterations = int(max_iterations)
         self.tol = float(tol)
         self.stopping = stopping

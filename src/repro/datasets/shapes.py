@@ -55,7 +55,9 @@ class PiecewiseLinearDensity:
         ys = ys / total
         object.__setattr__(self, "xs", xs)
         object.__setattr__(self, "ys", ys)
-        object.__setattr__(self, "_cum_area", np.concatenate([[0.0], np.cumsum(seg_area / total)]))
+        object.__setattr__(
+            self, "_cum_area", np.concatenate([[0.0], np.cumsum(seg_area / total)])
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -77,7 +79,9 @@ class PiecewiseLinearDensity:
         """Cumulative distribution at ``x`` (vectorized)."""
         x = np.asarray(x, dtype=float)
         clipped = np.clip(x, self.low, self.high)
-        seg = np.clip(np.searchsorted(self.xs, clipped, side="right") - 1, 0, self.xs.size - 2)
+        seg = np.clip(
+            np.searchsorted(self.xs, clipped, side="right") - 1, 0, self.xs.size - 2
+        )
         x0, x1 = self.xs[seg], self.xs[seg + 1]
         y0, y1 = self.ys[seg], self.ys[seg + 1]
         t = clipped - x0

@@ -48,3 +48,13 @@ class BenchmarkError(ReproError, RuntimeError):
     ids/tags, malformed or version-incompatible ``BENCH_*.json``
     artifacts, and invalid comparator thresholds.
     """
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """The static-analysis layer (``ppdm lint``) hit an unusable state.
+
+    Raised by :mod:`repro.analysis` for duplicate checker/rule ids,
+    unknown rule selections, and malformed baseline files — *not* for
+    findings in analyzed code (those are data, reported as
+    :class:`~repro.analysis.Finding`).
+    """

@@ -30,7 +30,9 @@ def format_table(headers, rows, *, title: str = "") -> str:
                 f"row {row} has {len(row)} cells, expected {len(headers)}"
             )
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(headers[i])
         for i in range(len(headers))
     ]
     sep = "-+-".join("-" * w for w in widths)

@@ -33,7 +33,9 @@ def support(baskets, itemset) -> float:
     if not items:
         return 1.0
     if max(items) >= matrix.shape[1] or min(items) < 0:
-        raise ValidationError(f"itemset {items} out of range for {matrix.shape[1]} items")
+        raise ValidationError(
+            f"itemset {items} out of range for {matrix.shape[1]} items"
+        )
     return float(matrix[:, items].all(axis=1).mean())
 
 

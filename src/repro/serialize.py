@@ -167,10 +167,28 @@ def to_jsonable(obj) -> dict:
 
 
 def from_jsonable(payload: dict):
-    """Rebuild an object serialized by :func:`to_jsonable`."""
+    """Rebuild an object serialized by :func:`to_jsonable`.
+
+    Any structural defect in the payload — a missing key, a field of
+    the wrong type, an unparseable number — surfaces as
+    :class:`~repro.exceptions.SerializationError` naming the snapshot
+    kind, never as a bare ``KeyError`` escaping from the middle of the
+    decode.
+    """
     if not isinstance(payload, dict) or "kind" not in payload:
         raise ValidationError("payload is not a repro serialization dict")
-    kind = payload["kind"]
+    kind = payload.get("kind")
+    try:
+        return _dispatch_jsonable(payload, kind)
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ValidationError):
+            raise  # deliberate errors keep their specific message
+        raise SerializationError(
+            f"malformed {kind!r} snapshot: {exc}"
+        ) from exc
+
+
+def _dispatch_jsonable(payload: dict, kind):
     if kind == "partition":
         return Partition(np.asarray(payload["edges"], dtype=float))
     if kind == "histogram":
@@ -212,26 +230,25 @@ def from_jsonable(payload: dict):
     if kind == "trained_tree":
         from repro.service.training import TrainedModel
 
-        try:
-            tree = from_jsonable(payload["tree"])
-            model = TrainedModel(
-                strategy=str(payload["strategy"]),
-                tree=tree,
-                n_train=int(payload["n_train"]),
-                attributes=tuple(payload["attributes"]),
-                classes=int(payload["classes"]),
-                fit_seconds=float(payload["fit_seconds"]),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            if isinstance(exc, ValidationError):
-                raise  # deliberate errors keep their specific message
-            raise SerializationError(
-                f"malformed trained_tree snapshot: {exc}"
-            ) from exc
+        tree = from_jsonable(payload["tree"])
+        model = TrainedModel(
+            strategy=str(payload["strategy"]),
+            tree=tree,
+            n_train=int(payload["n_train"]),
+            attributes=tuple(payload["attributes"]),
+            classes=int(payload["classes"]),
+            fit_seconds=float(payload["fit_seconds"]),
+        )
         if not isinstance(model.tree, DecisionTreeClassifier):
+            embedded = payload["tree"]
+            embedded_kind = (
+                embedded.get("kind")
+                if isinstance(embedded, dict)
+                else repr(embedded)
+            )
             raise SerializationError(
-                "trained_tree snapshot must embed a decision_tree payload, "
-                f"got kind {payload['tree'].get('kind') if isinstance(payload['tree'], dict) else payload['tree']!r}"
+                "trained_tree snapshot must embed a decision_tree "
+                f"payload, got kind {embedded_kind}"
             )
         if len(model.attributes) != len(model.tree.partitions):
             raise SerializationError(

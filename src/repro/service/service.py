@@ -108,7 +108,7 @@ class AggregationService:
         stopping: str = "chi2",
         transition_method: str = "integrated",
         coverage: float = 1.0 - 1e-9,
-        kernel_cache: KernelCache = None,
+        kernel_cache: KernelCache | None = None,
     ) -> None:
         config = EngineConfig(
             max_iterations=max_iterations,
@@ -177,7 +177,7 @@ class AggregationService:
         """The :class:`AttributeSpec` registered under ``name``."""
         return self._state(name).spec
 
-    def n_seen(self, name: str = None):
+    def n_seen(self, name: str | None = None):
         """Records absorbed for one attribute, or ``{name: n}`` for all."""
         if name is not None:
             self._state(name)
@@ -212,7 +212,7 @@ class AggregationService:
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
-    def ingest(self, batch, *, shard: int = None, classes=None) -> int:
+    def ingest(self, batch, *, shard: int | None = None, classes=None) -> int:
         """Absorb ``{attribute: randomized values}``; return records added.
 
         O(batch) work: each attribute's values are located on its
@@ -237,7 +237,7 @@ class AggregationService:
         """
         return self._shards.prepare(batch, classes)
 
-    def ingest_prepared(self, prepared, *, shard: int = None) -> int:
+    def ingest_prepared(self, prepared, *, shard: int | None = None) -> int:
         """Absorb a batch pre-located by :meth:`prepare`."""
         return self._shards.ingest_prepared(prepared, shard=shard)
 
@@ -289,11 +289,17 @@ class AggregationService:
         return results
 
     def reset(self) -> "AggregationService":
-        """Forget all absorbed data and the warm-start estimates."""
-        self._shards.clear()
-        for state in self._states.values():
-            m = state.spec.x_partition.n_intervals
-            state.theta = np.full(m, 1.0 / m)
+        """Forget all absorbed data and the warm-start estimates.
+
+        Holds the estimate lock for the whole wipe so a concurrent
+        :meth:`estimate` never observes cleared shards paired with a
+        half-reset warm start.
+        """
+        with self._estimate_lock:
+            self._shards.clear()
+            for state in self._states.values():
+                m = state.spec.x_partition.n_intervals
+                state.theta = np.full(m, 1.0 / m)
         return self
 
     # ------------------------------------------------------------------

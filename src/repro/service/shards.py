@@ -358,7 +358,7 @@ class HistogramShard:
     """
 
     def __init__(
-        self, y_partitions, *, layout: ColumnLayout = None, n_classes: int = 0
+        self, y_partitions, *, layout: ColumnLayout | None = None, n_classes: int = 0
     ) -> None:
         if layout is None:
             if not y_partitions:
@@ -623,13 +623,15 @@ class ShardSet:
         """Locate a batch into fused flat indices, outside any lock."""
         return self._layout.prepare(batch, classes)
 
-    def ingest(self, batch, *, shard: int = None, classes=None) -> int:
+    def ingest(self, batch, *, shard: int | None = None, classes=None) -> int:
         """Route a batch to a shard (round-robin unless ``shard`` given)."""
         return self.ingest_prepared(
             self._layout.prepare(batch, classes), shard=shard
         )
 
-    def ingest_prepared(self, prepared: PreparedBatch, *, shard: int = None) -> int:
+    def ingest_prepared(
+        self, prepared: PreparedBatch, *, shard: int | None = None
+    ) -> int:
         """Route a :class:`PreparedBatch` to a shard and accumulate it."""
         if shard is None:
             with self._route_lock:
@@ -669,7 +671,7 @@ class ShardSet:
         """Merged partials for every attribute: ``{name: (counts, n_seen)}``."""
         return {name: self.merged(name) for name in self._layout.names}
 
-    def n_seen(self, name: str = None):
+    def n_seen(self, name: str | None = None):
         """Records absorbed for one attribute, or ``{name: n}`` for all.
 
         Sums the shards' integer counters directly — no histogram copies

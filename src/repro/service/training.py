@@ -244,7 +244,7 @@ class TrainingService:
             self._rows.append((matrix, labels))
         return int(labels.size)
 
-    def ingest(self, batch, classes, *, shard: int = None) -> int:
+    def ingest(self, batch, classes, *, shard: int | None = None) -> int:
         """Absorb labeled rows into the shards *and* the training buffer.
 
         The convenience path for library users (the HTTP front end
@@ -260,7 +260,7 @@ class TrainingService:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def model(self, strategy: str = None):
+    def model(self, strategy: str | None = None):
         """The last :class:`TrainedModel` (of ``strategy``, or any), or None."""
         with self._models_lock:
             if strategy is None:

@@ -96,7 +96,7 @@ def _encode_class_column(classes) -> np.ndarray:
     return np.ascontiguousarray(arr, dtype=_I4)
 
 
-def encode_columns(batch, *, shard: int = None, classes=None) -> bytes:
+def encode_columns(batch, *, shard: int | None = None, classes=None) -> bytes:
     """Encode one ``{attribute: values}`` batch as a columnar frame.
 
     Parameters
@@ -440,14 +440,18 @@ def iter_labeled_ndjson(payload):
         try:
             record = json.loads(line)
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValidationError(f"NDJSON line {lineno} is not valid JSON: {exc}") from exc
+            raise ValidationError(
+                f"NDJSON line {lineno} is not valid JSON: {exc}"
+            ) from exc
         if not isinstance(record, dict) or "batch" not in record:
             raise ValidationError(
                 f'NDJSON line {lineno} must be {{"batch": {{name: [values]}}}}'
             )
         batch = record["batch"]
         if not isinstance(batch, dict):
-            raise ValidationError(f"NDJSON line {lineno}: 'batch' must map attribute -> values")
+            raise ValidationError(
+                f"NDJSON line {lineno}: 'batch' must map attribute -> values"
+            )
         shard = record.get("shard")
         if shard is not None and not isinstance(shard, int):
             raise ValidationError(

@@ -12,7 +12,9 @@ import numpy as np
 from repro.exceptions import ValidationError
 
 
-def check_1d_array(values, name: str = "values", *, allow_empty: bool = False) -> np.ndarray:
+def check_1d_array(
+    values, name: str = "values", *, allow_empty: bool = False
+) -> np.ndarray:
     """Coerce ``values`` to a 1-D float ndarray, rejecting NaN and infinities."""
     arr = np.asarray(values, dtype=float)
     if arr.ndim != 1:
@@ -24,7 +26,9 @@ def check_1d_array(values, name: str = "values", *, allow_empty: bool = False) -
     return arr
 
 
-def check_label_column(labels, name: str = "classes", *, n_classes: int = None) -> np.ndarray:
+def check_label_column(
+    labels, name: str = "classes", *, n_classes: int | None = None
+) -> np.ndarray:
     """Coerce a class-label column to a 1-D ``intp`` array of integers.
 
     The single validator behind every class-column surface (wire
@@ -76,7 +80,9 @@ def check_positive(value, name: str = "value") -> float:
     return value
 
 
-def check_probability_vector(probs, name: str = "probs", *, atol: float = 1e-8) -> np.ndarray:
+def check_probability_vector(
+    probs, name: str = "probs", *, atol: float = 1e-8
+) -> np.ndarray:
     """Validate a vector of non-negative entries summing to one."""
     arr = check_1d_array(probs, name)
     if np.any(arr < -atol):

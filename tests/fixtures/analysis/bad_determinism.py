@@ -1,0 +1,31 @@
+"""Known-bad fixture for the determinism checker (D001/D002/D003).
+
+Parsed by ``tests/test_analysis.py``; never imported or executed.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def hidden_global_state(n):
+    np.random.seed(0)  # D001: global numpy RNG state
+    a = np.random.uniform(size=n)  # D001
+    b = random.random()  # D001: global stdlib RNG state
+    return a, b
+
+
+def adhoc_generator():
+    return np.random.default_rng(7)  # D002: bypasses ensure_rng
+
+
+def clock_seeded():
+    seed = time.time_ns()  # D003: time-derived seed variable
+    rng = np.random.default_rng(time.time())  # D002 + D003
+    return seed, rng
+
+
+def timing_is_fine():
+    start = time.perf_counter()  # no finding: timing, not seeding
+    return time.perf_counter() - start

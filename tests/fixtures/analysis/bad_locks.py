@@ -1,0 +1,40 @@
+"""Known-bad fixture for the lock-discipline checker (L001/L002/L003).
+
+Parsed by ``tests/test_analysis.py`` as a *library* module; never
+imported.  Expected findings are pinned by line in the test, so keep
+edits append-only or update the test alongside.
+"""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.other_lock = threading.Lock()
+        self.count = 0
+        self.trace = []
+
+    def guarded(self):
+        # teaches the checker: 'count' and 'trace' are guarded by 'lock'
+        with self.lock:
+            self.count += 1
+            self.trace.append(self.count)
+
+    def racy(self):
+        self.count = 0  # L001: guarded mutation outside the lock
+
+    def slow(self):
+        with self.lock:
+            time.sleep(0.1)  # L002: blocking call under a lock
+
+    def forward(self):
+        with self.lock:
+            with self.other_lock:  # L003 half: lock -> other_lock
+                self.count += 1
+
+    def backward(self):
+        with self.other_lock:
+            with self.lock:  # L003 half: other_lock -> lock
+                self.count += 1

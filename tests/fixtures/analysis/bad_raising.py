@@ -1,0 +1,27 @@
+"""Known-bad fixture for the exception-discipline checker (E001/E002).
+
+Parsed by ``tests/test_analysis.py`` under a ``src/repro/...`` relpath;
+never imported.
+"""
+
+
+def validate(x):
+    if x < 0:
+        raise ValueError("negative")  # E001: builtin raise in library code
+    return x
+
+
+def from_payload(payload):
+    return payload["kind"]  # E002: unguarded decode subscript
+
+
+def load_config(doc):
+    try:
+        return doc["settings"]  # guarded: no finding
+    except KeyError:
+        raise NotImplementedError("stub")  # allowed builtin
+
+
+class Box:
+    def __getattr__(self, name):
+        raise AttributeError(name)  # allowed: attribute protocol

@@ -1,0 +1,16 @@
+"""Known-bad fixture for the wire-format checker (W001/W002).
+
+Parsed by ``tests/test_analysis.py`` under a ``src/repro/...`` relpath
+so the library-only wire rules apply; never imported.
+"""
+
+import struct
+
+MAGIC = b"PPDM"  # W002: magic bytes re-defined outside the wire module
+WIRE_VERSION = 9  # W002: reserved name defined outside the wire module
+
+_HEADER = struct.Struct("<4sHHi")  # W001 + W002: duplicated layout
+
+
+def pack_frame(n):
+    return struct.pack("<Q", n)  # W001: hand-rolled packing

@@ -1,0 +1,42 @@
+"""Known-good fixture: every rule family, done right.
+
+Parsed by ``tests/test_analysis.py`` as a library module and expected
+to produce **zero** findings; never imported.
+"""
+
+import threading
+
+from repro.exceptions import SerializationError, ValidationError
+from repro.utils.rng import ensure_rng
+
+
+class Accumulator:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.total = 0  # __init__ mutation: exempt from L001
+
+    def add(self, value):
+        with self.lock:
+            self.total += value  # guarded where learned: clean
+
+    def snapshot_to(self, sink):
+        with self.lock:
+            # deliberate single-writer section, justified inline
+            sink.flush()  # ppdm: ignore[L002]
+
+
+def sample(seed, n):
+    rng = ensure_rng(seed)  # the sanctioned RNG path
+    return rng.uniform(size=n)
+
+
+def from_snapshot(payload):
+    try:
+        total = payload["total"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed snapshot: {exc}") from exc
+    if total < 0:
+        raise ValidationError("total must be non-negative")
+    restored = Accumulator()
+    restored.total = total  # locally owned: exempt from L001
+    return restored

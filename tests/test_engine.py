@@ -102,20 +102,37 @@ class TestKernelCache:
     def test_different_parameters_miss(self):
         cache = KernelCache()
         cache.get(self.part, self.noise, method="integrated", coverage=0.999)
-        cache.get(self.part, UniformRandomizer(0.3), method="integrated", coverage=0.999)
+        cache.get(
+            self.part, UniformRandomizer(0.3), method="integrated", coverage=0.999
+        )
         cache.get(self.part, self.noise, method="density", coverage=0.999)
-        cache.get(Partition.uniform(0, 2, 12), self.noise, method="integrated", coverage=0.999)
+        cache.get(
+            Partition.uniform(0, 2, 12),
+            self.noise,
+            method="integrated",
+            coverage=0.999,
+        )
         assert cache.misses == 4 and cache.hits == 0
 
     def test_lru_eviction(self):
         cache = KernelCache(maxsize=2)
-        cache.get(self.part, UniformRandomizer(0.1), method="integrated", coverage=0.999)
-        cache.get(self.part, UniformRandomizer(0.2), method="integrated", coverage=0.999)
+        cache.get(
+            self.part, UniformRandomizer(0.1), method="integrated", coverage=0.999
+        )
+        cache.get(
+            self.part, UniformRandomizer(0.2), method="integrated", coverage=0.999
+        )
         # Touch the first so the second becomes least-recently-used.
-        cache.get(self.part, UniformRandomizer(0.1), method="integrated", coverage=0.999)
-        cache.get(self.part, UniformRandomizer(0.3), method="integrated", coverage=0.999)
+        cache.get(
+            self.part, UniformRandomizer(0.1), method="integrated", coverage=0.999
+        )
+        cache.get(
+            self.part, UniformRandomizer(0.3), method="integrated", coverage=0.999
+        )
         assert len(cache) == 2
-        cache.get(self.part, UniformRandomizer(0.1), method="integrated", coverage=0.999)
+        cache.get(
+            self.part, UniformRandomizer(0.1), method="integrated", coverage=0.999
+        )
         assert cache.hits == 2  # 0.1 survived; 0.2 was evicted
 
     def test_zero_maxsize_disables_storage(self):
@@ -160,7 +177,9 @@ class TestKernelCache:
 
     def test_cached_kernel_is_readonly(self):
         cache = KernelCache()
-        _, kernel = cache.get(self.part, self.noise, method="integrated", coverage=0.999)
+        _, kernel = cache.get(
+            self.part, self.noise, method="integrated", coverage=0.999
+        )
         with pytest.raises(ValueError):
             kernel[0, 0] = 1.0
 
@@ -351,7 +370,9 @@ class TestBatchBehaviour:
         noise = UniformRandomizer(half_width=0.2)
         rec = BayesReconstructor()
         for s in range(4):
-            rec.reconstruct(noise.randomize(rng.uniform(0, 1, 400), seed=s), part, noise)
+            rec.reconstruct(
+                noise.randomize(rng.uniform(0, 1, 400), seed=s), part, noise
+            )
         assert rec.engine.kernel_cache.misses == 1
         assert rec.engine.kernel_cache.hits == 3
 

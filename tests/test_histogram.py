@@ -40,7 +40,9 @@ class TestConstruction:
             HistogramDistribution(unit_partition, np.full(10, 0.2))
 
     def test_from_values(self, unit_partition):
-        dist = HistogramDistribution.from_values([0.05, 0.05, 0.95, 0.55], unit_partition)
+        dist = HistogramDistribution.from_values(
+            [0.05, 0.05, 0.95, 0.55], unit_partition
+        )
         assert dist.probs[0] == pytest.approx(0.5)
         assert dist.probs[9] == pytest.approx(0.25)
 

@@ -131,7 +131,9 @@ class TestPrivacyClaims:
         x = shapes.plateau().sample(5_000, seed=41)
         prior = HistogramDistribution.from_values(x, part)
         fractions = [
-            posterior_privacy(prior, UniformRandomizer.from_privacy(p, 1.0)).privacy_fraction
+            posterior_privacy(
+                prior, UniformRandomizer.from_privacy(p, 1.0)
+            ).privacy_fraction
             for p in (0.25, 1.0, 2.0)
         ]
         assert fractions[0] < fractions[1] < fractions[2]

@@ -77,7 +77,9 @@ class TestAssociationRules:
     def test_rules_from_planted_pattern(self, planted_baskets):
         mined = frequent_itemsets(planted_baskets, 0.1)
         rules = association_rules(mined, 0.5)
-        pairs = {(tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))) for r in rules}
+        pairs = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))) for r in rules
+        }
         assert ((0,), (1,)) in pairs or ((1,), (0,)) in pairs
 
     def test_confidence_bounds(self, planted_baskets):

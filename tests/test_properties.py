@@ -384,7 +384,9 @@ def _check_service_parity(case) -> None:
             for subset in (chunk[labeled[chunk]], chunk[~labeled[chunk]]):
                 if subset.size == 0 and case["wire"] == "python":
                     continue
-                classes = labels[subset] if labeled[subset].all() and subset.size else None
+                classes = (
+                    labels[subset] if labeled[subset].all() and subset.size else None
+                )
                 shard = (
                     thread_index % case["n_shards"] if case["pin_shards"] else None
                 )

@@ -175,7 +175,10 @@ class TestRandomize:
     def test_noise_scaled_per_attribute(self, big_table):
         _, randomizers = quest.randomize(big_table, privacy=1.0, seed=1)
         # salary span (130k) >> age span (60): so must be the noise
-        assert randomizers["salary"].half_width > 1000 * randomizers["age"].half_width / 60
+        assert (
+            randomizers["salary"].half_width
+            > 1000 * randomizers["age"].half_width / 60
+        )
 
     def test_gaussian_kind(self, big_table):
         _, randomizers = quest.randomize(

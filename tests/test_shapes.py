@@ -53,7 +53,14 @@ class TestPdfCdf:
         density = factory()
         grid = np.linspace(density.low, density.high, 5001)
         numeric = np.concatenate(
-            [[0.0], np.cumsum(np.diff(grid) * 0.5 * (density.pdf(grid)[1:] + density.pdf(grid)[:-1]))]
+            [
+                [0.0],
+                np.cumsum(
+                    np.diff(grid)
+                    * 0.5
+                    * (density.pdf(grid)[1:] + density.pdf(grid)[:-1])
+                ),
+            ]
         )
         np.testing.assert_allclose(density.cdf(grid), numeric, atol=1e-6)
 

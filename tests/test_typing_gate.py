@@ -1,0 +1,40 @@
+"""Strict-typing gate over ``repro.analysis`` and ``repro.service``.
+
+CI runs mypy directly (the ``lint-invariants`` job); this test runs the
+same configured check locally when mypy is importable, and skips
+otherwise so the tier-1 suite stays dependency-light.  The config-shape
+test always runs: the gate must keep covering both packages.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_mypy_gate_is_clean():
+    mypy_api = pytest.importorskip(
+        "mypy.api", reason="mypy not installed; the typing gate runs in CI"
+    )
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "pyproject.toml")]
+    )
+    assert status == 0, (
+        f"mypy gate failed (exit {status}):\n{stdout}\n{stderr}"
+    )
+
+
+def test_gate_covers_analysis_and_service():
+    config = tomllib.loads(
+        (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    )
+    mypy_cfg = config["tool"]["mypy"]
+    assert "src/repro/analysis" in mypy_cfg["files"]
+    assert "src/repro/service" in mypy_cfg["files"]
+    overrides = mypy_cfg["overrides"]
+    strict = [o for o in overrides if o["module"] == "repro.analysis.*"]
+    assert strict and strict[0]["disallow_untyped_defs"] is True
