@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from collections import Counter
 from pathlib import Path
 from typing import Iterable
 
@@ -156,7 +157,9 @@ def lint_project(
     ``project`` short-circuits the filesystem walk (tests pass
     synthetic projects).  ``baseline=None`` resolves to
     ``<root>/tools/lint_baseline.txt`` when the project has a root, and
-    to an empty baseline otherwise.
+    to an empty baseline otherwise.  When ``rules`` selects a subset,
+    the baseline is restricted to entries of the selected rules so
+    accepted findings of *unselected* rules are not misreported stale.
     """
     if project is None:
         project = walk_project(root)
@@ -167,6 +170,12 @@ def lint_project(
     if accepted is None:
         new, baselined, stale = list(findings), [], []
     else:
+        if rules is not None:
+            reg = REGISTRY if registry is None else registry
+            selected = set(reg.select_rules(rules))
+            accepted = Counter(
+                {key: n for key, n in accepted.items() if key[0] in selected}
+            )
         new, baselined, stale = diff_baseline(findings, accepted)
     return LintResult(
         findings=findings,

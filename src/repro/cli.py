@@ -787,6 +787,7 @@ def _cmd_lint(args) -> int:
         write_baseline,
     )
     from repro.analysis.walker import default_project_root
+    from repro.exceptions import AnalysisError
 
     if args.list_rules:
         for spec in REGISTRY.checkers():
@@ -794,6 +795,12 @@ def _cmd_lint(args) -> int:
             for rule in spec.rules:
                 print(f"  {rule.id} [{rule.severity}] {rule.summary}")
         return 0
+    if args.write_baseline and args.rule:
+        raise AnalysisError(
+            "--write-baseline cannot be combined with --rule: rewriting "
+            "from a rule subset would drop accepted baseline entries for "
+            "every unselected rule"
+        )
     root = Path(args.root) if args.root is not None else default_project_root()
     baseline = (
         Path(args.baseline) if args.baseline is not None

@@ -400,6 +400,23 @@ class TestRunner:
         assert clean.ok
         assert len(clean.baselined) == len(dirty.new)
 
+    def test_rule_subset_ignores_other_rules_baseline_entries(self, tmp_path):
+        """A --rule subset run must not report unselected-rule entries stale."""
+        project = Project(
+            [
+                load_fixture(
+                    "bad_determinism.py", "src/repro/fix_det.py", "library"
+                )
+            ]
+        )
+        baseline = tmp_path / "baseline.txt"
+        write_baseline(lint_project(project=project, baseline=baseline), baseline)
+        subset = lint_project(
+            project=project, baseline=baseline, rules=["L001"]
+        )
+        assert subset.stale == []
+        assert subset.ok
+
     def test_render_text_and_json_agree(self):
         project = Project(
             [
@@ -524,6 +541,27 @@ class TestLintCLI:
         err = capsys.readouterr().err
         assert code == 2
         assert "unknown rule id" in err
+
+    def test_rule_subset_run_is_clean(self, capsys):
+        code = main(["lint", "--root", str(REPO_ROOT), "--rule", "L001"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lint: OK" in out
+
+    def test_write_baseline_rejects_rule_subset(self, capsys):
+        code = main(
+            [
+                "lint",
+                "--root",
+                str(REPO_ROOT),
+                "--rule",
+                "L001",
+                "--write-baseline",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--write-baseline cannot be combined with --rule" in err
 
     def test_write_baseline_round_trip(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.txt"

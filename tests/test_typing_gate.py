@@ -3,15 +3,24 @@
 CI runs mypy directly (the ``lint-invariants`` job); this test runs the
 same configured check locally when mypy is importable, and skips
 otherwise so the tier-1 suite stays dependency-light.  The config-shape
-test always runs: the gate must keep covering both packages.
+test needs a TOML parser — stdlib ``tomllib`` on 3.11+, ``tomli`` on
+3.10 if present — and skips when neither exists rather than breaking
+collection on older interpreters.
 """
 
 from __future__ import annotations
 
-import tomllib
 from pathlib import Path
 
 import pytest
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -29,6 +38,8 @@ def test_mypy_gate_is_clean():
 
 
 def test_gate_covers_analysis_and_service():
+    if tomllib is None:
+        pytest.skip("no TOML parser available (tomllib needs Python 3.11+)")
     config = tomllib.loads(
         (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
     )
