@@ -356,6 +356,67 @@ def _load_values(path: Path):
     return check_1d_array(values, "values")
 
 
+def _serve_cluster(args) -> int:
+    """``ppdm serve --workers N``: coordinator + worker-process cluster."""
+    import json
+
+    from repro.service.cluster import start_cluster
+
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.snapshot:
+        raise ReproError(
+            "--workers starts fresh worker processes and cannot restore "
+            "--snapshot state; start the cluster from --spec"
+        )
+    if args.max_requests is not None:
+        raise ReproError("--max-requests is not supported with --workers")
+    if not args.spec:
+        raise ReproError("serve --workers needs --spec")
+    spec_path = Path(args.spec)
+    if not spec_path.is_file():
+        raise ReproError(f"spec file {str(spec_path)!r} does not exist")
+    try:
+        spec = json.loads(spec_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"spec file {str(spec_path)!r}: {exc}") from exc
+    if args.shards is not None:
+        # workers keep the spec's (or overridden) intra-process striping;
+        # the coordinator's shard layout is one slot per worker
+        spec["shards"] = args.shards
+    if args.train and int(spec.get("classes", 0) or 0) < 1:
+        raise ReproError(
+            "--train needs a class-aware service: set \"classes\" in "
+            "the spec (or snapshot) to the number of class labels"
+        )
+    supervisor = start_cluster(
+        spec,
+        n_workers=args.workers,
+        host=args.host,
+        port=args.port,
+        train=args.train,
+        sync_interval=args.sync_interval,
+    )
+    try:
+        supervisor.wait_ready()
+        print(
+            f"coordinating {args.workers} worker(s) on {supervisor.url} "
+            f"(sync interval {args.sync_interval:g}s)"
+        )
+        for worker, url in enumerate(supervisor.worker_urls()):
+            print(f"  worker {worker}: {url}  (POST /ingest here)")
+        print(
+            "endpoints: /healthz /cluster /attributes /stats /estimate "
+            "/partial" + (" /train /model" if args.train else "")
+        )
+        supervisor.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        supervisor.shutdown()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -365,6 +426,9 @@ def _cmd_serve(args) -> int:
         TrainingService,
         service_from_spec,
     )
+
+    if args.workers is not None:
+        return _serve_cluster(args)
 
     snapshot = Path(args.snapshot) if args.snapshot else None
     if snapshot is not None and snapshot.is_file():
@@ -904,6 +968,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--train", action="store_true",
         help="enable POST /train and GET /model (needs a class-aware "
         'spec: "classes" >= 1)',
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="spawn N worker processes and serve as their coordinator: "
+        "workers ingest on their own ports and ship merged partials "
+        "upstream; incompatible with --snapshot and --max-requests",
+    )
+    p.add_argument(
+        "--sync-interval", type=float, default=5.0,
+        help="seconds between worker partial pushes (--workers only); "
+        "/estimate and /train also pull on demand",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -50,6 +50,18 @@ class BenchmarkError(ReproError, RuntimeError):
     """
 
 
+class ClusterError(ReproError, RuntimeError):
+    """The multi-worker cluster tier hit an unservable state.
+
+    Raised by :mod:`repro.service.cluster` when a coordinator operation
+    needs worker state it cannot get — e.g. ``/train`` while a
+    registered worker is unreachable *and* has never synced a partial.
+    The HTTP front end maps it to status 503 (the condition is
+    operational, not a bad request: the same call succeeds once the
+    worker syncs).
+    """
+
+
 class AnalysisError(ReproError, RuntimeError):
     """The static-analysis layer (``ppdm lint``) hit an unusable state.
 

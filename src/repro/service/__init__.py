@@ -25,7 +25,14 @@ that server's aggregation tier:
 * :mod:`repro.service.training` — :class:`TrainingService`: the mining
   tier, growing the paper's Global/ByClass/Local decision trees
   directly from the service-held class-conditional aggregates
-  (``POST /train`` / ``GET /model`` / ``ppdm train``).
+  (``POST /train`` / ``GET /model`` / ``ppdm train``),
+* :mod:`repro.service.cluster` — the multi-node tier behind
+  ``ppdm serve --workers N``: worker processes ingest independently and
+  ship cumulative merged partials upstream as version 3 wire frames
+  (:func:`encode_partial` / :class:`PartialShipper`), a
+  :class:`ClusterCoordinator` replaces each worker's dedicated shard
+  slot idempotently, and estimates/training over the union stay
+  bit-identical to one process fed the same records.
 
 Estimates are bit-identical to a single-stream
 :class:`~repro.core.streaming.StreamingReconstructor` fed the same
@@ -35,6 +42,11 @@ trees are bit-identical to the offline training pipeline fed the same
 randomized rows.
 """
 
+from repro.service.cluster import (
+    ClusterCoordinator,
+    PartialShipper,
+    export_sync_body,
+)
 from repro.service.httpd import ServiceHTTPServer
 from repro.service.service import AggregationService, service_from_spec
 from repro.service.shards import (
@@ -48,27 +60,36 @@ from repro.service.training import TrainedModel, TrainingService
 from repro.service.wire import (
     decode_columns,
     decode_labeled,
+    decode_partial,
     encode_columns,
+    encode_partial,
     iter_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
+    split_partial,
 )
 
 __all__ = [
     "AggregationService",
     "AttributeSpec",
+    "ClusterCoordinator",
     "ColumnLayout",
     "HistogramShard",
+    "PartialShipper",
     "PreparedBatch",
     "ShardSet",
     "ServiceHTTPServer",
     "TrainedModel",
     "TrainingService",
+    "export_sync_body",
     "service_from_spec",
     "decode_columns",
     "decode_labeled",
+    "decode_partial",
     "encode_columns",
+    "encode_partial",
     "iter_frames",
     "iter_labeled_frames",
     "iter_labeled_ndjson",
+    "split_partial",
 ]

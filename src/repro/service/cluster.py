@@ -1,0 +1,785 @@
+"""The coordinator + worker cluster tier: multi-node scale-out.
+
+One ``ppdm serve`` process scales to the cores of one machine (striped
+shards, e20); this module scales *out*: ``ppdm serve --workers N``
+spawns N worker processes, each a full
+:class:`~repro.service.AggregationService` ingesting independently on
+its own port, and one coordinator process that serves every
+``/estimate`` and ``/train`` over the union of their state.  The paper
+makes this cheap: the reconstruction model is aggregate-only, so a
+worker's **merged class-conditional partials** are its complete
+sufficient statistic — the sync unit is O(bins), never O(records), and
+because histogram counts are exact integers in float64, the
+coordinator's merged union is bit-identical to a single process fed the
+same records.
+
+Sync protocol
+-------------
+Workers ship *cumulative* state as one version 3 partial frame
+(:func:`repro.service.wire.encode_partial`), with their labeled row
+buffer appended as ordinary labeled record frames when training is
+enabled (:func:`export_sync_body` builds the body atomically).  The
+coordinator dedicates shard slot ``i`` to worker ``i`` and applies a
+sync by *replacing* that slot
+(:meth:`~repro.service.AggregationService.replace_partial`), so pushes
+are idempotent: a retried, duplicated, or reordered-within-a-worker
+sync can never double-count.  State flows through two channels:
+
+* **push** — each worker's :class:`PartialShipper` thread POSTs
+  ``/partial?worker=i`` every ``interval`` seconds (with
+  retry-and-exponential-backoff), which doubles as the worker's
+  heartbeat, and flushes one final drain push at shutdown;
+* **pull** — the coordinator refreshes on demand: every ``/estimate``
+  best-effort pulls all registered workers
+  (:meth:`ClusterCoordinator.sync`), and ``/train`` pulls strictly —
+  an unreachable worker that has synced before degrades gracefully to
+  its last-known state, one that has *never* synced raises
+  :class:`~repro.exceptions.ClusterError` (HTTP 503).
+
+``/healthz`` on the coordinator reports per-worker staleness: a worker
+is ``stale`` once its last successful sync is older than
+``stale_after`` seconds (or it was unreachable on the last attempt),
+and the cluster is ``degraded`` while any worker is stale or missing.
+
+Everything here is standard library + the existing service tier; the
+worker processes are spawned (never forked) so each child imports a
+fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.exceptions import ClusterError, ValidationError
+from repro.service.httpd import ServiceHTTPServer
+from repro.service.service import AggregationService, service_from_spec
+from repro.service.training import TrainedModel, TrainingService
+from repro.service.wire import (
+    CONTENT_TYPE_PARTIAL,
+    encode_columns,
+    encode_partial,
+    iter_labeled_frames,
+    split_partial,
+)
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterSupervisor",
+    "PartialShipper",
+    "export_sync_body",
+    "register_worker",
+    "start_cluster",
+]
+
+#: default seconds before a silent worker is reported stale in /healthz
+_DEFAULT_STALE_AFTER = 15.0
+
+#: default per-request timeout for cluster-internal HTTP (seconds)
+_DEFAULT_TIMEOUT = 10.0
+
+
+def _default_fetch(
+    url: str,
+    data: bytes | None = None,
+    content_type: str | None = None,
+    timeout: float = _DEFAULT_TIMEOUT,
+) -> bytes:
+    """One cluster-internal HTTP request; any failure is a ClusterError.
+
+    GET when ``data`` is None, POST otherwise.  Transport errors and
+    non-2xx statuses both normalize to
+    :class:`~repro.exceptions.ClusterError` so callers have exactly one
+    "the peer did not take this" signal to retry or degrade on.
+    """
+    headers = {}
+    if content_type is not None:
+        headers["Content-Type"] = content_type
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return bytes(response.read())
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = exc.read().decode("utf-8", "replace")[:200]
+        except OSError:  # pragma: no cover - body already gone
+            pass
+        raise ClusterError(
+            f"{url} answered HTTP {exc.code}: {detail or exc.reason}"
+        ) from exc
+    except OSError as exc:
+        raise ClusterError(f"{url} is unreachable: {exc}") from exc
+
+
+def export_sync_body(service, training=None) -> bytes:
+    """Encode one worker's cumulative state as a sync body.
+
+    A version 3 partial frame of the service's merged per-class counts;
+    when ``training`` is given, the labeled row buffer follows as
+    labeled record frames, exported under the training sync lock so the
+    aggregates/rows pair always passes the coordinator's consistency
+    check.  The body is idempotent by construction — it carries totals,
+    not deltas.
+
+    Examples
+    --------
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service import AggregationService, AttributeSpec
+    >>> from repro.service.cluster import export_sync_body
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> service = AggregationService(
+    ...     [AttributeSpec("x", Partition.uniform(0, 1, 4), noise)]
+    ... )
+    >>> _ = service.ingest({"x": [0.4, 0.6]})
+    >>> export_sync_body(service)[:4]
+    b'PPDM'
+    """
+    if training is not None:
+        with training.sync_lock:
+            partials = service.export_partial()
+            blocks = training.export_rows()
+    else:
+        partials = service.export_partial()
+        blocks = []
+    names = service.attributes
+    frames = [encode_partial(partials)]
+    for matrix, labels in blocks:
+        batch = {name: matrix[:, j] for j, name in enumerate(names)}
+        frames.append(encode_columns(batch, classes=labels))
+    return b"".join(frames)
+
+
+class _WorkerLink:
+    """Coordinator-side record of one registered worker."""
+
+    __slots__ = ("worker", "url", "records", "last_sync", "reachable", "rows")
+
+    def __init__(self, worker: int, url: str) -> None:
+        self.worker = worker
+        self.url = url
+        self.records = 0
+        self.last_sync: float | None = None
+        self.reachable = True
+        self.rows: list = []
+
+
+class ClusterCoordinator:
+    """Tracks worker registrations and folds their partials into a service.
+
+    Parameters
+    ----------
+    service:
+        The coordinator's :class:`~repro.service.AggregationService`.
+        Worker ``i`` owns shard slot ``i``, so the service must be built
+        with ``n_shards >= n_workers``.
+    n_workers:
+        Cluster width (defaults to ``service.n_shards``).
+    training:
+        Optional :class:`~repro.service.TrainingService` over
+        ``service``; enables row sync and :meth:`train`.
+    stale_after:
+        Seconds of sync silence before a worker is reported stale.
+    fetch:
+        Injectable transport ``fetch(url, data=None, content_type=None,
+        timeout=...) -> bytes`` (tests swap in an in-process fake).
+
+    Examples
+    --------
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service import AggregationService, AttributeSpec
+    >>> from repro.service.cluster import ClusterCoordinator, export_sync_body
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> def build():
+    ...     return AggregationService(
+    ...         [AttributeSpec("x", Partition.uniform(0, 1, 4), noise)]
+    ...     )
+    >>> worker = build()
+    >>> _ = worker.ingest({"x": [0.4, 0.6, 0.5]})
+    >>> coordinator = ClusterCoordinator(build())
+    >>> coordinator.register(0, "http://127.0.0.1:0")["worker"]
+    0
+    >>> coordinator.apply_push(0, export_sync_body(worker))
+    3
+    >>> coordinator.service.n_seen("x")
+    3
+    """
+
+    def __init__(
+        self,
+        service: AggregationService,
+        *,
+        n_workers: int | None = None,
+        training: TrainingService | None = None,
+        stale_after: float = _DEFAULT_STALE_AFTER,
+        timeout: float = _DEFAULT_TIMEOUT,
+        fetch=None,
+    ) -> None:
+        self.service = service
+        self.training = training
+        if training is not None and training.service is not service:
+            raise ValidationError(
+                "the coordinator's training service must wrap its "
+                "AggregationService instance"
+            )
+        self.n_workers = service.n_shards if n_workers is None else int(n_workers)
+        if not 1 <= self.n_workers <= service.n_shards:
+            raise ValidationError(
+                f"n_workers must be in [1, {service.n_shards}] (one shard "
+                f"slot per worker), got {self.n_workers}"
+            )
+        if stale_after <= 0:
+            raise ValidationError(
+                f"stale_after must be > 0 seconds, got {stale_after}"
+            )
+        self.stale_after = float(stale_after)
+        self.timeout = float(timeout)
+        self._fetch = _default_fetch if fetch is None else fetch
+        self._links: dict = {}
+        # guards the registry and every _WorkerLink field; held only for
+        # in-memory bookkeeping, never across HTTP or service calls
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Registration + push (worker-initiated)
+    # ------------------------------------------------------------------
+    def register(self, worker, url) -> dict:
+        """Register (or re-register) worker ``worker`` serving at ``url``.
+
+        Re-registration with the same id just updates the URL — a
+        restarted worker resumes its slot, and its next cumulative push
+        replaces whatever its previous incarnation had synced.
+        """
+        if not isinstance(worker, int) or isinstance(worker, bool):
+            raise ValidationError("'worker' must be an integer id")
+        if not 0 <= worker < self.n_workers:
+            raise ValidationError(
+                f"worker id {worker} out of range [0, {self.n_workers})"
+            )
+        if not isinstance(url, str) or not url.startswith(("http://", "https://")):
+            raise ValidationError(
+                f"worker url must be an http(s) URL, got {url!r}"
+            )
+        url = url.rstrip("/")
+        with self._lock:
+            link = self._links.get(worker)
+            if link is None:
+                self._links[worker] = _WorkerLink(worker, url)
+            else:
+                link.url = url
+                link.reachable = True
+            registered = len(self._links)
+        return {"worker": worker, "n_workers": self.n_workers,
+                "registered": registered}
+
+    def apply_push(self, worker: int, payload) -> int:
+        """Absorb one sync body from worker ``worker``; return its records.
+
+        Decodes and validates everything — the partial frame and any
+        trailing labeled row frames — *before* touching state, so a
+        malformed body changes nothing (the HTTP front end's 400
+        contract).  A valid body replaces the worker's shard slot (and
+        its buffered row segment, atomically under the training sync
+        lock) and counts as a heartbeat.
+        """
+        partials, rest = split_partial(payload)
+        blocks = []
+        if len(rest):
+            if self.training is None:
+                raise ValidationError(
+                    "sync body carries row frames but the coordinator has "
+                    "no training service"
+                )
+            for batch, classes, _ in iter_labeled_frames(rest):
+                if classes is None:
+                    raise ValidationError(
+                        "sync row frames must carry a class column"
+                    )
+                blocks.append(self.training.prepare_rows(batch, classes))
+        with self._lock:
+            link = self._links.get(worker)
+        if link is None:
+            raise ValidationError(
+                f"worker {worker} is not registered; POST /register first"
+            )
+        if self.training is not None:
+            # slot and row segment move together so a concurrent train
+            # can never pair new aggregates with an old buffer
+            with self.training.sync_lock:
+                records = self.service.replace_partial(worker, partials)
+                self._mark_synced(link, records, blocks)
+        else:
+            records = self.service.replace_partial(worker, partials)
+            self._mark_synced(link, records, blocks)
+        return records
+
+    def _mark_synced(self, link: _WorkerLink, records: int, blocks) -> None:
+        with self._lock:
+            link.records = int(records)
+            link.last_sync = time.monotonic()
+            link.reachable = True
+            link.rows = list(blocks)
+
+    # ------------------------------------------------------------------
+    # Pull (coordinator-initiated)
+    # ------------------------------------------------------------------
+    def sync(self, *, require_all: bool = False) -> dict:
+        """Pull fresh partials from every registered worker.
+
+        Best-effort by default (``/estimate``): an unreachable worker is
+        marked so, its shard slot keeps serving the last-known state,
+        and the pull moves on.  With ``require_all`` (``/train``) an
+        unreachable worker that has *never* synced raises
+        :class:`~repro.exceptions.ClusterError` — there is no last-known
+        state to degrade to.  Returns ``{"synced": [...], "failed":
+        [...]}`` worker id lists.
+        """
+        with self._lock:
+            targets = [
+                (link.worker, link.url)
+                for link in sorted(self._links.values(), key=lambda s: s.worker)
+            ]
+        path = "/partial?rows=1" if self.training is not None else "/partial"
+        synced = []
+        failed = []
+        for worker, url in targets:
+            try:
+                payload = self._fetch(url + path, timeout=self.timeout)
+            except ClusterError as exc:
+                with self._lock:
+                    link = self._links[worker]
+                    link.reachable = False
+                    never_synced = link.last_sync is None
+                if require_all and never_synced:
+                    raise ClusterError(
+                        f"worker {worker} at {url} is unreachable and has "
+                        f"never synced a partial: {exc}"
+                    ) from exc
+                failed.append(worker)
+                continue
+            self.apply_push(worker, payload)
+            synced.append(worker)
+        return {"synced": synced, "failed": failed}
+
+    def train(self, strategy: str = "byclass") -> TrainedModel:
+        """Sync strictly, install the union row buffer, and grow a tree.
+
+        Workers are pulled first (HTTP strictly outside any lock); the
+        buffer swap and the training run then happen under the training
+        sync lock, so a concurrent push cannot interleave between the
+        two.  The grown tree is bit-identical to a single-process
+        training service fed the same labeled rows in worker order.
+        """
+        if self.training is None:
+            raise ValidationError(
+                "the coordinator was built without a training service"
+            )
+        self.sync(require_all=True)
+        with self.training.sync_lock:
+            with self._lock:
+                segments = [
+                    block
+                    for link in sorted(
+                        self._links.values(), key=lambda s: s.worker
+                    )
+                    for block in link.rows
+                ]
+            self.training.replace_rows(segments)
+            return self.training.train(strategy)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Per-worker sync state for ``/healthz`` and ``GET /cluster``.
+
+        A worker is ``stale`` when it has never synced, was unreachable
+        on the last pull/push attempt, or its last sync is older than
+        ``stale_after`` seconds; the cluster is ``degraded`` while any
+        worker is stale or not yet registered.
+        """
+        now = time.monotonic()
+        workers = []
+        with self._lock:
+            for link in sorted(self._links.values(), key=lambda s: s.worker):
+                age = None if link.last_sync is None else now - link.last_sync
+                stale = (
+                    age is None
+                    or age > self.stale_after
+                    or not link.reachable
+                )
+                workers.append(
+                    {
+                        "worker": link.worker,
+                        "url": link.url,
+                        "records": link.records,
+                        "age_seconds": age,
+                        "reachable": link.reachable,
+                        "stale": stale,
+                    }
+                )
+        degraded = len(workers) < self.n_workers or any(
+            entry["stale"] for entry in workers
+        )
+        return {
+            "n_workers": self.n_workers,
+            "registered": len(workers),
+            "stale_after": self.stale_after,
+            "degraded": degraded,
+            "workers": workers,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def register_worker(
+    coordinator_url: str,
+    worker: int,
+    worker_url: str,
+    *,
+    retries: int = 20,
+    backoff: float = 0.25,
+    timeout: float = _DEFAULT_TIMEOUT,
+    fetch=None,
+    sleep=time.sleep,
+) -> dict:
+    """Announce a worker to the coordinator, retrying with backoff.
+
+    Workers and coordinator start concurrently, so the first attempts
+    may hit a coordinator that is not listening yet; registration keeps
+    retrying (delays double up to ~8 s) until it lands or ``retries``
+    are spent (then the last :class:`~repro.exceptions.ClusterError`
+    propagates).
+    """
+    fetch = _default_fetch if fetch is None else fetch
+    body = json.dumps({"worker": int(worker), "url": worker_url}).encode()
+    delay = backoff
+    for attempt in range(max(1, int(retries))):
+        try:
+            raw = fetch(
+                coordinator_url.rstrip("/") + "/register",
+                data=body,
+                content_type="application/json",
+                timeout=timeout,
+            )
+            return json.loads(raw.decode())
+        except ClusterError:
+            if attempt + 1 >= max(1, int(retries)):
+                raise
+            sleep(delay)
+            delay = min(delay * 2, 8.0)
+    raise ClusterError("unreachable")  # pragma: no cover - loop always returns
+
+
+class PartialShipper:
+    """Background thread pushing one worker's cumulative state upstream.
+
+    Every ``interval`` seconds (and once more at :meth:`stop` — the
+    drain flush) the shipper exports the worker's merged partials
+    (:func:`export_sync_body`) and POSTs them to the coordinator's
+    ``/partial?worker=i``.  Each push re-exports fresh state and retries
+    with exponential backoff on failure; because the body is cumulative
+    and the coordinator replaces, a lost or duplicated push never skews
+    the union.  Pushes double as heartbeats, so an idle worker still
+    reports in.
+
+    Examples
+    --------
+    >>> from repro.core import Partition, UniformRandomizer
+    >>> from repro.service import AggregationService, AttributeSpec
+    >>> from repro.service.cluster import PartialShipper
+    >>> noise = UniformRandomizer(half_width=0.25)
+    >>> service = AggregationService(
+    ...     [AttributeSpec("x", Partition.uniform(0, 1, 4), noise)]
+    ... )
+    >>> _ = service.ingest({"x": [0.4, 0.6]})
+    >>> sent = []
+    >>> def fake_fetch(url, data=None, content_type=None, timeout=None):
+    ...     sent.append((url, data[:4]))
+    ...     return b"{}"
+    >>> shipper = PartialShipper(
+    ...     service, "http://coordinator:9", 0, fetch=fake_fetch
+    ... )
+    >>> shipper.push()
+    True
+    >>> sent
+    [('http://coordinator:9/partial?worker=0', b'PPDM')]
+    """
+
+    def __init__(
+        self,
+        service: AggregationService,
+        coordinator_url: str,
+        worker: int,
+        *,
+        interval: float = 5.0,
+        training: TrainingService | None = None,
+        retries: int = 5,
+        backoff: float = 0.25,
+        timeout: float = _DEFAULT_TIMEOUT,
+        fetch=None,
+        sleep=time.sleep,
+    ) -> None:
+        if interval <= 0:
+            raise ValidationError(
+                f"sync interval must be > 0 seconds, got {interval}"
+            )
+        if retries < 1:
+            raise ValidationError(f"retries must be >= 1, got {retries}")
+        self.service = service
+        self.training = training
+        self.worker = int(worker)
+        self.interval = float(interval)
+        self._url = (
+            coordinator_url.rstrip("/") + f"/partial?worker={self.worker}"
+        )
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._timeout = float(timeout)
+        self._fetch = _default_fetch if fetch is None else fetch
+        self._sleep = sleep
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.pushes = 0
+        self.failures = 0
+
+    def push(self) -> bool:
+        """Export and push once, retrying with backoff; True on success.
+
+        Every attempt re-exports fresh cumulative state (an O(bins)
+        merge), so the retry that finally lands carries everything
+        absorbed during the backoff sleeps too.
+        """
+        delay = self._backoff
+        for attempt in range(self._retries):
+            body = export_sync_body(self.service, self.training)
+            try:
+                self._fetch(
+                    self._url,
+                    data=body,
+                    content_type=CONTENT_TYPE_PARTIAL,
+                    timeout=self._timeout,
+                )
+            except ClusterError:
+                if attempt + 1 >= self._retries:
+                    self.failures += 1
+                    return False
+                self._sleep(delay)
+                delay = min(delay * 2, 8.0)
+                continue
+            self.pushes += 1
+            return True
+        return False  # pragma: no cover - loop always returns
+
+    def start(self) -> "PartialShipper":
+        """Start the interval push thread (daemonic; idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"partial-shipper-{self.worker}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.push()
+
+    def stop(self, *, drain: bool = True) -> bool:
+        """Stop the push thread; with ``drain``, flush one final push.
+
+        The drain push is the shutdown contract: whatever the worker
+        absorbed since the last interval push reaches the coordinator
+        before the process exits.  Returns the drain push's success
+        (True when ``drain`` is off).
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(self._timeout, self.interval) + 5.0)
+            self._thread = None
+        if drain:
+            return self.push()
+        return True
+
+
+# ----------------------------------------------------------------------
+# Process topology
+# ----------------------------------------------------------------------
+def _worker_main(config: dict, stop_event) -> None:
+    """Entry point of one spawned worker process.
+
+    Builds a full service (plus training when configured) from the
+    deployment spec, serves it on an ephemeral port, registers with the
+    coordinator (retrying until it is up), ships partials on the sync
+    interval, and on the supervisor's stop signal drains one final push
+    before exiting.
+    """
+    service = service_from_spec(config["spec"])
+    training = TrainingService(service) if config.get("train") else None
+    server = ServiceHTTPServer(
+        service, config.get("host", "127.0.0.1"), 0, training=training
+    )
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    shipper = PartialShipper(
+        service,
+        config["coordinator_url"],
+        config["worker"],
+        interval=config.get("sync_interval", 5.0),
+        training=training,
+    )
+    try:
+        register_worker(
+            config["coordinator_url"], config["worker"], server.url
+        )
+        shipper.start()
+        stop_event.wait()
+    finally:
+        shipper.stop(drain=True)
+        server.shutdown()
+
+
+class ClusterSupervisor:
+    """Owns a running cluster: coordinator server + worker processes.
+
+    Built by :func:`start_cluster`.  The coordinator's HTTP loop runs in
+    a background thread (so registrations land while the caller is still
+    setting up); :meth:`wait` blocks the calling thread until
+    interrupted, and :meth:`shutdown` stops the cluster in drain order —
+    workers first (each flushes a final partial to the still-serving
+    coordinator), coordinator last.
+    """
+
+    def __init__(
+        self,
+        server: ServiceHTTPServer,
+        coordinator: ClusterCoordinator,
+        processes,
+        stop_event,
+    ) -> None:
+        self.server = server
+        self.coordinator = coordinator
+        self.processes = list(processes)
+        self._stop_event = stop_event
+        self._done = threading.Event()
+        self._serve_thread = threading.Thread(
+            target=self.server.serve_forever, name="cluster-coordinator",
+            daemon=True,
+        )
+        self._serve_thread.start()
+
+    @property
+    def url(self) -> str:
+        """The coordinator's base URL."""
+        return self.server.url
+
+    def worker_urls(self) -> list:
+        """Registered worker base URLs, in worker order."""
+        return [
+            entry["url"] for entry in self.coordinator.health()["workers"]
+        ]
+
+    def wait_ready(self, timeout: float = 30.0) -> "ClusterSupervisor":
+        """Block until every worker has registered (and raise past ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            health = self.coordinator.health()
+            if health["registered"] >= self.coordinator.n_workers:
+                return self
+            for process in self.processes:
+                if not process.is_alive():
+                    raise ClusterError(
+                        f"worker process pid={process.pid} exited with "
+                        f"code {process.exitcode} before registering"
+                    )
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"only {health['registered']} of "
+                    f"{self.coordinator.n_workers} workers registered "
+                    f"within {timeout:.0f}s"
+                )
+            time.sleep(0.05)
+
+    def wait(self) -> None:
+        """Block until :meth:`shutdown` (or KeyboardInterrupt) unblocks us."""
+        self._done.wait()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain and stop: workers flush final partials, then the server."""
+        self._stop_event.set()
+        for process in self.processes:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(5.0)
+        self.server.shutdown()
+        self._serve_thread.join(timeout)
+        self._done.set()
+
+
+def start_cluster(
+    spec: dict,
+    *,
+    n_workers: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    train: bool = False,
+    sync_interval: float = 5.0,
+    stale_after: float | None = None,
+    snapshot_path=None,
+) -> ClusterSupervisor:
+    """Launch a coordinator + ``n_workers`` worker-process cluster.
+
+    The coordinator's service is built from the same deployment ``spec``
+    as the workers but with one shard slot per worker (worker ``i``
+    syncs into slot ``i``); each worker process is *spawned* — a fresh
+    interpreter, no inherited locks — binds an ephemeral port, and
+    registers itself.  ``stale_after`` defaults to three sync intervals.
+    Returns a :class:`ClusterSupervisor`; call
+    :meth:`~ClusterSupervisor.wait_ready` to block until every worker is
+    registered and :meth:`~ClusterSupervisor.shutdown` to drain and stop.
+    """
+    if n_workers < 1:
+        raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+    if not isinstance(spec, dict):
+        raise ValidationError("the deployment spec must be a dict")
+    coordinator_spec = dict(spec)
+    coordinator_spec["shards"] = int(n_workers)
+    service = service_from_spec(coordinator_spec)
+    training = TrainingService(service) if train else None
+    coordinator = ClusterCoordinator(
+        service,
+        n_workers=n_workers,
+        training=training,
+        stale_after=(
+            3.0 * sync_interval if stale_after is None else stale_after
+        ),
+    )
+    server = ServiceHTTPServer(
+        service, host, port, cluster=coordinator, training=training,
+        snapshot_path=snapshot_path,
+    )
+    context = multiprocessing.get_context("spawn")
+    stop_event = context.Event()
+    processes = []
+    for worker in range(n_workers):
+        config = {
+            "spec": dict(spec),
+            "worker": worker,
+            "coordinator_url": server.url,
+            "host": host,
+            "train": bool(train),
+            "sync_interval": float(sync_interval),
+        }
+        process = context.Process(
+            target=_worker_main, args=(config, stop_event),
+            name=f"ppdm-worker-{worker}", daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    return ClusterSupervisor(server, coordinator, processes, stop_event)

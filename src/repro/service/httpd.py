@@ -18,26 +18,42 @@ by the service itself.
   (:mod:`repro.service.wire`), the zero-copy bulk fast path; version 2
   frames carry an optional class column.
 
-Endpoints (responses are always JSON):
+Endpoints (responses are JSON unless noted):
 
 =========================  ==================================================
-``GET /healthz``           liveness + total records absorbed
+``GET /healthz``           liveness + total records absorbed (+ per-worker
+                           staleness on a cluster coordinator)
 ``GET /attributes``        the collected schema (domain, grid, noise)
 ``GET /stats``             per-attribute record counts (incl. per class),
                            shard and cache stats
 ``GET /estimate?attribute=NAME``  reconstructed distribution for ``NAME``
 ``GET /model?strategy=S``  last trained decision tree (``trained_tree``
                            snapshot payload)
+``GET /partial``           this server's cumulative merged partials as a
+                           binary sync body (``?rows=1`` appends the
+                           labeled row buffer; cluster pull path)
+``GET /cluster``           worker registry + staleness (coordinator only)
 ``POST /ingest``           one or many batches, wire format per Content-Type
 ``POST /train``            grow a decision tree from the aggregates
 ``POST /snapshot``         persist to the configured snapshot path
+``POST /register``         announce a worker to the coordinator
+``POST /partial?worker=I`` absorb worker ``I``'s pushed sync body
+                           (coordinator only)
 =========================  ==================================================
+
+A server created with ``cluster=`` (see
+:class:`repro.service.cluster.ClusterCoordinator`) is a *coordinator*:
+it refuses direct ``/ingest`` (worker slots would be overwritten by the
+next sync), pulls registered workers before ``/estimate`` and
+``/train``, and reports cluster health.  Plain servers — including the
+cluster's workers — serve ``GET /partial`` so their state can be pulled.
 
 Errors return ``{"error": message}`` with status 400 (validation),
 404 (unknown route / untrained model), 413 (body over the configured
-size cap), or 501 (chunked transfer).  Any 4xx leaves the connection
-usable (except 413/501, which close it — the body cannot be skipped
-safely) and absorbs nothing from the failing body.
+size cap), 501 (chunked transfer), or 503 (a cluster operation needs a
+worker that is unreachable and has never synced).  Any 4xx leaves the
+connection usable (except 413/501, which close it — the body cannot be
+skipped safely) and absorbs nothing from the failing body.
 """
 
 from __future__ import annotations
@@ -48,11 +64,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.privacy import privacy_of_randomizer
-from repro.exceptions import ValidationError
+from repro.exceptions import ClusterError, ValidationError
 from repro.service.training import TRAINING_STRATEGIES
 from repro.service.wire import (
     CONTENT_TYPE_COLUMNS,
     CONTENT_TYPE_NDJSON,
+    CONTENT_TYPE_PARTIAL,
     iter_labeled_frames,
     iter_labeled_ndjson,
 )
@@ -85,6 +102,12 @@ class ServiceHTTPServer:
         labeled ingest bodies into the training buffer.  ``None``
         disables the endpoints (400) and labeled batches only feed the
         class-conditional shards.
+    cluster:
+        Optional :class:`~repro.service.cluster.ClusterCoordinator` over
+        ``service``; makes this server a cluster coordinator — worker
+        registration/push endpoints come alive, ``/estimate`` and
+        ``/train`` pull registered workers first, ``/healthz`` reports
+        per-worker staleness, and direct ``/ingest`` is refused.
     max_body_bytes:
         Request bodies larger than this are refused with 413 before any
         byte is read (the connection closes — an unread body cannot be
@@ -93,14 +116,20 @@ class ServiceHTTPServer:
 
     def __init__(
         self, service, host: str = "127.0.0.1", port: int = 0, *,
-        snapshot_path=None, training=None,
+        snapshot_path=None, training=None, cluster=None,
         max_body_bytes: int = _DEFAULT_MAX_BODY,
     ) -> None:
         self.service = service
         self.training = training
+        self.cluster = cluster
         if training is not None and training.service is not service:
             raise ValidationError(
                 "the training service must wrap the served "
+                "AggregationService instance"
+            )
+        if cluster is not None and cluster.service is not service:
+            raise ValidationError(
+                "the cluster coordinator must wrap the served "
                 "AggregationService instance"
             )
         if max_body_bytes < 1:
@@ -207,10 +236,34 @@ class ServiceHTTPServer:
     def handle_get(self, path: str, query: dict) -> tuple:
         service = self.service
         if path == "/healthz":
-            return 200, {
+            payload = {
                 "status": "ok",
                 "records": sum(service.n_seen().values()),
             }
+            if self.cluster is not None:
+                health = self.cluster.health()
+                payload["cluster"] = health
+                if health["degraded"]:
+                    payload["status"] = "degraded"
+            return 200, payload
+        if path == "/cluster":
+            if self.cluster is None:
+                return 400, {
+                    "error": "this server is not a cluster coordinator"
+                }
+            return 200, self.cluster.health()
+        if path == "/partial":
+            rows = query.get("rows")
+            include_rows = bool(rows) and rows[0] not in ("", "0", "false")
+            if include_rows and self.training is None:
+                return 400, {
+                    "error": "?rows=1 needs a server started with training"
+                }
+            from repro.service.cluster import export_sync_body
+
+            return 200, export_sync_body(
+                service, self.training if include_rows else None
+            )
         if path == "/attributes":
             return 200, {
                 "attributes": [
@@ -271,6 +324,10 @@ class ServiceHTTPServer:
             if not names:
                 return 400, {"error": "missing ?attribute=NAME"}
             name = names[0]
+            if self.cluster is not None:
+                # best-effort pull: an unreachable worker keeps serving
+                # from its last-known slot (staleness shows in /healthz)
+                self.cluster.sync()
             # warn=False: the cap-hit is reported as converged=false in
             # the payload, and toggling the (process-global) warning
             # filter from handler threads would race other requests.
@@ -289,6 +346,11 @@ class ServiceHTTPServer:
 
     def handle_post(self, path: str, payload) -> tuple:
         if path == "/ingest":
+            if self.cluster is not None:
+                return 400, {
+                    "error": "the coordinator does not ingest; POST "
+                    "/ingest to a worker (GET /cluster lists them)"
+                }
             if not isinstance(payload, dict) or "batch" not in payload:
                 return 400, {"error": 'body must be {"batch": {name: [values]}}'}
             batch = payload["batch"]
@@ -315,7 +377,12 @@ class ServiceHTTPServer:
             strategy = payload.get("strategy", "byclass")
             if not isinstance(strategy, str):
                 return 400, {"error": "'strategy' must be a string"}
-            model = self.training.train(strategy)
+            if self.cluster is not None:
+                # strict pull + union train: unreachable workers degrade
+                # to last-known state; never-synced ones raise (503)
+                model = self.cluster.train(strategy)
+            else:
+                model = self.training.train(strategy)
             return 200, {
                 "strategy": model.strategy,
                 "n_train": model.n_train,
@@ -323,9 +390,35 @@ class ServiceHTTPServer:
                 "depth": model.tree.depth,
                 "fit_seconds": model.fit_seconds,
             }
+        if path == "/register":
+            if self.cluster is None:
+                return 400, {
+                    "error": "this server is not a cluster coordinator"
+                }
+            if not isinstance(payload, dict):
+                return 400, {
+                    "error": 'body must be {"worker": i, "url": "http://..."}'
+                }
+            return 200, self.cluster.register(
+                payload.get("worker"), payload.get("url")
+            )
         if path == "/snapshot":
             return 200, {"saved": self.persist()}
         return 404, {"error": f"unknown route {path!r}"}
+
+    def handle_partial_push(self, query: dict, payload: bytes) -> tuple:
+        """Absorb one pushed sync body (``POST /partial?worker=I``)."""
+        if self.cluster is None:
+            return 400, {"error": "this server is not a cluster coordinator"}
+        workers = query.get("worker")
+        if not workers:
+            return 400, {"error": "missing ?worker=ID"}
+        try:
+            worker = int(workers[0])
+        except ValueError:
+            return 400, {"error": "'worker' must be an integer id"}
+        records = self.cluster.apply_push(worker, payload)
+        return 200, {"worker": worker, "records": records}
 
     def _absorb_frames(self, frames) -> tuple:
         """Validate, prepare, and absorb ``(batch, classes, shard)`` frames.
@@ -366,6 +459,11 @@ class ServiceHTTPServer:
 
     def handle_ingest_frames(self, frames) -> tuple:
         """Ingest decoded ``(batch, classes, shard)`` frames (columnar/NDJSON)."""
+        if self.cluster is not None:
+            return 400, {
+                "error": "the coordinator does not ingest; POST /ingest "
+                "to a worker (GET /cluster lists them)"
+            }
         ingested, n_frames = self._absorb_frames(frames)
         return 200, {
             "ingested": ingested,
@@ -394,7 +492,9 @@ def _make_handler(server: ServiceHTTPServer):
         def log_message(self, *args) -> None:  # quiet by default
             pass
 
-        def _reply(self, status: int, payload: dict, *, close: bool = False) -> None:
+        def _send(
+            self, status: int, body: bytes, ctype: str, close: bool
+        ) -> None:
             # Count before replying: a client that already holds its
             # response must observe requests_served as including it,
             # whatever the handler thread's scheduling after the socket
@@ -404,14 +504,19 @@ def _make_handler(server: ServiceHTTPServer):
                 reap = server._requests_served % _REAP_INTERVAL == 0
             if reap:
                 server.reap_handler_threads()
-            body = json.dumps(payload).encode()
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", ctype)
             self.send_header("Content-Length", str(len(body)))
             if close:
                 self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
+
+        def _reply(self, status: int, payload: dict, *, close: bool = False) -> None:
+            self._send(
+                status, json.dumps(payload).encode(), "application/json",
+                close,
+            )
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
@@ -421,7 +526,13 @@ def _make_handler(server: ServiceHTTPServer):
                 )
             except ValidationError as exc:
                 status, payload = 400, {"error": str(exc)}
-            self._reply(status, payload)
+            except ClusterError as exc:
+                status, payload = 503, {"error": str(exc)}
+            if isinstance(payload, (bytes, bytearray)):
+                # GET /partial: the sync body is binary, not JSON
+                self._send(status, bytes(payload), CONTENT_TYPE_PARTIAL, False)
+            else:
+                self._reply(status, payload)
 
         def _content_type(self) -> str:
             ctype = self.headers.get("Content-Type", "")
@@ -464,7 +575,8 @@ def _make_handler(server: ServiceHTTPServer):
                 )
                 return
             raw = self.rfile.read(length) if length else b""
-            path = urlparse(self.path).path
+            parsed = urlparse(self.path)
+            path = parsed.path
             ctype = self._content_type()
             try:
                 if path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
@@ -475,6 +587,15 @@ def _make_handler(server: ServiceHTTPServer):
                     status, out = server.handle_ingest_frames(
                         iter_labeled_ndjson(raw)
                     )
+                elif path == "/partial" and ctype == CONTENT_TYPE_PARTIAL:
+                    status, out = server.handle_partial_push(
+                        parse_qs(parsed.query), raw
+                    )
+                elif path == "/partial":
+                    status, out = 400, {
+                        "error": "POST /partial requires Content-Type "
+                        f"{CONTENT_TYPE_PARTIAL}"
+                    }
                 else:
                     try:
                         payload = json.loads(raw.decode() or "null")
@@ -484,6 +605,8 @@ def _make_handler(server: ServiceHTTPServer):
                     status, out = server.handle_post(path, payload)
             except (ValidationError, ValueError) as exc:
                 status, out = 400, {"error": str(exc)}
+            except ClusterError as exc:
+                status, out = 503, {"error": str(exc)}
             self._reply(status, out)
 
     return Handler

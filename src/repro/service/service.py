@@ -209,6 +209,38 @@ class AggregationService:
         self._state(name)
         return self._shards.merged_by_class(name)
 
+    def export_partial(self) -> dict:
+        """Merged per-class partials for every attribute: the sync unit.
+
+        ``{name: (classes + 1, bins) counts}`` — the complete
+        sufficient statistic of everything this service has absorbed
+        (partials are mergeable, so the merged histograms carry the
+        whole state), in exactly the shape
+        :func:`repro.service.wire.encode_partial` ships upstream and
+        :meth:`replace_partial` absorbs on the coordinator.
+        """
+        return {
+            name: self._shards.merged_by_class(name) for name in self._states
+        }
+
+    def replace_partial(self, slot: int, partials: dict) -> int:
+        """Replace shard ``slot`` with one worker's cumulative partials.
+
+        The coordinator side of cluster sync: worker ``slot``'s
+        dedicated shard is cleared and refilled with the pushed
+        ``{name: (classes + 1, bins) counts}`` mapping (see
+        :meth:`export_partial`).  Because each sync carries the
+        worker's *cumulative* merged counts, the replace is idempotent
+        — a retried or duplicated push can never double-count — and the
+        merged union over all slots stays bit-identical to a
+        single-process service fed the same records.  Holds the
+        estimate lock so a concurrent refresh never pairs a half-
+        replaced histogram with a newer warm start.  Returns the
+        records now held in the slot.
+        """
+        with self._estimate_lock:
+            return self._shards.shard(slot).replace_with(partials)
+
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------

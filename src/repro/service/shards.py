@@ -514,6 +514,46 @@ class HistogramShard:
             stripe.counts[sl] += counts
             stripe.seen[self._layout.index_of(name)] += int(n_seen)
 
+    def replace_with(self, partials: dict) -> int:
+        """Clear this shard, then absorb pre-merged per-class partials.
+
+        ``partials`` maps attribute name to a ``(n_classes + 1, bins)``
+        count matrix (row 0 unlabeled, row ``c + 1`` class ``c``) —
+        the cluster coordinator's sync primitive: a worker ships its
+        *cumulative* merged counts and replacing the worker's dedicated
+        shard makes every re-push idempotent, so a retried sync can
+        never double-count.  Attributes absent from ``partials`` end up
+        empty (the worker has seen none of them).  Everything is
+        validated before the clear, so a malformed mapping changes
+        nothing; callers needing replace-vs-read atomicity serialize
+        through the owning service's estimate lock.  Returns the record
+        count now held.
+        """
+        if not isinstance(partials, dict):
+            raise ValidationError(
+                "partials must map attribute -> (n_classes + 1, bins) counts"
+            )
+        checked = []
+        for name, counts in partials.items():
+            slices = self._layout.class_slices(name)
+            matrix = np.asarray(counts, dtype=float)
+            bins = slices[0].stop - slices[0].start
+            if matrix.shape != (len(slices), bins):
+                raise ValidationError(
+                    f"partials[{name!r}] must have shape "
+                    f"({len(slices)}, {bins}), got {matrix.shape}"
+                )
+            checked.append((name, matrix))
+        self.clear()
+        total = 0
+        for name, matrix in checked:
+            for block, row in enumerate(matrix):
+                row_seen = int(row.sum())
+                if row_seen:
+                    self.absorb_counts(name, row, row_seen, class_block=block)
+                total += row_seen
+        return total
+
     def merge_from(self, other: "HistogramShard") -> "HistogramShard":
         """Fold another shard's partials into this one (same schema)."""
         if not other._layout.compatible_with(self._layout):

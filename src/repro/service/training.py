@@ -244,6 +244,57 @@ class TrainingService:
             self._rows.append((matrix, labels))
         return int(labels.size)
 
+    def export_rows(self) -> list:
+        """Copies of the buffered ``(matrix, labels)`` blocks, in order.
+
+        The worker side of cluster row sync: shipped (as labeled record
+        frames after the partial frame) under :attr:`sync_lock` together
+        with the aggregate export, so the coordinator always receives an
+        aggregates/rows pair that passes the training consistency check.
+        """
+        with self._rows_lock:
+            return [
+                (matrix.copy(), labels.copy()) for matrix, labels in self._rows
+            ]
+
+    def replace_rows(self, blocks) -> int:
+        """Swap the whole training buffer for ``blocks`` of prepared rows.
+
+        The coordinator side of cluster row sync: ``blocks`` is a
+        sequence of ``(matrix, labels)`` pairs (the shape
+        :meth:`prepare_rows` produces), typically one worker's buffer
+        after another in worker order.  Replacing — never appending —
+        makes a re-synced buffer idempotent, mirroring
+        :meth:`~repro.service.AggregationService.replace_partial`.
+        Everything is validated before the swap; callers hold
+        :attr:`sync_lock` around the replace and the aggregate updates
+        it mirrors.  Returns the rows now buffered.
+        """
+        d = len(self.service.attributes)
+        checked = []
+        total = 0
+        for block in blocks:
+            try:
+                matrix, labels = block
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"row blocks must be (matrix, labels) pairs: {exc}"
+                ) from exc
+            matrix = np.asarray(matrix, dtype=float)
+            labels = check_label_column(labels, n_classes=self.service.classes)
+            if matrix.ndim != 2 or matrix.shape != (labels.size, d):
+                raise ValidationError(
+                    f"row block matrix must have shape ({labels.size}, {d}) "
+                    f"to match its labels, got {matrix.shape}"
+                )
+            if labels.size == 0:
+                continue
+            checked.append((matrix, labels.astype(np.int64, copy=False)))
+            total += int(labels.size)
+        with self._rows_lock:
+            self._rows = checked
+        return total
+
     def ingest(self, batch, classes, *, shard: int | None = None) -> int:
         """Absorb labeled rows into the shards *and* the training buffer.
 

@@ -12,7 +12,8 @@ Frame layout (all integers little-endian)::
 
     offset  size  field
     0       4     magic  b"PPDM"
-    4       2     u16    wire version (1 = unlabeled, 2 = class-aware)
+    4       2     u16    wire version (1 = unlabeled, 2 = class-aware,
+                         3 = partial — see below)
     6       2     u16    n_attributes
     8       4     i32    shard pin (-1 = unpinned, round-robin)
     [v2]    8     u64    class row count (0 = no class column)
@@ -31,6 +32,35 @@ all equal the class row count) — so classification training data
 (class, attribute values) streams over the same zero-copy path.
 Version 1 frames remain fully supported; their records land in the
 server's unlabeled partition.
+
+Version 3 is the *partial* frame (``application/x-ppdm-partial``): the
+cluster tier's unit of exchange.  Instead of records it carries one
+worker's **merged class-conditional histogram partials** — for each
+attribute, ``n_blocks`` rows (unlabeled + one per class) of
+noise-expanded bin counts — so a coordinator absorbs a whole worker's
+state in O(bins), however many records the worker has seen.  The header
+struct is shared with v1/v2; the i32 slot that pins a shard in record
+frames carries ``n_blocks`` here::
+
+    offset  size  field
+    0       4     magic  b"PPDM"
+    4       2     u16    wire version (3 = partial)
+    6       2     u16    n_attributes
+    8       4     i32    n_blocks (= classes + 1; >= 1)
+    ...     ...   attribute table, n_attributes entries:
+                    u16    name length L (UTF-8 bytes)
+                    L      attribute name
+                    u64    bin count
+    ...     ...   counts: n_blocks x bin_count x 8 bytes of raw
+                  little-endian float64 per attribute, in table order
+                  (block 0 = unlabeled, block c + 1 = class c)
+
+Partial counts must be finite, non-negative, and integer-valued —
+anything else is a malformed frame, not data.  Partial frames are
+self-delimiting like record frames, so a sync body may append labeled
+v2 record frames after the partial (:func:`split_partial`) — that is
+how a training worker ships its row buffer alongside its aggregates in
+one atomic push.
 
 Frames are self-delimiting, so a request body may concatenate any
 number of them (:func:`iter_frames` / :func:`iter_labeled_frames`) and
@@ -56,29 +86,38 @@ from repro.utils.validation import check_label_column
 __all__ = [
     "CONTENT_TYPE_COLUMNS",
     "CONTENT_TYPE_NDJSON",
+    "CONTENT_TYPE_PARTIAL",
     "MAGIC",
     "WIRE_VERSION",
     "WIRE_VERSION_CLASSES",
+    "WIRE_VERSION_PARTIAL",
     "decode_columns",
     "decode_labeled",
+    "decode_partial",
     "encode_columns",
     "encode_ndjson",
+    "encode_partial",
     "iter_frames",
     "iter_labeled_frames",
     "iter_labeled_ndjson",
     "iter_ndjson",
+    "split_partial",
 ]
 
 #: content type negotiating the binary columnar frames
 CONTENT_TYPE_COLUMNS = "application/x-ppdm-columns"
 #: content type for the newline-delimited JSON fallback
 CONTENT_TYPE_NDJSON = "application/x-ndjson"
+#: content type for cluster partial-sync bodies (version 3 frames)
+CONTENT_TYPE_PARTIAL = "application/x-ppdm-partial"
 #: the four magic bytes every columnar frame starts with
 MAGIC = b"PPDM"
 #: unlabeled frame version (the PR 4 layout, still fully supported)
 WIRE_VERSION = 1
 #: class-aware frame version: adds an optional int32 class column
 WIRE_VERSION_CLASSES = 2
+#: partial frame version: merged per-class histogram counts (cluster sync)
+WIRE_VERSION_PARTIAL = 3
 
 _HEADER = struct.Struct("<4sHHi")
 _NAME_LEN = struct.Struct("<H")
@@ -364,6 +403,196 @@ def iter_labeled_frames(payload):
     while offset < len(view):
         batch, shard, classes, offset = _decode_frame(view, offset)
         yield batch, classes, shard
+
+
+def encode_partial(partials) -> bytes:
+    """Encode merged per-class histogram partials as one version 3 frame.
+
+    ``partials`` maps attribute name to a 2-D ``(n_blocks, bins)`` count
+    matrix — exactly the shape
+    :meth:`~repro.service.AggregationService.export_partial` produces
+    (row 0 unlabeled, row ``c + 1`` class ``c``).  Every attribute must
+    share one block count; counts must be finite, non-negative, and
+    integer-valued (histogram counts, not arbitrary floats).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import decode_partial, encode_partial
+    >>> frame = encode_partial({"age": np.array([[2.0, 1.0], [0.0, 3.0]])})
+    >>> frame[:4]
+    b'PPDM'
+    >>> decode_partial(frame)["age"].tolist()
+    [[2.0, 1.0], [0.0, 3.0]]
+    """
+    if not isinstance(partials, dict) or not partials:
+        raise ValidationError(
+            "partials must be a non-empty mapping of attribute -> "
+            "(n_blocks, bins) counts"
+        )
+    if len(partials) > 0xFFFF:
+        raise ValidationError("a partial frame holds at most 65535 attributes")
+    n_blocks = None
+    table = []
+    blocks = []
+    for name, counts in partials.items():
+        if not isinstance(name, str) or not name:
+            raise ValidationError("attribute names must be non-empty strings")
+        encoded_name = name.encode("utf-8")
+        if len(encoded_name) > 0xFFFF:
+            raise ValidationError(f"attribute name {name!r} is too long")
+        matrix = np.ascontiguousarray(counts, dtype=_F8)
+        if matrix.ndim != 2 or matrix.shape[0] < 1:
+            raise ValidationError(
+                f"partials[{name!r}] must be a (n_blocks, bins) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        if n_blocks is None:
+            n_blocks = matrix.shape[0]
+        elif matrix.shape[0] != n_blocks:
+            raise ValidationError(
+                f"partials[{name!r}] has {matrix.shape[0]} class block(s); "
+                f"other attributes have {n_blocks} — one schema per frame"
+            )
+        _check_partial_counts(name, matrix)
+        table.append(
+            _NAME_LEN.pack(len(encoded_name))
+            + encoded_name
+            + _ROW_COUNT.pack(matrix.shape[1])
+        )
+        blocks.append(matrix.tobytes())
+    if n_blocks is None or n_blocks > 0x7FFFFFFF:
+        raise ValidationError(f"partial frame cannot hold {n_blocks} blocks")
+    header = _HEADER.pack(MAGIC, WIRE_VERSION_PARTIAL, len(partials), n_blocks)
+    return header + b"".join(table) + b"".join(blocks)
+
+
+def _check_partial_counts(name: str, matrix: np.ndarray) -> None:
+    """Histogram counts only: finite, non-negative, integer-valued."""
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError(
+            f"partial counts for {name!r} contain non-finite values"
+        )
+    if matrix.size and float(matrix.min()) < 0.0:
+        raise ValidationError(
+            f"partial counts for {name!r} contain negative values"
+        )
+    if not np.array_equal(matrix, np.floor(matrix)):
+        raise ValidationError(
+            f"partial counts for {name!r} are not integer-valued "
+            "histogram counts"
+        )
+
+
+def split_partial(payload) -> tuple:
+    """Decode a leading version 3 frame; return ``(partials, remainder)``.
+
+    The sync-body decoder: a push/pull body is one partial frame,
+    optionally followed by concatenated labeled record frames (a
+    training worker's row buffer).  ``remainder`` is the bytes after the
+    partial frame (empty when the body is the frame alone), ready for
+    :func:`iter_labeled_frames`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import encode_partial, split_partial
+    >>> frame = encode_partial({"x": np.array([[1.0, 0.0]])})
+    >>> partials, rest = split_partial(frame + b"tail")
+    >>> partials["x"].tolist(), bytes(rest)
+    ([[1.0, 0.0]], b'tail')
+    """
+    view = memoryview(payload)
+    end = len(view)
+    if end < _HEADER.size:
+        raise ValidationError(
+            f"truncated partial frame: {end} byte(s), header needs "
+            f"{_HEADER.size}"
+        )
+    magic, version, n_attributes, n_blocks = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise ValidationError(
+            f"bad frame magic {bytes(magic)!r}; expected {MAGIC!r} "
+            f"(is the body really {CONTENT_TYPE_PARTIAL}?)"
+        )
+    if version != WIRE_VERSION_PARTIAL:
+        raise ValidationError(
+            f"expected a version {WIRE_VERSION_PARTIAL} partial frame, "
+            f"got version {version}"
+        )
+    if n_attributes < 1:
+        raise ValidationError("a partial frame needs at least one attribute")
+    if n_blocks < 1:
+        raise ValidationError(
+            f"partial frame declares {n_blocks} class block(s); needs >= 1"
+        )
+    offset = _HEADER.size
+    names = []
+    bins = []
+    for _ in range(n_attributes):
+        if end - offset < _NAME_LEN.size:
+            raise ValidationError("truncated partial frame attribute table")
+        (name_len,) = _NAME_LEN.unpack_from(view, offset)
+        offset += _NAME_LEN.size
+        if end - offset < name_len + _ROW_COUNT.size:
+            raise ValidationError("truncated partial frame attribute table")
+        try:
+            name = str(view[offset : offset + name_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValidationError(f"attribute name is not UTF-8: {exc}") from exc
+        offset += name_len
+        (bin_count,) = _ROW_COUNT.unpack_from(view, offset)
+        offset += _ROW_COUNT.size
+        if name in names:
+            raise ValidationError(f"duplicate attribute {name!r} in frame")
+        if bin_count < 1:
+            raise ValidationError(
+                f"partial frame: attribute {name!r} declares 0 bins"
+            )
+        names.append(name)
+        bins.append(bin_count)
+    partials = {}
+    for name, bin_count in zip(names, bins):
+        n_values = n_blocks * bin_count
+        nbytes = n_values * _F8.itemsize
+        if end - offset < nbytes:
+            raise ValidationError(
+                f"truncated partial frame: attribute {name!r} declares "
+                f"{n_blocks} x {bin_count} counts but only {end - offset} "
+                "byte(s) remain"
+            )
+        flat = np.frombuffer(view, dtype=_F8, count=n_values, offset=offset)
+        matrix = flat.reshape(n_blocks, bin_count)
+        _check_partial_counts(name, matrix)
+        partials[name] = matrix
+        offset += nbytes
+    return partials, view[offset:]
+
+
+def decode_partial(payload) -> dict:
+    """Decode a body holding exactly one version 3 partial frame.
+
+    The inverse of :func:`encode_partial`: returns the
+    ``{attribute: (n_blocks, bins) counts}`` mapping, with every count
+    validated finite, non-negative, and integer-valued.  Trailing bytes
+    are an error — bodies that append labeled record frames after the
+    partial go through :func:`split_partial`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import decode_partial, encode_partial
+    >>> partials = decode_partial(encode_partial({"x": np.eye(2)}))
+    >>> sorted(partials), partials["x"].shape
+    (['x'], (2, 2))
+    """
+    partials, rest = split_partial(payload)
+    if len(rest):
+        raise ValidationError(
+            f"{len(rest)} trailing byte(s) after the partial frame; "
+            "partial-plus-rows bodies decode with split_partial()"
+        )
+    return partials
 
 
 def encode_ndjson(frames) -> bytes:

@@ -290,6 +290,59 @@ class TestServeIngestCommands:
         assert code == 2
         assert "does not exist" in capsys.readouterr().err
 
+    def test_serve_workers_validates_count(self, capsys, spec_file):
+        code = main(
+            ["serve", "--spec", str(spec_file), "--workers", "0"]
+        )
+        assert code == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_serve_workers_rejects_snapshot(self, capsys, tmp_path, spec_file):
+        code = main(
+            [
+                "serve", "--spec", str(spec_file),
+                "--snapshot", str(tmp_path / "snap.json"),
+                "--workers", "2",
+            ]
+        )
+        assert code == 2
+        assert "cannot restore" in capsys.readouterr().err
+
+    def test_serve_workers_rejects_max_requests(self, capsys, spec_file):
+        code = main(
+            [
+                "serve", "--spec", str(spec_file),
+                "--workers", "2", "--max-requests", "1",
+            ]
+        )
+        assert code == 2
+        assert "--max-requests" in capsys.readouterr().err
+
+    def test_serve_workers_needs_spec(self, capsys):
+        code = main(["serve", "--workers", "2"])
+        assert code == 2
+        assert "needs --spec" in capsys.readouterr().err
+
+    def test_serve_workers_missing_spec_file_exits_2(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve", "--workers", "1",
+                "--spec", str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_workers_train_needs_classes(self, capsys, spec_file):
+        code = main(
+            [
+                "serve", "--spec", str(spec_file),
+                "--workers", "1", "--train",
+            ]
+        )
+        assert code == 2
+        assert "class-aware" in capsys.readouterr().err
+
     def test_serve_malformed_spec_exits_2(self, capsys, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text("{not json")
