@@ -14,7 +14,9 @@ Examples
     ppdm serve --spec service.json --snapshot state.json --port 8000
     ppdm ingest --snapshot state.json --attribute age values.txt --estimate
     ppdm ingest --url http://127.0.0.1:8000 --attribute age --class-label 1 values.txt
+    ppdm ingest --url http://127.0.0.1:8000 --baskets --mask-p 0.9 baskets.json
     ppdm train --url http://127.0.0.1:8000 --strategy byclass --save model.json
+    ppdm mine --url http://127.0.0.1:8000 --min-support 0.2 --min-confidence 0.5
 
 Every subcommand prints the same ASCII tables the benchmark harness
 produces, so paper figures can be regenerated without pytest; ``ppdm
@@ -424,12 +426,14 @@ def _cmd_serve(args) -> int:
         AggregationService,
         ServiceHTTPServer,
         TrainingService,
+        mining_from_spec,
         service_from_spec,
     )
 
     if args.workers is not None:
         return _serve_cluster(args)
 
+    mining = None
     snapshot = Path(args.snapshot) if args.snapshot else None
     if snapshot is not None and snapshot.is_file():
         service = AggregationService.load(snapshot)
@@ -458,6 +462,8 @@ def _cmd_serve(args) -> int:
         if args.shards is not None:
             spec["shards"] = args.shards
         service = service_from_spec(spec)
+        if "mining" in spec:
+            mining = mining_from_spec(spec["mining"])
     else:
         raise ReproError("serve needs --spec (or an existing --snapshot)")
 
@@ -471,7 +477,7 @@ def _cmd_serve(args) -> int:
         training = TrainingService(service)
     server = ServiceHTTPServer(
         service, args.host, args.port, snapshot_path=snapshot,
-        training=training,
+        training=training, mining=mining,
     )
     records = sum(service.n_seen().values())
     print(
@@ -481,9 +487,15 @@ def _cmd_serve(args) -> int:
         + (f" and {service.classes} class(es)" if service.classes else "")
         + f"; {records} record(s) loaded"
     )
+    if mining is not None:
+        print(
+            f"mining enabled: {mining.n_items} item(s), keep_prob="
+            f"{mining.response.keep_prob:g}, {len(mining.shards)} shard(s)"
+        )
     print(
         "endpoints: /healthz /attributes /stats /estimate /ingest /snapshot"
         + (" /train /model" if training is not None else "")
+        + (" /mine /rules" if mining is not None else "")
     )
     try:
         server.serve_forever(max_requests=args.max_requests)
@@ -580,11 +592,148 @@ class _KeepAliveClient:
         self._conn.close()
 
 
+def _post_repeated(
+    base: str, client: _KeepAliveClient, body: bytes, content_type: str,
+    repeat: int, concurrency: int,
+) -> tuple:
+    """POST one pre-encoded ``/ingest`` body ``repeat`` times.
+
+    The load-generation core shared by every ``ppdm ingest --url`` wire:
+    the body is encoded once by the caller and re-sent as-is, so a
+    ``--repeat`` run measures wire + server cost, not client
+    re-serialization.  Returns ``(replies, elapsed_seconds)``.
+    """
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    def drive(client_, n_requests):
+        return [
+            client_.post("/ingest", body, content_type)
+            for _ in range(n_requests)
+        ]
+
+    n_workers = min(concurrency, repeat)
+    start = time.perf_counter()
+    if n_workers == 1:
+        replies = drive(client, repeat)
+    else:
+        shares = [
+            repeat // n_workers + (1 if w < repeat % n_workers else 0)
+            for w in range(n_workers)
+        ]
+
+        def worker(share):
+            extra = _KeepAliveClient(base)
+            try:
+                return drive(extra, share)
+            finally:
+                extra.close()
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            replies = [r for rs in pool.map(worker, shares) for r in rs]
+    return replies, time.perf_counter() - start
+
+
+def _ingest_baskets(args) -> int:
+    """``ppdm ingest --baskets``: MASK-randomize locally, POST v4 frames."""
+    import json
+
+    from repro.mining import RandomizedResponse, transactions_to_matrix
+    from repro.service.wire import CONTENT_TYPE_BASKETS, encode_baskets
+    from repro.utils.rng import ensure_rng
+
+    offending = [
+        flag
+        for flag, on in (
+            ("--attribute", args.attribute is not None),
+            ("--class-label", args.class_label is not None),
+            ("--estimate", args.estimate),
+            ("--snapshot", args.snapshot is not None),
+            ("--wire columns", args.wire == "columns"),
+        )
+        if on
+    ]
+    if offending:
+        raise ReproError(
+            f"{', '.join(offending)} cannot be combined with --baskets: "
+            "basket ingestion speaks the v4 basket wire to a running "
+            "server's mining tier, not the attribute shards"
+        )
+    if args.url is None:
+        raise ReproError(
+            "--baskets needs --url (a server started with a \"mining\" "
+            "spec section); basket counters are not snapshot state"
+        )
+    if args.concurrency < 1 or args.repeat < 1:
+        raise ReproError("--concurrency and --repeat must be >= 1")
+    path = Path(args.values)
+    if not path.is_file():
+        raise ReproError(f"values file {str(path)!r} does not exist")
+    try:
+        transactions = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"values file {str(path)!r}: {exc}") from exc
+    if not isinstance(transactions, list):
+        raise ReproError(
+            f"values file {str(path)!r} must hold a JSON list of "
+            "transactions (each a list of item ids)"
+        )
+
+    base = args.url.rstrip("/")
+    client = _KeepAliveClient(base)
+    try:
+        mining = client.get("/stats").get("mining")
+        if mining is None:
+            raise ReproError(
+                "the server was started without mining; add a \"mining\" "
+                "section to the serve spec"
+            )
+        n_items = int(mining["n_items"])
+        keep_prob = float(mining["keep_prob"])
+        if args.mask_p is not None and abs(args.mask_p - keep_prob) > 1e-12:
+            raise ReproError(
+                f"--mask-p {args.mask_p:g} does not match the server's "
+                f"keep_prob {keep_prob:g}; the server inverts the MASK "
+                "channel it was configured with"
+            )
+        matrix = transactions_to_matrix(transactions, n_items)
+        if args.already_randomized:
+            disclosed = matrix
+        else:
+            response = RandomizedResponse(keep_prob=keep_prob)
+            disclosed = response.randomize(matrix, seed=ensure_rng(args.seed))
+        body = encode_baskets(disclosed, shard=args.shard)
+        replies, elapsed = _post_repeated(
+            base, client, body, CONTENT_TYPE_BASKETS,
+            args.repeat, args.concurrency,
+        )
+        ingested = sum(reply["ingested"] for reply in replies)
+        baskets = max(reply["baskets"] for reply in replies)
+        print(
+            f"ingested {ingested} randomized basket(s) over {n_items} "
+            f"item(s) in {len(replies)} request(s); server now holds "
+            f"{baskets} total"
+        )
+        if args.repeat > 1:
+            rate = ingested / max(elapsed, 1e-9)
+            print(
+                f"load run: {args.concurrency} connection(s), "
+                f"{elapsed:.3f} s, {rate:,.0f} baskets/s"
+            )
+    finally:
+        client.close()
+    return 0
+
+
 def _cmd_ingest(args) -> int:
     import json
 
     from repro.utils.rng import ensure_rng
 
+    if args.mask_p is not None and not args.baskets:
+        raise ReproError("--mask-p only applies to --baskets ingestion")
+    if args.baskets:
+        return _ingest_baskets(args)
     if (args.url is None) == (args.snapshot is None):
         raise ReproError("ingest needs exactly one of --url or --snapshot")
     if args.url is None and (
@@ -675,9 +824,6 @@ def _cmd_ingest(args) -> int:
 
     # --url: act as a randomizing client pool against a running server,
     # over persistent keep-alive connections (one per worker)
-    import time
-    from concurrent.futures import ThreadPoolExecutor
-
     from repro.core.privacy import noise_for_privacy
     from repro.service.wire import CONTENT_TYPE_COLUMNS, encode_columns
 
@@ -721,32 +867,9 @@ def _cmd_ingest(args) -> int:
             body = json.dumps(payload).encode()
             content_type = "application/json"
 
-        def drive(client_, n_requests):
-            return [
-                client_.post("/ingest", body, content_type)
-                for _ in range(n_requests)
-            ]
-
-        n_workers = min(args.concurrency, args.repeat)
-        start = time.perf_counter()
-        if n_workers == 1:
-            replies = drive(client, args.repeat)
-        else:
-            shares = [
-                args.repeat // n_workers + (1 if w < args.repeat % n_workers else 0)
-                for w in range(n_workers)
-            ]
-
-            def worker(share):
-                extra = _KeepAliveClient(base)
-                try:
-                    return drive(extra, share)
-                finally:
-                    extra.close()
-
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                replies = [r for rs in pool.map(worker, shares) for r in rs]
-        elapsed = time.perf_counter() - start
+        replies, elapsed = _post_repeated(
+            base, client, body, content_type, args.repeat, args.concurrency
+        )
 
         ingested = sum(reply["ingested"] for reply in replies)
         records = max(reply["records"] for reply in replies)
@@ -817,6 +940,62 @@ def _cmd_train(args) -> int:
             if args.show_tree:
                 model = serialize.from_jsonable(payload)
                 print(model.tree.export_text())
+    finally:
+        client.close()
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    import json
+
+    from repro import serialize
+
+    client = _KeepAliveClient(args.url.rstrip("/"))
+    try:
+        summary = client.post(
+            "/mine",
+            json.dumps({
+                "min_support": args.min_support,
+                "min_confidence": args.min_confidence,
+            }).encode(),
+        )
+        print(
+            f"mined {summary['n_itemsets']} frequent itemset(s) and "
+            f"{summary['n_rules']} rule(s) from {summary['n_baskets']} "
+            f"randomized basket(s) in {summary['mine_seconds']:.3f} s "
+            f"(support >= {summary['min_support']:g}, "
+            f"confidence >= {summary['min_confidence']:g})"
+        )
+        if args.save or args.show_rules:
+            # the serialized rule set can be large; only fetch when used
+            payload = client.get("/rules")
+            if args.save:
+                path = Path(args.save)
+                path.write_text(json.dumps(payload))
+                print(f"rules saved to {path}")
+            if args.show_rules:
+                result = serialize.from_jsonable(payload)
+                rows = [
+                    (
+                        "{%s}" % ", ".join(map(str, sorted(rule.antecedent))),
+                        "{%s}" % ", ".join(map(str, sorted(rule.consequent))),
+                        f"{rule.support:.4f}",
+                        f"{rule.confidence:.4f}",
+                        f"{rule.lift:.3f}",
+                    )
+                    for rule in result.rules
+                ]
+                print(
+                    format_table(
+                        ("antecedent", "consequent", "support",
+                         "confidence", "lift"),
+                        rows,
+                        title=(
+                            f"{len(rows)} association rule(s) over "
+                            f"{result.n_baskets} basket(s)"
+                        ),
+                    )
+                )
     finally:
         client.close()
     return 0
@@ -1035,6 +1214,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimate", action="store_true",
         help="print the attribute's reconstructed distribution afterwards",
     )
+    p.add_argument(
+        "--baskets", action="store_true",
+        help="values file is a JSON list of transactions (item-id lists): "
+        "MASK-randomize locally and POST v4 basket frames to a "
+        "mining-enabled server (--url mode only)",
+    )
+    p.add_argument(
+        "--mask-p", type=float, default=None,
+        help="expected MASK keep probability; must match the server's "
+        "mining keep_prob (--baskets only; default: ask the server)",
+    )
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser(
@@ -1057,6 +1247,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the trained tree's split structure",
     )
     p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser(
+        "mine", help="mine association rules on a running server"
+    )
+    p.add_argument(
+        "--url", required=True,
+        help='running server with mining enabled (a "mining" spec section)',
+    )
+    p.add_argument(
+        "--min-support", type=float, default=0.2,
+        help="minimum estimated support in (0, 1] (default: 0.2)",
+    )
+    p.add_argument(
+        "--min-confidence", type=float, default=0.5,
+        help="minimum rule confidence in (0, 1] (default: 0.5)",
+    )
+    p.add_argument(
+        "--save", type=Path, default=None,
+        help="write the mined_rules snapshot (GET /rules payload) here",
+    )
+    p.add_argument(
+        "--show-rules", action="store_true",
+        help="print the mined rules as a table",
+    )
+    p.set_defaults(func=_cmd_mine)
 
     p = sub.add_parser("quest-info", help="describe the Quest workload")
     p.add_argument("--function", type=int, default=1)

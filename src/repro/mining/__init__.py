@@ -14,15 +14,32 @@ recovery):
   frequent itemsets for evaluation.
 """
 
-from repro.mining.apriori import AssociationRule, association_rules, frequent_itemsets
-from repro.mining.baskets import generate_baskets
-from repro.mining.mask import MaskMiner, RandomizedResponse
+from repro.mining.apriori import (
+    AssociationRule,
+    association_rules,
+    candidate_itemsets,
+    frequent_itemsets,
+)
+from repro.mining.baskets import (
+    generate_baskets,
+    matrix_to_transactions,
+    transactions_to_matrix,
+)
+from repro.mining.mask import (
+    MaskMiner,
+    RandomizedResponse,
+    support_from_pattern_counts,
+)
 
 __all__ = [
     "frequent_itemsets",
     "association_rules",
+    "candidate_itemsets",
     "AssociationRule",
     "RandomizedResponse",
     "MaskMiner",
+    "support_from_pattern_counts",
     "generate_baskets",
+    "transactions_to_matrix",
+    "matrix_to_transactions",
 ]

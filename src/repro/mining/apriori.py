@@ -39,8 +39,23 @@ def support(baskets, itemset) -> float:
     return float(matrix[:, items].all(axis=1).mean())
 
 
-def _candidates(previous: set, size: int) -> set:
-    """Level-wise candidate generation with the Apriori pruning rule."""
+def candidate_itemsets(previous: set, size: int) -> set:
+    """Level-wise candidate generation with the Apriori pruning rule.
+
+    Given the frequent itemsets of size ``size - 1``, return every
+    ``size``-itemset all of whose ``(size - 1)``-subsets are frequent —
+    the only itemsets downward closure allows to be frequent.  Shared by
+    the offline miners and the service-side
+    :class:`~repro.service.MiningService`, so every mining path walks
+    the identical candidate lattice.
+
+    Examples
+    --------
+    >>> from repro.mining.apriori import candidate_itemsets
+    >>> previous = {frozenset({0, 1}), frozenset({0, 2}), frozenset({1, 2})}
+    >>> candidate_itemsets(previous, 3)
+    {frozenset({0, 1, 2})}
+    """
     items = sorted({item for itemset in previous for item in itemset})
     candidates = set()
     for combo in combinations(items, size):
@@ -95,7 +110,7 @@ def frequent_itemsets(baskets, min_support: float, *, max_size=None) -> dict:
         if size > limit:
             break
         next_level: dict = {}
-        for candidate in _candidates(set(current), size):
+        for candidate in candidate_itemsets(set(current), size):
             s = float(matrix[:, sorted(candidate)].all(axis=1).mean())
             if s >= min_support:
                 next_level[candidate] = s

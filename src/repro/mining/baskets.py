@@ -62,3 +62,59 @@ def generate_baskets(
         hit = rng.random(n) < probability
         matrix[np.ix_(hit, items)] = True
     return matrix
+
+
+def transactions_to_matrix(transactions, n_items: int) -> np.ndarray:
+    """Build an ``(n, n_items)`` boolean matrix from item-id lists.
+
+    The inverse of :func:`matrix_to_transactions` and the shape bridge
+    between transaction files (one list of item ids per basket — what
+    ``ppdm ingest --baskets`` reads) and the boolean matrices the mining
+    stack and the basket wire operate on.  Duplicate ids within one
+    transaction are tolerated (a basket either contains an item or not).
+
+    Examples
+    --------
+    >>> from repro.mining.baskets import transactions_to_matrix
+    >>> transactions_to_matrix([[0, 2], []], 3).tolist()
+    [[True, False, True], [False, False, False]]
+    """
+    if n_items < 1:
+        raise ValidationError(f"need n_items >= 1, got {n_items}")
+    transactions = list(transactions)
+    if not transactions:
+        raise ValidationError("need at least one transaction")
+    matrix = np.zeros((len(transactions), int(n_items)), dtype=bool)
+    for i, transaction in enumerate(transactions):
+        for item in transaction:
+            if not isinstance(item, (int, np.integer)) or isinstance(item, bool):
+                raise ValidationError(
+                    f"transaction {i}: item ids must be integers, "
+                    f"got {item!r}"
+                )
+            if not 0 <= item < n_items:
+                raise ValidationError(
+                    f"transaction {i}: item {item} out of range for "
+                    f"{n_items} items"
+                )
+            matrix[i, item] = True
+    return matrix
+
+
+def matrix_to_transactions(matrix) -> list:
+    """List the sorted item ids of each row of a boolean basket matrix.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mining.baskets import matrix_to_transactions
+    >>> matrix_to_transactions(np.array([[True, False, True]]))
+    [[0, 2]]
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.dtype != np.bool_:
+        raise ValidationError(
+            f"need a 2-D boolean matrix, got shape {arr.shape}, "
+            f"dtype {arr.dtype}"
+        )
+    return [[int(j) for j in np.nonzero(row)[0]] for row in arr]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.mining.apriori import _candidates, _check_matrix
+from repro.mining.apriori import _check_matrix, candidate_itemsets
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_fraction
 
@@ -62,6 +62,46 @@ class RandomizedResponse:
         prior is uniform — 0.5 means full deniability, 0 means none.
         """
         return 1.0 - self.keep_prob
+
+
+def support_from_pattern_counts(
+    response: RandomizedResponse, observed, n_rows: int
+) -> float:
+    """Channel-invert observed bit-pattern counts into a support estimate.
+
+    ``observed`` holds the ``2^k`` MSB-first pattern counts of an itemset
+    over ``n_rows`` randomized baskets (what
+    :meth:`MaskMiner.estimate_support` tallies, and what the service's
+    :class:`~repro.service.SupportShardSet` accumulates shard by shard).
+    The estimator solves ``(M ⊗ ... ⊗ M) t = observed`` and reads the
+    all-ones pattern — identical arithmetic wherever the counts came
+    from, so offline and service-side estimates agree bit for bit.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mining.mask import RandomizedResponse, support_from_pattern_counts
+    >>> rr = RandomizedResponse(keep_prob=1.0)  # identity channel
+    >>> support_from_pattern_counts(rr, np.array([6.0, 2.0]), 8)
+    0.25
+    """
+    counts = np.asarray(observed, dtype=float)
+    if counts.ndim != 1 or counts.size < 2 or counts.size & (counts.size - 1):
+        raise ValidationError(
+            "observed pattern counts must be a 1-D vector of length 2^k "
+            f"with k >= 1, got shape {counts.shape}"
+        )
+    if n_rows < 1:
+        raise ValidationError(f"n_rows must be >= 1, got {n_rows}")
+    k = counts.size.bit_length() - 1
+    channel = response.channel
+    kron = np.array([[1.0]])
+    for _ in range(k):
+        kron = np.kron(kron, channel)
+    true_counts = np.linalg.solve(kron, counts)
+    # all-ones pattern is the last index (bit order is MSB-first)
+    estimate = true_counts[-1] / n_rows
+    return float(np.clip(estimate, 0.0, 1.0))
 
 
 class MaskMiner:
@@ -121,14 +161,7 @@ class MaskMiner:
                 f"itemset size {len(items)} exceeds max_size={self.max_size}"
             )
         observed = self._pattern_counts(matrix, items)
-        channel = self.response.channel
-        kron = np.array([[1.0]])
-        for _ in items:
-            kron = np.kron(kron, channel)
-        true_counts = np.linalg.solve(kron, observed)
-        # all-ones pattern is the last index (bit order is MSB-first)
-        estimate = true_counts[-1] / matrix.shape[0]
-        return float(np.clip(estimate, 0.0, 1.0))
+        return support_from_pattern_counts(self.response, observed, matrix.shape[0])
 
     def frequent_itemsets(self, randomized_baskets, min_support: float) -> dict:
         """Level-wise Apriori over *estimated* supports.
@@ -153,7 +186,7 @@ class MaskMiner:
             if size > self.max_size:
                 break
             next_level: dict = {}
-            for candidate in _candidates(set(current), size):
+            for candidate in candidate_itemsets(set(current), size):
                 estimate = self.estimate_support(matrix, candidate)
                 if estimate >= min_support:
                     next_level[candidate] = estimate

@@ -14,6 +14,8 @@ plain JSON-able dicts:
   snapshot/restore path)
 * :class:`~repro.service.training.TrainedModel` (kind
   ``"trained_tree"`` — a service-trained tree plus its provenance)
+* :class:`~repro.service.mining.MinedRules` (kind ``"mined_rules"`` —
+  a service-mined association-rule set plus its provenance)
 
 Use :func:`to_jsonable` / :func:`from_jsonable` for in-memory dicts and
 :func:`save` / :func:`load` for files.
@@ -71,6 +73,13 @@ def _is_trained_model(obj) -> bool:
     from repro.service.training import TrainedModel
 
     return isinstance(obj, TrainedModel)
+
+
+def _is_mined_rules(obj) -> bool:
+    """Imported lazily: the mining tier snapshots *through* this module."""
+    from repro.service.mining import MinedRules
+
+    return isinstance(obj, MinedRules)
 
 
 def _node_to_dict(node: TreeNode) -> dict:
@@ -149,6 +158,34 @@ def to_jsonable(obj) -> dict:
             "classes": obj.classes,
             "fit_seconds": obj.fit_seconds,
             "tree": to_jsonable(obj.tree),
+        }
+    if _is_mined_rules(obj):
+        return {
+            "kind": "mined_rules",
+            "version": FORMAT_VERSION,
+            "min_support": obj.min_support,
+            "min_confidence": obj.min_confidence,
+            "n_baskets": obj.n_baskets,
+            "n_items": obj.n_items,
+            "keep_prob": obj.keep_prob,
+            "max_size": obj.max_size,
+            "mine_seconds": obj.mine_seconds,
+            "itemsets": [
+                [sorted(itemset), support]
+                for itemset, support in sorted(
+                    obj.itemsets.items(), key=lambda kv: sorted(kv[0])
+                )
+            ],
+            "rules": [
+                {
+                    "antecedent": sorted(rule.antecedent),
+                    "consequent": sorted(rule.consequent),
+                    "support": rule.support,
+                    "confidence": rule.confidence,
+                    "lift": rule.lift,
+                }
+                for rule in obj.rules
+            ],
         }
     if isinstance(obj, NaiveBayesClassifier):
         if obj.log_priors_ is None:
@@ -258,6 +295,42 @@ def _dispatch_jsonable(payload: dict, kind):
                 "disagrees with the embedded tree"
             )
         return model
+    if kind == "mined_rules":
+        from repro.mining.apriori import AssociationRule
+        from repro.service.mining import MinedRules
+
+        itemsets = {}
+        for entry in payload["itemsets"]:
+            items, itemset_support = entry
+            itemsets[frozenset(int(i) for i in items)] = float(itemset_support)
+        rules = tuple(
+            AssociationRule(
+                antecedent=frozenset(int(i) for i in rule["antecedent"]),
+                consequent=frozenset(int(i) for i in rule["consequent"]),
+                support=float(rule["support"]),
+                confidence=float(rule["confidence"]),
+                lift=float(rule["lift"]),
+            )
+            for rule in payload["rules"]
+        )
+        result = MinedRules(
+            min_support=float(payload["min_support"]),
+            min_confidence=float(payload["min_confidence"]),
+            n_baskets=int(payload["n_baskets"]),
+            n_items=int(payload["n_items"]),
+            keep_prob=float(payload["keep_prob"]),
+            max_size=int(payload["max_size"]),
+            itemsets=itemsets,
+            rules=rules,
+            mine_seconds=float(payload["mine_seconds"]),
+        )
+        for itemset in result.itemsets:
+            if any(not 0 <= item < result.n_items for item in itemset):
+                raise SerializationError(
+                    f"mined_rules snapshot holds itemset {sorted(itemset)} "
+                    f"outside its declared universe of {result.n_items} items"
+                )
+        return result
     if kind == "naive_bayes":
         partitions = [
             Partition(np.asarray(edges, dtype=float))

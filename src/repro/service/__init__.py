@@ -22,10 +22,21 @@ that server's aggregation tier:
 * :mod:`repro.service.httpd` — a stdlib HTTP front end behind
   ``ppdm serve``, negotiating JSON / NDJSON / columnar ingest bodies
   per Content-Type over keep-alive connections,
-* :mod:`repro.service.training` — :class:`TrainingService`: the mining
-  tier, growing the paper's Global/ByClass/Local decision trees
-  directly from the service-held class-conditional aggregates
+* :mod:`repro.service.training` — :class:`TrainingService`: the
+  training tier, growing the paper's Global/ByClass/Local decision
+  trees directly from the service-held class-conditional aggregates
   (``POST /train`` / ``GET /model`` / ``ppdm train``),
+* :mod:`repro.service.support` — :class:`SupportShard` /
+  :class:`SupportShardSet`: the mining workload's accumulators — joint
+  bit-pattern counts of MASK-randomized baskets with the same
+  stripe/lock/merge machinery as the histogram shards, marginalizable
+  to any itemset's observed pattern counts bit-identically at any
+  shard count,
+* :mod:`repro.service.mining` — :class:`MiningService`: level-wise
+  MASK Apriori over the service-held pattern counts, bit-identical to
+  the offline :class:`~repro.mining.MaskMiner` pipeline
+  (``POST /mine`` / ``GET /rules`` / ``ppdm mine``), with rule sets
+  snapshotting as ``mined_rules`` (:class:`MinedRules`),
 * :mod:`repro.service.cluster` — the multi-node tier behind
   ``ppdm serve --workers N``: worker processes ingest independently and
   ship cumulative merged partials upstream as version 3 wire frames
@@ -48,6 +59,7 @@ from repro.service.cluster import (
     export_sync_body,
 )
 from repro.service.httpd import ServiceHTTPServer
+from repro.service.mining import MinedRules, MiningService, mining_from_spec
 from repro.service.service import AggregationService, service_from_spec
 from repro.service.shards import (
     AttributeSpec,
@@ -56,13 +68,21 @@ from repro.service.shards import (
     PreparedBatch,
     ShardSet,
 )
+from repro.service.support import (
+    PreparedBaskets,
+    SupportShard,
+    SupportShardSet,
+)
 from repro.service.training import TrainedModel, TrainingService
 from repro.service.wire import (
+    decode_baskets,
     decode_columns,
     decode_labeled,
     decode_partial,
+    encode_baskets,
     encode_columns,
     encode_partial,
+    iter_basket_frames,
     iter_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
@@ -75,19 +95,28 @@ __all__ = [
     "ClusterCoordinator",
     "ColumnLayout",
     "HistogramShard",
+    "MinedRules",
+    "MiningService",
     "PartialShipper",
+    "PreparedBaskets",
     "PreparedBatch",
     "ShardSet",
     "ServiceHTTPServer",
+    "SupportShard",
+    "SupportShardSet",
     "TrainedModel",
     "TrainingService",
     "export_sync_body",
+    "mining_from_spec",
     "service_from_spec",
+    "decode_baskets",
     "decode_columns",
     "decode_labeled",
     "decode_partial",
+    "encode_baskets",
     "encode_columns",
     "encode_partial",
+    "iter_basket_frames",
     "iter_frames",
     "iter_labeled_frames",
     "iter_labeled_ndjson",

@@ -16,7 +16,10 @@ by the service itself.
 * ``application/x-ndjson`` — many such objects, one per line,
 * ``application/x-ppdm-columns`` — concatenated binary columnar frames
   (:mod:`repro.service.wire`), the zero-copy bulk fast path; version 2
-  frames carry an optional class column.
+  frames carry an optional class column,
+* ``application/x-ppdm-baskets`` — concatenated version 4 basket frames
+  (MASK-randomized transactions as varint item-id lists), routed to the
+  mining tier when the server was started with ``mining=``.
 
 Endpoints (responses are JSON unless noted):
 
@@ -33,7 +36,11 @@ Endpoints (responses are JSON unless noted):
                            binary sync body (``?rows=1`` appends the
                            labeled row buffer; cluster pull path)
 ``GET /cluster``           worker registry + staleness (coordinator only)
+``GET /rules``             last mined rule set (``mined_rules`` snapshot
+                           payload)
 ``POST /ingest``           one or many batches, wire format per Content-Type
+``POST /mine``             run level-wise Apriori over the service-held
+                           support counts (thresholds in the JSON body)
 ``POST /train``            grow a decision tree from the aggregates
 ``POST /snapshot``         persist to the configured snapshot path
 ``POST /register``         announce a worker to the coordinator
@@ -67,9 +74,11 @@ from repro.core.privacy import privacy_of_randomizer
 from repro.exceptions import ClusterError, ValidationError
 from repro.service.training import TRAINING_STRATEGIES
 from repro.service.wire import (
+    CONTENT_TYPE_BASKETS,
     CONTENT_TYPE_COLUMNS,
     CONTENT_TYPE_NDJSON,
     CONTENT_TYPE_PARTIAL,
+    iter_basket_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
 )
@@ -108,6 +117,12 @@ class ServiceHTTPServer:
         registration/push endpoints come alive, ``/estimate`` and
         ``/train`` pull registered workers first, ``/healthz`` reports
         per-worker staleness, and direct ``/ingest`` is refused.
+    mining:
+        Optional :class:`~repro.service.mining.MiningService`; enables
+        basket ingest bodies (``application/x-ppdm-baskets``),
+        ``POST /mine``, and ``GET /rules``.  ``None`` disables them
+        (400).  The mining tier holds its own support counters — basket
+        bodies never touch the histogram shards.
     max_body_bytes:
         Request bodies larger than this are refused with 413 before any
         byte is read (the connection closes — an unread body cannot be
@@ -116,12 +131,13 @@ class ServiceHTTPServer:
 
     def __init__(
         self, service, host: str = "127.0.0.1", port: int = 0, *,
-        snapshot_path=None, training=None, cluster=None,
+        snapshot_path=None, training=None, cluster=None, mining=None,
         max_body_bytes: int = _DEFAULT_MAX_BODY,
     ) -> None:
         self.service = service
         self.training = training
         self.cluster = cluster
+        self.mining = mining
         if training is not None and training.service is not service:
             raise ValidationError(
                 "the training service must wrap the served "
@@ -300,7 +316,26 @@ class ServiceHTTPServer:
                 }
             if self.training is not None:
                 payload["training_records"] = self.training.n_buffered
+            if self.mining is not None:
+                payload["mining"] = {
+                    "n_items": self.mining.n_items,
+                    "keep_prob": self.mining.response.keep_prob,
+                    "max_size": self.mining.max_size,
+                    "n_shards": len(self.mining.shards),
+                    "baskets": self.mining.n_seen,
+                }
             return 200, payload
+        if path == "/rules":
+            if self.mining is None:
+                return 400, {"error": "server started without mining"}
+            result = self.mining.latest()
+            if result is None:
+                return 404, {
+                    "error": "no mined rules yet: POST /mine first"
+                }
+            from repro.serialize import to_jsonable
+
+            return 200, to_jsonable(result)
         if path == "/model":
             if self.training is None:
                 return 400, {"error": "server started without training"}
@@ -390,6 +425,34 @@ class ServiceHTTPServer:
                 "depth": model.tree.depth,
                 "fit_seconds": model.fit_seconds,
             }
+        if path == "/mine":
+            if self.mining is None:
+                return 400, {
+                    "error": "server started without mining; restart "
+                    "ppdm serve with a mining section in the spec"
+                }
+            payload = payload if isinstance(payload, dict) else {}
+            min_support = payload.get("min_support")
+            min_confidence = payload.get("min_confidence")
+            for name, value in (
+                ("min_support", min_support),
+                ("min_confidence", min_confidence),
+            ):
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    return 400, {
+                        "error": f"'{name}' must be a number in (0, 1]"
+                    }
+            result = self.mining.mine(float(min_support), float(min_confidence))
+            return 200, {
+                "min_support": result.min_support,
+                "min_confidence": result.min_confidence,
+                "n_baskets": result.n_baskets,
+                "n_itemsets": len(result.itemsets),
+                "n_rules": len(result.rules),
+                "mine_seconds": result.mine_seconds,
+            }
         if path == "/register":
             if self.cluster is None:
                 return 400, {
@@ -469,6 +532,47 @@ class ServiceHTTPServer:
             "ingested": ingested,
             "frames": n_frames,
             "records": sum(self.service.n_seen().values()),
+        }
+
+    def handle_ingest_baskets(self, frames) -> tuple:
+        """Ingest decoded basket ``(matrix, shard)`` frames (wire v4).
+
+        Same all-or-nothing contract as :meth:`_absorb_frames`: every
+        frame is validated against the mining universe and packed into
+        codes (pure, lock-free) before the first one is accumulated, so
+        a 400 means the mining counters absorbed nothing from the body.
+        """
+        if self.cluster is not None:
+            return 400, {
+                "error": "the coordinator does not ingest; POST /ingest "
+                "to a worker (GET /cluster lists them)"
+            }
+        if self.mining is None:
+            return 400, {
+                "error": "server started without mining; restart ppdm "
+                "serve with a mining section in the spec"
+            }
+        mining = self.mining
+        n_shards = len(mining.shards)
+        prepared_frames = []
+        for matrix, shard in frames:
+            if shard is not None and not 0 <= shard < n_shards:
+                raise ValidationError(
+                    f"shard index {shard} out of range [0, {n_shards})"
+                )
+            if matrix.shape[1] != mining.n_items:
+                raise ValidationError(
+                    f"basket frame declares {matrix.shape[1]} items; this "
+                    f"server mines a universe of {mining.n_items}"
+                )
+            prepared_frames.append((mining.prepare(matrix), shard))
+        ingested = 0
+        for prepared, shard in prepared_frames:
+            ingested += mining.ingest_prepared(prepared, shard=shard)
+        return 200, {
+            "ingested": ingested,
+            "frames": len(prepared_frames),
+            "baskets": mining.n_seen,
         }
 
 
@@ -579,7 +683,11 @@ def _make_handler(server: ServiceHTTPServer):
             path = parsed.path
             ctype = self._content_type()
             try:
-                if path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
+                if path == "/ingest" and ctype == CONTENT_TYPE_BASKETS:
+                    status, out = server.handle_ingest_baskets(
+                        iter_basket_frames(raw)
+                    )
+                elif path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
                     status, out = server.handle_ingest_frames(
                         iter_labeled_frames(raw)
                     )

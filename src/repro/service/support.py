@@ -1,0 +1,415 @@
+"""Sharded pattern-count accumulators for association mining.
+
+The mining analogue of :mod:`repro.service.shards`: where histogram
+shards accumulate per-interval counts of randomized *numeric*
+disclosures, a :class:`SupportShard` accumulates the joint bit-pattern
+counts of randomized *baskets*.  Each ingested transaction is folded
+into one counter — the count of its full ``n_items``-bit row pattern
+(MSB-first, item 0 in the top bit) — so a shard holds ``2^n_items``
+counters however long the stream runs.
+
+That full pattern table is the exact sufficient statistic for MASK
+support estimation over **any** itemset: the ``2^k`` observed pattern
+counts of an itemset are marginal sums of the full table, and because
+pattern counts are integers held in float64, marginalizing merged
+shards is bit-identical to tallying the whole stream in one pass
+(integer sums in float64 are exact in any order).  Level-wise Apriori
+can therefore discover candidates *after* ingestion — the service never
+needs to know the itemsets in advance — and estimates agree bit for bit
+with the offline :class:`~repro.mining.MaskMiner` at any shard count.
+
+Concurrency follows :class:`~repro.service.shards.HistogramShard`
+exactly: locating a batch (packing rows into pattern codes) is pure and
+happens outside every lock; the accumulate lands in the calling
+thread's private *stripe* under its uncontended stripe lock; readers
+merge the stripes.  Merges are associative and commutative — shards are
+just partial sums.
+
+The ``2^n_items`` table is why :data:`MAX_TRACKED_ITEMS` caps the item
+universe at 16 (65536 float64 counters = 512 KiB per stripe); wider
+catalogues need the offline miner or an item-bucketing front end.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "MAX_TRACKED_ITEMS",
+    "PreparedBaskets",
+    "SupportShard",
+    "SupportShardSet",
+    "marginal_pattern_counts",
+]
+
+#: widest item universe a pattern-complete shard will track (2^16 counters)
+MAX_TRACKED_ITEMS = 16
+
+
+def _check_n_items(n_items: int) -> int:
+    if not isinstance(n_items, (int, np.integer)) or isinstance(n_items, bool):
+        raise ValidationError(
+            f"n_items must be an integer, got {type(n_items).__name__}"
+        )
+    if not 1 <= n_items <= MAX_TRACKED_ITEMS:
+        raise ValidationError(
+            f"a support shard tracks 1..{MAX_TRACKED_ITEMS} items "
+            f"(2^n_items counters), got {n_items}"
+        )
+    return int(n_items)
+
+
+def _check_basket_matrix(baskets: object, n_items: int) -> np.ndarray:
+    matrix = np.asarray(baskets)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"baskets must be a 2-D boolean matrix, got shape {matrix.shape}"
+        )
+    if matrix.dtype != np.bool_:
+        raise ValidationError(
+            f"baskets must be a boolean matrix, got dtype {matrix.dtype}"
+        )
+    if matrix.shape[1] != n_items:
+        raise ValidationError(
+            f"baskets have {matrix.shape[1]} item column(s); this shard "
+            f"tracks {n_items}"
+        )
+    return matrix
+
+
+def marginal_pattern_counts(full, n_items: int, itemset) -> np.ndarray:
+    """Marginalize a full ``2^n_items`` pattern table onto one itemset.
+
+    Returns the itemset's ``2^k`` observed pattern counts, MSB-first
+    (items sorted ascending, first item in the top bit) — exactly the
+    tally :meth:`repro.mining.MaskMiner.estimate_support` computes from
+    a basket matrix, because marginal sums of integer counts held in
+    float64 are exact in any order.  Shared by
+    :meth:`SupportShardSet.pattern_counts_for` and the
+    :class:`~repro.service.MiningService`'s level-wise miner (which
+    marginalizes one consistent snapshot of the merged table).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.support import marginal_pattern_counts
+    >>> full = np.array([1.0, 0.0, 2.0, 3.0])  # patterns 00, 01, 10, 11
+    >>> marginal_pattern_counts(full, 2, {0}).tolist()
+    [1.0, 5.0]
+    """
+    n_items = _check_n_items(n_items)
+    counts = np.asarray(full, dtype=float)
+    if counts.shape != (1 << n_items,):
+        raise ValidationError(
+            f"full pattern table for {n_items} item(s) must have "
+            f"{1 << n_items} entries, got shape {counts.shape}"
+        )
+    items = sorted(itemset)
+    k = len(items)
+    if k < 1:
+        raise ValidationError("pattern counts need a non-empty itemset")
+    if len(set(items)) != k:
+        raise ValidationError(f"itemset {items} repeats an item")
+    for item in items:
+        if not isinstance(item, (int, np.integer)) or isinstance(item, bool):
+            raise ValidationError(f"item ids must be integers, got {item!r}")
+        if not 0 <= item < n_items:
+            raise ValidationError(
+                f"itemset {items} out of range for {n_items} items"
+            )
+    patterns = np.arange(counts.size, dtype=np.int64)
+    projected = np.zeros_like(patterns)
+    for bit, item in enumerate(items):
+        projected |= ((patterns >> (n_items - 1 - item)) & 1) << (k - 1 - bit)
+    return np.bincount(projected, weights=counts, minlength=1 << k)
+
+
+class PreparedBaskets:
+    """A basket batch located into full-row pattern codes (pure stage).
+
+    The mining twin of :class:`~repro.service.shards.PreparedBatch`:
+    ``codes`` holds one MSB-first ``n_items``-bit integer per
+    transaction, ready for the fused ``np.bincount`` accumulate.  Built
+    outside every lock by :meth:`SupportShard.prepare`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service import SupportShard
+    >>> shard = SupportShard(2)
+    >>> prepared = shard.prepare(np.array([[True, True], [False, True]]))
+    >>> prepared.codes.tolist()  # MSB-first row patterns: 0b11, 0b01
+    [3, 1]
+    >>> shard.ingest_prepared(prepared)
+    2
+    """
+
+    __slots__ = ("n_items", "codes", "total")
+
+    def __init__(self, n_items: int, codes: np.ndarray, total: int) -> None:
+        self.n_items = n_items
+        self.codes = codes
+        self.total = total
+
+
+class _SupportStripe:
+    """One writer thread's private pattern-count accumulator."""
+
+    __slots__ = ("counts", "seen", "lock")
+
+    def __init__(self, n_patterns: int) -> None:
+        self.counts = np.zeros(n_patterns)
+        self.seen = 0
+        # owned by one writer thread, so acquiring it on the hot path
+        # never contends; readers take it briefly while merging stripes
+        self.lock = threading.Lock()
+
+
+class SupportShard:
+    """One worker's running pattern counts over randomized baskets.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.support import SupportShard
+    >>> shard = SupportShard(2)
+    >>> shard.ingest(np.array([[True, True], [True, False], [True, True]]))
+    3
+    >>> shard.pattern_counts().tolist()  # patterns 00, 01, 10, 11
+    [0.0, 0.0, 1.0, 2.0]
+    """
+
+    def __init__(self, n_items: int) -> None:
+        self._n_items = _check_n_items(n_items)
+        self._stripes: dict = {}
+        self._stripes_lock = threading.Lock()
+
+    @property
+    def n_items(self) -> int:
+        """Size of the item universe this shard tracks patterns over."""
+        return self._n_items
+
+    def _stripe(self) -> _SupportStripe:
+        """The calling thread's stripe, created on first use."""
+        ident = threading.get_ident()
+        stripe = self._stripes.get(ident)
+        if stripe is None:
+            with self._stripes_lock:
+                stripe = self._stripes.get(ident)
+                if stripe is None:
+                    stripe = _SupportStripe(1 << self._n_items)
+                    self._stripes[ident] = stripe
+        return stripe
+
+    def _stripes_snapshot(self) -> tuple:
+        with self._stripes_lock:
+            return tuple(self._stripes.values())
+
+    def prepare(self, baskets: object) -> PreparedBaskets:
+        """Pack a basket batch into pattern codes, outside any lock."""
+        matrix = _check_basket_matrix(baskets, self._n_items)
+        codes = np.zeros(matrix.shape[0], dtype=np.int64)
+        for item in range(self._n_items):
+            codes |= matrix[:, item].astype(np.int64) << (
+                self._n_items - 1 - item
+            )
+        return PreparedBaskets(self._n_items, codes, matrix.shape[0])
+
+    def ingest(self, baskets: object) -> int:
+        """Absorb a boolean basket matrix; return transactions added."""
+        return self.ingest_prepared(self.prepare(baskets))
+
+    def ingest_prepared(self, prepared: PreparedBaskets) -> int:
+        """Absorb a :class:`PreparedBaskets`; return transactions added.
+
+        One fused ``np.bincount`` tallies the batch's patterns, then the
+        calling thread's stripe absorbs them under its (uncontended)
+        stripe lock, keeping each batch atomic with respect to readers.
+        """
+        if not isinstance(prepared, PreparedBaskets):
+            raise ValidationError(
+                "ingest_prepared() takes a PreparedBaskets (from prepare()); "
+                f"got {type(prepared).__name__}"
+            )
+        if prepared.n_items != self._n_items:
+            raise ValidationError(
+                f"prepared baskets were packed over {prepared.n_items} "
+                f"item(s); this shard tracks {self._n_items}"
+            )
+        if prepared.total == 0:
+            return 0
+        binned = np.bincount(prepared.codes, minlength=1 << self._n_items)
+        stripe = self._stripe()
+        with stripe.lock:
+            stripe.counts += binned
+            stripe.seen += prepared.total
+        return prepared.total
+
+    @property
+    def n_seen(self) -> int:
+        """Transactions absorbed so far."""
+        total = 0
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                total += stripe.seen
+        return total
+
+    def pattern_counts(self) -> np.ndarray:
+        """Merged ``2^n_items`` pattern counts (a copy) over the stripes."""
+        counts = np.zeros(1 << self._n_items)
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                counts += stripe.counts
+        return counts
+
+    def merge_from(self, other: "SupportShard") -> "SupportShard":
+        """Fold another shard's pattern counts into this one.
+
+        The merge is a vector sum, so it is associative, commutative,
+        and has the fresh shard as identity — shards are partial sums.
+        """
+        if not isinstance(other, SupportShard):
+            raise ValidationError(
+                f"can only merge SupportShard, got {type(other).__name__}"
+            )
+        if other._n_items != self._n_items:
+            raise ValidationError(
+                f"cannot merge shards over different item universes "
+                f"({other._n_items} vs {self._n_items})"
+            )
+        counts = other.pattern_counts()
+        seen = other.n_seen
+        stripe = self._stripe()
+        with stripe.lock:
+            stripe.counts += counts
+            stripe.seen += seen
+        return self
+
+    def clear(self) -> None:
+        """Zero all pattern counts."""
+        for stripe in self._stripes_snapshot():
+            with stripe.lock:
+                stripe.counts[:] = 0.0
+                stripe.seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SupportShard(n_items={self._n_items}, records={self.n_seen})"
+
+
+class SupportShardSet:
+    """A fixed number of :class:`SupportShard` over one item universe.
+
+    Writers either address a shard explicitly (``shard=i``) or let the
+    set route round-robin; either way the accumulate is contention-free
+    (striped per writer thread).  :meth:`merged_patterns` sums the
+    per-shard tables in O(shards x 2^n_items), and
+    :meth:`pattern_counts_for` marginalizes the merged table down to one
+    itemset's ``2^k`` observed counts — **bit-identical**, at any shard
+    count and batch interleaving, to tallying the whole stream at once,
+    because integer counts in float64 sum exactly in any order.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.support import SupportShardSet
+    >>> shards = SupportShardSet(3, n_shards=2)
+    >>> shards.ingest(np.array([[True, True, False]]), shard=0)
+    1
+    >>> shards.ingest(np.array([[True, False, False]]), shard=1)
+    1
+    >>> shards.pattern_counts_for((0,)).tolist()  # item 0: never, always
+    [0.0, 2.0]
+    >>> shards.n_seen
+    2
+    """
+
+    def __init__(self, n_items: int, n_shards: int = 1) -> None:
+        if not isinstance(n_shards, (int, np.integer)) or n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        self._n_items = _check_n_items(n_items)
+        self._shards = tuple(
+            SupportShard(self._n_items) for _ in range(int(n_shards))
+        )
+        self._route = 0
+        self._route_lock = threading.Lock()
+
+    @property
+    def n_items(self) -> int:
+        """Size of the shared item universe."""
+        return self._n_items
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard(self, index: int) -> SupportShard:
+        """The ``index``-th shard (for one-worker-per-shard deployments)."""
+        if not 0 <= index < len(self._shards):
+            raise ValidationError(
+                f"shard index {index} out of range [0, {len(self._shards)})"
+            )
+        return self._shards[index]
+
+    def __iter__(self):
+        return iter(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def prepare(self, baskets: object) -> PreparedBaskets:
+        """Pack a basket batch into pattern codes, outside any lock."""
+        return self._shards[0].prepare(baskets)
+
+    def ingest(self, baskets: object, *, shard: int | None = None) -> int:
+        """Route a basket batch to a shard (round-robin unless pinned)."""
+        return self.ingest_prepared(self.prepare(baskets), shard=shard)
+
+    def ingest_prepared(
+        self, prepared: PreparedBaskets, *, shard: int | None = None
+    ) -> int:
+        """Route a :class:`PreparedBaskets` to a shard and accumulate it."""
+        if shard is None:
+            with self._route_lock:
+                shard = self._route
+                self._route = (self._route + 1) % len(self._shards)
+        return self.shard(shard).ingest_prepared(prepared)
+
+    @property
+    def n_seen(self) -> int:
+        """Transactions absorbed across all shards."""
+        return sum(shard.n_seen for shard in self._shards)
+
+    def merged_patterns(self) -> np.ndarray:
+        """Merged full-pattern counts over every shard (a copy)."""
+        counts = np.zeros(1 << self._n_items)
+        for shard in self._shards:
+            counts += shard.pattern_counts()
+        return counts
+
+    def pattern_counts_for(self, itemset) -> np.ndarray:
+        """An itemset's ``2^k`` observed pattern counts, MSB-first.
+
+        Marginalizes the merged full-pattern table onto ``itemset`` via
+        :func:`marginal_pattern_counts` — exactly the tally
+        :meth:`repro.mining.MaskMiner.estimate_support` computes from a
+        basket matrix, ready for
+        :func:`repro.mining.support_from_pattern_counts`.
+        """
+        return marginal_pattern_counts(
+            self.merged_patterns(), self._n_items, itemset
+        )
+
+    def clear(self) -> None:
+        """Zero every shard."""
+        for shard in self._shards:
+            shard.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SupportShardSet(n_items={self._n_items}, "
+            f"n_shards={len(self._shards)}, records={self.n_seen})"
+        )

@@ -62,12 +62,44 @@ v2 record frames after the partial (:func:`split_partial`) — that is
 how a training worker ships its row buffer alongside its aggregates in
 one atomic push.
 
+Version 4 is the *basket* frame (``application/x-ppdm-baskets``): the
+association-mining workload's unit of ingest.  Market-basket data is
+sparse boolean, so columns of float64 would waste ~64x the bytes; a
+basket frame instead ships each transaction as a varint list of the
+item ids it contains, with a varint offset index up front so the frame
+is self-delimiting and any transaction is addressable without decoding
+its predecessors.  The header struct is shared with v1-v3; the u16
+slot that counts attributes in record frames carries ``n_items`` here,
+and the i32 slot is the usual shard pin::
+
+    offset  size  field
+    0       4     magic  b"PPDM"
+    4       2     u16    wire version (4 = baskets)
+    6       2     u16    n_items (item ids live in [0, n_items))
+    8       4     i32    shard pin (-1 = unpinned, round-robin)
+    ...     var   varint n_transactions (>= 1)
+    ...     var   offset index: n_transactions varints, the byte
+                  length of each transaction's item-id payload
+                  (prefix sums give the offsets)
+    ...     var   payload: per transaction, its item ids as varints,
+                  strictly increasing (sorted, no duplicates; a zero
+                  length encodes the empty transaction)
+
+Varints are LEB128: 7 value bits per byte, high bit set on every byte
+but the last.  Decoders reject item ids at or above ``n_items``,
+non-increasing id sequences, transactions that over- or under-run
+their declared byte length, and frames whose decoded matrix would be
+absurdly large — malformed bytes are a 400, never a partial absorb.
+v1-v3 byte-compatibility is untouched: record/partial decoders reject
+version 4 frames loudly, and vice versa.
+
 Frames are self-delimiting, so a request body may concatenate any
-number of them (:func:`iter_frames` / :func:`iter_labeled_frames`) and
-a persistent connection can stream batch after batch.  The NDJSON
-fallback (``application/x-ndjson``) keeps the same many-batches-per-body
-shape curl-able: one ``{"batch": ..., "shard": ..., "classes": ...}``
-JSON object per line (``classes`` optional).
+number of them (:func:`iter_frames` / :func:`iter_labeled_frames` /
+:func:`iter_basket_frames`) and a persistent connection can stream
+batch after batch.  The NDJSON fallback (``application/x-ndjson``)
+keeps the same many-batches-per-body shape curl-able: one
+``{"batch": ..., "shard": ..., "classes": ...}`` JSON object per line
+(``classes`` optional).
 
 Malformed frames raise :class:`~repro.exceptions.ValidationError`,
 which the HTTP front end maps to status 400.
@@ -84,19 +116,24 @@ from repro.exceptions import ValidationError
 from repro.utils.validation import check_label_column
 
 __all__ = [
+    "CONTENT_TYPE_BASKETS",
     "CONTENT_TYPE_COLUMNS",
     "CONTENT_TYPE_NDJSON",
     "CONTENT_TYPE_PARTIAL",
     "MAGIC",
     "WIRE_VERSION",
+    "WIRE_VERSION_BASKETS",
     "WIRE_VERSION_CLASSES",
     "WIRE_VERSION_PARTIAL",
+    "decode_baskets",
     "decode_columns",
     "decode_labeled",
     "decode_partial",
+    "encode_baskets",
     "encode_columns",
     "encode_ndjson",
     "encode_partial",
+    "iter_basket_frames",
     "iter_frames",
     "iter_labeled_frames",
     "iter_labeled_ndjson",
@@ -110,6 +147,8 @@ CONTENT_TYPE_COLUMNS = "application/x-ppdm-columns"
 CONTENT_TYPE_NDJSON = "application/x-ndjson"
 #: content type for cluster partial-sync bodies (version 3 frames)
 CONTENT_TYPE_PARTIAL = "application/x-ppdm-partial"
+#: content type for market-basket transaction bodies (version 4 frames)
+CONTENT_TYPE_BASKETS = "application/x-ppdm-baskets"
 #: the four magic bytes every columnar frame starts with
 MAGIC = b"PPDM"
 #: unlabeled frame version (the PR 4 layout, still fully supported)
@@ -118,6 +157,8 @@ WIRE_VERSION = 1
 WIRE_VERSION_CLASSES = 2
 #: partial frame version: merged per-class histogram counts (cluster sync)
 WIRE_VERSION_PARTIAL = 3
+#: basket frame version: varint transaction lists of item ids (mining)
+WIRE_VERSION_BASKETS = 4
 
 _HEADER = struct.Struct("<4sHHi")
 _NAME_LEN = struct.Struct("<H")
@@ -593,6 +634,236 @@ def decode_partial(payload) -> dict:
             "partial-plus-rows bodies decode with split_partial()"
         )
     return partials
+
+
+#: a varint never needs more than 10 bytes (70 value bits > 64)
+_VARINT_MAX_BYTES = 10
+#: decode-bomb guard: a basket frame may not expand past this many cells
+_MAX_BASKET_CELLS = 1 << 28
+
+
+def _encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer (7 value bits per byte)."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(view: memoryview, offset: int, end: int, what: str) -> tuple:
+    """Decode one LEB128 varint; return ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    for length in range(1, _VARINT_MAX_BYTES + 1):
+        chunk = view[offset : offset + 1] if offset < end else b""
+        if not len(chunk):
+            raise ValidationError(f"truncated basket frame: {what} varint")
+        byte = chunk[0]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if value >= 1 << 64:
+                raise ValidationError(
+                    f"basket frame: {what} varint exceeds 64 bits"
+                )
+            return value, offset
+        shift += 7
+    raise ValidationError(
+        f"basket frame: {what} varint runs past {_VARINT_MAX_BYTES} bytes"
+    )
+
+
+def encode_baskets(baskets, *, shard: int | None = None) -> bytes:
+    """Encode a boolean transaction matrix as one version 4 basket frame.
+
+    ``baskets`` is the mining stack's native shape — a 2-D boolean
+    matrix, one row per transaction, one column per item (what
+    :func:`repro.mining.generate_baskets` produces and
+    :class:`repro.mining.RandomizedResponse` randomizes).  Each row is
+    shipped as the varint list of its set-column ids, so sparse baskets
+    cost bytes proportional to their items, not to the item universe.
+    Empty transactions (all-false rows — MASK randomization can produce
+    them) encode as a zero-length id list.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import decode_baskets, encode_baskets
+    >>> matrix = np.array([[True, False, True], [False, False, False]])
+    >>> frame = encode_baskets(matrix, shard=1)
+    >>> frame[:4]
+    b'PPDM'
+    >>> decoded, shard = decode_baskets(frame)
+    >>> decoded.tolist(), shard
+    ([[True, False, True], [False, False, False]], 1)
+    """
+    matrix = np.asarray(baskets)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"baskets must be a 2-D boolean matrix, got shape {matrix.shape}"
+        )
+    if matrix.dtype != np.bool_:
+        raise ValidationError(
+            f"baskets must be a boolean matrix, got dtype {matrix.dtype}"
+        )
+    n_transactions, n_items = matrix.shape
+    if n_transactions < 1:
+        raise ValidationError("a basket frame needs at least one transaction")
+    if not 1 <= n_items <= 0xFFFF:
+        raise ValidationError(
+            f"a basket frame holds 1..65535 items, got {n_items}"
+        )
+    index = []
+    payload = []
+    for row in matrix:
+        encoded = b"".join(
+            _encode_varint(int(item)) for item in np.nonzero(row)[0]
+        )
+        index.append(_encode_varint(len(encoded)))
+        payload.append(encoded)
+    header = _HEADER.pack(
+        MAGIC, WIRE_VERSION_BASKETS, n_items, -1 if shard is None else int(shard)
+    )
+    return (
+        header
+        + _encode_varint(n_transactions)
+        + b"".join(index)
+        + b"".join(payload)
+    )
+
+
+def _decode_basket_frame(view: memoryview, offset: int) -> tuple:
+    """Decode one basket frame at ``offset``.
+
+    Returns ``(matrix, shard, next_offset)``.
+    """
+    end = len(view)
+    if end - offset < _HEADER.size:
+        raise ValidationError(
+            f"truncated basket frame: {end - offset} byte(s) left, "
+            f"header needs {_HEADER.size}"
+        )
+    magic, version, n_items, shard = _HEADER.unpack_from(view, offset)
+    if magic != MAGIC:
+        raise ValidationError(
+            f"bad frame magic {bytes(magic)!r}; expected {MAGIC!r} "
+            f"(is the body really {CONTENT_TYPE_BASKETS}?)"
+        )
+    if version != WIRE_VERSION_BASKETS:
+        raise ValidationError(
+            f"expected a version {WIRE_VERSION_BASKETS} basket frame, "
+            f"got version {version} (record frames go through "
+            f"{CONTENT_TYPE_COLUMNS})"
+        )
+    if n_items < 1:
+        raise ValidationError("basket frame declares an empty item universe")
+    offset += _HEADER.size
+    n_transactions, offset = _decode_varint(view, offset, end, "transaction count")
+    if n_transactions < 1:
+        raise ValidationError("basket frame declares no transactions")
+    if n_transactions > end - offset:
+        # each transaction needs at least one index byte
+        raise ValidationError(
+            f"truncated basket frame: {n_transactions} transaction(s) "
+            f"declared but only {end - offset} byte(s) remain"
+        )
+    if n_transactions * n_items > _MAX_BASKET_CELLS:
+        raise ValidationError(
+            f"basket frame expands to {n_transactions} x {n_items} cells; "
+            f"the decoder caps frames at {_MAX_BASKET_CELLS}"
+        )
+    lengths = []
+    for i in range(n_transactions):
+        length, offset = _decode_varint(view, offset, end, f"index[{i}]")
+        lengths.append(length)
+    matrix = np.zeros((n_transactions, n_items), dtype=bool)
+    for i, length in enumerate(lengths):
+        if end - offset < length:
+            raise ValidationError(
+                f"truncated basket frame: transaction {i} declares "
+                f"{length} byte(s) but only {end - offset} remain"
+            )
+        stop = offset + length
+        previous = -1
+        while offset < stop:
+            item, offset = _decode_varint(view, offset, stop, f"transaction {i}")
+            if item >= n_items:
+                raise ValidationError(
+                    f"basket frame: transaction {i} holds item {item}, "
+                    f"outside the declared universe of {n_items}"
+                )
+            if item <= previous:
+                raise ValidationError(
+                    f"basket frame: transaction {i} item ids must be "
+                    f"strictly increasing ({item} after {previous})"
+                )
+            matrix[i, item] = True
+            previous = item
+    return matrix, (None if shard < 0 else shard), offset
+
+
+def decode_baskets(payload) -> tuple:
+    """Decode a single basket frame; return ``(matrix, shard)``.
+
+    The inverse of :func:`encode_baskets`.  Trailing bytes after the
+    frame are an error; bodies carrying several concatenated frames go
+    through :func:`iter_basket_frames`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import decode_baskets, encode_baskets
+    >>> matrix, shard = decode_baskets(encode_baskets(np.eye(2, dtype=bool)))
+    >>> matrix.tolist(), shard
+    ([[True, False], [False, True]], None)
+    """
+    view = memoryview(payload)
+    matrix, shard, offset = _decode_basket_frame(view, 0)
+    if offset != len(view):
+        raise ValidationError(
+            f"{len(view) - offset} trailing byte(s) after the basket frame; "
+            "multi-frame bodies decode with iter_basket_frames()"
+        )
+    return matrix, shard
+
+
+def iter_basket_frames(payload):
+    """Yield ``(matrix, shard)`` for every basket frame in ``payload``.
+
+    The decoder behind ``POST /ingest`` with
+    ``Content-Type: application/x-ppdm-baskets``: frames are
+    self-delimiting, so one body may concatenate any number of them.
+    Every frame must share one item universe with its predecessors —
+    mixed widths (or a stray v1-v3 frame) are a malformed body.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import encode_baskets, iter_basket_frames
+    >>> body = encode_baskets(np.eye(2, dtype=bool)) + encode_baskets(
+    ...     np.zeros((1, 2), dtype=bool), shard=1
+    ... )
+    >>> [(int(m.sum()), s) for m, s in iter_basket_frames(body)]
+    [(2, None), (0, 1)]
+    """
+    view = memoryview(payload)
+    offset = 0
+    n_items = None
+    while offset < len(view):
+        matrix, shard, offset = _decode_basket_frame(view, offset)
+        if n_items is None:
+            n_items = matrix.shape[1]
+        elif matrix.shape[1] != n_items:
+            raise ValidationError(
+                f"basket body mixes item universes: frame declares "
+                f"{matrix.shape[1]} item(s), previous frames {n_items}"
+            )
+        yield matrix, shard
 
 
 def encode_ndjson(frames) -> bytes:

@@ -14,8 +14,12 @@ from repro.mining import (
     MaskMiner,
     RandomizedResponse,
     association_rules,
+    candidate_itemsets,
     frequent_itemsets,
     generate_baskets,
+    matrix_to_transactions,
+    support_from_pattern_counts,
+    transactions_to_matrix,
 )
 from repro.mining.apriori import support
 
@@ -208,6 +212,216 @@ class TestBasketGenerator:
             generate_baskets(0, 5)
         with pytest.raises(ValidationError):
             generate_baskets(5, 5, background=1.5)
+
+
+class TestCandidateGeneration:
+    """Known-answer checks of the Apriori pruning rule."""
+
+    def test_all_subsets_frequent_generates_candidate(self):
+        previous = {frozenset({0, 1}), frozenset({0, 2}), frozenset({1, 2})}
+        assert candidate_itemsets(previous, 3) == {frozenset({0, 1, 2})}
+
+    def test_missing_subset_prunes_candidate(self):
+        # {1, 2} is not frequent, so {0, 1, 2} must not be generated
+        previous = {frozenset({0, 1}), frozenset({0, 2})}
+        assert candidate_itemsets(previous, 3) == set()
+
+    def test_singletons_to_pairs(self):
+        previous = {frozenset({0}), frozenset({2}), frozenset({5})}
+        assert candidate_itemsets(previous, 2) == {
+            frozenset({0, 2}),
+            frozenset({0, 5}),
+            frozenset({2, 5}),
+        }
+
+    def test_empty_previous_level(self):
+        assert candidate_itemsets(set(), 2) == set()
+
+
+class TestKnownAnswerLattice:
+    """Hand-computed lattices: the full mined dict, exact supports."""
+
+    #: four baskets over three items — every support is a quarter multiple
+    MATRIX = np.array([[1, 1, 0], [1, 1, 1], [1, 0, 0], [0, 1, 1]], dtype=bool)
+
+    def test_full_lattice_at_half_support(self):
+        assert frequent_itemsets(self.MATRIX, 0.5) == {
+            frozenset({0}): 0.75,
+            frozenset({1}): 0.75,
+            frozenset({2}): 0.5,
+            frozenset({0, 1}): 0.5,
+            frozenset({1, 2}): 0.5,
+        }
+
+    def test_lattice_at_quarter_support(self):
+        mined = frequent_itemsets(self.MATRIX, 0.25)
+        assert mined[frozenset({0, 1, 2})] == 0.25
+        assert mined[frozenset({0, 2})] == 0.25
+        assert len(mined) == 7
+
+    def test_support_one_keeps_only_universal_itemsets(self):
+        always = np.ones((4, 2), dtype=bool)
+        assert frequent_itemsets(always, 1.0) == {
+            frozenset({0}): 1.0,
+            frozenset({1}): 1.0,
+            frozenset({0, 1}): 1.0,
+        }
+
+    def test_nothing_frequent_in_empty_baskets(self):
+        assert frequent_itemsets(np.zeros((4, 3), dtype=bool), 0.1) == {}
+
+    def test_known_answer_rules(self):
+        rules = association_rules(frequent_itemsets(self.MATRIX, 0.25), 0.6)
+        by_pair = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r
+            for r in rules
+        }
+        rule = by_pair[((2,), (1,))]  # {2} => {1}: 0.5 / 0.5 = 1.0
+        assert rule.confidence == 1.0
+        assert rule.support == 0.5
+        assert rule.lift == pytest.approx(1.0 / 0.75)
+        rule = by_pair[((0,), (1,))]  # {0} => {1}: 0.5 / 0.75
+        assert rule.confidence == pytest.approx(2 / 3)
+
+    def test_rules_skip_unscorable_partitions(self):
+        # {0, 1} frequent but {1} missing: the {0} => {1} split can't be
+        # scored and must be skipped, not guessed
+        itemsets = {
+            frozenset({0}): 0.6,
+            frozenset({0, 1}): 0.5,
+        }
+        assert association_rules(itemsets, 0.1) == []
+
+    def test_confidence_clipped_to_one(self):
+        # inconsistent supports (possible for *estimated* supports) must
+        # not yield confidence > 1
+        itemsets = {
+            frozenset({0}): 0.2,
+            frozenset({1}): 0.4,
+            frozenset({0, 1}): 0.3,
+        }
+        rules = association_rules(itemsets, 0.5)
+        assert all(rule.confidence <= 1.0 for rule in rules)
+
+
+class TestMaskReconstruction:
+    """MASK channel inversion: known answers, error bounds, rejects."""
+
+    def test_identity_channel_known_answer(self):
+        rr = RandomizedResponse(1.0)
+        assert support_from_pattern_counts(rr, np.array([6.0, 2.0]), 8) == 0.25
+
+    def test_single_bit_known_answer(self):
+        # p = 0.75, true counts (6, 2):
+        # observed = M @ true = (0.75*6 + 0.25*2, 0.25*6 + 0.75*2) = (5, 3)
+        rr = RandomizedResponse(0.75)
+        estimate = support_from_pattern_counts(rr, np.array([5.0, 3.0]), 8)
+        assert estimate == pytest.approx(0.25)
+
+    def test_two_bit_known_answer(self):
+        # exact forward map through the Kronecker square, then invert
+        rr = RandomizedResponse(0.8)
+        true = np.array([10.0, 0.0, 0.0, 6.0])
+        kron = np.kron(rr.channel, rr.channel)
+        estimate = support_from_pattern_counts(rr, kron @ true, 16)
+        assert estimate == pytest.approx(6.0 / 16.0)
+
+    def test_estimate_clipped_into_unit_interval(self):
+        rr = RandomizedResponse(0.75)
+        # inversion of (0, 8) gives 12/8 = 1.5 raw — must clip to 1.0
+        assert support_from_pattern_counts(rr, np.array([0.0, 8.0]), 8) == 1.0
+        assert support_from_pattern_counts(rr, np.array([8.0, 0.0]), 8) == 0.0
+
+    def test_rejects_bad_pattern_vectors(self):
+        rr = RandomizedResponse(0.9)
+        for bad in (np.array([1.0]), np.array([1.0, 2.0, 3.0]), np.ones((2, 2))):
+            with pytest.raises(ValidationError):
+                support_from_pattern_counts(rr, bad, 10)
+        with pytest.raises(ValidationError):
+            support_from_pattern_counts(rr, np.array([1.0, 2.0]), 0)
+
+    @pytest.mark.parametrize("keep_prob", [0.5, 0.7, 0.9])
+    def test_reconstruction_error_bounds(self, keep_prob, planted_baskets):
+        """The ISSUE's p-sweep: 0.5 is a singular channel and must be
+        rejected; 0.7 and 0.9 must reconstruct within widening bounds."""
+        if keep_prob == 0.5:
+            with pytest.raises(ValidationError, match="0.5"):
+                RandomizedResponse(keep_prob)
+            return
+        rr = RandomizedResponse(keep_prob)
+        disclosed = rr.randomize(planted_baskets, seed=keep_prob_seed(keep_prob))
+        miner = MaskMiner(rr)
+        # variance of the inverted estimator grows as p -> 0.5
+        tolerance = 0.03 if keep_prob >= 0.9 else 0.08
+        for itemset in ({0}, {0, 1}, {2, 3, 4}):
+            true = support(planted_baskets, itemset)
+            estimate = miner.estimate_support(disclosed, itemset)
+            assert abs(estimate - true) < tolerance, (keep_prob, itemset)
+
+    def test_near_half_keep_prob_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomizedResponse(0.5 + 1e-10)
+        # clearly away from 0.5 is fine, on either side
+        RandomizedResponse(0.51)
+        RandomizedResponse(0.49)
+
+    def test_always_flip_channel_is_invertible(self, planted_baskets):
+        # keep_prob 0 flips every bit: perfectly informative, just inverted
+        rr = RandomizedResponse(0.0)
+        disclosed = rr.randomize(planted_baskets, seed=7)
+        np.testing.assert_array_equal(disclosed, ~planted_baskets)
+        miner = MaskMiner(rr)
+        true = support(planted_baskets, {0, 1})
+        assert miner.estimate_support(disclosed, {0, 1}) == pytest.approx(true)
+
+
+def keep_prob_seed(keep_prob: float) -> int:
+    """Stable per-p seed so the parametrized sweep stays reproducible."""
+    return int(round(keep_prob * 100))
+
+
+class TestTransactionBridge:
+    """transactions_to_matrix / matrix_to_transactions round-trips."""
+
+    def test_round_trip_from_transactions(self):
+        transactions = [[0, 2], [], [1], [0, 1, 2, 3]]
+        matrix = transactions_to_matrix(transactions, 4)
+        assert matrix.shape == (4, 4)
+        assert matrix.dtype == np.bool_
+        assert matrix_to_transactions(matrix) == transactions
+
+    def test_round_trip_from_matrix(self, rng):
+        matrix = rng.random((30, 6)) < 0.4
+        rebuilt = transactions_to_matrix(matrix_to_transactions(matrix), 6)
+        np.testing.assert_array_equal(rebuilt, matrix)
+
+    def test_duplicate_items_tolerated(self):
+        matrix = transactions_to_matrix([[1, 1, 1]], 3)
+        assert matrix.tolist() == [[False, True, False]]
+
+    def test_numpy_integer_item_ids_accepted(self):
+        matrix = transactions_to_matrix([[np.int64(0), np.int32(2)]], 3)
+        assert matrix.tolist() == [[True, False, True]]
+
+    def test_rejects_bad_transactions(self):
+        with pytest.raises(ValidationError, match="integers"):
+            transactions_to_matrix([[0, "a"]], 3)
+        with pytest.raises(ValidationError, match="integers"):
+            transactions_to_matrix([[True]], 3)
+        with pytest.raises(ValidationError, match="out of range"):
+            transactions_to_matrix([[3]], 3)
+        with pytest.raises(ValidationError, match="out of range"):
+            transactions_to_matrix([[-1]], 3)
+        with pytest.raises(ValidationError):
+            transactions_to_matrix([], 3)
+        with pytest.raises(ValidationError):
+            transactions_to_matrix([[0]], 0)
+
+    def test_matrix_to_transactions_rejects_non_boolean(self):
+        with pytest.raises(ValidationError):
+            matrix_to_transactions(np.zeros((2, 3)))
+        with pytest.raises(ValidationError):
+            matrix_to_transactions(np.zeros(3, dtype=bool))
 
 
 @given(

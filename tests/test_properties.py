@@ -18,7 +18,14 @@ Properties pinned here:
 * reconstruction outputs — always nonnegative and normalized, whatever
   the (shape, noise, grid) draw,
 * ``ShardSet`` merges — associative and commutative across random shard
-  counts, ingestion orders, thread interleavings, and class columns.
+  counts, ingestion orders, thread interleavings, and class columns,
+* basket wire frames (v4) — encode/decode round trips, self-delimiting
+  multi-frame bodies, and rejection of every truncation,
+* ``SupportShardSet`` merges — the mining counters' associative /
+  commutative / identity merge algebra, bitwise at any shard count,
+* service-side Apriori — bit-identical itemsets and rules vs the
+  offline ``repro.mining`` pipeline across random basket, shard, and
+  threshold configurations.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.core import (
     UniformRandomizer,
 )
 from repro.core.engine import ReconstructionEngine
+from repro.exceptions import ValidationError
 from repro.service import (
     AggregationService,
     AttributeSpec,
@@ -436,6 +444,202 @@ def test_differential_parity_fuzz():
         "service-differential-parity",
         _gen_parity_case,
         _check_service_parity,
+    )
+
+
+# ----------------------------------------------------------------------
+# Basket wire frames (v4): round trips and truncation rejection
+# ----------------------------------------------------------------------
+def _gen_basket_wire_case(rng: random.Random) -> dict:
+    n_items = rng.randint(1, 20)
+    density = rng.choice((0.0, 0.2, 0.7, 1.0))
+    rows = [
+        [rng.random() < density for _ in range(n_items)]
+        for _ in range(rng.randint(1, 40))
+    ]
+    return {
+        "n_items": n_items,
+        "rows": rows,
+        "shard": rng.choice((None, rng.randint(0, 7))),
+        "n_frames": rng.randint(1, 4),
+        "cut_seed": rng.randint(0, 2**31),
+    }
+
+
+def _check_basket_wire_roundtrip(case) -> None:
+    from repro.service import decode_baskets, encode_baskets, iter_basket_frames
+
+    matrix = np.asarray(case["rows"], dtype=bool)
+    body = encode_baskets(matrix, shard=case["shard"])
+    decoded, shard = decode_baskets(body)
+    assert decoded.dtype == np.bool_
+    assert np.array_equal(decoded, matrix)
+    assert shard == case["shard"]
+    # self-delimiting: N concatenated frames come back frame by frame
+    parts = list(iter_basket_frames(body * case["n_frames"]))
+    assert len(parts) == case["n_frames"]
+    for part_matrix, part_shard in parts:
+        assert np.array_equal(part_matrix, matrix)
+        assert part_shard == case["shard"]
+    # every truncation is rejected — a frame is absorbed whole or not
+    # at all (the body is exactly the declared bytes, so any proper
+    # prefix is missing declared payload)
+    cut = case["cut_seed"] % (len(body) - 1) + 1
+    with pytest.raises(ValidationError):
+        decode_baskets(body[:cut])
+
+
+def test_property_basket_wire_roundtrip():
+    run_property(
+        "basket-wire-roundtrip",
+        _gen_basket_wire_case,
+        _check_basket_wire_roundtrip,
+        shrinkers=_shrink_values,
+    )
+
+
+# ----------------------------------------------------------------------
+# SupportShardSet merge algebra
+# ----------------------------------------------------------------------
+def _gen_support_case(rng: random.Random) -> dict:
+    n_items = rng.randint(1, 8)
+    batches = []
+    for _ in range(rng.randint(1, 6)):
+        size = rng.randint(0, 20)
+        batches.append(
+            [[rng.random() < 0.4 for _ in range(n_items)] for _ in range(size)]
+        )
+    return {
+        "n_items": n_items,
+        "batches": batches,
+        "shard_counts": sorted({rng.randint(1, 6) for _ in range(3)}),
+    }
+
+
+def _support_batch(case, index: int) -> np.ndarray:
+    return np.asarray(case["batches"][index], dtype=bool).reshape(-1, case["n_items"])
+
+
+def _check_support_merge(case) -> None:
+    from repro.service import SupportShard, SupportShardSet
+
+    def fill(n_shards, order):
+        shards = SupportShardSet(case["n_items"], n_shards=n_shards)
+        for index in order:
+            shards.ingest(_support_batch(case, index))
+        return shards.merged_patterns()
+
+    n = len(case["batches"])
+    orders = [list(range(n)), list(reversed(range(n)))]
+    reference = None
+    for n_shards in case["shard_counts"]:
+        for order in orders:
+            merged = fill(n_shards, order)
+            if reference is None:
+                reference = merged
+                assert int(merged.sum()) == sum(
+                    len(batch) for batch in case["batches"]
+                )
+                continue
+            # commutative + shard-count independent, bitwise
+            assert np.array_equal(merged, reference)
+
+    def shard_with(indices):
+        shard = SupportShard(case["n_items"])
+        for index in indices:
+            shard.ingest(_support_batch(case, index))
+        return shard
+
+    # merge_from is associative: ((a + b) + c) == (a + (b + c)) bitwise
+    thirds = [list(range(0, n, 3)), list(range(1, n, 3)), list(range(2, n, 3))]
+    left = shard_with(thirds[0]).merge_from(shard_with(thirds[1]))
+    left.merge_from(shard_with(thirds[2]))
+    right = shard_with(thirds[0]).merge_from(
+        shard_with(thirds[1]).merge_from(shard_with(thirds[2]))
+    )
+    assert np.array_equal(left.pattern_counts(), right.pattern_counts())
+    assert left.n_seen == right.n_seen
+    # a fresh shard is the merge identity
+    everything = shard_with(range(n))
+    before = everything.pattern_counts()
+    everything.merge_from(SupportShard(case["n_items"]))
+    assert np.array_equal(everything.pattern_counts(), before)
+    assert np.array_equal(before, reference)
+
+
+def test_property_supportshard_merge_algebra():
+    run_property(
+        "supportshard-merge-algebra",
+        _gen_support_case,
+        _check_support_merge,
+        shrinkers=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential parity fuzz: service-side Apriori vs the offline miner
+# ----------------------------------------------------------------------
+def _gen_mining_parity_case(rng: random.Random) -> dict:
+    return {
+        "n_items": rng.randint(2, 8),
+        "n_rows": rng.randint(50, 600),
+        "n_shards": rng.randint(1, 5),
+        "n_batches": rng.randint(1, 8),
+        "keep_prob": rng.choice((0.7, 0.8, 0.9, 0.95)),
+        "min_support": rng.uniform(0.05, 0.5),
+        "min_confidence": rng.uniform(0.1, 0.9),
+        "max_size": rng.randint(1, 3),
+        "seed": rng.randint(0, 2**31),
+    }
+
+
+def _check_mining_parity(case) -> None:
+    from repro.mining import MaskMiner, RandomizedResponse, association_rules
+    from repro.service import MiningService
+
+    rng = np.random.default_rng(case["seed"])
+    clean = rng.random((case["n_rows"], case["n_items"])) < rng.random(
+        case["n_items"]
+    )
+    response = RandomizedResponse(keep_prob=case["keep_prob"])
+    disclosed = response.randomize(clean, seed=rng)
+
+    service = MiningService(
+        response,
+        case["n_items"],
+        n_shards=case["n_shards"],
+        max_size=case["max_size"],
+    )
+    for chunk in np.array_split(np.arange(case["n_rows"]), case["n_batches"]):
+        if chunk.size:
+            service.ingest(disclosed[chunk])
+    result = service.mine(case["min_support"], case["min_confidence"])
+
+    miner = MaskMiner(response, max_size=case["max_size"])
+    expected_sets = miner.frequent_itemsets(disclosed, case["min_support"])
+    expected_rules = association_rules(expected_sets, case["min_confidence"])
+
+    # bit-identical supports (dict equality compares exact floats)
+    assert result.itemsets == expected_sets
+    assert result.n_baskets == case["n_rows"]
+
+    def canonical(rule):
+        return (sorted(rule.antecedent), sorted(rule.consequent))
+
+    assert sorted(result.rules, key=canonical) == sorted(
+        expected_rules, key=canonical
+    )
+
+
+def test_differential_mining_parity_fuzz():
+    """Random (baskets, shards, thresholds) configurations keep the
+    service-side miner bit-identical to the offline ``repro.mining``
+    pipeline — generalizing the hand-picked cases in
+    tests/test_service_mining.py."""
+    run_property(
+        "mining-differential-parity",
+        _gen_mining_parity_case,
+        _check_mining_parity,
     )
 
 

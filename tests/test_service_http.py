@@ -15,8 +15,10 @@ import pytest
 from repro.core import Partition, StreamingReconstructor, UniformRandomizer
 from repro.service import AggregationService, AttributeSpec, ServiceHTTPServer
 from repro.service.wire import (
+    CONTENT_TYPE_BASKETS,
     CONTENT_TYPE_COLUMNS,
     CONTENT_TYPE_NDJSON,
+    encode_baskets,
     encode_columns,
     encode_ndjson,
 )
@@ -522,6 +524,308 @@ class TestTrainEndpoints:
         assert "training" in payload["error"]
         code, payload = _error_of(lambda: _get(server, "/model"))
         assert code == 400
+
+
+class TestMiningEndpoints:
+    """Basket ingest negotiation, POST /mine, GET /rules."""
+
+    KEEP_PROB = 0.9
+    N_ITEMS = 6
+
+    @pytest.fixture
+    def mining_server(self, noise):
+        from repro.mining import RandomizedResponse
+        from repro.service import MiningService
+
+        service = AggregationService(
+            [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+        )
+        mining = MiningService(
+            RandomizedResponse(keep_prob=self.KEEP_PROB),
+            self.N_ITEMS,
+            n_shards=2,
+        )
+        srv = ServiceHTTPServer(service, port=0, mining=mining)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv, mining
+        srv.shutdown()
+        thread.join(timeout=5)
+
+    def _disclosed(self, n=1_500):
+        from repro.mining import RandomizedResponse, generate_baskets
+
+        clean = generate_baskets(n, self.N_ITEMS, seed=21)
+        response = RandomizedResponse(keep_prob=self.KEEP_PROB)
+        return response.randomize(clean, seed=22)
+
+    def test_basket_ingest_and_stats(self, mining_server):
+        server, mining = mining_server
+        disclosed = self._disclosed()
+        body = encode_baskets(disclosed[:1000]) + encode_baskets(
+            disclosed[1000:], shard=1
+        )
+        status, payload = _post_raw(server, "/ingest", body, CONTENT_TYPE_BASKETS)
+        assert status == 200
+        assert payload == {"ingested": 1500, "frames": 2, "baskets": 1500}
+        assert mining.shards.shard(1).n_seen == 500
+        _, stats = _get(server, "/stats")
+        assert stats["mining"] == {
+            "n_items": self.N_ITEMS,
+            "keep_prob": self.KEEP_PROB,
+            "max_size": 3,
+            "n_shards": 2,
+            "baskets": 1500,
+        }
+
+    def test_mine_then_rules_matches_offline(self, mining_server):
+        from repro import serialize
+        from repro.mining import MaskMiner, RandomizedResponse, association_rules
+
+        server, mining = mining_server
+        disclosed = self._disclosed()
+        _post_raw(
+            server, "/ingest", encode_baskets(disclosed), CONTENT_TYPE_BASKETS
+        )
+        status, summary = _post(
+            server, "/mine", {"min_support": 0.15, "min_confidence": 0.4}
+        )
+        assert status == 200
+        assert summary["n_baskets"] == 1500
+        assert summary["min_support"] == 0.15
+        assert summary["n_itemsets"] >= 1
+
+        _, payload = _get(server, "/rules")
+        result = serialize.from_jsonable(payload)
+        response = RandomizedResponse(keep_prob=self.KEEP_PROB)
+        expected_sets = MaskMiner(response).frequent_itemsets(disclosed, 0.15)
+        assert result.itemsets == expected_sets  # bit-identical supports
+        expected_rules = association_rules(expected_sets, 0.4)
+        canonical = lambda r: (sorted(r.antecedent), sorted(r.consequent))  # noqa: E731
+        assert sorted(result.rules, key=canonical) == sorted(
+            expected_rules, key=canonical
+        )
+        assert len(result.rules) == summary["n_rules"]
+
+    def test_rules_before_mine_is_404(self, mining_server):
+        server, _ = mining_server
+        code, payload = _error_of(lambda: _get(server, "/rules"))
+        assert code == 404
+        assert "mine" in payload["error"]
+
+    def test_mine_before_ingest_is_400(self, mining_server):
+        server, _ = mining_server
+        code, payload = _error_of(
+            lambda: _post(server, "/mine", {"min_support": 0.2, "min_confidence": 0.5})
+        )
+        assert code == 400
+        assert "no baskets" in payload["error"]
+
+    def test_bad_thresholds_are_400(self, mining_server):
+        server, _ = mining_server
+        for body in (
+            {"min_support": "high", "min_confidence": 0.5},
+            {"min_support": 0.2},
+            {"min_confidence": 0.5},
+            {"min_support": True, "min_confidence": 0.5},
+            None,
+        ):
+            code, payload = _error_of(lambda: _post(server, "/mine", body))
+            assert code == 400
+            assert "min_" in payload["error"]
+
+    def test_out_of_range_thresholds_are_400(self, mining_server):
+        server, mining = mining_server
+        _post_raw(
+            server, "/ingest", encode_baskets(self._disclosed(50)),
+            CONTENT_TYPE_BASKETS,
+        )
+        for support, confidence in ((0.0, 0.5), (1.5, 0.5), (0.2, -1.0)):
+            code, _ = _error_of(
+                lambda: _post(
+                    server, "/mine",
+                    {"min_support": support, "min_confidence": confidence},
+                )
+            )
+            assert code == 400
+
+    def test_mining_endpoints_disabled_without_mining(self, server):
+        code, payload = _error_of(
+            lambda: _post(server, "/mine", {"min_support": 0.2, "min_confidence": 0.5})
+        )
+        assert code == 400
+        assert "mining" in payload["error"]
+        code, payload = _error_of(lambda: _get(server, "/rules"))
+        assert code == 400
+        assert "mining" in payload["error"]
+        code, payload = _error_of(
+            lambda: _post_raw(
+                server, "/ingest",
+                encode_baskets(np.eye(3, dtype=bool)), CONTENT_TYPE_BASKETS,
+            )
+        )
+        assert code == 400
+        assert "mining" in payload["error"]
+
+    def test_failing_frame_aborts_whole_body(self, mining_server):
+        """All-or-nothing, like the columnar wire: a bad frame anywhere
+        means no basket of the body is counted."""
+        server, mining = mining_server
+        disclosed = self._disclosed(100)
+        body = encode_baskets(disclosed) + encode_baskets(disclosed)[:-3]
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_BASKETS)
+        )
+        assert code == 400
+        assert "truncated" in payload["error"]
+        assert mining.n_seen == 0
+
+    def test_bad_shard_pin_aborts_whole_body(self, mining_server):
+        server, mining = mining_server
+        disclosed = self._disclosed(40)
+        body = encode_baskets(disclosed) + encode_baskets(disclosed, shard=7)
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_BASKETS)
+        )
+        assert code == 400
+        assert "shard index" in payload["error"]
+        assert mining.n_seen == 0
+
+    def test_wrong_item_universe_is_400(self, mining_server):
+        server, mining = mining_server
+        body = encode_baskets(np.eye(4, dtype=bool))  # server mines 6 items
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", body, CONTENT_TYPE_BASKETS)
+        )
+        assert code == 400
+        assert "universe" in payload["error"]
+        assert mining.n_seen == 0
+
+    def test_mixed_v1_and_v4_body_is_400_nothing_absorbed(self, mining_server):
+        """A columnar record frame inside a basket body (and vice versa)
+        is malformed — neither tier absorbs anything from it."""
+        server, mining = mining_server
+        mixed = encode_baskets(self._disclosed(20)) + encode_columns(
+            {"opinion": [0.5]}
+        )
+        code, payload = _error_of(
+            lambda: _post_raw(server, "/ingest", mixed, CONTENT_TYPE_BASKETS)
+        )
+        assert code == 400
+        assert "version" in payload["error"]
+        assert mining.n_seen == 0
+        # the symmetric half: a v4 frame under the columnar content type
+        code, payload = _error_of(
+            lambda: _post_raw(
+                server, "/ingest",
+                encode_baskets(self._disclosed(5)), CONTENT_TYPE_COLUMNS,
+            )
+        )
+        assert code == 400
+        assert "version" in payload["error"]
+        assert server.service.n_seen("opinion") == 0
+
+    def test_basket_ingest_keeps_connection_alive(self, mining_server):
+        server, mining = mining_server
+        disclosed = self._disclosed(300)
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            sockets = set()
+            for chunk in np.array_split(np.arange(300), 3):
+                conn.request(
+                    "POST", "/ingest", body=encode_baskets(disclosed[chunk]),
+                    headers={"Content-Type": CONTENT_TYPE_BASKETS},
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+                sockets.add(id(conn.sock))
+            assert len(sockets) == 1  # never re-dialed
+            conn.request(
+                "POST", "/mine",
+                body=json.dumps(
+                    {"min_support": 0.15, "min_confidence": 0.4}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            assert json.loads(conn.getresponse().read())["n_baskets"] == 300
+        finally:
+            conn.close()
+
+
+class TestBasketHTTPFuzz:
+    """Fuzzed basket bodies over a keep-alive connection: always a clean
+    4xx, nothing absorbed, the connection stays usable — the v4 twin of
+    TestHTTPRobustnessFuzz."""
+
+    BASE_SEED = 424_244
+
+    def _bodies(self, rng):
+        matrix = np.array(
+            [[(r * c) % 3 == 0 for c in range(1, 7)] for r in range(1, 9)]
+        )
+        single = encode_baskets(matrix)
+        multi = encode_baskets(matrix, shard=0) + encode_baskets(matrix, shard=1)
+        mixed = single + encode_columns({"opinion": [0.5]})
+        bodies = [mixed, b"", b"PPDM"]
+        for _ in range(12):
+            base = bytearray(rng.choice((single, multi)))
+            action = rng.random()
+            if action < 0.45:
+                base = base[: rng.randrange(1, len(base))]
+            elif action < 0.9:
+                for _ in range(rng.randint(1, 3)):
+                    base[rng.randrange(len(base))] = rng.randrange(256)
+            else:
+                base = base + bytes(rng.randrange(1, 9))
+            bodies.append(bytes(base))
+        return bodies
+
+    def test_fuzzed_basket_bodies_leave_connection_usable(self, noise):
+        import random
+
+        from repro.mining import RandomizedResponse
+        from repro.service import MiningService
+
+        service = AggregationService(
+            [AttributeSpec("opinion", Partition.uniform(0, 1, 10), noise)],
+        )
+        mining = MiningService(RandomizedResponse(keep_prob=0.9), 6, n_shards=2)
+        srv = ServiceHTTPServer(service, port=0, mining=mining)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        rng = random.Random(self.BASE_SEED)
+        host, port = srv.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for index, body in enumerate(self._bodies(rng)):
+                before = mining.n_seen
+                conn.request(
+                    "POST", "/ingest", body=body,
+                    headers={"Content-Type": CONTENT_TYPE_BASKETS},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                assert response.status in (200, 400), (
+                    f"body {index} (seed {self.BASE_SEED}) gave "
+                    f"{response.status}"
+                )
+                if response.status != 200:
+                    assert "error" in payload
+                    # a rejected body absorbs nothing (all-or-nothing)
+                    assert mining.n_seen == before
+                # the record tier never sees basket bodies
+                assert service.n_seen("opinion") == 0
+                # same connection still serves the next request
+                conn.request("GET", "/healthz")
+                health = conn.getresponse()
+                assert health.status == 200
+                json.loads(health.read())
+        finally:
+            conn.close()
+            srv.shutdown()
+            thread.join(timeout=5)
 
 
 class TestHTTPRobustnessFuzz:

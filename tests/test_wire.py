@@ -11,11 +11,15 @@ from repro.exceptions import ValidationError
 from repro.service.wire import (
     MAGIC,
     WIRE_VERSION,
+    WIRE_VERSION_BASKETS,
     WIRE_VERSION_CLASSES,
+    decode_baskets,
     decode_columns,
     decode_labeled,
+    encode_baskets,
     encode_columns,
     encode_ndjson,
+    iter_basket_frames,
     iter_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
@@ -311,6 +315,218 @@ class TestDecodeFuzz:
                 assert values.ndim == 1
             if classes is not None:
                 assert classes.ndim == 1
+
+
+class TestBasketFrames:
+    """Wire version 4: varint/offset-indexed basket frames."""
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(12345)
+        matrix = rng.random((40, 12)) < 0.3
+        decoded, shard = decode_baskets(encode_baskets(matrix, shard=2))
+        assert decoded.dtype == np.bool_
+        assert np.array_equal(decoded, matrix)
+        assert shard == 2
+
+    def test_unpinned_shard_roundtrips_none(self):
+        _, shard = decode_baskets(encode_baskets(np.eye(3, dtype=bool)))
+        assert shard is None
+
+    def test_empty_transactions_are_valid(self):
+        """MASK can disclose all-false rows; they round-trip as empties."""
+        matrix = np.zeros((5, 4), dtype=bool)
+        decoded, _ = decode_baskets(encode_baskets(matrix))
+        assert np.array_equal(decoded, matrix)
+
+    def test_dense_transactions_roundtrip(self):
+        matrix = np.ones((3, 300), dtype=bool)  # ids need 2-byte varints
+        decoded, _ = decode_baskets(encode_baskets(matrix))
+        assert np.array_equal(decoded, matrix)
+
+    def test_header_is_version_4(self):
+        frame = encode_baskets(np.eye(2, dtype=bool))
+        assert struct.unpack_from("<H", frame, 4)[0] == WIRE_VERSION_BASKETS
+
+    def test_iter_frames_concatenated(self):
+        body = encode_baskets(np.eye(3, dtype=bool)) + encode_baskets(
+            np.zeros((2, 3), dtype=bool), shard=1
+        )
+        frames = list(iter_basket_frames(body))
+        assert [(m.shape, s) for m, s in frames] == [((3, 3), None), ((2, 3), 1)]
+
+    def test_iter_frames_empty_body(self):
+        assert list(iter_basket_frames(b"")) == []
+
+    def test_encode_rejects_non_boolean(self):
+        with pytest.raises(ValidationError, match="boolean"):
+            encode_baskets(np.eye(2))
+        with pytest.raises(ValidationError, match="2-D"):
+            encode_baskets(np.array([True, False]))
+
+    def test_encode_rejects_zero_transactions(self):
+        with pytest.raises(ValidationError, match="at least one transaction"):
+            encode_baskets(np.zeros((0, 3), dtype=bool))
+
+    def test_encode_rejects_zero_items(self):
+        with pytest.raises(ValidationError, match="1..65535"):
+            encode_baskets(np.zeros((3, 0), dtype=bool))
+
+    def test_trailing_bytes_rejected_by_single_decode(self):
+        frame = encode_baskets(np.eye(2, dtype=bool))
+        with pytest.raises(ValidationError, match="trailing"):
+            decode_baskets(frame + b"\x00")
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_baskets(np.eye(2, dtype=bool)))
+        frame[:4] = b"NOPE"
+        with pytest.raises(ValidationError, match="magic"):
+            decode_baskets(bytes(frame))
+
+    def test_v1_frame_in_basket_body_rejected(self):
+        """Mixed v1/v4 bodies: a record frame is not a basket frame."""
+        body = encode_baskets(np.eye(2, dtype=bool)) + encode_columns(
+            {"x": [0.5]}
+        )
+        with pytest.raises(ValidationError, match="version"):
+            list(iter_basket_frames(body))
+
+    def test_v4_frame_in_columnar_body_rejected(self):
+        """...and symmetrically, the columnar decoders refuse v4."""
+        frame = encode_baskets(np.eye(2, dtype=bool))
+        with pytest.raises(ValidationError, match="version"):
+            decode_columns(frame)
+        with pytest.raises(ValidationError, match="version"):
+            list(iter_labeled_frames(frame))
+
+    def test_mixed_item_universes_rejected(self):
+        body = encode_baskets(np.eye(2, dtype=bool)) + encode_baskets(
+            np.eye(3, dtype=bool)
+        )
+        with pytest.raises(ValidationError, match="mixes item universes"):
+            list(iter_basket_frames(body))
+
+    def test_out_of_range_item_id_rejected(self):
+        # one transaction holding item 5 in a declared universe of 2
+        frame = (
+            struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 2, -1)
+            + b"\x01"  # 1 transaction
+            + b"\x01"  # 1 byte of ids
+            + b"\x05"  # item 5
+        )
+        with pytest.raises(ValidationError, match="outside the declared"):
+            decode_baskets(frame)
+
+    def test_non_increasing_item_ids_rejected(self):
+        frame = (
+            struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 4, -1)
+            + b"\x01"      # 1 transaction
+            + b"\x02"      # 2 bytes of ids
+            + b"\x02\x01"  # items 2, 1: out of order
+        )
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            decode_baskets(frame)
+        dupes = (
+            struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 4, -1)
+            + b"\x01\x02\x01\x01"  # items 1, 1: duplicate
+        )
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            decode_baskets(dupes)
+
+    def test_zero_transactions_rejected(self):
+        frame = struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 2, -1) + b"\x00"
+        with pytest.raises(ValidationError, match="no transactions"):
+            decode_baskets(frame)
+
+    def test_zero_item_universe_rejected(self):
+        frame = struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 0, -1) + b"\x01\x00"
+        with pytest.raises(ValidationError, match="empty item universe"):
+            decode_baskets(frame)
+
+    def test_oversized_transaction_count_rejected_without_allocation(self):
+        """An absurd declared count is refused before the matrix exists:
+        either it outruns the remaining bytes or it trips the cell cap."""
+        header = struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 65535, -1)
+        absurd = header + b"\x80\x80\x80\x80\x80\x80\x80\x80\x40"  # 2^62
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_baskets(absurd)
+        # pad so the count fits the remaining bytes: the cap catches it
+        padded = header + b"\x80\x89\x7a" + b"\x00" * 2_000_000  # 2_000_000
+        with pytest.raises(ValidationError, match="caps frames"):
+            decode_baskets(padded)
+
+    def test_runaway_varint_rejected(self):
+        frame = (
+            struct.pack("<4sHHi", MAGIC, WIRE_VERSION_BASKETS, 2, -1)
+            + b"\x80" * 11  # continuation bit forever
+        )
+        with pytest.raises(ValidationError, match="varint"):
+            decode_baskets(frame)
+
+    def test_truncated_transaction_payload(self):
+        frame = encode_baskets(np.ones((2, 3), dtype=bool))
+        with pytest.raises(ValidationError, match="truncated"):
+            decode_baskets(frame[:-1])
+
+
+class TestBasketDecodeFuzz:
+    """Randomized malformed basket bodies: always ValidationError (or a
+    clean decode), never another exception type or unbounded work —
+    the v4 twin of TestDecodeFuzz."""
+
+    BASE_SEED = 424_243
+
+    def _frames(self):
+        rng = np.random.default_rng(self.BASE_SEED)
+        return [
+            encode_baskets(rng.random((10, 6)) < 0.4, shard=1),
+            encode_baskets(np.zeros((4, 3), dtype=bool)),
+            encode_baskets(np.ones((2, 300), dtype=bool)),
+            encode_baskets(np.eye(16, dtype=bool), shard=0),
+        ]
+
+    def test_truncation_fuzz(self):
+        import random
+
+        rng = random.Random(self.BASE_SEED)
+        for index, frame in enumerate(self._frames()):
+            cuts = {rng.randrange(len(frame)) for _ in range(40)}
+            for cut in sorted(cuts):
+                try:
+                    decode_baskets(frame[:cut])
+                except ValidationError:
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    raise AssertionError(
+                        f"frame {index} truncated at {cut} raised "
+                        f"{type(exc).__name__}: {exc} (seed {self.BASE_SEED})"
+                    ) from exc
+                assert cut == len(frame), (
+                    f"frame {index}: truncation at {cut} decoded cleanly "
+                    f"(seed {self.BASE_SEED})"
+                )
+
+    def test_corruption_fuzz(self):
+        import random
+
+        rng = random.Random(self.BASE_SEED + 1)
+        frames = self._frames()
+        for case in range(150):
+            frame = bytearray(rng.choice(frames))
+            for _ in range(rng.randint(1, 4)):
+                frame[rng.randrange(len(frame))] = rng.randrange(256)
+            try:
+                matrix, shard = decode_baskets(bytes(frame))
+            except ValidationError:
+                continue
+            except Exception as exc:  # noqa: BLE001
+                raise AssertionError(
+                    f"corruption case {case} raised {type(exc).__name__}: "
+                    f"{exc} (seed {self.BASE_SEED + 1})"
+                ) from exc
+            # a surviving decode must still be structurally sound
+            assert matrix.ndim == 2
+            assert matrix.dtype == np.bool_
+            assert shard is None or isinstance(shard, int)
 
 
 class TestNDJSON:
