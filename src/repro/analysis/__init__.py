@@ -4,8 +4,10 @@ This package enforces, at the AST level, the invariants the rest of the
 repository only states in prose: lock discipline in the serving tier
 (:mod:`~repro.analysis.locks`), seeded-randomness discipline
 (:mod:`~repro.analysis.determinism`), a single source of truth for the
-binary wire format (:mod:`~repro.analysis.wire_lint`), and the
-``ReproError`` exception contract (:mod:`~repro.analysis.raising`).
+binary wire format (:mod:`~repro.analysis.wire_lint`), the
+``ReproError`` exception contract (:mod:`~repro.analysis.raising`),
+and no-swallowed-failures in the serving tier
+(:mod:`~repro.analysis.robustness`).
 
 Checkers register themselves on import via the
 :func:`~repro.analysis.registry.checker` decorator — the same
@@ -22,7 +24,7 @@ Examples
 --------
 >>> from repro.analysis import REGISTRY
 >>> REGISTRY.ids()
-('determinism', 'locks', 'raising', 'wire')
+('determinism', 'locks', 'raising', 'robustness', 'wire')
 >>> REGISTRY.rule("L001").severity
 'error'
 """

@@ -29,7 +29,13 @@ from pathlib import Path
 from typing import Iterable
 
 # importing the checker modules is what registers them
-from repro.analysis import determinism, locks, raising, wire_lint  # noqa: F401
+from repro.analysis import (  # noqa: F401
+    determinism,
+    locks,
+    raising,
+    robustness,
+    wire_lint,
+)
 from repro.analysis.findings import (
     Finding,
     diff_baseline,

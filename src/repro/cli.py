@@ -27,7 +27,10 @@ artifacts (see :mod:`repro.bench`).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.exceptions import ReproError
@@ -358,6 +361,53 @@ def _load_values(path: Path):
     return check_1d_array(values, "values")
 
 
+def _load_fault_plan(raw):
+    """``--fault-plan VALUE``: inline JSON when it starts with ``{``, else a file."""
+    import json
+
+    from repro.service.faults import FaultPlan
+
+    if raw is None:
+        return None
+    text = str(raw).strip()
+    if not text.startswith("{"):
+        path = Path(text)
+        if not path.is_file():
+            raise ReproError(f"fault plan file {text!r} does not exist")
+        text = path.read_text()
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"--fault-plan is not valid JSON: {exc}") from exc
+    return FaultPlan.from_spec(spec)
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Route SIGTERM through the ``KeyboardInterrupt`` shutdown path.
+
+    ``kill <pid>`` (systemd stop, docker stop, an operator) must run
+    the same drain-and-persist sequence as Ctrl-C — the default SIGTERM
+    action would kill the coordinator without unwinding ``finally``
+    blocks, orphaning worker processes and losing their final drains.
+    The previous handler is restored on exit so a ``main()`` called
+    from tests leaves no process-global state behind.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield  # signal handlers can only be installed in the main thread
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _serve_cluster(args) -> int:
     """``ppdm serve --workers N``: coordinator + worker-process cluster."""
     import json
@@ -369,7 +419,8 @@ def _serve_cluster(args) -> int:
     if args.snapshot:
         raise ReproError(
             "--workers starts fresh worker processes and cannot restore "
-            "--snapshot state; start the cluster from --spec"
+            "--snapshot state; start the cluster from --spec "
+            "(use --snapshot-dir for per-worker crash recovery)"
         )
     if args.max_requests is not None:
         raise ReproError("--max-requests is not supported with --workers")
@@ -398,24 +449,40 @@ def _serve_cluster(args) -> int:
         port=args.port,
         train=args.train,
         sync_interval=args.sync_interval,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_interval=args.snapshot_interval,
+        faults=_load_fault_plan(args.fault_plan),
+        max_inflight=args.max_inflight,
     )
+    result = None
     try:
-        supervisor.wait_ready()
-        print(
-            f"coordinating {args.workers} worker(s) on {supervisor.url} "
-            f"(sync interval {args.sync_interval:g}s)"
-        )
-        for worker, url in enumerate(supervisor.worker_urls()):
-            print(f"  worker {worker}: {url}  (POST /ingest here)")
-        print(
-            "endpoints: /healthz /cluster /attributes /stats /estimate "
-            "/partial" + (" /train /model" if args.train else "")
-        )
-        supervisor.wait()
+        with _graceful_sigterm():
+            supervisor.wait_ready()
+            print(
+                f"coordinating {args.workers} worker(s) on {supervisor.url} "
+                f"(sync interval {args.sync_interval:g}s)"
+            )
+            for worker, url in enumerate(supervisor.worker_urls()):
+                print(f"  worker {worker}: {url}  (POST /ingest here)")
+            print(
+                "endpoints: /healthz /cluster /attributes /stats /estimate "
+                "/partial" + (" /train /model" if args.train else "")
+            )
+            supervisor.wait()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
-        supervisor.shutdown()
+        result = supervisor.shutdown()
+    if result is not None and not result["ok"]:
+        # a worker lost its final drain (or its slot was down): surface
+        # the loss instead of exiting 0 as if the union were complete
+        reasons = "; ".join(
+            f"worker {failure['worker']}: {failure['reason']}"
+            for failure in result["failures"]
+        )
+        print(f"error: cluster shutdown was not clean: {reasons}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -432,11 +499,25 @@ def _cmd_serve(args) -> int:
 
     if args.workers is not None:
         return _serve_cluster(args)
+    if args.snapshot_dir is not None:
+        raise ReproError("--snapshot-dir is for --workers; use --snapshot")
+    if args.snapshot_interval is not None and not args.snapshot:
+        raise ReproError("--snapshot-interval needs --snapshot to write to")
+
+    from repro.service.resilience import (
+        SnapshotManager,
+        previous_snapshot_path,
+        recover_service,
+    )
 
     mining = None
     snapshot = Path(args.snapshot) if args.snapshot else None
-    if snapshot is not None and snapshot.is_file():
-        service = AggregationService.load(snapshot)
+    if snapshot is not None and (
+        snapshot.is_file() or previous_snapshot_path(snapshot).is_file()
+    ):
+        # newest valid generation wins; corrupt ones are rejected loudly
+        # (SnapshotError when none loads -> clean error exit)
+        service, recovered_from = recover_service(snapshot)
         if args.shards is not None and args.shards != service.n_shards:
             # partials are merged state, so re-sharding on restart is
             # safe: rebuild the service at the requested width
@@ -444,7 +525,7 @@ def _cmd_serve(args) -> int:
             payload["n_shards"] = args.shards
             service = AggregationService.restore(payload)
         print(
-            f"restored service from snapshot {snapshot}"
+            f"restored service from snapshot {recovered_from}"
             + (
                 "  (note: --spec ignored; the snapshot defines the schema)"
                 if args.spec
@@ -478,6 +559,8 @@ def _cmd_serve(args) -> int:
     server = ServiceHTTPServer(
         service, args.host, args.port, snapshot_path=snapshot,
         training=training, mining=mining,
+        max_inflight=args.max_inflight,
+        faults=_load_fault_plan(args.fault_plan),
     )
     records = sum(service.n_seen().values())
     print(
@@ -497,11 +580,20 @@ def _cmd_serve(args) -> int:
         + (" /train /model" if training is not None else "")
         + (" /mine /rules" if mining is not None else "")
     )
+    manager = None
+    if args.snapshot_interval is not None:
+        manager = SnapshotManager(server.persist, args.snapshot_interval)
+        manager.start()
+        print(f"auto-snapshot every {args.snapshot_interval:g}s")
     try:
-        server.serve_forever(max_requests=args.max_requests)
+        with _graceful_sigterm():
+            server.serve_forever(max_requests=args.max_requests)
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        server.begin_drain()
+        if manager is not None:
+            manager.stop(final=False)  # the exit-time persist follows
         if snapshot is not None:
             # through the server's snapshot lock, so an in-flight
             # POST /snapshot cannot interleave with the exit-time save
@@ -521,6 +613,14 @@ class _KeepAliveClient:
     request was never fully sent (``POST /ingest`` is not idempotent;
     once the body is on the wire the server may have absorbed it, so a
     lost *response* surfaces as an error instead of a silent re-send).
+
+    A 429 (admission control) or 503 (draining/fault) response that
+    carries ``Retry-After`` is different: the server's contract is that
+    such a response absorbed *nothing* from the body, so the client
+    honors the header — sleep, then re-send the identical request, up
+    to a bounded number of waits — and no admitted batch is ever
+    dropped or double-counted.  A 503 *without* ``Retry-After`` (e.g. a
+    cluster /train that needs an unreachable worker) still fails fast.
     """
 
     def __init__(self, base_url: str) -> None:
@@ -543,33 +643,58 @@ class _KeepAliveClient:
             timeout=60,
         )
 
+    #: bounded Retry-After waits per request (overload must end sometime)
+    MAX_OVERLOAD_WAITS = 8
+
     def request(
         self, method: str, path: str, body: bytes = None,
         content_type: str = "application/json",
     ) -> dict:
         import http.client
         import json
+        import time
 
         headers = {"Content-Type": content_type} if body is not None else {}
         path = self._prefix + path
-        for attempt in (1, 2):
-            sent = False
-            try:
-                self._conn.request(method, path, body=body, headers=headers)
-                sent = True
-                response = self._conn.getresponse()
-                raw = response.read()
-                status = response.status
-                break
-            except (http.client.HTTPException, ConnectionError, OSError) as exc:
-                self._conn.close()  # drop the stale socket
-                # redial once — but never re-send a request the server
-                # may already have processed (a non-GET that failed
-                # after the body went out): /ingest is not idempotent
-                if attempt == 2 or (sent and method != "GET"):
-                    raise ReproError(
-                        f"server request {path} failed: {exc}"
-                    ) from exc
+        overload_waits = 0
+        while True:
+            for attempt in (1, 2):
+                sent = False
+                try:
+                    self._conn.request(
+                        method, path, body=body, headers=headers
+                    )
+                    sent = True
+                    response = self._conn.getresponse()
+                    raw = response.read()
+                    status = response.status
+                    retry_after = response.getheader("Retry-After")
+                    break
+                except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                    self._conn.close()  # drop the stale socket
+                    # redial once — but never re-send a request the server
+                    # may already have processed (a non-GET that failed
+                    # after the body went out): /ingest is not idempotent
+                    if attempt == 2 or (sent and method != "GET"):
+                        raise ReproError(
+                            f"server request {path} failed: {exc}"
+                        ) from exc
+            if (
+                status in (429, 503)
+                and retry_after is not None
+                and overload_waits < self.MAX_OVERLOAD_WAITS
+            ):
+                # Retry-After is the server's promise that nothing of
+                # this body was absorbed: waiting and re-sending the
+                # identical request cannot double-count
+                overload_waits += 1
+                try:
+                    delay = float(retry_after)
+                except ValueError:
+                    delay = 1.0
+                time.sleep(min(max(delay, 0.0), 30.0))
+                continue
+            break
         try:
             payload = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -1158,6 +1283,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--sync-interval", type=float, default=5.0,
         help="seconds between worker partial pushes (--workers only); "
         "/estimate and /train also pull on demand",
+    )
+    p.add_argument(
+        "--snapshot-interval", type=float, default=None,
+        help="auto-snapshot period in seconds (atomic write, one rotated "
+        "generation kept); needs --snapshot, or --snapshot-dir with "
+        "--workers",
+    )
+    p.add_argument(
+        "--snapshot-dir", type=Path, default=None,
+        help="--workers only: directory of per-worker snapshot files "
+        "(worker-<i>.json); a supervised restart recovers the worker's "
+        "cumulative state instead of resetting its slot",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="admission control: bound on concurrently-processing POST "
+        "/ingest bodies; past it the server sheds load with 429 + "
+        "Retry-After (nothing absorbed; clients re-send)",
+    )
+    p.add_argument(
+        "--fault-plan", default=None,
+        help="seeded chaos: a fault-plan spec as inline JSON or a file "
+        "path (also honored from PPDM_FAULT_PLAN; see "
+        "repro.service.faults)",
     )
     p.set_defaults(func=_cmd_serve)
 

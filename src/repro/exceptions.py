@@ -62,6 +62,18 @@ class ClusterError(ReproError, RuntimeError):
     """
 
 
+class SnapshotError(ReproError, OSError):
+    """The durability layer failed to persist or recover a snapshot.
+
+    Raised by :mod:`repro.service.resilience` (and the HTTP front end's
+    ``/snapshot`` route) when an atomic snapshot write fails — disk
+    full, injected chaos fault, unwritable directory — or when recovery
+    finds no loadable generation.  Subclasses :class:`OSError` because
+    the proximate cause is an I/O failure, and :class:`ReproError` so a
+    single ``except ReproError`` still catches every deliberate error.
+    """
+
+
 class AnalysisError(ReproError, RuntimeError):
     """The static-analysis layer (``ppdm lint``) hit an unusable state.
 

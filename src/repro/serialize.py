@@ -33,6 +33,8 @@ Examples
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -345,22 +347,68 @@ def _dispatch_jsonable(payload: dict, kind):
     raise ValidationError(f"unknown serialization kind {kind!r}")
 
 
-def save(obj, path) -> None:
-    """Serialize ``obj`` to a JSON file (atomically).
+def payload_digest(payload: dict) -> str:
+    """Canonical SHA-256 digest of a snapshot dict (sans ``integrity``).
 
-    The document is written to a sibling temp file and moved into place
-    with ``os.replace``, so a crash — or a server killed mid-snapshot —
-    can never leave a truncated file where a valid snapshot was.
+    The digest is computed over the sorted-key JSON encoding of the
+    payload with any existing ``integrity`` entry removed, so the value
+    can be embedded into the document it covers.
+    """
+    body = {k: v for k, v in payload.items() if k != "integrity"}
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def save(obj, path) -> None:
+    """Serialize ``obj`` to a JSON file (atomically and durably).
+
+    The document carries an ``integrity`` SHA-256 digest of its own
+    canonical encoding (verified by :func:`load`), is written to a
+    sibling temp file, flushed and fsynced, then moved into place with
+    ``os.replace`` — and the directory entry is fsynced too — so a
+    crash, a full disk, or a server killed mid-snapshot can never leave
+    a truncated or silently-corrupt file where a valid snapshot was.
     """
     path = Path(path)
-    payload = json.dumps(to_jsonable(obj))
+    payload = to_jsonable(obj)
+    payload["integrity"] = payload_digest(payload)
+    document = json.dumps(payload)
     temp = path.with_name(path.name + ".tmp")
-    temp.write_text(payload)
-    os.replace(temp, path)
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        _fsync_dir(path.parent)
+    except OSError:
+        with contextlib.suppress(OSError):  # best effort; original error wins
+            temp.unlink()
+        raise
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory entry; skipped where directories can't be opened."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def load(path):
-    """Load an object saved with :func:`save`."""
+    """Load an object saved with :func:`save`.
+
+    When the document embeds an ``integrity`` digest, it is verified
+    against the payload before any reconstruction: a mismatch means the
+    bytes on disk are not the bytes that were written, and surfaces as
+    a loud :class:`~repro.exceptions.SerializationError` rather than a
+    quietly wrong model.  Digest-less documents (pre-upgrade snapshots,
+    hand-written specs) still load.
+    """
     path = Path(path)
     try:
         payload = json.loads(path.read_text())
@@ -368,4 +416,13 @@ def load(path):
         raise ValidationError(
             f"{str(path)!r} is not valid JSON ({exc}); not a repro snapshot"
         ) from exc
+    if isinstance(payload, dict) and "integrity" in payload:
+        claimed = payload.pop("integrity")
+        actual = payload_digest(payload)
+        if claimed != actual:
+            raise SerializationError(
+                f"{str(path)!r} is corrupt: integrity digest mismatch "
+                f"(snapshot claims {str(claimed)[:12]}..., payload hashes "
+                f"to {actual[:12]}...)"
+            )
     return from_jsonable(payload)

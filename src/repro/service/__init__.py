@@ -43,7 +43,20 @@ that server's aggregation tier:
   (:func:`encode_partial` / :class:`PartialShipper`), a
   :class:`ClusterCoordinator` replaces each worker's dedicated shard
   slot idempotently, and estimates/training over the union stay
-  bit-identical to one process fed the same records.
+  bit-identical to one process fed the same records,
+* :mod:`repro.service.faults` — :class:`FaultPlan`: deterministic,
+  seeded fault injection (drop/delay/5xx a response, truncate a wire
+  frame, fail a snapshot write, SIGKILL a worker) threaded through the
+  HTTP front end, the shipper, registration, and the supervisor so
+  chaos runs replay bit-identically,
+* :mod:`repro.service.resilience` — crash-safe durability (atomic
+  fsynced snapshot writes with an integrity digest, one rotated
+  generation, newest-valid-generation recovery, periodic
+  auto-snapshots) plus the degradation primitives:
+  :class:`CircuitBreaker` (closed/open/half-open pushes),
+  :class:`AdmissionController` (bounded in-flight ingest, 429 +
+  Retry-After), and :class:`RestartBudget` (supervised worker restarts
+  under a sliding-window cap).
 
 Estimates are bit-identical to a single-stream
 :class:`~repro.core.streaming.StreamingReconstructor` fed the same
@@ -58,7 +71,13 @@ from repro.service.cluster import (
     PartialShipper,
     export_sync_body,
 )
+from repro.service.faults import FaultPlan
 from repro.service.httpd import ServiceHTTPServer
+from repro.service.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    RestartBudget,
+)
 from repro.service.mining import MinedRules, MiningService, mining_from_spec
 from repro.service.service import AggregationService, service_from_spec
 from repro.service.shards import (
@@ -90,16 +109,20 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    "AdmissionController",
     "AggregationService",
     "AttributeSpec",
+    "CircuitBreaker",
     "ClusterCoordinator",
     "ColumnLayout",
+    "FaultPlan",
     "HistogramShard",
     "MinedRules",
     "MiningService",
     "PartialShipper",
     "PreparedBaskets",
     "PreparedBatch",
+    "RestartBudget",
     "ShardSet",
     "ServiceHTTPServer",
     "SupportShard",

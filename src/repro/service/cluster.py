@@ -49,14 +49,30 @@ fresh interpreter.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
+import os
+import signal
 import threading
 import time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
-from repro.exceptions import ClusterError, ValidationError
+from repro.exceptions import (
+    ClusterError,
+    ReproError,
+    SnapshotError,
+    ValidationError,
+)
+from repro.service.faults import FaultPlan
 from repro.service.httpd import ServiceHTTPServer
+from repro.service.resilience import (
+    CircuitBreaker,
+    RestartBudget,
+    SnapshotManager,
+    recover_service,
+)
 from repro.service.service import AggregationService, service_from_spec
 from repro.service.training import TrainedModel, TrainingService
 from repro.service.wire import (
@@ -82,6 +98,11 @@ _DEFAULT_STALE_AFTER = 15.0
 #: default per-request timeout for cluster-internal HTTP (seconds)
 _DEFAULT_TIMEOUT = 10.0
 
+#: exit code a worker uses when its final drain push (or snapshot) failed
+_DRAIN_FAILED_EXIT = 3
+
+logger = logging.getLogger("repro.service.cluster")
+
 
 def _default_fetch(
     url: str,
@@ -104,11 +125,10 @@ def _default_fetch(
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return bytes(response.read())
     except urllib.error.HTTPError as exc:
-        detail = ""
         try:
             detail = exc.read().decode("utf-8", "replace")[:200]
         except OSError:  # pragma: no cover - body already gone
-            pass
+            detail = ""
         raise ClusterError(
             f"{url} answered HTTP {exc.code}: {detail or exc.reason}"
         ) from exc
@@ -243,6 +263,8 @@ class ClusterCoordinator:
         # guards the registry and every _WorkerLink field; held only for
         # in-memory bookkeeping, never across HTTP or service calls
         self._lock = threading.Lock()
+        # optional supervision-status provider (set by ClusterSupervisor)
+        self._supervision = None
 
     # ------------------------------------------------------------------
     # Registration + push (worker-initiated)
@@ -425,13 +447,30 @@ class ClusterCoordinator:
         degraded = len(workers) < self.n_workers or any(
             entry["stale"] for entry in workers
         )
-        return {
+        payload = {
             "n_workers": self.n_workers,
             "registered": len(workers),
             "stale_after": self.stale_after,
             "degraded": degraded,
             "workers": workers,
         }
+        if self._supervision is not None:
+            supervision = self._supervision()
+            payload["supervision"] = supervision
+            if supervision.get("exhausted") or not all(
+                supervision.get("alive", ())
+            ):
+                payload["degraded"] = True
+        return payload
+
+    def attach_supervision(self, provider) -> None:
+        """Attach a supervision-status callable reported by :meth:`health`.
+
+        :class:`ClusterSupervisor` installs its own status here so
+        ``/healthz`` and ``GET /cluster`` expose restart counts, live
+        flags, and exhausted (permanently degraded) worker slots.
+        """
+        self._supervision = provider
 
 
 # ----------------------------------------------------------------------
@@ -447,6 +486,7 @@ def register_worker(
     timeout: float = _DEFAULT_TIMEOUT,
     fetch=None,
     sleep=time.sleep,
+    faults: FaultPlan | None = None,
 ) -> dict:
     """Announce a worker to the coordinator, retrying with backoff.
 
@@ -454,13 +494,23 @@ def register_worker(
     may hit a coordinator that is not listening yet; registration keeps
     retrying (delays double up to ~8 s) until it lands or ``retries``
     are spent (then the last :class:`~repro.exceptions.ClusterError`
-    propagates).
+    propagates).  A fault plan with a ``register.request`` point can
+    drop or delay individual attempts (chaos testing the retry path).
     """
     fetch = _default_fetch if fetch is None else fetch
     body = json.dumps({"worker": int(worker), "url": worker_url}).encode()
     delay = backoff
     for attempt in range(max(1, int(retries))):
         try:
+            if faults is not None:
+                action = faults.decide("register.request")
+                if action is not None and action.kind == "drop":
+                    raise ClusterError(
+                        f"injected fault: registration attempt dropped "
+                        f"({action.point} #{action.index})"
+                    )
+                if action is not None and action.kind == "delay":
+                    sleep(action.value)
             raw = fetch(
                 coordinator_url.rstrip("/") + "/register",
                 data=body,
@@ -524,6 +574,8 @@ class PartialShipper:
         timeout: float = _DEFAULT_TIMEOUT,
         fetch=None,
         sleep=time.sleep,
+        breaker: CircuitBreaker | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if interval <= 0:
             raise ValidationError(
@@ -545,20 +597,53 @@ class PartialShipper:
         self._sleep = sleep
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # closed/open/half-open gate: after breaker.failure_threshold
+        # consecutive failed pushes the interval loop stops hammering the
+        # coordinator and probes it once per reset timeout instead
+        self.breaker = (
+            CircuitBreaker(
+                failure_threshold=3,
+                reset_timeout=max(2.0 * float(interval), 1.0),
+            )
+            if breaker is None
+            else breaker
+        )
+        self.faults = faults
         self.pushes = 0
         self.failures = 0
+        self.skipped = 0
 
-    def push(self) -> bool:
+    def push(self, *, force: bool = False) -> bool:
         """Export and push once, retrying with backoff; True on success.
 
         Every attempt re-exports fresh cumulative state (an O(bins)
         merge), so the retry that finally lands carries everything
-        absorbed during the backoff sleeps too.
+        absorbed during the backoff sleeps too.  While the circuit
+        breaker is open the push is skipped outright (counted in
+        ``skipped``) unless ``force`` is set — the drain flush always
+        tries, whatever the breaker thinks.
         """
+        if not force and not self.breaker.allow():
+            self.skipped += 1
+            return False
         delay = self._backoff
         for attempt in range(self._retries):
             body = export_sync_body(self.service, self.training)
             try:
+                if self.faults is not None:
+                    action = self.faults.decide("shipper.push")
+                    if action is not None:
+                        if action.kind == "truncate":
+                            # ship a cut-off frame: the coordinator must
+                            # reject it wholesale (400 -> ClusterError)
+                            body = body[: int(len(body) * action.value)]
+                        elif action.kind == "drop":
+                            raise ClusterError(
+                                f"injected fault: push attempt dropped "
+                                f"({action.point} #{action.index})"
+                            )
+                        elif action.kind == "delay":
+                            self._sleep(action.value)
                 self._fetch(
                     self._url,
                     data=body,
@@ -568,11 +653,13 @@ class PartialShipper:
             except ClusterError:
                 if attempt + 1 >= self._retries:
                     self.failures += 1
+                    self.breaker.record_failure()
                     return False
                 self._sleep(delay)
                 delay = min(delay * 2, 8.0)
                 continue
             self.pushes += 1
+            self.breaker.record_success()
             return True
         return False  # pragma: no cover - loop always returns
 
@@ -596,33 +683,80 @@ class PartialShipper:
         The drain push is the shutdown contract: whatever the worker
         absorbed since the last interval push reaches the coordinator
         before the process exits.  Returns the drain push's success
-        (True when ``drain`` is off).
+        (True when ``drain`` is off) — callers must surface ``False``,
+        it means the coordinator never saw this worker's final records.
+        The drain bypasses an open circuit breaker (``force=True``).
         """
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=max(self._timeout, self.interval) + 5.0)
             self._thread = None
         if drain:
-            return self.push()
+            drained = self.push(force=True)
+            if not drained:
+                logger.warning(
+                    "worker %d final drain push failed after %d "
+                    "attempt(s); the coordinator is missing its last "
+                    "records",
+                    self.worker,
+                    self._retries,
+                )
+            return drained
         return True
 
 
 # ----------------------------------------------------------------------
 # Process topology
 # ----------------------------------------------------------------------
-def _worker_main(config: dict, stop_event) -> None:
+def _worker_main(config: dict) -> None:
     """Entry point of one spawned worker process.
 
     Builds a full service (plus training when configured) from the
     deployment spec, serves it on an ephemeral port, registers with the
     coordinator (retrying until it is up), ships partials on the sync
-    interval, and on the supervisor's stop signal drains one final push
-    before exiting.
+    interval, and on the supervisor's stop signal (SIGTERM) drains one
+    final push before exiting.  With a per-worker ``snapshot_path`` the
+    worker recovers its cumulative state from the newest valid
+    generation at startup (so a supervised restart resumes the slot
+    instead of replacing it with empty counts), auto-snapshots every
+    ``snapshot_interval`` seconds, and persists once more at exit.  A
+    failed final drain (or final snapshot) exits with code
+    ``_DRAIN_FAILED_EXIT`` so the supervisor can report the loss.
+
+    The stop signal is deliberately an OS signal and a *process-local*
+    event, never shared IPC state: a ``multiprocessing.Event`` waiter
+    that dies under SIGKILL leaves the event's internal condition
+    counting a sleeper that will never wake, deadlocking the next
+    ``set()`` — exactly the crash the supervisor must survive.
     """
-    service = service_from_spec(config["spec"])
+    stop = threading.Event()
+    # installed before any blocking work so an early terminate() still
+    # lands on the graceful path; Ctrl-C belongs to the supervisor
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    faults = FaultPlan.from_spec(config.get("faults"))
+    if faults is None:
+        faults = FaultPlan.from_env()
+    snapshot_path = config.get("snapshot_path")
+    service = None
+    if snapshot_path is not None:
+        try:
+            service, recovered_from = recover_service(snapshot_path)
+            logger.warning(
+                "worker %d recovered %d record(s) from %s",
+                config["worker"],
+                sum(service.n_seen().values()),
+                recovered_from,
+            )
+        except SnapshotError:
+            service = None  # first boot: nothing persisted yet
+    if service is None:
+        service = service_from_spec(config["spec"])
     training = TrainingService(service) if config.get("train") else None
     server = ServiceHTTPServer(
-        service, config.get("host", "127.0.0.1"), 0, training=training
+        service, config.get("host", "127.0.0.1"), 0, training=training,
+        snapshot_path=snapshot_path, faults=faults,
+        max_inflight=config.get("max_inflight"),
     )
     serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
     serve_thread.start()
@@ -632,16 +766,41 @@ def _worker_main(config: dict, stop_event) -> None:
         config["worker"],
         interval=config.get("sync_interval", 5.0),
         training=training,
+        faults=faults,
     )
+    manager = None
+    if snapshot_path is not None and config.get("snapshot_interval"):
+        manager = SnapshotManager(
+            server.persist, float(config["snapshot_interval"])
+        ).start()
+    drained = True
+    persisted = True
     try:
         register_worker(
-            config["coordinator_url"], config["worker"], server.url
+            config["coordinator_url"], config["worker"], server.url,
+            faults=faults,
         )
         shipper.start()
-        stop_event.wait()
+        stop.wait()
     finally:
-        shipper.stop(drain=True)
+        server.begin_drain()
+        drained = shipper.stop(drain=True)
+        if manager is not None:
+            persisted = manager.stop(final=True)
+        elif snapshot_path is not None:
+            try:
+                server.persist()
+            except (ReproError, OSError) as exc:
+                logger.warning(
+                    "worker %d exit-time snapshot failed: %s",
+                    config["worker"], exc,
+                )
+                persisted = False
         server.shutdown()
+    if not drained or not persisted:
+        # reached only on a clean stop signal: surface the lost drain as
+        # a nonzero exit code the supervisor turns into a non-OK result
+        raise SystemExit(_DRAIN_FAILED_EXIT)
 
 
 class ClusterSupervisor:
@@ -652,7 +811,16 @@ class ClusterSupervisor:
     setting up); :meth:`wait` blocks the calling thread until
     interrupted, and :meth:`shutdown` stops the cluster in drain order —
     workers first (each flushes a final partial to the still-serving
-    coordinator), coordinator last.
+    coordinator), coordinator last — and returns a result dict whose
+    ``ok`` flag is False when any worker lost its final drain.
+
+    Given a spawn ``context`` and per-worker ``configs``, the supervisor
+    also *monitors*: a thread polls worker liveness, respawns dead
+    processes under each worker's :class:`RestartBudget` (exponential
+    backoff, sliding-window cap), and reports restart counts plus
+    exhausted (permanently degraded) slots through the coordinator's
+    health payload.  A fault plan with a ``supervisor.kill`` point lets
+    a chaos run SIGKILL live workers deterministically.
     """
 
     def __init__(
@@ -660,18 +828,45 @@ class ClusterSupervisor:
         server: ServiceHTTPServer,
         coordinator: ClusterCoordinator,
         processes,
-        stop_event,
+        *,
+        context=None,
+        configs=None,
+        budgets=None,
+        faults: FaultPlan | None = None,
+        poll_interval: float = 0.2,
+        snapshot_manager: SnapshotManager | None = None,
     ) -> None:
         self.server = server
         self.coordinator = coordinator
         self.processes = list(processes)
-        self._stop_event = stop_event
+        self._snapshot_manager = snapshot_manager
         self._done = threading.Event()
+        self._context = context
+        self._configs = list(configs) if configs is not None else None
+        self._faults = faults
+        self._poll_interval = float(poll_interval)
+        # guards self.processes / restart bookkeeping: the monitor thread
+        # swaps restarted Process objects in while other threads iterate
+        self._plock = threading.Lock()
+        self.restarts = [0] * len(self.processes)
+        self._exhausted = [False] * len(self.processes)
+        if budgets is None:
+            budgets = [RestartBudget() for _ in self.processes]
+        self._budgets = list(budgets)
+        self._shutdown_result: dict | None = None
+        self._monitor_stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        coordinator.attach_supervision(self.supervision)
         self._serve_thread = threading.Thread(
             target=self.server.serve_forever, name="cluster-coordinator",
             daemon=True,
         )
         self._serve_thread.start()
+        if self._context is not None and self._configs is not None:
+            self._monitor = threading.Thread(
+                target=self._watch, name="cluster-supervisor", daemon=True,
+            )
+            self._monitor.start()
 
     @property
     def url(self) -> str:
@@ -684,6 +879,71 @@ class ClusterSupervisor:
             entry["url"] for entry in self.coordinator.health()["workers"]
         ]
 
+    def supervision(self) -> dict:
+        """Live supervision status (surfaced by the coordinator's health)."""
+        with self._plock:
+            return {
+                "supervised": self._monitor is not None,
+                "alive": [p.is_alive() for p in self.processes],
+                "restarts": list(self.restarts),
+                "exhausted": [
+                    i for i, flag in enumerate(self._exhausted) if flag
+                ],
+            }
+
+    # ------------------------------------------------------------------
+    # Monitoring / restart
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int):
+        process = self._context.Process(
+            target=_worker_main, args=(self._configs[index],),
+            name=f"ppdm-worker-{index}", daemon=True,
+        )
+        process.start()
+        return process
+
+    def _watch(self) -> None:
+        while not self._monitor_stop.wait(self._poll_interval):
+            with self._plock:
+                snapshot = list(enumerate(self.processes))
+            for index, process in snapshot:
+                if self._monitor_stop.is_set():
+                    return
+                if self._faults is not None and process.is_alive():
+                    action = self._faults.decide(
+                        "supervisor.kill", qualifier=str(index)
+                    )
+                    if action is not None and action.kind == "kill":
+                        logger.warning(
+                            "injected fault: SIGKILL worker %d (pid %s, "
+                            "%s #%d)",
+                            index, process.pid, action.point, action.index,
+                        )
+                        os.kill(process.pid, signal.SIGKILL)
+                        process.join(10.0)
+                if process.is_alive() or self._exhausted[index]:
+                    continue
+                delay = self._budgets[index].spend()
+                if delay is None:
+                    with self._plock:
+                        self._exhausted[index] = True
+                    logger.warning(
+                        "worker %d died (exit code %s) with its restart "
+                        "budget exhausted; the slot stays degraded",
+                        index, process.exitcode,
+                    )
+                    continue
+                logger.warning(
+                    "worker %d died (exit code %s); restarting in %.2fs",
+                    index, process.exitcode, delay,
+                )
+                if self._monitor_stop.wait(delay):
+                    return
+                replacement = self._spawn(index)
+                with self._plock:
+                    self.processes[index] = replacement
+                    self.restarts[index] += 1
+
     def wait_ready(self, timeout: float = 30.0) -> "ClusterSupervisor":
         """Block until every worker has registered (and raise past ``timeout``)."""
         deadline = time.monotonic() + timeout
@@ -691,8 +951,13 @@ class ClusterSupervisor:
             health = self.coordinator.health()
             if health["registered"] >= self.coordinator.n_workers:
                 return self
-            for process in self.processes:
-                if not process.is_alive():
+            with self._plock:
+                snapshot = list(enumerate(self.processes))
+            for index, process in snapshot:
+                dead = not process.is_alive()
+                # under supervision a dead worker may be mid-restart;
+                # only an exhausted slot is hopeless
+                if dead and (self._monitor is None or self._exhausted[index]):
                     raise ClusterError(
                         f"worker process pid={process.pid} exited with "
                         f"code {process.exitcode} before registering"
@@ -709,17 +974,82 @@ class ClusterSupervisor:
         """Block until :meth:`shutdown` (or KeyboardInterrupt) unblocks us."""
         self._done.wait()
 
-    def shutdown(self, timeout: float = 30.0) -> None:
-        """Drain and stop: workers flush final partials, then the server."""
-        self._stop_event.set()
-        for process in self.processes:
+    def shutdown(self, timeout: float = 30.0) -> dict:
+        """Drain and stop: workers flush final partials, then the server.
+
+        Returns ``{"ok": bool, "failures": [...], "restarts": [...],
+        "exhausted": [...]}``.  ``ok`` is False — and a warning is
+        logged — when any worker was terminated without exiting, exited
+        nonzero (a failed final drain exits ``_DRAIN_FAILED_EXIT``), or
+        had exhausted its restart budget; callers such as ``ppdm serve
+        --workers`` exit nonzero on it instead of losing the outcome
+        silently.  Idempotent: repeated calls return the first result.
+        """
+        if self._shutdown_result is not None:
+            return self._shutdown_result
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+        failures = []
+        with self._plock:
+            processes = list(self.processes)
+            exhausted = [
+                i for i, flag in enumerate(self._exhausted) if flag
+            ]
+        # the stop signal is SIGTERM per live process, never a shared
+        # multiprocessing.Event: a SIGKILLed waiter leaves such an event
+        # with a sleeper that never wakes, deadlocking set() (and with
+        # it every future shutdown)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for index, process in enumerate(processes):
             process.join(timeout)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(5.0)
+                failures.append({
+                    "worker": index,
+                    "reason": "did not exit in time; terminated",
+                })
+            elif index in exhausted:
+                failures.append({
+                    "worker": index,
+                    "reason": "restart budget exhausted; slot was down",
+                })
+            elif process.exitcode != 0:
+                reason = (
+                    "final drain failed"
+                    if process.exitcode == _DRAIN_FAILED_EXIT
+                    else f"exit code {process.exitcode}"
+                )
+                failures.append({"worker": index, "reason": reason})
+        if self._snapshot_manager is not None:
+            # after the drain pushes landed, so the final coordinator
+            # snapshot holds every worker's last cumulative state
+            if not self._snapshot_manager.stop(final=True):
+                failures.append({
+                    "worker": "coordinator",
+                    "reason": "final coordinator snapshot failed",
+                })
         self.server.shutdown()
         self._serve_thread.join(timeout)
         self._done.set()
+        result = {
+            "ok": not failures,
+            "failures": failures,
+            "restarts": list(self.restarts),
+            "exhausted": exhausted,
+        }
+        if failures:
+            logger.warning(
+                "cluster shutdown was not clean: %s",
+                "; ".join(
+                    f"worker {f['worker']}: {f['reason']}" for f in failures
+                ),
+            )
+        self._shutdown_result = result
+        return result
 
 
 def start_cluster(
@@ -732,6 +1062,13 @@ def start_cluster(
     sync_interval: float = 5.0,
     stale_after: float | None = None,
     snapshot_path=None,
+    snapshot_dir=None,
+    snapshot_interval: float | None = None,
+    faults=None,
+    restart_limit: int = 5,
+    restart_window: float = 60.0,
+    restart_backoff: float = 0.1,
+    max_inflight: int | None = None,
 ) -> ClusterSupervisor:
     """Launch a coordinator + ``n_workers`` worker-process cluster.
 
@@ -743,11 +1080,41 @@ def start_cluster(
     Returns a :class:`ClusterSupervisor`; call
     :meth:`~ClusterSupervisor.wait_ready` to block until every worker is
     registered and :meth:`~ClusterSupervisor.shutdown` to drain and stop.
+
+    Resilience knobs: ``snapshot_dir`` gives every worker a private
+    snapshot file (``worker-<i>.json``) it recovers from after a
+    supervised restart and persists at exit; ``snapshot_interval``
+    auto-snapshots workers (and, when ``snapshot_path`` is set, the
+    coordinator) on that period; ``faults`` is a
+    :class:`~repro.service.faults.FaultPlan` (or spec dict) shipped to
+    every process; ``restart_limit``/``restart_window``/
+    ``restart_backoff`` parameterize each worker's
+    :class:`~repro.service.resilience.RestartBudget`; ``max_inflight``
+    bounds each worker's concurrent ingest bodies (429 + Retry-After
+    past it).  ``snapshot_dir`` is incompatible with ``train=True`` —
+    the labeled row buffer is not part of the aggregation snapshot, so
+    a restored worker would ship aggregates without their rows.
     """
     if n_workers < 1:
         raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
     if not isinstance(spec, dict):
         raise ValidationError("the deployment spec must be a dict")
+    if snapshot_dir is not None and train:
+        raise ValidationError(
+            "snapshot_dir cannot be combined with train=True: the "
+            "training row buffer is not part of the aggregation "
+            "snapshot, so a recovered worker would sync aggregates "
+            "without their labeled rows"
+        )
+    if snapshot_interval is not None and (
+        snapshot_dir is None and snapshot_path is None
+    ):
+        raise ValidationError(
+            "snapshot_interval needs snapshot_dir (worker snapshots) "
+            "or snapshot_path (coordinator snapshot) to write to"
+        )
+    plan = faults if isinstance(faults, FaultPlan) else FaultPlan.from_spec(faults)
+    fault_spec = plan.to_spec() if plan is not None else None
     coordinator_spec = dict(spec)
     coordinator_spec["shards"] = int(n_workers)
     service = service_from_spec(coordinator_spec)
@@ -762,12 +1129,15 @@ def start_cluster(
     )
     server = ServiceHTTPServer(
         service, host, port, cluster=coordinator, training=training,
-        snapshot_path=snapshot_path,
+        snapshot_path=snapshot_path, faults=plan,
     )
     context = multiprocessing.get_context("spawn")
-    stop_event = context.Event()
     processes = []
+    configs = []
     for worker in range(n_workers):
+        worker_snapshot = None
+        if snapshot_dir is not None:
+            worker_snapshot = str(Path(snapshot_dir) / f"worker-{worker}.json")
         config = {
             "spec": dict(spec),
             "worker": worker,
@@ -775,11 +1145,35 @@ def start_cluster(
             "host": host,
             "train": bool(train),
             "sync_interval": float(sync_interval),
+            "snapshot_path": worker_snapshot,
+            "snapshot_interval": (
+                float(snapshot_interval) if snapshot_interval else None
+            ),
+            "faults": fault_spec,
+            "max_inflight": max_inflight,
         }
+        configs.append(config)
         process = context.Process(
-            target=_worker_main, args=(config, stop_event),
+            target=_worker_main, args=(config,),
             name=f"ppdm-worker-{worker}", daemon=True,
         )
         process.start()
         processes.append(process)
-    return ClusterSupervisor(server, coordinator, processes, stop_event)
+    budgets = [
+        RestartBudget(
+            max_restarts=restart_limit,
+            window=restart_window,
+            backoff=restart_backoff,
+        )
+        for _ in range(n_workers)
+    ]
+    manager = None
+    if snapshot_path is not None and snapshot_interval:
+        manager = SnapshotManager(
+            server.persist, float(snapshot_interval)
+        ).start()
+    return ClusterSupervisor(
+        server, coordinator, processes,
+        context=context, configs=configs, budgets=budgets, faults=plan,
+        snapshot_manager=manager,
+    )

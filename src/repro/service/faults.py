@@ -1,0 +1,310 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+Chaos engineering is only useful when a failing run can be replayed:
+this module gives the serving tier named *injection points* (an HTTP
+response about to be sent, a shipper push about to go on the wire, a
+snapshot write, a live worker process) whose behaviour is driven by a
+:class:`FaultPlan` — a seed plus per-point action probabilities.  Every
+decision is a pure function of ``(seed, point key, attempt number)``
+via SHA-256, so the *n*-th request at a point sees the same fault on
+every run, on every machine, regardless of thread scheduling.  No
+global RNG state is consulted and no RNG object is constructed, which
+keeps the plan compatible with the project's determinism lints.
+
+A plan is a JSON-able spec::
+
+    {"seed": 7,
+     "points": {"httpd.response:/partial": {"error": 0.5, "max": 6},
+                "shipper.push": {"truncate": 0.25, "drop": 0.25},
+                "snapshot.write": {"fail": 1.0, "max": 1}}}
+
+Point names used by the stack:
+
+``httpd.response``
+    Consulted by :class:`~repro.service.httpd.ServiceHTTPServer`'s
+    handler once the request body has been read, with the request path
+    as qualifier (so ``httpd.response:/partial`` targets only partial
+    syncs).  Actions: ``drop`` (close the connection without a
+    response), ``error`` (reply 503 + ``Retry-After``), ``delay``.
+``shipper.push``
+    Consulted by :class:`~repro.service.cluster.PartialShipper` before
+    each push attempt.  Actions: ``truncate`` (ship a cut-off frame),
+    ``drop`` (fail the attempt without touching the wire), ``delay``.
+``snapshot.write``
+    Consulted by the durability layer inside the snapshot lock.
+    Action: ``fail`` (raise before any byte is written).
+``supervisor.kill``
+    Consulted by :class:`~repro.service.cluster.ClusterSupervisor`'s
+    monitor, with the worker index as qualifier.  Action: ``kill``
+    (SIGKILL the live worker process).
+``register.request``
+    Consulted by :func:`~repro.service.cluster.register_worker` before
+    each registration attempt.  Actions: ``drop``, ``delay``.
+
+Examples
+--------
+>>> from repro.service.faults import FaultPlan
+>>> plan = FaultPlan({"seed": 7, "points": {"demo": {"error": 1.0, "max": 2}}})
+>>> [a.kind if a else None
+...  for a in (plan.decide("demo"), plan.decide("demo"), plan.decide("demo"))]
+['error', 'error', None]
+>>> FaultPlan({"seed": 7, "points": {"demo": {"error": 0.5}}}).decide("other")
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ACTION_KINDS", "FaultAction", "FaultPlan"]
+
+#: action kinds in the (fixed) order probability mass is assigned
+ACTION_KINDS = ("drop", "error", "delay", "truncate", "fail", "kill")
+
+#: environment variable holding a plan spec (inline JSON or ``@path``)
+PLAN_ENV_VAR = "PPDM_FAULT_PLAN"
+
+_POINT_OPTIONS = ("max", "status", "delay_seconds", "fraction")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault the plan decided to inject.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ACTION_KINDS`.
+    point:
+        The spec key that matched (qualified form when one existed).
+    index:
+        0-based count of faults fired at this point so far.
+    value:
+        Action parameter — delay seconds for ``delay``, surviving
+        fraction of the frame for ``truncate``, else ``0.0``.
+    status:
+        HTTP status for ``error`` actions (default 503).
+    """
+
+    kind: str
+    point: str
+    index: int
+    value: float = 0.0
+    status: int = 503
+
+
+class _Point:
+    """Mutable per-point state: configured rates plus fire counters."""
+
+    __slots__ = ("rates", "max_fires", "status", "delay_seconds",
+                 "fraction", "attempts", "fired")
+
+    def __init__(self, key: str, options: Mapping[str, object]) -> None:
+        if not isinstance(options, Mapping):
+            raise ValidationError(
+                f"fault point {key!r} must map actions to rates, "
+                f"got {type(options).__name__}"
+            )
+        self.rates: dict[str, float] = {}
+        self.max_fires: Optional[int] = None
+        self.status = 503
+        self.delay_seconds = 0.05
+        self.fraction = 0.5
+        self.attempts = 0
+        self.fired = 0
+        for name, raw in options.items():
+            if name == "max":
+                self.max_fires = int(raw)  # type: ignore[call-overload]
+                if self.max_fires < 0:
+                    raise ValidationError(
+                        f"fault point {key!r}: max must be >= 0"
+                    )
+            elif name == "status":
+                self.status = int(raw)  # type: ignore[call-overload]
+            elif name == "delay_seconds":
+                self.delay_seconds = float(raw)  # type: ignore[arg-type]
+            elif name == "fraction":
+                self.fraction = float(raw)  # type: ignore[arg-type]
+                if not 0.0 <= self.fraction <= 1.0:
+                    raise ValidationError(
+                        f"fault point {key!r}: fraction must be in [0, 1]"
+                    )
+            elif name in ACTION_KINDS:
+                rate = float(raw)  # type: ignore[arg-type]
+                if not 0.0 <= rate <= 1.0:
+                    raise ValidationError(
+                        f"fault point {key!r}: rate for {name!r} must be "
+                        f"in [0, 1], got {rate}"
+                    )
+                self.rates[str(name)] = rate
+            else:
+                raise ValidationError(
+                    f"fault point {key!r}: unknown entry {name!r} "
+                    f"(actions: {', '.join(ACTION_KINDS)}; "
+                    f"options: {', '.join(_POINT_OPTIONS)})"
+                )
+        if sum(self.rates.values()) > 1.0 + 1e-12:
+            raise ValidationError(
+                f"fault point {key!r}: action rates sum past 1.0"
+            )
+
+    def value_for(self, kind: str) -> float:
+        if kind == "delay":
+            return self.delay_seconds
+        if kind == "truncate":
+            return self.fraction
+        return 0.0
+
+
+def _unit(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one attempt."""
+    digest = hashlib.sha256(f"{seed}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A seeded schedule of faults over named injection points.
+
+    Thread-safe: injection points are consulted from handler threads,
+    shipper threads, and the supervisor's monitor concurrently; the
+    per-point attempt counters are advanced under one lock.
+
+    Examples
+    --------
+    >>> from repro.service.faults import FaultPlan
+    >>> plan = FaultPlan(
+    ...     {"seed": 7, "points": {"demo": {"drop": 1.0, "max": 1}}}
+    ... )
+    >>> plan.decide("demo").kind, plan.decide("demo")
+    ('drop', None)
+    >>> plan.stats()
+    {'demo': {'attempts': 2, 'fired': 1}}
+    """
+
+    def __init__(self, spec: Mapping[str, object]) -> None:
+        if not isinstance(spec, Mapping):
+            raise ValidationError(
+                f"fault plan spec must be a mapping, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - {"seed", "points"}
+        if unknown:
+            raise ValidationError(
+                f"fault plan spec has unknown keys {sorted(unknown)}"
+            )
+        self.seed = int(spec.get("seed", 0))  # type: ignore[call-overload]
+        points = spec.get("points", {})
+        if not isinstance(points, Mapping):
+            raise ValidationError("fault plan 'points' must be a mapping")
+        self._points = {
+            str(key): _Point(str(key), options)
+            for key, options in points.items()
+        }
+        self._spec = copy.deepcopy(dict(spec))
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Mapping[str, object]]) -> Optional["FaultPlan"]:
+        """Build a plan from a spec dict; ``None``/empty spec -> ``None``."""
+        if not spec:
+            return None
+        return cls(spec)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        """Build a plan from ``PPDM_FAULT_PLAN`` if set, else ``None``.
+
+        The variable holds either inline JSON or ``@/path/to/plan.json``.
+        """
+        env = os.environ if environ is None else environ
+        raw = env.get(PLAN_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        if raw.startswith("@"):
+            path = Path(raw[1:])
+            try:
+                raw = path.read_text()
+            except OSError as exc:
+                raise ValidationError(
+                    f"cannot read fault plan file {str(path)!r}: {exc}"
+                ) from exc
+        try:
+            spec = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"{PLAN_ENV_VAR} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_spec(spec)
+
+    def to_spec(self) -> dict:
+        """The (immutable) spec this plan was built from.
+
+        Ship this to spawned worker processes — each side rebuilds its
+        own plan, so counters are per-process but the schedule each
+        process walks is identical run to run.
+        """
+        return copy.deepcopy(self._spec)
+
+    def decide(
+        self, point: str, qualifier: Optional[str] = None
+    ) -> Optional[FaultAction]:
+        """Consult the plan at ``point``; return the fault to inject, if any.
+
+        A qualified key (``f"{point}:{qualifier}"``) takes precedence
+        over the bare point name; a point the spec never names costs
+        nothing and returns ``None``.
+        """
+        key = None
+        if qualifier is not None and f"{point}:{qualifier}" in self._points:
+            key = f"{point}:{qualifier}"
+        elif point in self._points:
+            key = point
+        if key is None:
+            return None
+        state = self._points[key]
+        with self._lock:
+            attempt = state.attempts
+            state.attempts += 1
+            if state.max_fires is not None and state.fired >= state.max_fires:
+                return None
+            u = _unit(self.seed, key, attempt)
+            cumulative = 0.0
+            for kind in ACTION_KINDS:
+                rate = state.rates.get(kind)
+                if not rate:
+                    continue
+                cumulative += rate
+                if u < cumulative:
+                    index = state.fired
+                    state.fired += 1
+                    return FaultAction(
+                        kind=kind,
+                        point=key,
+                        index=index,
+                        value=state.value_for(kind),
+                        status=state.status,
+                    )
+        return None
+
+    def stats(self) -> dict:
+        """Per-point ``{"attempts": ..., "fired": ...}`` counters."""
+        with self._lock:
+            return {
+                key: {"attempts": state.attempts, "fired": state.fired}
+                for key, state in sorted(self._points.items())
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, "
+            f"points={sorted(self._points)})"
+        )

@@ -57,21 +57,30 @@ cluster's workers — serve ``GET /partial`` so their state can be pulled.
 
 Errors return ``{"error": message}`` with status 400 (validation),
 404 (unknown route / untrained model), 413 (body over the configured
-size cap), 501 (chunked transfer), or 503 (a cluster operation needs a
-worker that is unreachable and has never synced).  Any 4xx leaves the
-connection usable (except 413/501, which close it — the body cannot be
-skipped safely) and absorbs nothing from the failing body.
+size cap), 429 (ingest admission control rejected the body;
+``Retry-After`` says when to re-send), 500 (a snapshot write failed —
+the previous good snapshot survives), 501 (chunked transfer), or 503
+(a cluster operation needs a worker that is unreachable and has never
+synced, the server is draining — with ``Retry-After`` — or a fault
+plan injected an error).  Any 4xx leaves the connection usable
+(except 413/501, which close it — the body cannot be skipped safely)
+and absorbs nothing from the failing body; a 429/503 with
+``Retry-After`` explicitly guarantees the batch can be re-sent
+verbatim without double counting.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.privacy import privacy_of_randomizer
-from repro.exceptions import ClusterError, ValidationError
+from repro.exceptions import ClusterError, SnapshotError, ValidationError
+from repro.service.faults import FaultPlan
+from repro.service.resilience import AdmissionController, persist_with_rotation
 from repro.service.training import TRAINING_STRATEGIES
 from repro.service.wire import (
     CONTENT_TYPE_BASKETS,
@@ -127,17 +136,50 @@ class ServiceHTTPServer:
         Request bodies larger than this are refused with 413 before any
         byte is read (the connection closes — an unread body cannot be
         skipped safely on a keep-alive socket).
+    max_inflight:
+        Bound on concurrently-processing ``POST /ingest`` bodies
+        (admission control).  Beyond the bound the server sheds load
+        with ``429`` + ``Retry-After: retry_after`` *before* touching
+        the body, so a rejected batch was never partially absorbed and
+        the client re-sends it verbatim.  ``None`` (default) disables
+        the gauge.
+    retry_after:
+        Seconds advertised in ``Retry-After`` on 429 (overload) and 503
+        (draining) responses.
+    faults:
+        Optional :class:`~repro.service.faults.FaultPlan` (or its spec
+        dict) driving deterministic chaos injection; ``None`` falls back
+        to the ``PPDM_FAULT_PLAN`` environment variable, and no plan
+        means no injection.  Faults fire *after* the request body is
+        read (keep-alive stays in sync) and *before* any handling (an
+        injected drop or 503 absorbed nothing, so re-sending is safe).
     """
 
     def __init__(
         self, service, host: str = "127.0.0.1", port: int = 0, *,
         snapshot_path=None, training=None, cluster=None, mining=None,
         max_body_bytes: int = _DEFAULT_MAX_BODY,
+        max_inflight: int | None = None, retry_after: float = 1.0,
+        faults=None,
     ) -> None:
         self.service = service
         self.training = training
         self.cluster = cluster
         self.mining = mining
+        if faults is None:
+            faults = FaultPlan.from_env()
+        elif not isinstance(faults, FaultPlan):
+            faults = FaultPlan.from_spec(faults)
+        self.faults = faults
+        if retry_after < 0:
+            raise ValidationError("retry_after must be >= 0")
+        self.retry_after = float(retry_after)
+        self.admission = (
+            AdmissionController(max_inflight, retry_after)
+            if max_inflight is not None
+            else None
+        )
+        self._draining = False
         if training is not None and training.service is not service:
             raise ValidationError(
                 "the training service must wrap the served "
@@ -205,6 +247,21 @@ class ServiceHTTPServer:
         self._httpd.shutdown()
         self._httpd.server_close()
 
+    @property
+    def draining(self) -> bool:
+        """Is the server refusing new ingest while it shuts down?"""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Refuse new ``POST /ingest`` work with ``503`` + ``Retry-After``.
+
+        Called at the start of a graceful shutdown: in-flight bodies
+        finish (handler threads are joined at close), new ingest is shed
+        with a retryable status, and read endpoints keep serving — so an
+        exit-time snapshot can never race an admitted batch.
+        """
+        self._draining = True
+
     def reap_handler_threads(self) -> int:
         """Drop finished handler threads from the join list; return count.
 
@@ -226,24 +283,38 @@ class ServiceHTTPServer:
             if not thread.is_alive():
                 try:
                     threads.remove(thread)
-                    reaped += 1
                 except ValueError:  # pragma: no cover - lost a race, fine
-                    pass
+                    continue
+                reaped += 1
         return reaped
 
     def persist(self) -> str:
         """Save the service to the configured snapshot path (serialized).
 
-        The single snapshot-write entry point: ``POST /snapshot`` and the
-        CLI's exit-time save both come through here, so two writers can
-        never interleave on the same snapshot file.
+        The single snapshot-write entry point: ``POST /snapshot``, the
+        auto-snapshot loop, and the CLI's exit-time save all come
+        through here, so two writers can never interleave on the same
+        snapshot file.  Writes are atomic with one generation of
+        rotation (see
+        :func:`~repro.service.resilience.persist_with_rotation`): a
+        failed write surfaces as
+        :class:`~repro.exceptions.SnapshotError` and leaves the
+        previous good snapshot intact under its original name.
         """
         if self.snapshot_path is None:
             raise ValidationError("server started without a snapshot path")
         with self._snapshot_lock:
+            if self.faults is not None:
+                action = self.faults.decide("snapshot.write")
+                if action is not None:
+                    raise SnapshotError(
+                        f"injected fault: snapshot write refused "
+                        f"({action.point} #{action.index})"
+                    )
             # Deliberately held across the write: this lock exists only
             # to serialize snapshot writers, no hot path contends on it.
-            self.service.save(self.snapshot_path)  # ppdm: ignore[L002]
+            path = self.snapshot_path
+            persist_with_rotation(self.service, path)  # ppdm: ignore[L002]
         return str(self.snapshot_path)
 
     # ------------------------------------------------------------------
@@ -261,6 +332,8 @@ class ServiceHTTPServer:
                 payload["cluster"] = health
                 if health["degraded"]:
                     payload["status"] = "degraded"
+            if self._draining:
+                payload["status"] = "draining"
             return 200, payload
         if path == "/cluster":
             if self.cluster is None:
@@ -316,6 +389,10 @@ class ServiceHTTPServer:
                 }
             if self.training is not None:
                 payload["training_records"] = self.training.n_buffered
+            if self.admission is not None:
+                payload["admission"] = self.admission.stats()
+            if self.faults is not None:
+                payload["faults"] = self.faults.stats()
             if self.mining is not None:
                 payload["mining"] = {
                     "n_items": self.mining.n_items,
@@ -597,7 +674,8 @@ def _make_handler(server: ServiceHTTPServer):
             pass
 
         def _send(
-            self, status: int, body: bytes, ctype: str, close: bool
+            self, status: int, body: bytes, ctype: str, close: bool,
+            retry_after: float | None = None,
         ) -> None:
             # Count before replying: a client that already holds its
             # response must observe requests_served as including it,
@@ -611,19 +689,57 @@ def _make_handler(server: ServiceHTTPServer):
             self.send_response(status)
             self.send_header("Content-Type", ctype)
             self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                # integer seconds per RFC 9110; never advertise zero
+                self.send_header(
+                    "Retry-After", str(max(1, round(retry_after)))
+                )
             if close:
                 self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
 
-        def _reply(self, status: int, payload: dict, *, close: bool = False) -> None:
+        def _reply(
+            self, status: int, payload: dict, *, close: bool = False,
+            retry_after: float | None = None,
+        ) -> None:
             self._send(
                 status, json.dumps(payload).encode(), "application/json",
-                close,
+                close, retry_after,
             )
+
+        def _inject_fault(self, path: str) -> bool:
+            """Consult the fault plan; ``True`` means the request is done.
+
+            Runs after the body has been read (keep-alive stays framed)
+            and before any handling (nothing was absorbed, so the
+            injected failure is always safe for the client to retry).
+            """
+            if server.faults is None:
+                return False
+            action = server.faults.decide("httpd.response", qualifier=path)
+            if action is None:
+                return False
+            if action.kind == "drop":
+                # vanish: close the socket without sending a byte
+                self.close_connection = True
+                return True
+            if action.kind == "error":
+                self._reply(
+                    action.status,
+                    {"error": f"injected fault ({action.point} "
+                     f"#{action.index})"},
+                    retry_after=server.retry_after,
+                )
+                return True
+            if action.kind == "delay":
+                time.sleep(action.value)
+            return False
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             parsed = urlparse(self.path)
+            if self._inject_fault(parsed.path):
+                return
             try:
                 status, payload = server.handle_get(
                     parsed.path, parse_qs(parsed.query)
@@ -682,39 +798,72 @@ def _make_handler(server: ServiceHTTPServer):
             parsed = urlparse(self.path)
             path = parsed.path
             ctype = self._content_type()
-            try:
-                if path == "/ingest" and ctype == CONTENT_TYPE_BASKETS:
-                    status, out = server.handle_ingest_baskets(
-                        iter_basket_frames(raw)
+            if self._inject_fault(path):
+                return
+            admitted = False
+            if path == "/ingest":
+                # load shedding happens before any decoding: a 429/503
+                # here guarantees the body was not (even partially)
+                # absorbed, so the client re-sends it verbatim
+                if server.draining:
+                    self._reply(
+                        503,
+                        {"error": "server is draining; retry shortly"},
+                        retry_after=server.retry_after,
                     )
-                elif path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
-                    status, out = server.handle_ingest_frames(
-                        iter_labeled_frames(raw)
-                    )
-                elif path == "/ingest" and ctype == CONTENT_TYPE_NDJSON:
-                    status, out = server.handle_ingest_frames(
-                        iter_labeled_ndjson(raw)
-                    )
-                elif path == "/partial" and ctype == CONTENT_TYPE_PARTIAL:
-                    status, out = server.handle_partial_push(
-                        parse_qs(parsed.query), raw
-                    )
-                elif path == "/partial":
-                    status, out = 400, {
-                        "error": "POST /partial requires Content-Type "
-                        f"{CONTENT_TYPE_PARTIAL}"
-                    }
-                else:
-                    try:
-                        payload = json.loads(raw.decode() or "null")
-                    except (UnicodeDecodeError, json.JSONDecodeError):
-                        self._reply(400, {"error": "body is not valid JSON"})
+                    return
+                if server.admission is not None:
+                    if not server.admission.try_acquire():
+                        self._reply(
+                            429,
+                            {"error": "too many in-flight ingest bodies "
+                             f"(max {server.admission.max_inflight}); "
+                             "retry later"},
+                            retry_after=server.admission.retry_after,
+                        )
                         return
-                    status, out = server.handle_post(path, payload)
-            except (ValidationError, ValueError) as exc:
-                status, out = 400, {"error": str(exc)}
-            except ClusterError as exc:
-                status, out = 503, {"error": str(exc)}
+                    admitted = True
+            try:
+                try:
+                    if path == "/ingest" and ctype == CONTENT_TYPE_BASKETS:
+                        status, out = server.handle_ingest_baskets(
+                            iter_basket_frames(raw)
+                        )
+                    elif path == "/ingest" and ctype == CONTENT_TYPE_COLUMNS:
+                        status, out = server.handle_ingest_frames(
+                            iter_labeled_frames(raw)
+                        )
+                    elif path == "/ingest" and ctype == CONTENT_TYPE_NDJSON:
+                        status, out = server.handle_ingest_frames(
+                            iter_labeled_ndjson(raw)
+                        )
+                    elif path == "/partial" and ctype == CONTENT_TYPE_PARTIAL:
+                        status, out = server.handle_partial_push(
+                            parse_qs(parsed.query), raw
+                        )
+                    elif path == "/partial":
+                        status, out = 400, {
+                            "error": "POST /partial requires Content-Type "
+                            f"{CONTENT_TYPE_PARTIAL}"
+                        }
+                    else:
+                        try:
+                            payload = json.loads(raw.decode() or "null")
+                        except (UnicodeDecodeError, json.JSONDecodeError):
+                            self._reply(
+                                400, {"error": "body is not valid JSON"}
+                            )
+                            return
+                        status, out = server.handle_post(path, payload)
+                except SnapshotError as exc:
+                    status, out = 500, {"error": str(exc)}
+                except (ValidationError, ValueError) as exc:
+                    status, out = 400, {"error": str(exc)}
+                except ClusterError as exc:
+                    status, out = 503, {"error": str(exc)}
+            finally:
+                if admitted:
+                    server.admission.release()
             self._reply(status, out)
 
     return Handler

@@ -1,0 +1,417 @@
+"""Crash-safe durability, supervision budgets, and admission control.
+
+Aggregate state is the product of a PPDM deployment: the accumulated
+noise-expanded counts cannot be re-derived once lost, so durability and
+graceful degradation are correctness concerns, not ops niceties.  This
+module holds the serving stack's resilience primitives:
+
+* **Durability** — :func:`persist_with_rotation` writes snapshots
+  atomically (temp file + fsync + rename, integrity digest embedded by
+  :mod:`repro.serialize`) while keeping the previous generation as
+  ``<name>.1``; :func:`recover_service` walks the generations newest
+  first at startup, rejecting corrupt snapshots loudly and settling on
+  the newest one that verifies.  :class:`SnapshotManager` runs the
+  periodic auto-snapshot behind ``--snapshot-interval``.
+* **Overload** — :class:`AdmissionController` bounds in-flight ingest
+  work (the HTTP front end turns a rejected acquire into ``429`` +
+  ``Retry-After``); :class:`CircuitBreaker` gives
+  :class:`~repro.service.cluster.PartialShipper` the classic
+  closed/open/half-open discipline so a dead coordinator is probed, not
+  hammered.
+* **Supervision** — :class:`RestartBudget` is the sliding-window
+  restart allowance with exponential backoff that
+  :class:`~repro.service.cluster.ClusterSupervisor` spends when it
+  respawns a dead worker.
+
+Examples
+--------
+>>> from repro.service.resilience import CircuitBreaker
+>>> clock = iter([0.0, 2.0, 7.0]).__next__
+>>> breaker = CircuitBreaker(failure_threshold=2, reset_timeout=5.0,
+...                          clock=clock)
+>>> breaker.record_failure(); breaker.record_failure(); breaker.state
+'open'
+>>> breaker.allow()   # t=2.0: still cooling off
+False
+>>> breaker.allow()   # t=7.0: past the reset timeout -> one probe
+True
+>>> breaker.record_success(); breaker.state
+'closed'
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from repro.exceptions import ReproError, SnapshotError, ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import AggregationService
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "RestartBudget",
+    "SnapshotManager",
+    "persist_with_rotation",
+    "previous_snapshot_path",
+    "recover_service",
+]
+
+logger = logging.getLogger("repro.service.resilience")
+
+#: circuit breaker states
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open gate in front of an unreliable peer.
+
+    Closed passes everything through.  ``failure_threshold``
+    consecutive failures open the circuit: :meth:`allow` refuses for
+    ``reset_timeout`` seconds, then admits exactly one probe
+    (half-open).  A successful probe closes the circuit; a failed one
+    re-opens it for another full timeout.  Thread-safe.
+
+    Examples
+    --------
+    >>> from repro.service.resilience import CircuitBreaker
+    >>> breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+    >>> breaker.state, breaker.allow()
+    ('closed', True)
+    >>> breaker.record_failure(); breaker.state, breaker.allow()
+    ('open', False)
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValidationError("reset_timeout must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call go through right now?"""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self._state = HALF_OPEN
+                    self._probing = True
+                    return True
+                return False
+            # half-open: exactly one probe is in flight at a time
+            if not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    logger.warning(
+                        "circuit breaker opened after %d failure(s); "
+                        "probing again in %.1fs",
+                        self._failures,
+                        self.reset_timeout,
+                    )
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"state": self._state, "failures": self._failures}
+
+
+class AdmissionController:
+    """Bounded in-flight gauge guarding the ingest path.
+
+    ``try_acquire`` admits up to ``max_inflight`` concurrent units of
+    work; beyond that it refuses and the caller should shed load (the
+    HTTP front end replies ``429`` with ``Retry-After: retry_after``).
+    Thread-safe.
+
+    >>> gauge = AdmissionController(max_inflight=1, retry_after=2.0)
+    >>> gauge.try_acquire(), gauge.try_acquire()
+    (True, False)
+    >>> gauge.release(); gauge.try_acquire()
+    True
+    """
+
+    def __init__(self, max_inflight: int, retry_after: float = 1.0) -> None:
+        if max_inflight < 1:
+            raise ValidationError("max_inflight must be >= 1")
+        if retry_after < 0:
+            raise ValidationError("retry_after must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                return False
+            self._inflight += 1
+            self._admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise ValidationError("release() without a matching acquire")
+            self._inflight -= 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }
+
+
+class RestartBudget:
+    """Sliding-window restart allowance with exponential backoff.
+
+    A supervisor may spend one restart per call to :meth:`spend`; the
+    call returns the backoff delay to wait before the respawn, or
+    ``None`` when ``max_restarts`` have already been spent inside the
+    trailing ``window`` seconds (the slot then stays down — restarting
+    a crash-looping worker forever just hides the crash).
+
+    >>> budget = RestartBudget(max_restarts=2, window=60.0, backoff=0.5,
+    ...                        clock=lambda: 10.0)
+    >>> budget.spend(), budget.spend(), budget.spend()
+    (0.5, 1.0, None)
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 5,
+        window: float = 60.0,
+        backoff: float = 0.25,
+        max_backoff: float = 8.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValidationError("max_restarts must be >= 0")
+        if window <= 0:
+            raise ValidationError("window must be > 0")
+        self.max_restarts = int(max_restarts)
+        self.window = float(window)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spent: List[float] = []
+
+    def spend(self) -> Optional[float]:
+        """Spend one restart; return its backoff delay or ``None``."""
+        with self._lock:
+            now = self._clock()
+            self._spent = [t for t in self._spent if now - t < self.window]
+            if len(self._spent) >= self.max_restarts:
+                return None
+            delay = min(
+                self.backoff * (2.0 ** len(self._spent)), self.max_backoff
+            )
+            self._spent.append(now)
+            return delay
+
+    @property
+    def spent(self) -> int:
+        """Restarts spent inside the current window."""
+        with self._lock:
+            now = self._clock()
+            return sum(1 for t in self._spent if now - t < self.window)
+
+
+# ----------------------------------------------------------------------
+# durability
+
+
+def previous_snapshot_path(path) -> Path:
+    """The previous-generation sibling of a snapshot path (``name.1``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".1")
+
+
+def persist_with_rotation(service: "AggregationService", path) -> Path:
+    """Atomically snapshot ``service`` to ``path``, keeping one generation.
+
+    The current snapshot (when one exists) is first rotated to
+    ``<name>.1``; the new document then lands via the fsynced
+    temp-file-plus-rename in :func:`repro.serialize.save`.  If the
+    write fails, the rotation is undone so the previous good snapshot
+    survives under its original name, and the failure surfaces as
+    :class:`~repro.exceptions.SnapshotError`.  A missing parent
+    directory is created rather than failing every auto-snapshot of a
+    freshly configured ``--snapshot-dir``.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise SnapshotError(
+            f"snapshot write to {str(path)!r} failed: {exc}"
+        ) from exc
+    previous = previous_snapshot_path(path)
+    rotated = False
+    if path.exists():
+        os.replace(path, previous)
+        rotated = True
+    try:
+        service.save(path)
+    except OSError as exc:
+        if rotated:  # put the good generation back where recovery finds it
+            os.replace(previous, path)
+        raise SnapshotError(
+            f"snapshot write to {str(path)!r} failed: {exc}"
+        ) from exc
+    return path
+
+
+def recover_service(path) -> Tuple["AggregationService", Path]:
+    """Load the newest valid snapshot generation of ``path``.
+
+    Tries ``path`` then ``<name>.1``; a generation that is missing is
+    skipped, one that is corrupt (bad JSON, failed integrity digest,
+    inconsistent counts) is rejected with a logged warning.  Returns
+    ``(service, path_used)`` or raises
+    :class:`~repro.exceptions.SnapshotError` when no generation loads.
+    """
+    from repro.service.service import AggregationService
+
+    path = Path(path)
+    rejected: List[str] = []
+    for candidate in (path, previous_snapshot_path(path)):
+        if not candidate.is_file():
+            continue
+        try:
+            service = AggregationService.load(candidate)
+        except (ValidationError, ReproError, OSError) as exc:
+            logger.warning(
+                "rejecting corrupt snapshot %s: %s", candidate, exc
+            )
+            rejected.append(f"{candidate}: {exc}")
+            continue
+        if rejected:
+            logger.warning(
+                "recovered from older generation %s after rejecting %d "
+                "corrupt snapshot(s)",
+                candidate,
+                len(rejected),
+            )
+        return service, candidate
+    detail = "; ".join(rejected) if rejected else "no snapshot file exists"
+    raise SnapshotError(
+        f"no valid snapshot generation for {str(path)!r}: {detail}"
+    )
+
+
+class SnapshotManager:
+    """Background auto-snapshot loop (the ``--snapshot-interval`` engine).
+
+    Calls ``persist`` every ``interval`` seconds on a daemon thread; a
+    persist that fails is logged and counted, never fatal (the next
+    tick retries).  :meth:`stop` joins the thread and, by default,
+    takes one final snapshot so shutdown loses nothing.
+    """
+
+    def __init__(self, persist: Callable[[], object], interval: float) -> None:
+        if interval <= 0:
+            raise ValidationError("snapshot interval must be > 0 seconds")
+        self._persist = persist
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.snapshots = 0
+        self.failures = 0
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._tick()
+
+    def _tick(self) -> bool:
+        try:
+            self._persist()
+        except (ReproError, OSError) as exc:
+            with self._lock:
+                self.failures += 1
+            logger.warning("auto-snapshot failed (will retry): %s", exc)
+            return False
+        with self._lock:
+            self.snapshots += 1
+        return True
+
+    def start(self) -> "SnapshotManager":
+        if self._thread is not None:
+            raise ValidationError("snapshot manager already started")
+        self._thread = threading.Thread(
+            target=self._run, name="ppdm-snapshot", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final: bool = True) -> bool:
+        """Stop the loop; with ``final``, persist once more.
+
+        Returns ``True`` when the final persist succeeded (or was not
+        requested) — callers surface a ``False`` as a failed drain.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        return self._tick() if final else True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "snapshots": self.snapshots,
+                "failures": self.failures,
+            }

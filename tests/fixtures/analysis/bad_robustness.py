@@ -1,0 +1,41 @@
+"""Known-bad fixture: swallowed exceptions in the serving tier."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def swallow(push):
+    try:
+        push()
+    except OSError:
+        pass  # R001: failure discarded silently
+
+
+def swallow_ellipsis(push):
+    try:
+        push()
+    except (ValueError, KeyError):
+        ...
+
+
+def swallow_bare(push):
+    try:
+        push()
+    except:  # noqa: E722
+        pass
+
+
+def handled(push):
+    try:
+        push()
+    except OSError as exc:
+        logger.warning("push failed: %s", exc)
+
+
+def counted(push, stats):
+    try:
+        push()
+    except OSError:
+        stats["failures"] += 1
+        pass

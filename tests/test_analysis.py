@@ -40,6 +40,7 @@ from repro.analysis import (
 from repro.analysis.determinism import check_determinism
 from repro.analysis.locks import check_locks
 from repro.analysis.raising import check_raising
+from repro.analysis.robustness import check_robustness
 from repro.analysis.walker import ParsedModule, Project, iter_scoped, parse_source
 from repro.analysis.wire_lint import check_wire
 from repro.cli import main
@@ -119,12 +120,15 @@ class TestRegistry:
         with pytest.raises(AnalysisError, match="unknown rule id"):
             REGISTRY.select_rules(["Z999"])
 
-    def test_global_registry_has_all_four_checkers(self):
-        assert REGISTRY.ids() == ("determinism", "locks", "raising", "wire")
+    def test_global_registry_has_all_five_checkers(self):
+        assert REGISTRY.ids() == (
+            "determinism", "locks", "raising", "robustness", "wire"
+        )
         assert set(REGISTRY.rule_ids()) == {
             "D001", "D002", "D003",
             "E001", "E002",
             "L001", "L002", "L003",
+            "R001",
             "W001", "W002",
         }
 
@@ -341,6 +345,31 @@ class TestRaisingChecker:
         assert 20 not in lines  # guarded subscript
         assert 22 not in lines  # NotImplementedError allowed
         assert 27 not in lines  # AttributeError in __getattr__
+
+
+class TestRobustnessChecker:
+    def project(self, relpath="src/repro/service/fix_rob.py"):
+        return Project(
+            [load_fixture("bad_robustness.py", relpath, "library")]
+        )
+
+    def test_expected_findings(self):
+        found = rules_by_line(check_robustness(self.project()))
+        assert ("R001", 11) in found  # except OSError: pass
+        assert ("R001", 18) in found  # except (...): ...
+        assert ("R001", 25) in found  # bare except: pass
+        assert len(found) == 3
+
+    def test_handlers_doing_work_are_clean(self):
+        lines = {line for _, line in rules_by_line(
+            check_robustness(self.project())
+        )}
+        assert 32 not in lines  # logged handler
+        assert 39 not in lines  # counting handler (pass after real work)
+
+    def test_rule_guards_the_serving_tier_only(self):
+        outside = self.project(relpath="src/repro/core/fix_rob.py")
+        assert list(check_robustness(outside)) == []
 
 
 class TestGoodFixture:
