@@ -1,0 +1,275 @@
+"""E26 — Wire v5 codecs: compressed and quantized ingest bodies.
+
+A disclosure is one of a few dozen bin indices, yet the v1 wire ships
+it as 8 raw float64 bytes.  Wire v5 attacks the body size from two
+independent angles:
+
+* **quantized columns** — the client calls ``service.quantize`` and
+  ships int8/int16 bin indices (1-2 bytes per value) instead of
+  float64; the server adds the layout offset and feeds the same fused
+  bincount, so estimates cannot drift,
+* **per-body compression** — the whole request body rides
+  ``Content-Encoding: zlib`` (or zstd when the optional package is
+  installed) and is decoded through the bounded
+  :func:`~repro.service.wire.decompress_payload`, exactly as the HTTP
+  front end does.
+
+This benchmark encodes identical disclosures through every
+(encoding x codec) leg, replays the bodies decode-first as the handler
+would (decompress + iter_frames + prepare + ingest) with 4 worker
+threads at 1 and 4 shards, and asserts:
+
+* estimates for **every** leg and shard count are bit-identical to a
+  single-stream :class:`StreamingReconstructor` fed the same
+  disclosures (quantization relocates encoding work, never the math),
+* compressed legs ship strictly fewer bytes per record than their
+  identity siblings, and the quantized wire beats raw float64 by >= 4x
+  before compression even starts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+from _common import experiment, run_experiment
+
+from repro.core import KernelCache, Partition, StreamingReconstructor, UniformRandomizer
+from repro.experiments.reporting import format_table
+from repro.service import AggregationService, AttributeSpec
+from repro.service.wire import (
+    WIRE_VERSION_QUANTIZED,
+    compress_payload,
+    decompress_payload,
+    encode_columns,
+    encode_quantized,
+    iter_frames,
+    supported_codecs,
+)
+from repro.utils.rng import ensure_rng
+
+N_ATTRIBUTES = 4
+N_BATCHES = 64
+N_WORKERS = 4
+SHARD_COUNTS = (1, 4)
+REPEATS = 3
+MAX_DECODED = 1 << 30
+
+
+def _throughput_floor_scale() -> float:
+    """Scales the wall-clock throughput threshold (parity and size
+    asserts are unaffected).  Shared CI runners set this below 1 so a
+    noisy neighbour cannot flake the build while a real regression
+    still fails."""
+    return float(os.environ.get("PPDM_E26_THROUGHPUT_FLOOR", "1.0"))
+
+
+def _specs():
+    """Four attributes with distinct domains (one kernel each)."""
+    specs = []
+    for j in range(N_ATTRIBUTES):
+        low, high = float(10 * j), float(10 * j + 8 + j)
+        partition = Partition.uniform(low, high, 24)
+        noise = UniformRandomizer.from_privacy(1.0, high - low)
+        specs.append(AttributeSpec(f"a{j}", partition, noise))
+    return specs
+
+
+def _disclosures(specs, n_per_attribute: int, seed: int):
+    """Pre-generated randomized batches: ``batches[b][name] -> values``."""
+    rng = ensure_rng(seed)
+    per_batch = n_per_attribute // N_BATCHES
+    batches = []
+    for _ in range(N_BATCHES):
+        batch = {}
+        for j, spec in enumerate(specs):
+            low, high = spec.x_partition.low, spec.x_partition.high
+            span = high - low
+            center = low + span * (0.3 + 0.05 * j)
+            x = np.clip(rng.normal(center, 0.15 * span, per_batch), low, high)
+            batch[spec.name] = spec.randomizer.randomize(x, seed=rng)
+        batches.append(batch)
+    return batches
+
+
+def _encoded_bodies(specs, batches):
+    """Every (encoding, codec) leg over the same disclosures."""
+    quantizer = AggregationService(specs)
+    float_bodies = [encode_columns(batch) for batch in batches]
+    quant_bodies = [
+        encode_quantized(quantizer.quantize(batch)) for batch in batches
+    ]
+    legs = {}
+    for codec in supported_codecs():
+        legs["float64", codec] = [
+            compress_payload(body, codec) for body in float_bodies
+        ]
+        legs["quantized", codec] = [
+            compress_payload(body, codec) for body in quant_bodies
+        ]
+    return legs
+
+
+def _ingest_body(service, body: bytes, codec: str, shard: int) -> None:
+    """What the handler does: bounded decompress, decode, fused ingest."""
+    if codec != "identity":
+        body = decompress_payload(body, codec, max_decoded=MAX_DECODED)
+    for batch, _ in iter_frames(body):
+        service.ingest_prepared(service.prepare(batch), shard=shard)
+
+
+def _run_leg(specs, bodies, codec: str, n_shards: int) -> tuple:
+    """Decode + ingest every body with worker threads pinned to shards."""
+    service = AggregationService(specs, n_shards=n_shards)
+    assignments = [bodies[w::N_WORKERS] for w in range(N_WORKERS)]
+
+    def worker(index: int) -> None:
+        shard = index % n_shards
+        for body in assignments[index]:
+            _ingest_body(service, body, codec, shard)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_WORKERS) as pool:
+        list(pool.map(worker, range(N_WORKERS)))
+    seconds = time.perf_counter() - start
+    return seconds, service.estimate_all()
+
+
+def _reference_estimates(specs, batches) -> dict:
+    """Single-stream, single-shard serial reference (the parity anchor)."""
+    cache = KernelCache()
+    reference = {}
+    for spec in specs:
+        stream = StreamingReconstructor(
+            spec.x_partition, spec.randomizer, kernel_cache=cache
+        )
+        for batch in batches:
+            stream.update(batch[spec.name])
+        reference[spec.name] = stream.estimate()
+    return reference
+
+
+def _assert_parity(reference, estimates) -> None:
+    """Each leg/shard combination must reproduce the reference bitwise."""
+    for name, expected in reference.items():
+        result = estimates[name]
+        assert np.array_equal(
+            expected.distribution.probs, result.distribution.probs
+        ), name
+        assert expected.n_iterations == result.n_iterations, name
+        assert expected.chi2_statistic == result.chi2_statistic, name
+
+
+@experiment(
+    "e26",
+    title="Wire v5 codecs: compressed + quantized ingest bodies",
+    tags=("service", "smoke"),
+    seed=11,
+)
+def run_e26(ctx):
+    n_per_attribute = ctx.scaled(96_000)
+    specs = _specs()
+    batches = _disclosures(specs, n_per_attribute, seed=ctx.seed)
+    n_records = sum(batch[s.name].size for batch in batches for s in specs)
+    legs = _encoded_bodies(specs, batches)
+    leg_bytes = {leg: sum(len(b) for b in bodies) for leg, bodies in legs.items()}
+    ctx.record(
+        n_records=n_records,
+        n_attributes=N_ATTRIBUTES,
+        n_batches=N_BATCHES,
+        n_workers=N_WORKERS,
+        wire_version=WIRE_VERSION_QUANTIZED,
+        codecs=",".join(supported_codecs()),
+        **{
+            f"{encoding}_{codec}_bytes": total
+            for (encoding, codec), total in leg_bytes.items()
+        },
+    )
+
+    reference = _reference_estimates(specs, batches)
+    seconds = {}
+    for leg, bodies in legs.items():
+        encoding, codec = leg
+        for n_shards in SHARD_COUNTS:
+            best = float("inf")
+            for _ in range(REPEATS):
+                elapsed, estimates = _run_leg(specs, bodies, codec, n_shards)
+                _assert_parity(reference, estimates)
+                best = min(best, elapsed)
+            seconds[encoding, codec, n_shards] = best
+
+    rows = []
+    raw_bpr = leg_bytes["float64", "identity"] / n_records
+    for (encoding, codec), total in leg_bytes.items():
+        bpr = total / n_records
+        rate = n_records / seconds[encoding, codec, 4]
+        rows.append(
+            (
+                encoding,
+                codec,
+                f"{bpr:.2f}",
+                f"{raw_bpr / bpr:.2f}x",
+                f"{rate:,.0f}",
+            )
+        )
+    table_text = format_table(
+        ("encoding", "codec", "bytes/record", "vs raw", "records/s @4"),
+        rows,
+        title=(
+            f"E26: wire body size and decode+ingest throughput, "
+            f"{N_ATTRIBUTES} attributes x {n_per_attribute} records, "
+            f"{N_WORKERS} workers"
+        ),
+    )
+    quant_ratio = leg_bytes["float64", "identity"] / leg_bytes[
+        "quantized", "identity"
+    ]
+    zlib_ratio = leg_bytes["float64", "identity"] / leg_bytes["float64", "zlib"]
+    summary = (
+        f"\nquantized wire: {quant_ratio:.2f}x smaller than raw float64"
+        f"\nzlib on float64: {zlib_ratio:.2f}x smaller"
+        f"\nestimates bit-identical to the serial single-stream reference "
+        f"for every leg and shard count"
+    )
+    ctx.report(table_text + summary, name="e26_codecs")
+    ctx.record_timing(
+        **{
+            f"{encoding}_{codec}_{n_shards}_shards_ms": best * 1e3
+            for (encoding, codec, n_shards), best in seconds.items()
+        },
+    )
+
+    # deterministic size gates: compression and quantization must both
+    # strictly beat the raw wire
+    for encoding in ("float64", "quantized"):
+        assert leg_bytes[encoding, "zlib"] < leg_bytes[encoding, "identity"], (
+            encoding
+        )
+    assert quant_ratio >= 4.0, f"quantized ratio {quant_ratio:.2f}x < 4x"
+
+    # wall-clock gate (env-scaled): binning pre-located indices must not
+    # fall far behind the float fast path
+    float_rate = n_records / seconds["float64", "identity", 4]
+    quant_rate = n_records / seconds["quantized", "identity", 4]
+    floor = 0.6 * _throughput_floor_scale()
+    assert quant_rate >= floor * float_rate, (
+        f"quantized ingest at {quant_rate / float_rate:.2f}x of the float "
+        f"rate; floor is {floor:.2f}x"
+    )
+
+    return {
+        "bit_identical": True,
+        "wire_version": WIRE_VERSION_QUANTIZED,
+        "quantized_ratio": round(quant_ratio, 2),
+        "zlib_ratio": round(zlib_ratio, 2),
+        **{
+            f"{encoding}_{codec}_bytes_per_record": round(total / n_records, 2)
+            for (encoding, codec), total in leg_bytes.items()
+        },
+    }
+
+
+def test_e26_codecs(benchmark):
+    run_experiment(benchmark, "e26")

@@ -11,8 +11,8 @@ clients keep "working" while decoding garbage.
   second binary layout is being defined by hand.
 * **W002 — duplicated wire constant.**  A literal equal to one of the
   wire module's canonical struct format strings or its magic bytes, or
-  a module-level (re)definition of ``MAGIC``/``WIRE_VERSION*``, outside
-  the wire module.  Importing the names from
+  a module-level (re)definition of ``MAGIC``/``WIRE_VERSION*``/
+  ``WIRE_CODEC*``, outside the wire module.  Importing the names from
   :mod:`repro.service.wire` is the approved pattern and does not fire.
 
 Canonical constants are harvested from the *analyzed project's* wire
@@ -52,7 +52,7 @@ __all__ = ["check_wire"]
 _WIRE_HOME = "src/repro/service/wire.py"
 
 #: module-level names reserved for the wire module
-_RESERVED_NAME = re.compile(r"^(MAGIC|WIRE_VERSION\w*)$")
+_RESERVED_NAME = re.compile(r"^(MAGIC|WIRE_VERSION\w*|WIRE_CODEC\w*)$")
 
 #: struct functions taking a format string as first argument
 _STRUCT_FORMAT_FNS = {
@@ -136,7 +136,8 @@ def _harvest_constants(wire: ParsedModule | None) -> tuple:
         ),
         RuleSpec(
             "W002",
-            "duplicated wire constant (format string, magic, WIRE_VERSION*)",
+            "duplicated wire constant (format string, magic, "
+            "WIRE_VERSION*/WIRE_CODEC*)",
             rationale=(
                 "A copied layout literal starts equal and rots silently; "
                 "import MAGIC/WIRE_VERSION/encode_columns from "

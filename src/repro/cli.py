@@ -453,6 +453,7 @@ def _serve_cluster(args) -> int:
         snapshot_interval=args.snapshot_interval,
         faults=_load_fault_plan(args.fault_plan),
         max_inflight=args.max_inflight,
+        codec=_CODEC_BY_FLAG[args.codec],
     )
     result = None
     try:
@@ -499,6 +500,10 @@ def _cmd_serve(args) -> int:
 
     if args.workers is not None:
         return _serve_cluster(args)
+    if args.codec != "none":
+        raise ReproError(
+            "--codec compresses worker partial pushes; it needs --workers"
+        )
     if args.snapshot_dir is not None:
         raise ReproError("--snapshot-dir is for --workers; use --snapshot")
     if args.snapshot_interval is not None and not args.snapshot:
@@ -649,12 +654,15 @@ class _KeepAliveClient:
     def request(
         self, method: str, path: str, body: bytes = None,
         content_type: str = "application/json",
+        content_encoding: str | None = None,
     ) -> dict:
         import http.client
         import json
         import time
 
         headers = {"Content-Type": content_type} if body is not None else {}
+        if content_encoding is not None:
+            headers["Content-Encoding"] = content_encoding
         path = self._prefix + path
         overload_waits = 0
         while True:
@@ -710,22 +718,43 @@ class _KeepAliveClient:
         return self.request("GET", path)
 
     def post(self, path: str, body: bytes,
-             content_type: str = "application/json") -> dict:
-        return self.request("POST", path, body, content_type)
+             content_type: str = "application/json",
+             content_encoding: str | None = None) -> dict:
+        return self.request("POST", path, body, content_type, content_encoding)
 
     def close(self) -> None:
         self._conn.close()
 
 
+#: ``--codec`` flag values -> wire codec tokens ("none" is HTTP identity)
+_CODEC_BY_FLAG = {"none": "identity", "zlib": "zlib", "zstd": "zstd"}
+
+
+def _compressed_for_flag(body: bytes, flag: str) -> tuple:
+    """Compress a pre-encoded body per ``--codec``; return ``(body, encoding)``.
+
+    ``encoding`` is the ``Content-Encoding`` token to send, or ``None``
+    for ``--codec none`` (identity bodies stay unlabeled, byte-identical
+    to every release before the codec flag existed).
+    """
+    from repro.service.wire import compress_payload
+
+    codec = _CODEC_BY_FLAG[flag]
+    if codec == "identity":
+        return body, None
+    return compress_payload(body, codec), codec
+
+
 def _post_repeated(
     base: str, client: _KeepAliveClient, body: bytes, content_type: str,
-    repeat: int, concurrency: int,
+    repeat: int, concurrency: int, content_encoding: str | None = None,
 ) -> tuple:
     """POST one pre-encoded ``/ingest`` body ``repeat`` times.
 
     The load-generation core shared by every ``ppdm ingest --url`` wire:
-    the body is encoded once by the caller and re-sent as-is, so a
-    ``--repeat`` run measures wire + server cost, not client
+    the body is encoded once by the caller (and, with
+    ``content_encoding``, already compressed once) and re-sent as-is,
+    so a ``--repeat`` run measures wire + server cost, not client
     re-serialization.  Returns ``(replies, elapsed_seconds)``.
     """
     import time
@@ -733,7 +762,7 @@ def _post_repeated(
 
     def drive(client_, n_requests):
         return [
-            client_.post("/ingest", body, content_type)
+            client_.post("/ingest", body, content_type, content_encoding)
             for _ in range(n_requests)
         ]
 
@@ -828,9 +857,10 @@ def _ingest_baskets(args) -> int:
             response = RandomizedResponse(keep_prob=keep_prob)
             disclosed = response.randomize(matrix, seed=ensure_rng(args.seed))
         body = encode_baskets(disclosed, shard=args.shard)
+        body, content_encoding = _compressed_for_flag(body, args.codec)
         replies, elapsed = _post_repeated(
             base, client, body, CONTENT_TYPE_BASKETS,
-            args.repeat, args.concurrency,
+            args.repeat, args.concurrency, content_encoding,
         )
         ingested = sum(reply["ingested"] for reply in replies)
         baskets = max(reply["baskets"] for reply in replies)
@@ -862,11 +892,14 @@ def _cmd_ingest(args) -> int:
     if (args.url is None) == (args.snapshot is None):
         raise ReproError("ingest needs exactly one of --url or --snapshot")
     if args.url is None and (
-        args.wire != "json" or args.concurrency != 1 or args.repeat != 1
+        args.wire != "json"
+        or args.codec != "none"
+        or args.concurrency != 1
+        or args.repeat != 1
     ):
         raise ReproError(
-            "--wire/--concurrency/--repeat generate load against a running "
-            "server; they need --url"
+            "--wire/--codec/--concurrency/--repeat generate load against a "
+            "running server; they need --url"
         )
     if args.concurrency < 1 or args.repeat < 1:
         raise ReproError("--concurrency and --repeat must be >= 1")
@@ -992,8 +1025,10 @@ def _cmd_ingest(args) -> int:
             body = json.dumps(payload).encode()
             content_type = "application/json"
 
+        body, content_encoding = _compressed_for_flag(body, args.codec)
         replies, elapsed = _post_repeated(
-            base, client, body, content_type, args.repeat, args.concurrency
+            base, client, body, content_type, args.repeat, args.concurrency,
+            content_encoding,
         )
 
         ingested = sum(reply["ingested"] for reply in replies)
@@ -1308,6 +1343,12 @@ def build_parser() -> argparse.ArgumentParser:
         "path (also honored from PPDM_FAULT_PLAN; see "
         "repro.service.faults)",
     )
+    p.add_argument(
+        "--codec", choices=("none", "zlib", "zstd"), default="none",
+        help="--workers only: compress worker partial pushes to the "
+        "coordinator and label them with Content-Encoding (zstd needs "
+        "the zstandard package)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1349,6 +1390,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--wire", choices=("json", "columns"), default="json",
         help="ingest wire format (--url mode): curl-able JSON or binary "
         "columnar frames (application/x-ppdm-columns)",
+    )
+    p.add_argument(
+        "--codec", choices=("none", "zlib", "zstd"), default="none",
+        help="compress the request body and label it with Content-Encoding "
+        "(--url mode; zstd needs the zstandard package on both ends)",
     )
     p.add_argument(
         "--concurrency", type=int, default=1,

@@ -41,6 +41,29 @@ class SerializationError(ValidationError):
     """
 
 
+class WireFormatError(ValidationError):
+    """A binary wire body is malformed, truncated, or absurdly large.
+
+    Raised by :mod:`repro.service.wire` for frames whose bytes cannot be
+    decoded as they claim — bad magic, truncated streams, corrupted
+    codec payloads, or headers declaring more cells than the shared
+    decode-bomb cap allows.  Subclasses :class:`ValidationError`, so the
+    HTTP front end's existing 400 mapping (and every ``except
+    ValidationError`` caller) keeps working.
+    """
+
+
+class DecodedSizeError(WireFormatError):
+    """A compressed body's decoded size exceeds the configured cap.
+
+    The decompression-bomb signal: the wire bytes were small, but the
+    stream would expand past the decoder's explicit decompressed-size
+    bound.  The HTTP front end maps it to 413 (the request *entity* is
+    too large, just measured after decoding) while other
+    :class:`WireFormatError` cases stay 400.
+    """
+
+
 class BenchmarkError(ReproError, RuntimeError):
     """The benchmark orchestration layer hit an unusable state.
 

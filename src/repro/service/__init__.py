@@ -13,7 +13,11 @@ that server's aggregation tier:
 * :mod:`repro.service.wire` — the ``application/x-ppdm-columns`` binary
   columnar wire format (:func:`encode_columns` / :func:`decode_columns`
   / :func:`iter_frames`): raw little-endian float64 columns decoded
-  zero-copy via ``np.frombuffer``, plus an NDJSON fallback,
+  zero-copy via ``np.frombuffer``, quantized int8/int16 bin-index
+  columns (:func:`encode_quantized`, wire v5), per-body compression
+  negotiated over ``Content-Encoding`` (:func:`compress_payload` /
+  :func:`decompress_payload`, bounded by an explicit decoded-size cap),
+  plus an NDJSON fallback,
 * :mod:`repro.service.service` — :class:`AggregationService`: the facade
   gluing the shard set to one shared
   :class:`~repro.core.engine.ReconstructionEngine` (one kernel cache
@@ -94,18 +98,23 @@ from repro.service.support import (
 )
 from repro.service.training import TrainedModel, TrainingService
 from repro.service.wire import (
+    compress_payload,
     decode_baskets,
     decode_columns,
     decode_labeled,
     decode_partial,
+    decompress_payload,
     encode_baskets,
     encode_columns,
     encode_partial,
+    encode_quantized,
     iter_basket_frames,
     iter_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
+    resolve_codec,
     split_partial,
+    supported_codecs,
 )
 
 __all__ = [
@@ -132,16 +141,21 @@ __all__ = [
     "export_sync_body",
     "mining_from_spec",
     "service_from_spec",
+    "compress_payload",
     "decode_baskets",
     "decode_columns",
     "decode_labeled",
     "decode_partial",
+    "decompress_payload",
     "encode_baskets",
     "encode_columns",
     "encode_partial",
+    "encode_quantized",
     "iter_basket_frames",
     "iter_frames",
     "iter_labeled_frames",
     "iter_labeled_ndjson",
+    "resolve_codec",
     "split_partial",
+    "supported_codecs",
 ]

@@ -78,7 +78,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.privacy import privacy_of_randomizer
-from repro.exceptions import ClusterError, SnapshotError, ValidationError
+from repro.exceptions import (
+    ClusterError,
+    DecodedSizeError,
+    SnapshotError,
+    ValidationError,
+)
 from repro.service.faults import FaultPlan
 from repro.service.resilience import AdmissionController, persist_with_rotation
 from repro.service.training import TRAINING_STRATEGIES
@@ -87,9 +92,14 @@ from repro.service.wire import (
     CONTENT_TYPE_COLUMNS,
     CONTENT_TYPE_NDJSON,
     CONTENT_TYPE_PARTIAL,
+    WIRE_CODEC_IDENTITY,
+    _has_quantized_columns,
+    decompress_payload,
     iter_basket_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
+    resolve_codec,
+    supported_codecs,
 )
 
 __all__ = ["ServiceHTTPServer"]
@@ -581,6 +591,15 @@ class ServiceHTTPServer:
             prepared = self.service.prepare(batch, classes)
             rows = None
             if self.training is not None and classes is not None:
+                if _has_quantized_columns(batch):
+                    # bin indices are not randomized values: buffering
+                    # them as training rows would silently corrupt the
+                    # tree's per-leaf reconstruction inputs
+                    raise ValidationError(
+                        "labeled quantized columns cannot feed training; "
+                        "send raw float64 columns (wire v1/v2, or v5 "
+                        "dtype code 0) when training is enabled"
+                    )
                 rows = self.training.prepare_rows(batch, classes)
             prepared_frames.append((prepared, rows, shard))
         ingested = 0
@@ -770,17 +789,34 @@ def _make_handler(server: ServiceHTTPServer):
                     close=True,
                 )
                 return
-            try:
-                length = int(self.headers.get("Content-Length") or 0)
-            except ValueError:
-                length = -1
-            if length < 0:
+            codec = resolve_codec(self.headers.get("Content-Encoding"))
+            if codec is None:
+                # refuse before reading a byte, like the 501 above: the
+                # body cannot be decoded, so skipping it buys nothing
+                self.close_connection = True
+                token = (self.headers.get("Content-Encoding") or "").strip()
+                self._reply(
+                    415, {"error": f"unsupported Content-Encoding "
+                          f"{token!r}; this server accepts "
+                          + ", ".join(supported_codecs())},
+                    close=True,
+                )
+                return
+            header = self.headers.get("Content-Length")
+            if header is None:
+                length = 0
+            elif header.isascii() and header.isdigit():
+                # canonical ASCII digits only: int() would also accept
+                # "+5", "1_000", unicode digits, and stray whitespace,
+                # silently reading the wrong number of body bytes
+                length = int(header)
+            else:
                 # an unparseable length leaves an unknown number of body
                 # bytes on the socket: refuse and drop the connection
                 self.close_connection = True
                 self._reply(
                     400, {"error": "Content-Length must be a non-negative "
-                          "integer"},
+                          "integer in canonical ASCII digits"},
                     close=True,
                 )
                 return
@@ -825,6 +861,14 @@ def _make_handler(server: ServiceHTTPServer):
                     admitted = True
             try:
                 try:
+                    if codec != WIRE_CODEC_IDENTITY:
+                        # the full wire body is already off the socket, so
+                        # every decode failure below leaves the keep-alive
+                        # connection usable; the cap bounds the decoded
+                        # size the same way Content-Length bounds raw ones
+                        raw = decompress_payload(
+                            raw, codec, max_decoded=server.max_body_bytes
+                        )
                     if path == "/ingest" and ctype == CONTENT_TYPE_BASKETS:
                         status, out = server.handle_ingest_baskets(
                             iter_basket_frames(raw)
@@ -857,6 +901,9 @@ def _make_handler(server: ServiceHTTPServer):
                         status, out = server.handle_post(path, payload)
                 except SnapshotError as exc:
                     status, out = 500, {"error": str(exc)}
+                except DecodedSizeError as exc:
+                    # decompression bomb: entity too large once decoded
+                    status, out = 413, {"error": str(exc)}
                 except (ValidationError, ValueError) as exc:
                     status, out = 400, {"error": str(exc)}
                 except ClusterError as exc:

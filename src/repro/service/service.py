@@ -273,6 +273,28 @@ class AggregationService:
         """Absorb a batch pre-located by :meth:`prepare`."""
         return self._shards.ingest_prepared(prepared, shard=shard)
 
+    def quantize(self, batch) -> dict:
+        """Locate a value batch into narrow int8/int16 bin-index columns.
+
+        The client half of the quantized wire path (see
+        :meth:`~repro.service.shards.ColumnLayout.quantize`): the
+        returned ``{attribute: indices}`` mapping feeds
+        :func:`~repro.service.wire.encode_quantized`, and ingesting the
+        quantized stream yields estimates bit-identical to ingesting
+        the float values themselves.
+
+        Examples
+        --------
+        >>> from repro.core import Partition, UniformRandomizer
+        >>> from repro.service import AggregationService, AttributeSpec
+        >>> service = AggregationService([AttributeSpec(
+        ...     "age", Partition.uniform(0, 1, 4),
+        ...     UniformRandomizer(half_width=0.5))])
+        >>> service.quantize({"age": [0.05, 0.95]})["age"].dtype.name
+        'int8'
+        """
+        return self._shards.layout.quantize(batch)
+
     # ------------------------------------------------------------------
     # Control plane
     # ------------------------------------------------------------------

@@ -53,6 +53,21 @@ from repro.core.randomizers import AdditiveRandomizer
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_1d_array, check_label_column
 
+#: the column dtypes the quantized wire path ships bin indices in
+_QUANTIZED_DTYPES = (np.dtype("<i1"), np.dtype("<i2"))
+
+
+def _quantized_column(values):
+    """Return ``values`` when it is a quantized column, else ``None``.
+
+    Quantized columns — the wire v5 carriers — are int8/int16 ndarrays
+    of *pre-located bin indices*; every other input (lists, float
+    arrays, wider integer arrays) stays on the locate-by-value path.
+    """
+    if isinstance(values, np.ndarray) and values.dtype in _QUANTIZED_DTYPES:
+        return values
+    return None
+
 
 @dataclass(frozen=True)
 class AttributeSpec:
@@ -244,10 +259,14 @@ class ColumnLayout:
 
         The pure, lock-free half of ingestion: values are validated,
         bucketed on their attribute's grid, and offset into the flat bin
-        space.  With ``classes`` (one integer label per record, shared
-        by every column of the batch) each fused index additionally
-        lands in its record's class block, so labeled batches bin
-        per class in the same single pass.  The returned
+        space.  Quantized columns (int8/int16 ndarrays of pre-located
+        bin indices, the wire v5 payload) skip the ``locate`` entirely —
+        each index is range-checked against the attribute's grid and
+        offset directly, so compressed clients cost the server no
+        ``searchsorted``.  With ``classes`` (one integer label per
+        record, shared by every column of the batch) each fused index
+        additionally lands in its record's class block, so labeled
+        batches bin per class in the same single pass.  The returned
         :class:`PreparedBatch` can be handed to any shard built on this
         layout.
         """
@@ -264,7 +283,16 @@ class ColumnLayout:
                     f"unknown attribute {name!r}; schema holds "
                     f"{list(self._names)}"
                 )
-            arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
+            indices = _quantized_column(values)
+            if indices is None:
+                arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
+            elif indices.ndim != 1:
+                raise ValidationError(
+                    f"batch[{name!r}] must be 1-dimensional, got shape "
+                    f"{indices.shape}"
+                )
+            else:
+                arr = indices
             if blocks is not None and arr.size != blocks.size:
                 raise ValidationError(
                     f"batch[{name!r}] has {arr.size} value(s) but the class "
@@ -273,7 +301,16 @@ class ColumnLayout:
                 )
             if arr.size == 0:
                 continue
-            fused = partition.locate(arr) + self._offsets[name]
+            if indices is None:
+                fused = partition.locate(arr) + self._offsets[name]
+            else:
+                low, high = int(indices.min()), int(indices.max())
+                if low < 0 or high >= partition.n_intervals:
+                    raise ValidationError(
+                        f"batch[{name!r}] quantized bin indices must lie in "
+                        f"[0, {partition.n_intervals}), got [{low}, {high}]"
+                    )
+                fused = indices.astype(np.intp) + self._offsets[name]
             if blocks is not None:
                 fused = fused + blocks
             located.append(fused)
@@ -287,6 +324,53 @@ class ColumnLayout:
         else:
             flat = np.concatenate(located)
         return PreparedBatch(self, flat, seen, total)
+
+    def quantize(self, batch) -> dict:
+        """Locate a value batch into narrow per-attribute bin-index columns.
+
+        The client half of the quantized wire path: each column is
+        bucketed on its attribute's noise-expanded grid — exactly what
+        :meth:`prepare` would do server-side — and returned at the
+        narrowest width the grid permits (int8 for grids of at most 128
+        intervals, int16 up to 32768; finer grids are rejected).  The
+        width is a pure function of the schema, so every client of one
+        service quantizes identically.  Feeding the result to
+        ``encode_quantized`` → :meth:`prepare` yields bit-identical
+        fused indices — and therefore bit-identical estimates — to
+        shipping the float values themselves.
+
+        Examples
+        --------
+        >>> from repro.core import Partition
+        >>> from repro.service.shards import ColumnLayout
+        >>> layout = ColumnLayout({"a": Partition.uniform(0, 1, 4)})
+        >>> columns = layout.quantize({"a": [0.05, 0.95]})
+        >>> columns["a"].tolist(), columns["a"].dtype.name
+        ([0, 3], 'int8')
+        """
+        if not isinstance(batch, dict):
+            raise ValidationError("batch must map attribute -> values")
+        quantized = {}
+        for name, values in batch.items():
+            partition = self._partitions.get(name)
+            if partition is None:
+                raise ValidationError(
+                    f"unknown attribute {name!r}; schema holds "
+                    f"{list(self._names)}"
+                )
+            arr = check_1d_array(values, f"batch[{name!r}]", allow_empty=True)
+            n_intervals = partition.n_intervals
+            if n_intervals <= 0x80:
+                dtype = _QUANTIZED_DTYPES[0]
+            elif n_intervals <= 0x8000:
+                dtype = _QUANTIZED_DTYPES[1]
+            else:
+                raise ValidationError(
+                    f"attribute {name!r} has {n_intervals} intervals; "
+                    "quantized columns cap grids at 32768 (int16 indices)"
+                )
+            quantized[name] = partition.locate(arr).astype(dtype)
+        return quantized
 
 
 class PreparedBatch:

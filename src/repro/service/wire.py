@@ -93,6 +93,53 @@ absurdly large — malformed bytes are a 400, never a partial absorb.
 v1-v3 byte-compatibility is untouched: record/partial decoders reject
 version 4 frames loudly, and vice versa.
 
+Version 5 is the *quantized* record frame: the v2 layout plus one
+dtype-code byte per attribute-table entry, so already-discretized
+columns ship at their natural width instead of float64.  Randomized
+categorical and binned numeric disclosures are bin indices the moment
+the client locates them on the attribute's noise-expanded grid —
+shipping them as ``float64`` spends 8 bytes on a value that fits in
+one.  A v5 column is either raw values (code 0, float64 — exactly the
+v1/v2 payload) or *pre-located bin indices* (code 1 = int8, code 2 =
+int16), decoded zero-copy via ``np.frombuffer`` and widened only when
+the fused bincount needs platform integers::
+
+    offset  size  field
+    0       4     magic  b"PPDM"
+    4       2     u16    wire version (5 = quantized)
+    6       2     u16    n_attributes
+    8       4     i32    shard pin (-1 = unpinned, round-robin)
+    12      8     u64    class row count (0 = no class column)
+    ...     ...   attribute table, n_attributes entries:
+                    u16    name length L (UTF-8 bytes)
+                    L      attribute name
+                    u64    row count
+                    u8     dtype code (0 = float64 raw values,
+                           1 = int8 bin indices, 2 = int16 bin indices)
+    ...     ...   class column: class_row_count x 4 bytes of raw
+                  little-endian int32 class labels (when count > 0)
+    ...     ...   columns: row_count x itemsize bytes of raw
+                  little-endian values per attribute, in table order
+
+Quantized columns carry *decisions*, not measurements: each index must
+lie in ``[0, n_intervals)`` of its attribute's noise-expanded grid, and
+the server adds shard offsets directly — no ``searchsorted`` on the hot
+path.  Because the client and server locate on the same grid, estimates
+from a quantized stream are bit-identical to the float64 stream of the
+same disclosures.  v1-v4 frames are byte-identical to previous
+releases and still accepted unchanged.
+
+Per-frame *codecs* ride HTTP ``Content-Encoding``, orthogonal to the
+frame version: a whole request body (any number of frames, any
+version) may be compressed with zlib (always available) or zstd (when
+the ``zstandard`` package is importable).  :func:`compress_payload` /
+:func:`decompress_payload` are the single codec implementation; the
+decode side is *bounded* — a streamed ``zlib.decompressobj`` with
+``max_length`` (or zstd's ``max_output_size``) enforces an explicit
+decompressed-size cap, so a decompression bomb (tiny wire body, huge
+decoded size) raises :class:`~repro.exceptions.DecodedSizeError`
+instead of exhausting memory.
+
 Frames are self-delimiting, so a request body may concatenate any
 number of them (:func:`iter_frames` / :func:`iter_labeled_frames` /
 :func:`iter_basket_frames`) and a persistent connection can stream
@@ -101,19 +148,27 @@ keeps the same many-batches-per-body shape curl-able: one
 ``{"batch": ..., "shard": ..., "classes": ...}`` JSON object per line
 (``classes`` optional).
 
-Malformed frames raise :class:`~repro.exceptions.ValidationError`,
-which the HTTP front end maps to status 400.
+Malformed frames raise :class:`~repro.exceptions.ValidationError`
+(decode bombs and codec corruption the sharper
+:class:`~repro.exceptions.WireFormatError` subclass), which the HTTP
+front end maps to status 400 (413 for decoded-size-cap hits).
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import DecodedSizeError, ValidationError, WireFormatError
 from repro.utils.validation import check_label_column
+
+try:  # optional codec: present when the zstandard package is installed
+    import zstandard as _zstandard
+except ImportError:  # pragma: no cover - environment-dependent
+    _zstandard = None  # type: ignore[assignment]
 
 __all__ = [
     "CONTENT_TYPE_BASKETS",
@@ -121,24 +176,33 @@ __all__ = [
     "CONTENT_TYPE_NDJSON",
     "CONTENT_TYPE_PARTIAL",
     "MAGIC",
+    "WIRE_CODEC_IDENTITY",
+    "WIRE_CODEC_ZLIB",
+    "WIRE_CODEC_ZSTD",
     "WIRE_VERSION",
     "WIRE_VERSION_BASKETS",
     "WIRE_VERSION_CLASSES",
     "WIRE_VERSION_PARTIAL",
+    "WIRE_VERSION_QUANTIZED",
+    "compress_payload",
     "decode_baskets",
     "decode_columns",
     "decode_labeled",
     "decode_partial",
+    "decompress_payload",
     "encode_baskets",
     "encode_columns",
     "encode_ndjson",
     "encode_partial",
+    "encode_quantized",
     "iter_basket_frames",
     "iter_frames",
     "iter_labeled_frames",
     "iter_labeled_ndjson",
     "iter_ndjson",
+    "resolve_codec",
     "split_partial",
+    "supported_codecs",
 ]
 
 #: content type negotiating the binary columnar frames
@@ -159,13 +223,30 @@ WIRE_VERSION_CLASSES = 2
 WIRE_VERSION_PARTIAL = 3
 #: basket frame version: varint transaction lists of item ids (mining)
 WIRE_VERSION_BASKETS = 4
+#: quantized frame version: per-column dtype codes (int8/int16 bin indices)
+WIRE_VERSION_QUANTIZED = 5
+#: codec token for uncompressed request bodies (the HTTP default)
+WIRE_CODEC_IDENTITY = "identity"
+#: codec token for zlib-compressed bodies (stdlib, always available)
+WIRE_CODEC_ZLIB = "zlib"
+#: codec token for zstd-compressed bodies (needs the zstandard package)
+WIRE_CODEC_ZSTD = "zstd"
 
 _HEADER = struct.Struct("<4sHHi")
 _NAME_LEN = struct.Struct("<H")
 _ROW_COUNT = struct.Struct("<Q")
 _CLASS_COUNT = struct.Struct("<Q")
+_DTYPE_CODE = struct.Struct("<B")
 _F8 = np.dtype("<f8")
 _I4 = np.dtype("<i4")
+_I1 = np.dtype("<i1")
+_I2 = np.dtype("<i2")
+#: v5 dtype codes -> column dtypes (0 = raw float64 values, 1/2 = bin indices)
+_DTYPE_BY_CODE = {0: _F8, 1: _I1, 2: _I2}
+_CODE_BY_DTYPE = {_F8: 0, _I1: 1, _I2: 2}
+#: decode-bomb guard shared by every frame decoder: a single frame may not
+#: expand past this many cells, however plausible its byte length looks
+_MAX_FRAME_CELLS = 1 << 28
 
 
 def _encode_class_column(classes) -> np.ndarray:
@@ -265,12 +346,118 @@ def encode_columns(batch, *, shard: int | None = None, classes=None) -> bytes:
     )
 
 
+def encode_quantized(batch, *, shard: int | None = None, classes=None) -> bytes:
+    """Encode a batch as a version 5 frame with per-column dtype codes.
+
+    Integer columns are treated as *pre-located bin indices* — the
+    values :meth:`repro.core.Partition.locate` (or
+    :meth:`~repro.service.AggregationService.quantize`) produces — and
+    ship at their natural width: int8 when every index fits in a signed
+    byte, int16 otherwise (indices above 32767 are rejected; no
+    attribute grid is that fine).  Float columns ship as raw float64,
+    byte-for-byte the v1/v2 column payload, so mixed batches work.
+
+    Parameters
+    ----------
+    batch:
+        Mapping of attribute name to a 1-D sequence.  Integer dtypes
+        (including int8/int16 arrays, passed through unwidened) become
+        quantized columns; everything else is encoded as float64 values.
+    shard:
+        Optional shard pin carried in the frame header.
+    classes:
+        Optional class column, one integer label per record — exactly
+        the :func:`encode_columns` contract.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.service.wire import decode_labeled, encode_quantized
+    >>> frame = encode_quantized({"age": np.array([0, 3, 1], dtype=np.int8)})
+    >>> frame[:4], frame[4]
+    (b'PPDM', 5)
+    >>> batch, classes, shard = decode_labeled(frame)
+    >>> batch["age"].tolist(), batch["age"].dtype.name
+    ([0, 3, 1], 'int8')
+    """
+    if not isinstance(batch, dict):
+        raise ValidationError("batch must map attribute -> values")
+    if len(batch) > 0xFFFF:
+        raise ValidationError("a frame holds at most 65535 attributes")
+    class_column = None
+    if classes is not None:
+        class_column = _encode_class_column(classes)
+        if class_column.size == 0:
+            class_column = None
+    columns = []
+    table = []
+    for name, values in batch.items():
+        if not isinstance(name, str) or not name:
+            raise ValidationError("attribute names must be non-empty strings")
+        encoded_name = name.encode("utf-8")
+        if len(encoded_name) > 0xFFFF:
+            raise ValidationError(f"attribute name {name!r} is too long")
+        arr = np.asarray(values)
+        if arr.dtype.kind in "iu":
+            if arr.ndim != 1:
+                raise ValidationError(
+                    f"batch[{name!r}] must be 1-dimensional, got shape "
+                    f"{arr.shape}"
+                )
+            if arr.size and int(arr.min()) < 0:
+                raise ValidationError(
+                    f"batch[{name!r}] holds negative bin indices; quantized "
+                    "columns carry locations on the attribute grid"
+                )
+            if arr.size and int(arr.max()) > 0x7FFF:
+                raise ValidationError(
+                    f"batch[{name!r}] holds bin index {int(arr.max())}; "
+                    "quantized columns cap indices at 32767 (int16)"
+                )
+            if arr.dtype not in (_I1, _I2):
+                narrow = _I1 if (not arr.size or int(arr.max()) <= 0x7F) else _I2
+                arr = arr.astype(narrow)
+        else:
+            arr = np.ascontiguousarray(values, dtype=_F8)
+            if arr.ndim != 1:
+                raise ValidationError(
+                    f"batch[{name!r}] must be 1-dimensional, got shape "
+                    f"{arr.shape}"
+                )
+        if class_column is not None and arr.size != class_column.size:
+            raise ValidationError(
+                f"batch[{name!r}] has {arr.size} row(s) but the class "
+                f"column has {class_column.size}; labeled frames need one "
+                "class label per record"
+            )
+        code = _CODE_BY_DTYPE[arr.dtype]
+        table.append(
+            _NAME_LEN.pack(len(encoded_name))
+            + encoded_name
+            + _ROW_COUNT.pack(arr.size)
+            + _DTYPE_CODE.pack(code)
+        )
+        columns.append(np.ascontiguousarray(arr, dtype=_DTYPE_BY_CODE[code]).tobytes())
+    header = _HEADER.pack(
+        MAGIC,
+        WIRE_VERSION_QUANTIZED,
+        len(batch),
+        -1 if shard is None else int(shard),
+    )
+    return (
+        header
+        + _CLASS_COUNT.pack(0 if class_column is None else class_column.size)
+        + b"".join(table)
+        + (b"" if class_column is None else class_column.tobytes())
+        + b"".join(columns)
+    )
+
+
 def _decode_frame(view: memoryview, offset: int) -> tuple:
     """Decode one frame at ``offset``.
 
     Returns ``(batch, shard, classes, next_offset)`` — ``classes`` is
-    ``None`` for version 1 frames and version 2 frames without a class
-    column.
+    ``None`` for frames without a class column.
     """
     end = len(view)
     if end - offset < _HEADER.size:
@@ -284,29 +471,34 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
             f"bad frame magic {bytes(magic)!r}; expected {MAGIC!r} "
             f"(is the body really {CONTENT_TYPE_COLUMNS}?)"
         )
-    if version not in (WIRE_VERSION, WIRE_VERSION_CLASSES):
+    if version not in (WIRE_VERSION, WIRE_VERSION_CLASSES, WIRE_VERSION_QUANTIZED):
         raise ValidationError(
             f"unsupported wire version {version}; this server speaks "
-            f"versions {WIRE_VERSION} and {WIRE_VERSION_CLASSES}"
+            f"versions {WIRE_VERSION}, {WIRE_VERSION_CLASSES}, and "
+            f"{WIRE_VERSION_QUANTIZED}"
         )
     offset += _HEADER.size
     class_rows = 0
-    if version == WIRE_VERSION_CLASSES:
+    if version in (WIRE_VERSION_CLASSES, WIRE_VERSION_QUANTIZED):
         if end - offset < _CLASS_COUNT.size:
             raise ValidationError(
-                "truncated columnar frame: version 2 header needs a class "
-                "row count"
+                f"truncated columnar frame: version {version} header needs "
+                "a class row count"
             )
         (class_rows,) = _CLASS_COUNT.unpack_from(view, offset)
         offset += _CLASS_COUNT.size
     names = []
     rows = []
+    dtypes = []
     for _ in range(n_attributes):
         if end - offset < _NAME_LEN.size:
             raise ValidationError("truncated columnar frame attribute table")
         (name_len,) = _NAME_LEN.unpack_from(view, offset)
         offset += _NAME_LEN.size
-        if end - offset < name_len + _ROW_COUNT.size:
+        entry_tail = _ROW_COUNT.size
+        if version == WIRE_VERSION_QUANTIZED:
+            entry_tail += _DTYPE_CODE.size
+        if end - offset < name_len + entry_tail:
             raise ValidationError("truncated columnar frame attribute table")
         try:
             name = str(view[offset : offset + name_len], "utf-8")
@@ -315,6 +507,17 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
         offset += name_len
         (row_count,) = _ROW_COUNT.unpack_from(view, offset)
         offset += _ROW_COUNT.size
+        dtype = _F8
+        if version == WIRE_VERSION_QUANTIZED:
+            (code,) = _DTYPE_CODE.unpack_from(view, offset)
+            offset += _DTYPE_CODE.size
+            dtype = _DTYPE_BY_CODE.get(code)
+            if dtype is None:
+                raise WireFormatError(
+                    f"quantized frame: column {name!r} declares unknown "
+                    f"dtype code {code}; this server speaks codes "
+                    f"{sorted(_DTYPE_BY_CODE)}"
+                )
         if name in names:
             raise ValidationError(f"duplicate attribute {name!r} in frame")
         if class_rows and row_count != class_rows:
@@ -324,6 +527,14 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
             )
         names.append(name)
         rows.append(row_count)
+        dtypes.append(dtype)
+    total_cells = class_rows + sum(rows)
+    if total_cells > _MAX_FRAME_CELLS:
+        raise WireFormatError(
+            f"columnar frame declares {total_cells} cells across "
+            f"{n_attributes} column(s); the decoder caps frames at "
+            f"{_MAX_FRAME_CELLS}"
+        )
     classes = None
     if class_rows:
         nbytes = class_rows * _I4.itemsize
@@ -335,14 +546,14 @@ def _decode_frame(view: memoryview, offset: int) -> tuple:
         classes = np.frombuffer(view, dtype=_I4, count=class_rows, offset=offset)
         offset += nbytes
     batch = {}
-    for name, row_count in zip(names, rows):
-        nbytes = row_count * _F8.itemsize
+    for name, row_count, dtype in zip(names, rows, dtypes):
+        nbytes = row_count * dtype.itemsize
         if end - offset < nbytes:
             raise ValidationError(
                 f"truncated columnar frame: column {name!r} declares "
                 f"{row_count} rows but only {end - offset} byte(s) remain"
             )
-        batch[name] = np.frombuffer(view, dtype=_F8, count=row_count, offset=offset)
+        batch[name] = np.frombuffer(view, dtype=dtype, count=row_count, offset=offset)
         offset += nbytes
     return batch, (None if shard < 0 else shard), classes, offset
 
@@ -375,8 +586,10 @@ def decode_columns(payload) -> tuple:
 def decode_labeled(payload) -> tuple:
     """Decode a single columnar frame; return ``(batch, classes, shard)``.
 
-    Accepts both wire versions: ``classes`` is a read-only int32 view
-    for labeled version 2 frames and ``None`` otherwise.
+    Accepts record wire versions 1, 2, and 5: ``classes`` is a
+    read-only int32 view for frames carrying a class column and
+    ``None`` otherwise.  Version 5 (quantized) columns come back at
+    their declared width — int8/int16 bin indices stay narrow.
 
     Examples
     --------
@@ -424,10 +637,10 @@ def iter_labeled_frames(payload):
     """Yield ``(batch, classes, shard)`` for every frame in ``payload``.
 
     The decoder behind ``POST /ingest`` with
-    ``Content-Type: application/x-ppdm-columns``: version 1 and
-    version 2 frames may be freely mixed in one body, and each column —
-    including the class column — is decoded as a zero-copy
-    ``np.frombuffer`` view.
+    ``Content-Type: application/x-ppdm-columns``: version 1, 2, and 5
+    frames may be freely mixed in one body, and each column — including
+    the class column — is decoded as a zero-copy ``np.frombuffer`` view
+    (quantized version 5 columns at their declared int8/int16 width).
 
     Examples
     --------
@@ -592,6 +805,13 @@ def split_partial(payload) -> tuple:
             )
         names.append(name)
         bins.append(bin_count)
+    total_cells = n_blocks * sum(bins)
+    if total_cells > _MAX_FRAME_CELLS:
+        raise WireFormatError(
+            f"partial frame declares {n_blocks} block(s) x {sum(bins)} "
+            f"bin(s) = {total_cells} cells; the decoder caps frames at "
+            f"{_MAX_FRAME_CELLS}"
+        )
     partials = {}
     for name, bin_count in zip(names, bins):
         n_values = n_blocks * bin_count
@@ -638,8 +858,6 @@ def decode_partial(payload) -> dict:
 
 #: a varint never needs more than 10 bytes (70 value bits > 64)
 _VARINT_MAX_BYTES = 10
-#: decode-bomb guard: a basket frame may not expand past this many cells
-_MAX_BASKET_CELLS = 1 << 28
 
 
 def _encode_varint(value: int) -> bytes:
@@ -772,10 +990,10 @@ def _decode_basket_frame(view: memoryview, offset: int) -> tuple:
             f"truncated basket frame: {n_transactions} transaction(s) "
             f"declared but only {end - offset} byte(s) remain"
         )
-    if n_transactions * n_items > _MAX_BASKET_CELLS:
-        raise ValidationError(
+    if n_transactions * n_items > _MAX_FRAME_CELLS:
+        raise WireFormatError(
             f"basket frame expands to {n_transactions} x {n_items} cells; "
-            f"the decoder caps frames at {_MAX_BASKET_CELLS}"
+            f"the decoder caps frames at {_MAX_FRAME_CELLS}"
         )
     lengths = []
     for i in range(n_transactions):
@@ -965,3 +1183,187 @@ def iter_labeled_ndjson(payload):
                 f"integer labels, got {type(classes).__name__}"
             )
         yield batch, classes, shard
+
+
+def supported_codecs() -> tuple:
+    """Return the codec tokens this process can decode, identity first.
+
+    zstd appears only when the optional ``zstandard`` package imports —
+    the tuple is what a 415 response advertises, so clients learn
+    exactly which ``Content-Encoding`` values this server accepts.
+
+    Examples
+    --------
+    >>> from repro.service.wire import supported_codecs
+    >>> supported_codecs()[:2]
+    ('identity', 'zlib')
+    """
+    if _zstandard is None:
+        return (WIRE_CODEC_IDENTITY, WIRE_CODEC_ZLIB)
+    return (WIRE_CODEC_IDENTITY, WIRE_CODEC_ZLIB, WIRE_CODEC_ZSTD)
+
+
+def resolve_codec(token) -> str | None:
+    """Normalize a ``Content-Encoding`` token to a supported codec name.
+
+    Returns one of :func:`supported_codecs` — ``None``/empty/
+    ``identity`` map to :data:`WIRE_CODEC_IDENTITY`, ``deflate`` is an
+    alias for zlib — or ``None`` when the token names a codec this
+    process cannot decode (unknown encodings, or zstd without the
+    ``zstandard`` package).  Matching is case-insensitive and ignores
+    surrounding whitespace, per RFC 9110.
+
+    Examples
+    --------
+    >>> from repro.service.wire import resolve_codec
+    >>> resolve_codec(None), resolve_codec(" ZLIB "), resolve_codec("deflate")
+    ('identity', 'zlib', 'zlib')
+    >>> resolve_codec("br") is None
+    True
+    """
+    if token is None:
+        return WIRE_CODEC_IDENTITY
+    name = str(token).strip().lower()
+    if name in ("", WIRE_CODEC_IDENTITY):
+        return WIRE_CODEC_IDENTITY
+    if name in (WIRE_CODEC_ZLIB, "deflate"):
+        return WIRE_CODEC_ZLIB
+    if name == WIRE_CODEC_ZSTD and _zstandard is not None:
+        return WIRE_CODEC_ZSTD
+    return None
+
+
+def compress_payload(payload, codec: str) -> bytes:
+    """Compress an encoded wire body with ``codec``.
+
+    The single compression implementation behind ``ppdm ingest --codec``
+    and the cluster tier's :class:`~repro.service.PartialShipper`:
+    ``identity`` returns the bytes unchanged, ``zlib`` uses the stdlib
+    at its default level, ``zstd`` needs the optional ``zstandard``
+    package.  The codec applies to the *whole* request body — any
+    number of concatenated frames, any mix of versions — and rides the
+    ``Content-Encoding`` header, never the frame bytes themselves.
+
+    Examples
+    --------
+    >>> from repro.service.wire import compress_payload, decompress_payload
+    >>> body = b"PPDM" + bytes(1000)
+    >>> wire = compress_payload(body, "zlib")
+    >>> len(wire) < len(body)
+    True
+    >>> decompress_payload(wire, "zlib", max_decoded=2000) == body
+    True
+    """
+    data = bytes(payload)
+    if codec == WIRE_CODEC_IDENTITY:
+        return data
+    if codec == WIRE_CODEC_ZLIB:
+        return zlib.compress(data)
+    if codec == WIRE_CODEC_ZSTD:
+        if _zstandard is None:
+            raise ValidationError(
+                "the zstd codec needs the optional zstandard package"
+            )
+        return _zstandard.ZstdCompressor().compress(data)
+    raise ValidationError(
+        f"unknown codec {codec!r}; this process supports "
+        f"{', '.join(supported_codecs())}"
+    )
+
+
+def decompress_payload(payload, codec: str, *, max_decoded: int) -> bytes:
+    """Decompress a request body, bounded by an explicit decoded-size cap.
+
+    The inverse of :func:`compress_payload`, and the only decode path
+    the HTTP front end uses: a compressed body breaks the
+    ``Content-Length ≈ decoded size`` assumption, so the decoder never
+    trusts the stream — zlib decodes through a streamed
+    ``decompressobj`` with ``max_length`` and zstd through its own
+    output-size bound.  A stream that would expand past ``max_decoded``
+    raises :class:`~repro.exceptions.DecodedSizeError` (mapped to 413);
+    truncated or corrupt streams raise
+    :class:`~repro.exceptions.WireFormatError` (mapped to 400).  Either
+    way the caller has already read the full wire body, so a keep-alive
+    connection stays usable.
+
+    Examples
+    --------
+    >>> import zlib
+    >>> from repro.service.wire import decompress_payload
+    >>> decompress_payload(zlib.compress(b"frame"), "zlib", max_decoded=64)
+    b'frame'
+    >>> decompress_payload(zlib.compress(bytes(10_000)), "zlib", max_decoded=64)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.DecodedSizeError: zlib body expands past the 64-byte decoded-size cap
+    """
+    data = bytes(payload)
+    cap = int(max_decoded)
+    if cap < 1:
+        raise ValidationError(f"max_decoded must be positive, got {max_decoded}")
+    if codec == WIRE_CODEC_IDENTITY:
+        if len(data) > cap:
+            raise DecodedSizeError(
+                f"body is {len(data)} byte(s); the decoder caps bodies "
+                f"at {cap}"
+            )
+        return data
+    if codec == WIRE_CODEC_ZLIB:
+        engine = zlib.decompressobj()
+        try:
+            decoded = engine.decompress(data, cap + 1)
+        except zlib.error as exc:
+            raise WireFormatError(f"corrupt zlib body: {exc}") from exc
+        if len(decoded) > cap:
+            raise DecodedSizeError(
+                f"zlib body expands past the {cap}-byte decoded-size cap"
+            )
+        if not engine.eof:
+            raise WireFormatError(
+                "truncated zlib body: the stream ends mid-block"
+            )
+        if engine.unused_data:
+            raise WireFormatError(
+                f"{len(engine.unused_data)} trailing byte(s) after the "
+                "zlib stream"
+            )
+        return decoded
+    if codec == WIRE_CODEC_ZSTD:
+        if _zstandard is None:
+            raise ValidationError(
+                "the zstd codec needs the optional zstandard package"
+            )
+        try:
+            declared = _zstandard.frame_content_size(data)
+        except _zstandard.ZstdError as exc:
+            raise WireFormatError(f"corrupt zstd body: {exc}") from exc
+        if declared not in (-1,) and declared > cap:
+            raise DecodedSizeError(
+                f"zstd body declares {declared} decoded byte(s); the "
+                f"decoder caps bodies at {cap}"
+            )
+        try:
+            return _zstandard.ZstdDecompressor().decompress(
+                data, max_output_size=cap
+            )
+        except _zstandard.ZstdError as exc:
+            text = str(exc).lower()
+            if "output size" in text or "too small" in text:
+                raise DecodedSizeError(
+                    f"zstd body expands past the {cap}-byte decoded-size cap"
+                ) from exc
+            raise WireFormatError(
+                f"corrupt or truncated zstd body: {exc}"
+            ) from exc
+    raise ValidationError(
+        f"unknown codec {codec!r}; this process supports "
+        f"{', '.join(supported_codecs())}"
+    )
+
+
+def _has_quantized_columns(batch) -> bool:
+    """True when any decoded column carries bin indices (int8/int16)."""
+    return any(
+        isinstance(values, np.ndarray) and values.dtype.kind in "iu"
+        for values in batch.values()
+    )

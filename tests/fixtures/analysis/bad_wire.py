@@ -14,3 +14,6 @@ _HEADER = struct.Struct("<4sHHi")  # W001 + W002: duplicated layout
 
 def pack_frame(n):
     return struct.pack("<Q", n)  # W001: hand-rolled packing
+
+
+WIRE_CODEC_ZSTD = "zstd"  # W002: codec token re-declared outside the wire module

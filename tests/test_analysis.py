@@ -312,6 +312,7 @@ class TestWireChecker:
         assert ("W002", 10) in found  # WIRE_VERSION redefinition
         assert ("W001", 12) in found and ("W002", 12) in found  # "<4sHHi"
         assert ("W001", 16) in found and ("W002", 16) in found  # "<Q"
+        assert ("W002", 19) in found  # WIRE_CODEC_* redefinition
 
     def test_wire_rules_are_library_only(self):
         module = load_fixture("bad_wire.py", "examples/fix.py", "examples")

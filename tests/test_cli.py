@@ -168,6 +168,18 @@ class TestServeIngestParser:
                  "--wire", "protobuf"]
             )
 
+    def test_codec_defaults_to_none(self):
+        assert build_parser().parse_args(
+            ["ingest", "values.txt"]
+        ).codec == "none"
+        assert build_parser().parse_args(["serve"]).codec == "none"
+
+    def test_codec_rejects_unknown_token(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["ingest", "values.txt", "--codec", "brotli"]
+            )
+
 
 class TestServeIngestCommands:
     @pytest.fixture
@@ -408,6 +420,78 @@ class TestServeIngestCommands:
         )
         assert code == 2
         assert "--url" in capsys.readouterr().err
+
+    def test_ingest_codec_needs_url(self, capsys, tmp_path):
+        values = tmp_path / "ages.json"
+        values.write_text("[40.0]")
+        code = main(
+            ["ingest", str(values), "--attribute", "age",
+             "--snapshot", str(tmp_path / "snap.json"), "--codec", "zlib"]
+        )
+        assert code == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_serve_codec_needs_workers(self, capsys, spec_file):
+        code = main(
+            ["serve", "--spec", str(spec_file), "--port", "0",
+             "--max-requests", "0", "--codec", "zlib"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_ingest_zstd_without_package_is_a_clean_error(
+        self, capsys, tmp_path
+    ):
+        try:
+            import zstandard  # noqa: F401
+        except ImportError:
+            values = tmp_path / "ages.json"
+            values.write_text("[40.0]")
+            code = main(
+                ["ingest", str(values), "--attribute", "age",
+                 "--url", "http://127.0.0.1:1", "--codec", "zstd",
+                 "--already-randomized"]
+            )
+            assert code == 2
+            assert "zstandard" in capsys.readouterr().err
+        else:
+            pytest.skip("zstandard installed; the error path is unreachable")
+
+    def test_ingest_zlib_codec_against_live_server(
+        self, capsys, tmp_path, spec_file
+    ):
+        """Compressed load run: every request carries Content-Encoding,
+        every record lands."""
+        import json
+        import threading
+
+        from repro.service import ServiceHTTPServer, service_from_spec
+
+        service = service_from_spec(json.loads(spec_file.read_text()))
+        server = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            values = tmp_path / "ages.json"
+            values.write_text(json.dumps([40.0, 45.0, 50.0] * 20))
+            code = main(
+                [
+                    "ingest", str(values),
+                    "--attribute", "age",
+                    "--url", server.url,
+                    "--wire", "columns",
+                    "--codec", "zlib",
+                    "--seed", "7",
+                    "--repeat", "3",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "ingested 180 record(s) in 3 request(s)" in out
+            assert service.n_seen("age") == 180
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
 
     def test_ingest_rejects_nonpositive_repeat(self, capsys, tmp_path):
         values = tmp_path / "ages.json"

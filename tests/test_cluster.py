@@ -456,6 +456,66 @@ class TestShipper:
             PartialShipper(worker, "http://c", 0, retries=0)
 
 
+class TestShipperCodec:
+    """Compressed partial pushes: smaller bodies, same coordinator state."""
+
+    def make_pair(self, codec):
+        import zlib
+
+        coordinator = ClusterCoordinator(make_service(n_shards=1), n_workers=1)
+        coordinator.register(0, "http://w0")
+        captured = {}
+
+        def fetch(url, data=None, content_type=None, timeout=None,
+                  content_encoding=None):
+            captured["encoding"] = content_encoding
+            captured["bytes"] = len(data)
+            body = zlib.decompress(data) if content_encoding == "zlib" else data
+            worker = int(url.rsplit("worker=", 1)[1])
+            coordinator.apply_push(worker, body)
+            return b"{}"
+
+        worker = make_service()
+        shipper = PartialShipper(
+            worker, "http://c", 0, fetch=fetch, codec=codec
+        )
+        return coordinator, worker, shipper, captured
+
+    def test_zlib_push_reaches_the_coordinator_bit_identically(self):
+        coordinator, worker, shipper, captured = self.make_pair("zlib")
+        worker.ingest(make_batch(30)[0])
+        assert shipper.push() is True
+        assert captured["encoding"] == "zlib"
+        assert captured["bytes"] < len(export_sync_body(worker, None))
+        assert coordinator.service.n_seen("x") == 200
+        assert_same_estimates(coordinator.service, worker)
+
+    def test_identity_shipper_calls_fetch_without_encoding_kwarg(self):
+        """The default codec keeps the legacy 4-argument fetch contract."""
+        coordinator = ClusterCoordinator(make_service(n_shards=1), n_workers=1)
+        coordinator.register(0, "http://w0")
+        seen = {}
+
+        def legacy_fetch(url, data=None, content_type=None, timeout=None):
+            seen["data"] = data
+            worker = int(url.rsplit("worker=", 1)[1])
+            coordinator.apply_push(worker, data)
+            return b"{}"
+
+        worker = make_service()
+        shipper = PartialShipper(worker, "http://c", 0, fetch=legacy_fetch)
+        worker.ingest(make_batch(31)[0])
+        assert shipper.codec == "identity"
+        assert shipper.push() is True
+        assert seen["data"] == export_sync_body(worker, None)
+
+    def test_unsupported_codec_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="codec"):
+            PartialShipper(make_service(), "http://c", 0, codec="br")
+        with pytest.raises(ValidationError, match="codec"):
+            start_cluster({"attributes": []}, n_workers=1, codec="br")
+
+
 class TestRegisterWorker:
     def test_retries_until_coordinator_is_up(self):
         coordinator = ClusterCoordinator(make_service(n_shards=1), n_workers=1)

@@ -262,6 +262,76 @@ class TestPreparedFastPath:
         assert shard.ingest_prepared(shard.prepare({"x": []})) == 0
 
 
+class TestQuantizedColumns:
+    """Client-side quantization: int8/int16 bin indices through prepare()."""
+
+    def test_quantize_width_follows_grid_size(self, part, noise):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        w = _disclose(noise, 100, seed=50)
+        indices = service.quantize({"x": w})
+        assert indices["x"].dtype == np.dtype("int8")
+        big = ColumnLayout({"x": Partition.uniform(0, 1, 300)})
+        assert big.quantize({"x": [0.5]})["x"].dtype == np.dtype("int16")
+
+    def test_quantized_prepare_matches_float_prepare(self, part, noise):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        reference = AggregationService([AttributeSpec("x", part, noise)])
+        w = _disclose(noise, 2_000, seed=51)
+        reference.ingest({"x": w})
+        indices = service.quantize({"x": w})
+        service.ingest_prepared(service.prepare(indices))
+        a = service.estimate("x")
+        b = reference.estimate("x")
+        assert np.array_equal(a.distribution.probs, b.distribution.probs)
+        assert a.n_iterations == b.n_iterations
+
+    def test_wire_roundtripped_indices_stay_bit_identical(self, part, noise):
+        """quantize -> encode_quantized -> decode -> prepare: the full
+        client->server path lands in the same accumulators."""
+        from repro.service import encode_quantized
+        from repro.service.wire import iter_labeled_frames
+
+        service = AggregationService(
+            [AttributeSpec("x", part, noise)], n_shards=4
+        )
+        reference = AggregationService([AttributeSpec("x", part, noise)])
+        w = _disclose(noise, 3_000, seed=52)
+        reference.ingest({"x": w})
+        body = encode_quantized(service.quantize({"x": w}))
+        for batch, _, shard in iter_labeled_frames(body):
+            service.ingest_prepared(service.prepare(batch), shard=shard)
+        assert np.array_equal(
+            service.estimate("x").distribution.probs,
+            reference.estimate("x").distribution.probs,
+        )
+
+    def test_out_of_grid_indices_rejected(self, part, noise):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        with pytest.raises(ValidationError, match="bin indices"):
+            service.prepare({"x": np.array([0, 120], dtype=np.int8)})
+        with pytest.raises(ValidationError, match="bin indices"):
+            service.prepare({"x": np.array([-1], dtype=np.int8)})
+
+    def test_quantize_clips_like_float_ingest(self, part, noise):
+        """locate() clips out-of-domain disclosures to the edge bins; the
+        quantized path inherits exactly that behaviour."""
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        reference = AggregationService([AttributeSpec("x", part, noise)])
+        outliers = np.array([-99.0, 0.5, 99.0])
+        reference.ingest({"x": outliers})
+        service.ingest_prepared(
+            service.prepare(service.quantize({"x": outliers}))
+        )
+        a, seen_a = service.shards.shard(0).partial("x")
+        b, seen_b = reference.shards.shard(0).partial("x")
+        assert np.array_equal(a, b) and seen_a == seen_b
+
+    def test_quantized_2d_rejected(self, part, noise):
+        service = AggregationService([AttributeSpec("x", part, noise)])
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            service.prepare({"x": np.array([[1]], dtype=np.int8)})
+
+
 class TestStripedAccumulators:
     def test_stripes_merge_to_exact_counts(self, part, noise):
         """Many writer threads -> many stripes; partial() is still the

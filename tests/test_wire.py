@@ -7,23 +7,29 @@ import struct
 import numpy as np
 import pytest
 
-from repro.exceptions import ValidationError
+from repro.exceptions import DecodedSizeError, ValidationError, WireFormatError
 from repro.service.wire import (
     MAGIC,
     WIRE_VERSION,
     WIRE_VERSION_BASKETS,
     WIRE_VERSION_CLASSES,
+    WIRE_VERSION_QUANTIZED,
+    compress_payload,
     decode_baskets,
     decode_columns,
     decode_labeled,
+    decompress_payload,
     encode_baskets,
     encode_columns,
     encode_ndjson,
+    encode_quantized,
     iter_basket_frames,
     iter_frames,
     iter_labeled_frames,
     iter_labeled_ndjson,
     iter_ndjson,
+    resolve_codec,
+    supported_codecs,
 )
 
 
@@ -251,7 +257,8 @@ class TestClassColumn:
         frame = bytearray(encode_columns({"abc": [0.5]}))
         # row count sits after header + u16 name length + 3 name bytes
         struct.pack_into("<Q", frame, 12 + 2 + 3, 2**60)
-        with pytest.raises(ValidationError, match="truncated"):
+        # the cell-count bomb guard fires before any byte-length math
+        with pytest.raises(WireFormatError, match="caps frames"):
             decode_columns(bytes(frame))
 
 
@@ -571,3 +578,243 @@ class TestNDJSON:
     def test_classes_must_be_list(self):
         with pytest.raises(ValidationError, match="classes"):
             list(iter_labeled_ndjson(b'{"batch": {"x": [0.5]}, "classes": 1}\n'))
+
+
+class TestQuantizedFrames:
+    """Wire version 5: per-column dtype codes and int8/int16 bin indices."""
+
+    def test_int8_roundtrip(self):
+        indices = np.array([0, 3, 7, 127], dtype=np.int8)
+        frame = encode_quantized({"age": indices})
+        assert struct.unpack_from("<H", frame, 4)[0] == WIRE_VERSION_QUANTIZED
+        batch, classes, shard = decode_labeled(frame)
+        assert classes is None and shard is None
+        assert batch["age"].dtype == np.dtype("<i1")
+        assert np.array_equal(batch["age"], indices)
+
+    def test_int16_roundtrip(self):
+        indices = np.array([0, 128, 32767], dtype=np.int16)
+        batch, _, _ = decode_labeled(encode_quantized({"x": indices}))
+        assert batch["x"].dtype == np.dtype("<i2")
+        assert np.array_equal(batch["x"], indices)
+
+    def test_wide_integers_narrow_to_smallest_width(self):
+        batch, _, _ = decode_labeled(
+            encode_quantized({"a": np.array([0, 127], dtype=np.int64),
+                              "b": np.array([0, 128], dtype=np.int64)})
+        )
+        assert batch["a"].dtype == np.dtype("<i1")
+        assert batch["b"].dtype == np.dtype("<i2")
+
+    def test_float_columns_ride_v5_as_raw_f8(self):
+        values = np.array([0.1, 1e-308, -0.0])
+        frame = encode_quantized({"x": values, "q": np.array([1], dtype=np.int8)[:0]})
+        batch, _, _ = decode_labeled(frame)
+        assert batch["x"].dtype == np.dtype("<f8")
+        assert batch["x"].tobytes() == values.tobytes()
+
+    def test_labeled_quantized_frame_roundtrips(self):
+        indices = np.array([0, 1, 2, 1], dtype=np.int8)
+        frame = encode_quantized({"x": indices}, classes=[0, 1, 0, 1], shard=2)
+        batch, classes, shard = decode_labeled(frame)
+        assert shard == 2
+        assert classes.tolist() == [0, 1, 0, 1]
+        assert batch["x"].tolist() == [0, 1, 2, 1]
+
+    def test_decoded_quantized_columns_are_zero_copy(self):
+        frame = encode_quantized({"x": np.arange(100, dtype=np.int8)})
+        batch, _, _ = decode_labeled(frame)
+        assert not batch["x"].flags.owndata
+        assert not batch["x"].flags.writeable
+
+    def test_unlabeled_v5_decodes_via_iter_frames(self):
+        frame = encode_quantized({"x": np.array([1, 2], dtype=np.int8)})
+        (batch, shard), = iter_frames(frame)
+        assert shard is None
+        assert batch["x"].tolist() == [1, 2]
+
+    def test_v5_mixes_with_older_versions_in_one_body(self):
+        body = (
+            encode_columns({"x": [0.5]})
+            + encode_quantized({"x": np.array([3], dtype=np.int8)})
+            + encode_columns({"x": [0.9]}, classes=[1])
+        )
+        frames = list(iter_labeled_frames(body))
+        decoded = [b["x"].dtype for b, _, _ in frames]
+        assert decoded == [np.dtype("<f8"), np.dtype("<i1"), np.dtype("<f8")]
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValidationError, match="negative"):
+            encode_quantized({"x": np.array([-1], dtype=np.int8)})
+
+    def test_indices_past_int16_rejected(self):
+        with pytest.raises(ValidationError, match="32767"):
+            encode_quantized({"x": np.array([32768], dtype=np.int64)})
+
+    def test_unknown_dtype_code_rejected(self):
+        frame = bytearray(encode_quantized({"ab": np.array([1], dtype=np.int8)}))
+        # dtype code is the last byte of the table entry:
+        # header(12) + class count(8) + name len(2) + name(2) + rows(8)
+        frame[12 + 8 + 2 + 2 + 8] = 9
+        with pytest.raises(WireFormatError, match="unknown dtype code"):
+            decode_labeled(bytes(frame))
+
+    def test_older_encoders_stay_byte_identical(self):
+        """v5 is opt-in: encode_columns never emits it, and a pinned v1
+        frame proves the pre-codec layout is untouched."""
+        frame = encode_columns({"x": [0.5]}, shard=1)
+        assert struct.unpack_from("<H", frame, 4)[0] == WIRE_VERSION
+        expected = (
+            struct.pack("<4sHHi", MAGIC, WIRE_VERSION, 1, 1)
+            + struct.pack("<H", 1) + b"x" + struct.pack("<Q", 1)
+            + np.array([0.5]).tobytes()
+        )
+        assert bytes(frame) == expected
+
+    def test_truncation_fuzz_never_leaks_other_exceptions(self):
+        frame = encode_quantized(
+            {"q": np.arange(50, dtype=np.int16), "f": np.linspace(0, 1, 50)},
+            classes=[0, 1] * 25,
+        )
+        for cut in range(len(frame)):
+            with pytest.raises(ValidationError):
+                decode_labeled(frame[:cut])
+
+
+class TestFrameCellCap:
+    """The shared decode-bomb guard across columnar and partial frames."""
+
+    def test_forged_partial_cell_count_rejected(self):
+        from repro.service.wire import encode_partial, split_partial
+
+        frame = bytearray(encode_partial({"x": np.zeros((2, 4))}))
+        # bump the declared bin count of "x" (header + u16 len + 1 name byte)
+        struct.pack_into("<Q", frame, 12 + 2 + 1, 2**60)
+        with pytest.raises(WireFormatError, match="caps frames"):
+            split_partial(bytes(frame))
+
+    def test_forged_quantized_row_count_rejected(self):
+        frame = bytearray(encode_quantized({"ab": np.array([1], dtype=np.int8)}))
+        struct.pack_into("<Q", frame, 12 + 8 + 2 + 2, 2**60)
+        with pytest.raises(WireFormatError, match="caps frames"):
+            decode_labeled(bytes(frame))
+
+    def test_cap_counts_cells_across_all_columns(self):
+        """Many modest columns that sum past the cap still trip the guard."""
+        per_column = (1 << 26) + 1
+        names = [f"c{i}" for i in range(4)]
+        table = b"".join(
+            struct.pack("<H", len(n)) + n.encode() + struct.pack("<Q", per_column)
+            for n in names
+        )
+        frame = struct.pack("<4sHHi", MAGIC, WIRE_VERSION, len(names), -1) + table
+        with pytest.raises(WireFormatError, match="caps frames"):
+            decode_columns(frame)
+
+    def test_wire_format_error_is_a_validation_error(self):
+        assert issubclass(WireFormatError, ValidationError)
+        assert issubclass(DecodedSizeError, WireFormatError)
+
+
+class TestCodecs:
+    """Content-Encoding negotiation and bounded decompression."""
+
+    def test_supported_codecs_identity_first(self):
+        codecs = supported_codecs()
+        assert codecs[0] == "identity"
+        assert "zlib" in codecs
+
+    def test_resolve_codec_aliases(self):
+        assert resolve_codec(None) == "identity"
+        assert resolve_codec("") == "identity"
+        assert resolve_codec("Identity") == "identity"
+        assert resolve_codec(" ZLIB ") == "zlib"
+        assert resolve_codec("deflate") == "zlib"
+
+    def test_resolve_codec_unknown_tokens(self):
+        assert resolve_codec("br") is None
+        assert resolve_codec("gzip") is None
+        assert resolve_codec("zlib, br") is None
+
+    def test_zstd_resolves_only_when_importable(self):
+        try:
+            import zstandard  # noqa: F401
+        except ImportError:
+            assert resolve_codec("zstd") is None
+            assert "zstd" not in supported_codecs()
+        else:
+            assert resolve_codec("zstd") == "zstd"
+            assert "zstd" in supported_codecs()
+
+    def test_identity_passthrough(self):
+        body = encode_columns({"x": [0.5]})
+        assert compress_payload(body, "identity") == body
+        assert decompress_payload(body, "identity", max_decoded=1024) == body
+
+    def test_zlib_roundtrip_any_frame_mix(self):
+        body = encode_columns({"x": np.zeros(500)}) + encode_quantized(
+            {"x": np.zeros(500, dtype=np.int8)}
+        )
+        wire = compress_payload(body, "zlib")
+        assert len(wire) < len(body)
+        assert decompress_payload(wire, "zlib", max_decoded=len(body)) == body
+
+    def test_identity_body_over_cap_rejected(self):
+        with pytest.raises(DecodedSizeError, match="caps bodies"):
+            decompress_payload(bytes(100), "identity", max_decoded=64)
+
+    def test_zlib_bomb_hits_the_cap(self):
+        import zlib
+
+        bomb = zlib.compress(bytes(10_000_000))
+        assert len(bomb) < 16_384
+        with pytest.raises(DecodedSizeError, match="decoded-size cap"):
+            decompress_payload(bomb, "zlib", max_decoded=65_536)
+
+    def test_truncated_zlib_stream_rejected(self):
+        import zlib
+
+        wire = zlib.compress(bytes(10_000))
+        with pytest.raises(WireFormatError, match="truncated"):
+            decompress_payload(wire[:-4], "zlib", max_decoded=1 << 20)
+
+    def test_trailing_garbage_after_zlib_stream_rejected(self):
+        import zlib
+
+        wire = zlib.compress(b"frame") + b"extra"
+        with pytest.raises(WireFormatError, match="trailing"):
+            decompress_payload(wire, "zlib", max_decoded=1 << 20)
+
+    def test_corrupt_zlib_stream_rejected(self):
+        with pytest.raises(WireFormatError, match="corrupt"):
+            decompress_payload(b"\x00\x01notzlib", "zlib", max_decoded=1 << 20)
+
+    def test_unknown_codec_rejected_both_directions(self):
+        with pytest.raises(ValidationError, match="unknown codec"):
+            compress_payload(b"x", "br")
+        with pytest.raises(ValidationError, match="unknown codec"):
+            decompress_payload(b"x", "br", max_decoded=64)
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValidationError, match="positive"):
+            decompress_payload(b"", "identity", max_decoded=0)
+
+    def test_corruption_fuzz_zlib(self):
+        import random
+        import zlib
+
+        rng = random.Random(424_242)
+        body = encode_columns({"x": np.linspace(0, 1, 200)})
+        wire = zlib.compress(body)
+        for _ in range(200):
+            mutated = bytearray(wire)
+            for _ in range(rng.randint(1, 3)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            try:
+                decoded = decompress_payload(
+                    bytes(mutated), "zlib", max_decoded=len(body) + 1
+                )
+            except (WireFormatError, DecodedSizeError):
+                continue
+            # rare survivors must still bound their output
+            assert len(decoded) <= len(body) + 1
